@@ -1,0 +1,321 @@
+//! Synthetic PSDF generators.
+//!
+//! Each generator produces a valid, acyclic application with ordering
+//! numbers assigned topologically. The random generator is fully
+//! deterministic for a given seed, so tests and benchmarks are repeatable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use segbus_model::prelude::*;
+
+/// Shared knobs for the deterministic generators.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneratorConfig {
+    /// Data items per flow (use a multiple of the intended package size to
+    /// avoid padding warnings).
+    pub items_per_flow: u64,
+    /// Processing ticks per package at the 36-item reference size.
+    pub ticks_per_package: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { items_per_flow: 576, ticks_per_package: 250 }
+    }
+}
+
+/// A linear pipeline `P0 → P1 → … → P{n-1}`.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn chain(n: usize, cfg: GeneratorConfig) -> Application {
+    assert!(n >= 2, "a chain needs at least two processes");
+    let mut app = Application::new(format!("chain-{n}"));
+    let ids: Vec<ProcessId> = (0..n)
+        .map(|i| {
+            app.add_process(match i {
+                0 => Process::initial(format!("P{i}")),
+                i if i == n - 1 => Process::final_(format!("P{i}")),
+                _ => Process::new(format!("P{i}")),
+            })
+        })
+        .collect();
+    for w in ids.windows(2) {
+        app.add_flow(Flow::new(
+            w[0],
+            w[1],
+            cfg.items_per_flow,
+            0,
+            cfg.ticks_per_package,
+        ))
+        .expect("chain flows valid");
+    }
+    app.assign_orders_topologically().expect("chain is acyclic");
+    app
+}
+
+/// A fork-join diamond: one source fans out to `width` parallel workers
+/// which all feed one sink (`width + 2` processes).
+///
+/// # Panics
+/// Panics if `width == 0`.
+pub fn diamond(width: usize, cfg: GeneratorConfig) -> Application {
+    assert!(width > 0, "diamond width must be positive");
+    let mut app = Application::new(format!("diamond-{width}"));
+    let src = app.add_process(Process::initial("SRC"));
+    let workers: Vec<ProcessId> = (0..width)
+        .map(|i| app.add_process(Process::new(format!("W{i}"))))
+        .collect();
+    let sink = app.add_process(Process::final_("SINK"));
+    for &w in &workers {
+        app.add_flow(Flow::new(src, w, cfg.items_per_flow, 0, cfg.ticks_per_package))
+            .expect("valid");
+        app.add_flow(Flow::new(w, sink, cfg.items_per_flow, 0, cfg.ticks_per_package))
+            .expect("valid");
+    }
+    app.assign_orders_topologically().expect("diamond is acyclic");
+    app
+}
+
+/// An FFT-style butterfly with `2^stages_log2` lanes: every stage `k`
+/// connects lane `i` to lanes `i` and `i XOR 2^k` of the next stage.
+///
+/// Produces `(stages_log2 + 1) × 2^stages_log2` processes; lane width is
+/// capped to keep the model practical.
+///
+/// # Panics
+/// Panics if `stages_log2` is 0 or greater than 6.
+pub fn butterfly(stages_log2: u32, cfg: GeneratorConfig) -> Application {
+    assert!((1..=6).contains(&stages_log2), "1 <= stages_log2 <= 6");
+    let lanes = 1usize << stages_log2;
+    let stages = stages_log2 as usize + 1;
+    let mut app = Application::new(format!("butterfly-{lanes}"));
+    let mut grid = vec![vec![ProcessId(0); lanes]; stages];
+    for (s, row) in grid.iter_mut().enumerate() {
+        for (l, slot) in row.iter_mut().enumerate() {
+            let name = format!("S{s}L{l}");
+            *slot = app.add_process(match s {
+                0 => Process::initial(name),
+                s if s == stages - 1 => Process::final_(name),
+                _ => Process::new(name),
+            });
+        }
+    }
+    for s in 0..stages - 1 {
+        let stride = 1usize << s;
+        for l in 0..lanes {
+            let partner = l ^ stride;
+            app.add_flow(Flow::new(
+                grid[s][l],
+                grid[s + 1][l],
+                cfg.items_per_flow,
+                0,
+                cfg.ticks_per_package,
+            ))
+            .expect("valid");
+            app.add_flow(Flow::new(
+                grid[s][l],
+                grid[s + 1][partner],
+                cfg.items_per_flow,
+                0,
+                cfg.ticks_per_package,
+            ))
+            .expect("valid");
+        }
+    }
+    app.assign_orders_topologically().expect("butterfly is acyclic");
+    app
+}
+
+/// A random layered DAG: `layers` layers of `width` processes; every
+/// process of layer `k+1` receives between 1 and 3 flows from random
+/// processes of layer `k`. Item counts are random multiples of 36 up to
+/// `cfg.items_per_flow`, processing costs uniform in
+/// `[cfg.ticks_per_package / 2, cfg.ticks_per_package]`.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Panics
+/// Panics if `layers < 2` or `width == 0`.
+pub fn random_layered(layers: usize, width: usize, seed: u64, cfg: GeneratorConfig) -> Application {
+    assert!(layers >= 2 && width > 0, "need >= 2 layers and width > 0");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut app = Application::new(format!("rand-{layers}x{width}-s{seed}"));
+    let mut grid = vec![vec![ProcessId(0); width]; layers];
+    for (l, row) in grid.iter_mut().enumerate() {
+        for (w, slot) in row.iter_mut().enumerate() {
+            let name = format!("L{l}N{w}");
+            *slot = app.add_process(match l {
+                0 => Process::initial(name),
+                l if l == layers - 1 => Process::final_(name),
+                _ => Process::new(name),
+            });
+        }
+    }
+    let max_mult = (cfg.items_per_flow / 36).max(1);
+    for l in 0..layers - 1 {
+        for w in 0..width {
+            let fan_in = rng.gen_range(1..=3usize);
+            for _ in 0..fan_in {
+                let src = grid[l][rng.gen_range(0..width)];
+                let items = 36 * rng.gen_range(1..=max_mult);
+                let ticks = rng.gen_range(cfg.ticks_per_package / 2..=cfg.ticks_per_package.max(1));
+                app.add_flow(Flow::new(src, grid[l + 1][w], items, 0, ticks))
+                    .expect("valid");
+            }
+        }
+    }
+    app.assign_orders_topologically().expect("layered DAG is acyclic");
+    app
+}
+
+/// Round-robin allocation of an application's processes over `segments`
+/// segments — a deliberately naive placement used as the baseline in the
+/// placement experiments.
+pub fn round_robin_allocation(app: &Application, segments: usize) -> Allocation {
+    let mut alloc = Allocation::new(segments);
+    for i in 0..app.process_count() {
+        alloc.assign(
+            ProcessId(i as u32),
+            SegmentId((i % segments) as u16),
+        );
+    }
+    alloc
+}
+
+/// Contiguous block allocation: the first `ceil(n/segments)` processes on
+/// segment 0, and so on. Respects pipeline locality for chain-like apps.
+pub fn block_allocation(app: &Application, segments: usize) -> Allocation {
+    let n = app.process_count();
+    let per = n.div_ceil(segments.max(1));
+    let mut alloc = Allocation::new(segments);
+    for i in 0..n {
+        alloc.assign(
+            ProcessId(i as u32),
+            SegmentId(((i / per).min(segments - 1)) as u16),
+        );
+    }
+    alloc
+}
+
+/// A uniform test platform: `segments` segments at 100 MHz, CA at 111 MHz.
+pub fn uniform_platform(segments: usize, package_size: u32) -> Platform {
+    Platform::builder(format!("uniform-{segments}"))
+        .package_size(package_size)
+        .ca_clock(ClockDomain::from_mhz(111.0))
+        .uniform_segments(segments, ClockDomain::from_mhz(100.0))
+        .build()
+        .expect("valid platform")
+}
+
+/// Like [`uniform_platform`] but closed into a ring (needs ≥ 3 segments).
+pub fn ring_platform(segments: usize, package_size: u32) -> Platform {
+    Platform::builder(format!("ring-{segments}"))
+        .package_size(package_size)
+        .topology(segbus_model::platform::Topology::Ring)
+        .ca_clock(ClockDomain::from_mhz(111.0))
+        .uniform_segments(segments, ClockDomain::from_mhz(100.0))
+        .build()
+        .expect("valid ring platform")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segbus_model::validate::{validate, Severity};
+
+    fn assert_valid(app: &Application, segments: usize) {
+        let platform = uniform_platform(segments, 36);
+        let alloc = block_allocation(app, segments);
+        let diags = validate(&platform, app, &alloc);
+        let errors: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+    }
+
+    #[test]
+    fn chain_shape() {
+        let app = chain(5, GeneratorConfig::default());
+        assert_eq!(app.process_count(), 5);
+        assert_eq!(app.flows().len(), 4);
+        assert_eq!(app.sources().len(), 1);
+        assert_eq!(app.sinks().len(), 1);
+        assert!(app.orders_respect_dependencies());
+        assert_valid(&app, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn chain_too_short() {
+        let _ = chain(1, GeneratorConfig::default());
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let app = diamond(4, GeneratorConfig::default());
+        assert_eq!(app.process_count(), 6);
+        assert_eq!(app.flows().len(), 8);
+        // Workers all share wave 2; their output flows wave 3... orders are
+        // 1 (src fan-out) and 2 (joins).
+        let waves = app.waves();
+        assert_eq!(waves.len(), 2);
+        assert_eq!(waves[0].flows.len(), 4);
+        assert_valid(&app, 3);
+    }
+
+    #[test]
+    fn butterfly_shape() {
+        let app = butterfly(2, GeneratorConfig::default());
+        // 3 stages × 4 lanes, 2 flows per node per stage.
+        assert_eq!(app.process_count(), 12);
+        assert_eq!(app.flows().len(), 16);
+        assert_eq!(app.sources().len(), 4);
+        assert_eq!(app.sinks().len(), 4);
+        assert!(app.orders_respect_dependencies());
+        assert_valid(&app, 2);
+    }
+
+    #[test]
+    fn random_layered_is_deterministic() {
+        let cfg = GeneratorConfig::default();
+        let a = random_layered(4, 3, 42, cfg);
+        let b = random_layered(4, 3, 42, cfg);
+        assert_eq!(a, b);
+        let c = random_layered(4, 3, 43, cfg);
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(a.orders_respect_dependencies());
+        assert_valid(&a, 3);
+    }
+
+    #[test]
+    fn random_items_are_package_aligned() {
+        let app = random_layered(5, 4, 7, GeneratorConfig::default());
+        assert!(app.flows().iter().all(|f| f.items % 36 == 0));
+    }
+
+    #[test]
+    fn allocations_cover_all_processes() {
+        let app = diamond(5, GeneratorConfig::default());
+        for segs in 1..=3 {
+            let rr = round_robin_allocation(&app, segs);
+            let bl = block_allocation(&app, segs);
+            assert!(rr.is_complete(app.process_count()));
+            assert!(bl.is_complete(app.process_count()));
+        }
+    }
+
+    #[test]
+    fn block_allocation_is_contiguous() {
+        let app = chain(6, GeneratorConfig::default());
+        let alloc = block_allocation(&app, 3);
+        assert_eq!(alloc.segment_of(ProcessId(0)), Some(SegmentId(0)));
+        assert_eq!(alloc.segment_of(ProcessId(1)), Some(SegmentId(0)));
+        assert_eq!(alloc.segment_of(ProcessId(2)), Some(SegmentId(1)));
+        assert_eq!(alloc.segment_of(ProcessId(5)), Some(SegmentId(2)));
+        // Chain locality: block beats round-robin on the weighted cut.
+        let rr = round_robin_allocation(&app, 3);
+        assert!(alloc.weighted_cut(&app) < rr.weighted_cut(&app));
+    }
+}

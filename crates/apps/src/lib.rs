@@ -1,0 +1,25 @@
+//! # segbus-apps
+//!
+//! Application models for the SegBus platform:
+//!
+//! * [`mp3`] — the paper's case study: a simplified stereo MP3 decoder
+//!   partitioned into 15 processes (paper §4, Figs. 7–9), transcribed
+//!   digit-for-digit from the published communication matrix, together with
+//!   the three platform configurations and allocations of Fig. 9;
+//! * [`generators`] — parameterised synthetic PSDF generators (chains,
+//!   fork-join diamonds, butterflies, random layered DAGs) used by the
+//!   wider test-suite, the benchmarks and the placement experiments;
+//! * [`library`] — curated codec models (baseline-JPEG encoder, GSM
+//!   full-rate encoder). The paper's future-work section calls for "more
+//!   application models to be tested on the emulator platform"; these and
+//!   the generators provide them.
+
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod library;
+pub mod mp3;
+
+pub use generators::{butterfly, chain, diamond, random_layered, GeneratorConfig};
+pub use library::{gsm_encoder, jpeg_encoder, on_paper_platform, sdr_receiver, video_encoder};
+pub use mp3::{mp3_decoder, Mp3Config};

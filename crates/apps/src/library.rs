@@ -1,0 +1,282 @@
+//! Curated application models beyond the paper's MP3 case study.
+//!
+//! The paper's future work calls for "more application models to be tested
+//! on the emulator platform" (§5). This module provides four classic
+//! streaming workloads — a JPEG encoder, a GSM full-rate speech encoder,
+//! an SDR receiver front-end and an H.263-style video encoder — each
+//! partitioned at a granularity comparable to the MP3 study, with item
+//! counts expressed per coded frame and processing costs in the same
+//! affine model the MP3 PSDF uses.
+
+use segbus_model::prelude::*;
+
+/// A baseline-JPEG encoder for one 8-MCU row of a 4:2:0 image.
+///
+/// ```text
+///              ┌─ DCT_Y ── QUANT_Y ──┐
+/// RGB2YCC ─────┼─ DCT_CB ─ QUANT_CB ─┼── ZIGZAG ── HUFFMAN ── OUT
+///              └─ DCT_CR ─ QUANT_CR ─┘
+/// ```
+///
+/// Luma carries twice the chroma volume (4:2:0 subsampling); the entropy
+/// stage compresses ~3:1. All item counts are multiples of 36 so the
+/// paper's package size divides them exactly.
+pub fn jpeg_encoder() -> Application {
+    let mut app = Application::new("jpeg-encoder")
+        .with_cost_model(CostModel::Affine { base_ticks: 40, reference_package_size: 36 });
+    let rgb2ycc = app.add_process(Process::initial("RGB2YCC"));
+    let dct_y = app.add_process(Process::new("DCT_Y"));
+    let dct_cb = app.add_process(Process::new("DCT_CB"));
+    let dct_cr = app.add_process(Process::new("DCT_CR"));
+    let quant_y = app.add_process(Process::new("QUANT_Y"));
+    let quant_cb = app.add_process(Process::new("QUANT_CB"));
+    let quant_cr = app.add_process(Process::new("QUANT_CR"));
+    let zigzag = app.add_process(Process::new("ZIGZAG"));
+    let huffman = app.add_process(Process::new("HUFFMAN"));
+    let out = app.add_process(Process::final_("OUT"));
+
+    let mut flow = |src, dst, items, order, ticks| {
+        app.add_flow(Flow::new(src, dst, items, order, ticks))
+            .expect("jpeg flows are valid");
+    };
+    // Colour conversion fans out per plane (luma 1152, chroma 288 each).
+    flow(rgb2ycc, dct_y, 1152, 1, 300);
+    flow(rgb2ycc, dct_cb, 288, 1, 300);
+    flow(rgb2ycc, dct_cr, 288, 1, 300);
+    // DCT keeps the volume.
+    flow(dct_y, quant_y, 1152, 2, 420);
+    flow(dct_cb, quant_cb, 288, 2, 420);
+    flow(dct_cr, quant_cr, 288, 2, 420);
+    // Quantisation keeps the coefficient count.
+    flow(quant_y, zigzag, 1152, 3, 160);
+    flow(quant_cb, zigzag, 288, 3, 160);
+    flow(quant_cr, zigzag, 288, 3, 160);
+    // Zig-zag + RLE compresses ~2:1 into the entropy coder.
+    flow(zigzag, huffman, 864, 4, 200);
+    // Huffman output ~3:1 overall.
+    flow(huffman, out, 576, 5, 260);
+    app
+}
+
+/// A GSM full-rate (06.10) speech encoder for one 20 ms frame.
+///
+/// ```text
+/// PREPROC ── LPC ── STF ──┬─ LTP ── RPE ── MUX
+///              │          │    ▲
+///              └──────────┴────┘ (reflection coefficients / residual)
+/// ```
+pub fn gsm_encoder() -> Application {
+    let mut app = Application::new("gsm-encoder")
+        .with_cost_model(CostModel::Affine { base_ticks: 40, reference_package_size: 36 });
+    let pre = app.add_process(Process::initial("PREPROC"));
+    let lpc = app.add_process(Process::new("LPC"));
+    let stf = app.add_process(Process::new("STF"));
+    let ltp = app.add_process(Process::new("LTP"));
+    let rpe = app.add_process(Process::new("RPE"));
+    let mux = app.add_process(Process::final_("MUX"));
+
+    let mut flow = |src, dst, items, order, ticks| {
+        app.add_flow(Flow::new(src, dst, items, order, ticks))
+            .expect("gsm flows are valid");
+    };
+    // 160 samples zero-padded to package-aligned 180 items.
+    flow(pre, lpc, 180, 1, 220);
+    // LPC passes the frame plus 8 reflection coefficients to the
+    // short-term filter, and the coefficients sideband to the mux.
+    flow(lpc, stf, 216, 2, 480);
+    flow(lpc, mux, 36, 2, 480);
+    // Short-term residual, split into four 40-sample sub-frames for LTP.
+    flow(stf, ltp, 180, 3, 350);
+    // LTP lag/gain parameters + residual to RPE.
+    flow(ltp, rpe, 180, 4, 310);
+    // RPE grid selection: 4 × 13 samples + parameters.
+    flow(rpe, mux, 72, 5, 280);
+    app
+}
+
+/// A digital front-end of a software-defined radio receiver for one
+/// burst: wideband input fans into two decimation chains (I/Q), which
+/// are filtered, demodulated jointly and decoded.
+///
+/// ```text
+/// ADC ──┬─ DDC_I ── FIR_I ──┐
+///       └─ DDC_Q ── FIR_Q ──┴── DEMOD ── FEC ── SINK
+/// ```
+pub fn sdr_receiver() -> Application {
+    let mut app = Application::new("sdr-receiver")
+        .with_cost_model(CostModel::Affine { base_ticks: 40, reference_package_size: 36 });
+    let adc = app.add_process(Process::initial("ADC"));
+    let ddc_i = app.add_process(Process::new("DDC_I"));
+    let ddc_q = app.add_process(Process::new("DDC_Q"));
+    let fir_i = app.add_process(Process::new("FIR_I"));
+    let fir_q = app.add_process(Process::new("FIR_Q"));
+    let demod = app.add_process(Process::new("DEMOD"));
+    let fec = app.add_process(Process::new("FEC"));
+    let sink = app.add_process(Process::final_("SINK"));
+
+    let mut flow = |src, dst, items, order, ticks| {
+        app.add_flow(Flow::new(src, dst, items, order, ticks))
+            .expect("sdr flows are valid");
+    };
+    // Wideband burst split into I/Q at full rate.
+    flow(adc, ddc_i, 1440, 1, 180);
+    flow(adc, ddc_q, 1440, 1, 180);
+    // Digital down-conversion decimates 4:1.
+    flow(ddc_i, fir_i, 360, 2, 400);
+    flow(ddc_q, fir_q, 360, 2, 400);
+    // Matched filtering keeps the rate.
+    flow(fir_i, demod, 360, 3, 340);
+    flow(fir_q, demod, 360, 3, 340);
+    // Symbol decisions: 2 samples per symbol in, 1 soft bit out.
+    flow(demod, fec, 360, 4, 290);
+    // FEC halves the payload (rate-1/2 code, decoded bits out).
+    flow(fec, sink, 180, 5, 450);
+    app
+}
+
+/// An H.263-style intra-frame video encoder for one QCIF macroblock row.
+///
+/// ```text
+/// CAPTURE ── MB_SPLIT ──┬─ DCTQ_0 ──┐
+///                       ├─ DCTQ_1 ──┼── SCAN ── VLC ── BITSTREAM
+///                       └─ DCTQ_2 ──┘
+/// ```
+///
+/// Three DCT+quantise workers operate on interleaved macroblocks in
+/// parallel — the fork-join shape that profits from segmentation.
+pub fn video_encoder() -> Application {
+    let mut app = Application::new("video-encoder")
+        .with_cost_model(CostModel::Affine { base_ticks: 40, reference_package_size: 36 });
+    let capture = app.add_process(Process::initial("CAPTURE"));
+    let split = app.add_process(Process::new("MB_SPLIT"));
+    let workers: Vec<ProcessId> = (0..3)
+        .map(|i| app.add_process(Process::new(format!("DCTQ_{i}"))))
+        .collect();
+    let scan = app.add_process(Process::new("SCAN"));
+    let vlc = app.add_process(Process::new("VLC"));
+    let out = app.add_process(Process::final_("BITSTREAM"));
+
+    let mut flow = |src, dst, items, order, ticks| {
+        app.add_flow(Flow::new(src, dst, items, order, ticks))
+            .expect("video flows are valid");
+    };
+    // One macroblock row of 4:2:0 pixels.
+    flow(capture, split, 1584, 1, 200);
+    // Interleaved macroblocks to the three workers.
+    for &w in &workers {
+        flow(split, w, 528, 2, 160);
+    }
+    // Quantised coefficients, sparser after quantisation.
+    for &w in &workers {
+        flow(w, scan, 396, 3, 520);
+    }
+    // Zig-zag + run-length into the entropy coder.
+    flow(scan, vlc, 792, 4, 240);
+    // Entropy-coded bitstream ~4:1.
+    flow(vlc, out, 288, 5, 310);
+    app
+}
+
+/// Map an application onto `n` paper-style segments (91/98/89 MHz pattern,
+/// CA at 111 MHz) with a block allocation — a convenient starting point
+/// for the library apps.
+pub fn on_paper_platform(app: Application, segments: usize) -> Psm {
+    let freqs = [91.0, 98.0, 89.0, 95.0, 101.0, 93.0];
+    let mut builder = Platform::builder(format!("{}-{segments}seg", app.name()))
+        .package_size(36)
+        .ca_clock(ClockDomain::from_mhz(111.0));
+    for i in 0..segments {
+        builder = builder.segment(
+            format!("Segment{}", i + 1),
+            ClockDomain::from_mhz(freqs[i % freqs.len()]),
+        );
+    }
+    let platform = builder.build().expect("valid platform");
+    let alloc = crate::generators::block_allocation(&app, segments);
+    Psm::new(platform, app, alloc).expect("library apps validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segbus_model::matrix::CommMatrix;
+
+    #[test]
+    fn jpeg_shape() {
+        let app = jpeg_encoder();
+        assert_eq!(app.process_count(), 10);
+        assert_eq!(app.flows().len(), 11);
+        assert_eq!(app.sources(), vec![ProcessId(0)]);
+        assert_eq!(app.sinks(), vec![ProcessId(9)]);
+        assert!(app.orders_respect_dependencies());
+        // All item counts package-aligned at s = 36.
+        assert!(app.flows().iter().all(|f| f.items % 36 == 0));
+    }
+
+    #[test]
+    fn jpeg_luma_dominates_chroma() {
+        let m = CommMatrix::from_application(&jpeg_encoder());
+        let app = jpeg_encoder();
+        let y = app.process_by_name("DCT_Y").unwrap();
+        let cb = app.process_by_name("DCT_CB").unwrap();
+        assert_eq!(
+            m.col_sum(y),
+            4 * m.col_sum(cb),
+            "4:2:0 — luma carries 4× one chroma plane"
+        );
+    }
+
+    #[test]
+    fn gsm_shape() {
+        let app = gsm_encoder();
+        assert_eq!(app.process_count(), 6);
+        assert_eq!(app.flows().len(), 6);
+        assert!(app.orders_respect_dependencies());
+        // MUX receives from both LPC (sideband) and RPE.
+        let mux = app.process_by_name("MUX").unwrap();
+        assert_eq!(app.inputs_of(mux).count(), 2);
+    }
+
+    #[test]
+    fn sdr_shape() {
+        let app = sdr_receiver();
+        assert_eq!(app.process_count(), 8);
+        assert_eq!(app.flows().len(), 8);
+        assert!(app.orders_respect_dependencies());
+        assert!(app.flows().iter().all(|f| f.items % 36 == 0));
+        // I and Q chains are symmetric.
+        let m = CommMatrix::from_application(&app);
+        let i = app.process_by_name("DDC_I").unwrap();
+        let q = app.process_by_name("DDC_Q").unwrap();
+        assert_eq!(m.col_sum(i), m.col_sum(q));
+        assert_eq!(m.row_sum(i), m.row_sum(q));
+    }
+
+    #[test]
+    fn video_shape() {
+        let app = video_encoder();
+        assert_eq!(app.process_count(), 8);
+        assert_eq!(app.flows().len(), 9);
+        assert!(app.orders_respect_dependencies());
+        // The three DCT workers share the load evenly.
+        let m = CommMatrix::from_application(&app);
+        let w0 = app.process_by_name("DCTQ_0").unwrap();
+        let w2 = app.process_by_name("DCTQ_2").unwrap();
+        assert_eq!(m.col_sum(w0), m.col_sum(w2));
+        // Entropy coding compresses: BITSTREAM receives less than SCAN.
+        let scan = app.process_by_name("SCAN").unwrap();
+        let out = app.process_by_name("BITSTREAM").unwrap();
+        assert!(m.col_sum(out) < m.col_sum(scan));
+    }
+
+    #[test]
+    fn library_apps_run_on_paper_platforms() {
+        for segments in 1..=3 {
+            for app in [jpeg_encoder(), gsm_encoder(), sdr_receiver(), video_encoder()] {
+                let name = app.name().to_string();
+                let psm = on_paper_platform(app, segments);
+                assert_eq!(psm.platform().segment_count(), segments, "{name}");
+            }
+        }
+    }
+}

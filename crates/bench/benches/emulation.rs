@@ -1,0 +1,101 @@
+//! Estimator throughput: how fast the emulator itself runs.
+//!
+//! The paper's motivation for an emulator is fast design-space exploration;
+//! these benches quantify how many full-application emulations per second
+//! the estimation engine sustains across the paper's configurations,
+//! synthetic workloads and a parallel parameter sweep.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use segbus_apps::generators::{self, GeneratorConfig};
+use segbus_bench::paper_configs;
+use segbus_core::{run_many_with, Emulator, EmulatorConfig};
+use segbus_model::mapping::Psm;
+
+fn bench_paper_configs(c: &mut Criterion) {
+    let emulator = Emulator::default();
+    let mut g = c.benchmark_group("estimator/paper");
+    for (name, psm) in paper_configs() {
+        g.bench_function(name, |b| b.iter(|| emulator.run(&psm)));
+    }
+    g.finish();
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let emulator = Emulator::default();
+    let cfg = GeneratorConfig::default();
+    let cases: Vec<(&str, Psm)> = vec![
+        ("chain16_x2", {
+            let app = generators::chain(16, cfg);
+            let alloc = generators::block_allocation(&app, 2);
+            Psm::new(generators::uniform_platform(2, 36), app, alloc).unwrap()
+        }),
+        ("diamond8_x3", {
+            let app = generators::diamond(8, cfg);
+            let alloc = generators::block_allocation(&app, 3);
+            Psm::new(generators::uniform_platform(3, 36), app, alloc).unwrap()
+        }),
+        ("butterfly8_x2", {
+            let app = generators::butterfly(3, cfg);
+            let alloc = generators::round_robin_allocation(&app, 2);
+            Psm::new(generators::uniform_platform(2, 36), app, alloc).unwrap()
+        }),
+        ("rand6x5_x3", {
+            let app = generators::random_layered(6, 5, 42, cfg);
+            let alloc = generators::block_allocation(&app, 3);
+            Psm::new(generators::uniform_platform(3, 36), app, alloc).unwrap()
+        }),
+    ];
+    let mut g = c.benchmark_group("estimator/synthetic");
+    for (name, psm) in &cases {
+        g.bench_function(*name, |b| b.iter(|| emulator.run(psm)));
+    }
+    g.finish();
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    // A2-style sweep: eight package sizes, sequential vs parallel runner.
+    let sizes = [6u32, 9, 12, 18, 36, 72, 144, 288];
+    let psms: Vec<Psm> = sizes
+        .iter()
+        .map(|&s| {
+            segbus_apps::mp3::three_segment_psm()
+                .with_package_size(s)
+                .expect("valid size")
+        })
+        .collect();
+    let mut g = c.benchmark_group("estimator/sweep8");
+    g.bench_function("sequential", |b| {
+        b.iter_batched(
+            || psms.clone(),
+            |p| run_many_with(&p, EmulatorConfig::default(), 1),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("parallel4", |b| {
+        b.iter_batched(
+            || psms.clone(),
+            |p| run_many_with(&p, EmulatorConfig::default(), 4),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let emulator = Emulator::default();
+    let psm = segbus_apps::mp3::three_segment_psm();
+    let mut g = c.benchmark_group("estimator/streaming");
+    for frames in [1u64, 4, 16] {
+        g.bench_function(format!("mp3_{frames}frames"), |b| {
+            b.iter(|| emulator.run_frames(&psm, frames))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_paper_configs, bench_synthetic, bench_parallel_sweep, bench_streaming
+}
+criterion_main!(benches);

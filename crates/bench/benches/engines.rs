@@ -1,0 +1,55 @@
+//! Ablation A4 — engine comparison.
+//!
+//! Three ways to execute the same PSM:
+//!
+//! * the event-driven estimator (`segbus-core`),
+//! * the tick-stepped reference simulator (`segbus-rtl`, sequential),
+//! * the thread-per-clock-domain reference driver (the paper's Java
+//!   architecture transplanted to Rust).
+//!
+//! The expected result — and the honest finding about the paper's
+//! implementation strategy — is that the event-driven estimator is orders
+//! of magnitude faster than tick-stepping, and that thread-per-component
+//! with a barrier per clock edge is *slower* than the sequential loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segbus_core::Emulator;
+use segbus_rtl::{RtlSimulator, ThreadedRtlSimulator};
+
+fn bench_engines(c: &mut Criterion) {
+    let psm = segbus_apps::mp3::three_segment_psm();
+    let mut g = c.benchmark_group("engines/mp3_3seg");
+    g.sample_size(10);
+    g.bench_function("estimator_event_driven", |b| {
+        let e = Emulator::default();
+        b.iter(|| e.run(&psm))
+    });
+    g.bench_function("reference_tick_stepped", |b| {
+        let s = RtlSimulator::default();
+        b.iter(|| s.run(&psm).expect("completes"))
+    });
+    g.bench_function("reference_thread_per_domain", |b| {
+        let s = ThreadedRtlSimulator::default();
+        b.iter(|| s.run(&psm).expect("completes"))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("engines/mp3_3seg_4frames");
+    g.sample_size(10);
+    g.bench_function("estimator_streaming", |b| {
+        let e = Emulator::default();
+        b.iter(|| e.run_frames(&psm, 4))
+    });
+    g.bench_function("reference_streaming", |b| {
+        let s = RtlSimulator::default();
+        b.iter(|| s.run_frames(&psm, 4).expect("completes"))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_engines
+}
+criterion_main!(benches);

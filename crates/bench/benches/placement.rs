@@ -1,0 +1,44 @@
+//! PlaceTool solver benchmarks (substrate of ablation A1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segbus_apps::generators::{random_layered, GeneratorConfig};
+use segbus_place::{kernighan_lin, Objective, PlaceTool};
+
+fn bench_mp3(c: &mut Criterion) {
+    let app = segbus_apps::mp3::mp3_decoder();
+    let mut g = c.benchmark_group("placement/mp3_3seg");
+    let tool = PlaceTool::new(&app, 3);
+    g.bench_function("greedy", |b| b.iter(|| tool.greedy()));
+    g.bench_function("greedy_refined", |b| {
+        b.iter(|| tool.refine(tool.greedy().allocation))
+    });
+    g.bench_function("anneal_2k", |b| b.iter(|| tool.anneal(42, 2000)));
+    g.bench_function("kernighan_lin_2seg", |b| {
+        b.iter(|| kernighan_lin(&app, Objective::Items, 8))
+    });
+    g.sample_size(10);
+    g.bench_function("exhaustive_3pow15", |b| {
+        b.iter(|| tool.exhaustive().expect("within cap"))
+    });
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let cfg = GeneratorConfig::default();
+    let mut g = c.benchmark_group("placement/random_layered");
+    for (layers, width) in [(4usize, 4usize), (6, 6), (8, 8)] {
+        let app = random_layered(layers, width, 7, cfg);
+        let n = app.process_count();
+        let tool = PlaceTool::new(&app, 4);
+        g.bench_function(format!("greedy_n{n}"), |b| b.iter(|| tool.greedy()));
+        g.bench_function(format!("anneal1k_n{n}"), |b| b.iter(|| tool.anneal(7, 1000)));
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mp3, bench_scaling
+}
+criterion_main!(benches);

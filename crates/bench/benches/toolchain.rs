@@ -1,0 +1,41 @@
+//! Toolchain benchmarks: the M2T transformation, the XML parser, the
+//! emulator-side scheme import and the DSL front-end (paper §3.4–3.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segbus_dsl::{parse_system, printer};
+use segbus_xml::{import, m2t, parse};
+
+fn bench_xml(c: &mut Criterion) {
+    let psm = segbus_apps::mp3::three_segment_psm();
+    let app = psm.application().clone();
+    let psdf_text = m2t::export_psdf(&app).to_xml_string();
+    let psm_text = m2t::export_psm(&psm).to_xml_string();
+    let psdf_doc = parse(&psdf_text).unwrap();
+    let psm_doc = parse(&psm_text).unwrap();
+
+    let mut g = c.benchmark_group("toolchain/xml");
+    g.bench_function("m2t_export_psdf", |b| b.iter(|| m2t::export_psdf(&app)));
+    g.bench_function("m2t_export_psm", |b| b.iter(|| m2t::export_psm(&psm)));
+    g.bench_function("parse_psdf_scheme", |b| b.iter(|| parse(&psdf_text).unwrap()));
+    g.bench_function("import_psdf", |b| b.iter(|| import::import_psdf(&psdf_doc).unwrap()));
+    g.bench_function("import_full_system", |b| {
+        b.iter(|| import::import_system(&psdf_doc, &psm_doc).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_dsl(c: &mut Criterion) {
+    let psm = segbus_apps::mp3::three_segment_psm();
+    let text = printer::to_dsl(&psm);
+    let mut g = c.benchmark_group("toolchain/dsl");
+    g.bench_function("print_mp3", |b| b.iter(|| printer::to_dsl(&psm)));
+    g.bench_function("parse_mp3", |b| b.iter(|| parse_system(&text).unwrap()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_xml, bench_dsl
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! # segbus-bench
+//!
+//! Criterion benchmarks for the SegBus workspace. The benches both (a)
+//! regenerate the paper's tables/figures under `cargo bench` so every
+//! reported number has a harness, and (b) measure the tooling itself
+//! (emulation throughput, the sequential-vs-threaded engine comparison of
+//! ablation A4, placement solvers, the XML/DSL toolchain).
+//!
+//! | bench target | contents |
+//! |---|---|
+//! | `emulation` | estimator runs: MP3 1/2/3-segment configs, package sizes, synthetic apps, parallel sweeps |
+//! | `engines` | A4: estimator vs reference simulator vs threaded reference |
+//! | `placement` | A1 substrate: greedy / refine / anneal / exhaustive |
+//! | `toolchain` | M2T export, XML parse, scheme import, DSL parse/print |
+//! | `experiments` | E1–E7 table regeneration end to end |
+//!
+//! The library itself only hosts shared helpers.
+
+#![warn(missing_docs)]
+
+use segbus_model::mapping::Psm;
+
+/// The PSMs used by several bench targets, built once.
+pub fn paper_configs() -> Vec<(&'static str, Psm)> {
+    vec![
+        ("mp3_1seg", segbus_apps::mp3::one_segment_psm()),
+        ("mp3_2seg", segbus_apps::mp3::two_segment_psm()),
+        ("mp3_3seg", segbus_apps::mp3::three_segment_psm()),
+        (
+            "mp3_3seg_s18",
+            segbus_apps::mp3::three_segment_psm()
+                .with_package_size(18)
+                .expect("valid size"),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn configs_build() {
+        assert_eq!(super::paper_configs().len(), 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! # segbus-codegen
+//!
+//! Arbiter code generation — the paper's stated future work ("extended
+//! support is expected to come in the form of arbiter code generation, for
+//! the implementation of the application schedules", §5).
+//!
+//! The paper's emulator already extracts the application schedule from the
+//! PSDF and "implements it within the arbiters" (§3.3). This crate makes
+//! that artifact first-class: [`schedule::SystemSchedule`] derives, from a
+//! validated PSM, the exact ordered list of jobs every segment arbiter and
+//! the central arbiter will perform — and two backends render it:
+//!
+//! * [`rust_emit`] — `const` Rust tables, suitable for embedding the
+//!   schedule in firmware or another simulator;
+//! * [`c_emit`] — a C89 header with `static const` schedule arrays for
+//!   microcontroller-driven arbiters;
+//! * [`vhdl`] — synthesisable-style VHDL skeletons: one entity per SA with
+//!   a ROM of schedule entries and a case-based dispatcher, plus the CA's
+//!   path-reservation ROM.
+//!
+//! The schedules are cross-validated against the emulator: for every
+//! configuration, the generated tables predict exactly the request/grant
+//! counters the emulation produces (see the tests here and in
+//! `tests/codegen_consistency.rs`).
+
+#![warn(missing_docs)]
+
+pub mod c_emit;
+pub mod rust_emit;
+pub mod schedule;
+pub mod vhdl;
+
+pub use schedule::{CaJob, SaJob, SystemSchedule};

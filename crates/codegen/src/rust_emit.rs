@@ -1,0 +1,126 @@
+//! Rust backend: render a [`SystemSchedule`] as `const` tables.
+//!
+//! The output is a self-contained `.rs` module with no dependencies: one
+//! `SA_SCHEDULE_<n>` table per segment arbiter and one `CA_SCHEDULE`
+//! table, each entry carrying the wave, the job kind and its operands.
+//! Firmware, another simulator, or the arbiters themselves can link the
+//! tables directly.
+
+use std::fmt::Write as _;
+
+use segbus_model::mapping::Psm;
+
+use crate::schedule::{SaJob, SystemSchedule};
+
+/// Render the schedule as a Rust source file.
+pub fn to_rust(psm: &Psm, sched: &SystemSchedule) -> String {
+    let app = psm.application();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "//! Auto-generated SegBus arbiter schedules for application {:?}\n\
+         //! on platform {:?} (package size {}). Do not edit.\n",
+        app.name(),
+        psm.platform().name(),
+        sched.package_size
+    );
+    out.push_str(
+        "/// One segment-arbiter job.\n\
+         #[derive(Clone, Copy, PartialEq, Eq, Debug)]\n\
+         pub enum SaJob {\n\
+         \x20   /// Local transfer: (producer, consumer).\n\
+         \x20   Local(u32, u32),\n\
+         \x20   /// Fill the BU toward a neighbour segment: (producer, neighbour).\n\
+         \x20   SourceFill(u32, u16),\n\
+         \x20   /// Forward from one BU into the next: (from segment, to segment).\n\
+         \x20   BuForward(u16, u16),\n\
+         \x20   /// Deliver from a BU to a local consumer: (from segment, consumer).\n\
+         \x20   BuDeliver(u16, u32),\n\
+         }\n\n\
+         /// A scheduled entry: (wave, job, packages).\n\
+         pub type Entry = (u32, SaJob, u64);\n\n",
+    );
+    for (i, jobs) in sched.sa.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "/// Schedule of SA{} ({} entries).\npub const SA_SCHEDULE_{}: [Entry; {}] = [",
+            i + 1,
+            jobs.len(),
+            i + 1,
+            jobs.len()
+        );
+        for (wave, job) in jobs {
+            let rendered = match job {
+                SaJob::Local { src, dst, packages, .. } => {
+                    format!("({wave}, SaJob::Local({}, {}), {packages})", src.0, dst.0)
+                }
+                SaJob::SourceFill { src, toward, packages, .. } => {
+                    format!("({wave}, SaJob::SourceFill({}, {}), {packages})", src.0, toward.0)
+                }
+                SaJob::BuForward { from, toward, packages, .. } => {
+                    format!("({wave}, SaJob::BuForward({}, {}), {packages})", from.0, toward.0)
+                }
+                SaJob::BuDeliver { from, dst, packages, .. } => {
+                    format!("({wave}, SaJob::BuDeliver({}, {}), {packages})", from.0, dst.0)
+                }
+            };
+            let _ = writeln!(out, "    {rendered},");
+        }
+        out.push_str("];\n\n");
+    }
+    let _ = writeln!(
+        out,
+        "/// CA path reservations: (wave, source segment, destination segment, packages).\n\
+         pub const CA_SCHEDULE: [(u32, u16, u16, u64); {}] = [",
+        sched.ca.len()
+    );
+    for j in &sched.ca {
+        let _ = writeln!(out, "    ({}, {}, {}, {}),", j.wave, j.from.0, j.to.0, j.packages);
+    }
+    out.push_str("];\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::SystemSchedule;
+    use segbus_apps::mp3;
+
+    #[test]
+    fn generated_rust_has_all_tables() {
+        let psm = mp3::three_segment_psm();
+        let sched = SystemSchedule::derive(&psm);
+        let src = to_rust(&psm, &sched);
+        assert!(src.contains("pub const SA_SCHEDULE_1:"));
+        assert!(src.contains("pub const SA_SCHEDULE_2:"));
+        assert!(src.contains("pub const SA_SCHEDULE_3:"));
+        assert!(src.contains("pub const CA_SCHEDULE:"));
+        assert!(src.contains("enum SaJob"));
+        // One source-fill entry per inter-segment flow.
+        assert_eq!(src.matches("SaJob::SourceFill").count(), sched.ca.len());
+    }
+
+    #[test]
+    fn entry_counts_match_schedule() {
+        let psm = mp3::three_segment_psm();
+        let sched = SystemSchedule::derive(&psm);
+        let src = to_rust(&psm, &sched);
+        for (i, jobs) in sched.sa.iter().enumerate() {
+            let header = format!("SA_SCHEDULE_{}: [Entry; {}]", i + 1, jobs.len());
+            assert!(src.contains(&header), "missing {header}");
+        }
+        assert!(src.contains(&format!("[(u32, u16, u16, u64); {}]", sched.ca.len())));
+    }
+
+    #[test]
+    fn generated_rust_parses_as_rust() {
+        // Cheap syntactic sanity: balanced brackets and no empty enums.
+        let psm = mp3::two_segment_psm();
+        let sched = SystemSchedule::derive(&psm);
+        let src = to_rust(&psm, &sched);
+        assert_eq!(src.matches('[').count(), src.matches(']').count());
+        assert_eq!(src.matches('(').count(), src.matches(')').count());
+        assert_eq!(src.matches('{').count(), src.matches('}').count());
+    }
+}

@@ -1,0 +1,308 @@
+//! Post-run analysis of emulation traces and counters.
+//!
+//! The paper's tool "helps us observe the communication bottlenecks"
+//! (§4); this module turns a traced [`crate::EmulationReport`] into the
+//! quantities a designer acts on: bus utilisation per segment, wave
+//! boundaries, per-package end-to-end latency and a Gantt-style CSV of
+//! every bus occupation.
+
+use segbus_model::ids::{FlowId, SegmentId};
+use segbus_model::time::Picos;
+
+use crate::report::EmulationReport;
+use crate::trace::{TraceKind, TraceLog};
+
+/// Bus occupancy of one segment.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BusUtilisation {
+    /// The segment.
+    pub segment: SegmentId,
+    /// Total time the bus was driven (sum of transaction intervals).
+    pub busy: Picos,
+    /// Busy time over the whole run (`0.0..=1.0`); zero for an empty run.
+    pub fraction: f64,
+}
+
+/// Per-package end-to-end latency statistics (compute start → delivery).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct LatencyStats {
+    /// Packages measured.
+    pub count: u64,
+    /// Fastest package.
+    pub min: Picos,
+    /// Slowest package.
+    pub max: Picos,
+    /// Mean latency in picoseconds.
+    pub mean_ps: f64,
+}
+
+/// Bus utilisation per segment, from the trace's `BusStart`/`BusEnd`
+/// pairs. Requires a traced run; returns one entry per segment.
+pub fn bus_utilisation(report: &EmulationReport) -> Vec<BusUtilisation> {
+    let trace = traced(report);
+    let span = report.makespan.0.max(1) as f64;
+    (0..report.sas.len())
+        .map(|i| {
+            let seg = SegmentId(i as u16);
+            let busy: u64 = trace
+                .bus_intervals(seg)
+                .iter()
+                .map(|(a, b)| b.0 - a.0)
+                .sum();
+            BusUtilisation {
+                segment: seg,
+                busy: Picos(busy),
+                fraction: if report.makespan == Picos::ZERO {
+                    0.0
+                } else {
+                    busy as f64 / span
+                },
+            }
+        })
+        .collect()
+}
+
+/// Instants at which each wave completed, in order.
+pub fn wave_boundaries(report: &EmulationReport) -> Vec<Picos> {
+    traced(report)
+        .of_kind(TraceKind::WaveComplete)
+        .map(|e| e.at)
+        .collect()
+}
+
+/// Durations of the waves (first wave measured from time zero).
+pub fn wave_durations(report: &EmulationReport) -> Vec<Picos> {
+    let ends = wave_boundaries(report);
+    let mut prev = Picos::ZERO;
+    ends.into_iter()
+        .map(|e| {
+            let d = e.saturating_sub(prev);
+            prev = e;
+            d
+        })
+        .collect()
+}
+
+/// End-to-end latency of every package: from its `ComputeStart` to its
+/// `Delivered` event, matched by `(flow, package)`.
+pub fn package_latencies(report: &EmulationReport) -> Vec<(FlowId, u64, Picos)> {
+    let trace = traced(report);
+    let mut starts: std::collections::HashMap<(FlowId, u64), Picos> =
+        std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for e in trace.events() {
+        let (Some(flow), Some(pkg)) = (e.flow, e.package) else {
+            continue;
+        };
+        match e.kind {
+            TraceKind::ComputeStart => {
+                starts.entry((flow, pkg)).or_insert(e.at);
+            }
+            TraceKind::Delivered => {
+                if let Some(&s) = starts.get(&(flow, pkg)) {
+                    out.push((flow, pkg, e.at.saturating_sub(s)));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Summary statistics over [`package_latencies`].
+pub fn latency_stats(report: &EmulationReport) -> LatencyStats {
+    let lats = package_latencies(report);
+    if lats.is_empty() {
+        return LatencyStats::default();
+    }
+    let mut min = Picos(u64::MAX);
+    let mut max = Picos::ZERO;
+    let mut sum = 0u128;
+    for (_, _, l) in &lats {
+        min = if *l < min { *l } else { min };
+        max = max.max(*l);
+        sum += l.0 as u128;
+    }
+    LatencyStats {
+        count: lats.len() as u64,
+        min,
+        max,
+        mean_ps: sum as f64 / lats.len() as f64,
+    }
+}
+
+/// Gantt-style CSV of every bus occupation:
+/// `segment,flow,package,start_ps,end_ps`.
+pub fn gantt_csv(report: &EmulationReport) -> String {
+    let trace = traced(report);
+    let mut out = String::from("segment,flow,package,start_ps,end_ps\n");
+    for i in 0..report.sas.len() {
+        let seg = SegmentId(i as u16);
+        // Re-walk the raw events so flow/package labels survive.
+        let mut open: Vec<((FlowId, u64), Picos)> = Vec::new();
+        for e in trace.events() {
+            if e.segment != Some(seg) {
+                continue;
+            }
+            let (Some(flow), Some(pkg)) = (e.flow, e.package) else {
+                continue;
+            };
+            match e.kind {
+                TraceKind::BusStart => open.push(((flow, pkg), e.at)),
+                TraceKind::BusEnd => {
+                    if let Some(pos) = open.iter().position(|(k, _)| *k == (flow, pkg)) {
+                        let (_, start) = open.remove(pos);
+                        out.push_str(&format!(
+                            "{},{},{},{},{}\n",
+                            i + 1,
+                            flow.0,
+                            pkg,
+                            start.0,
+                            e.at.0
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+fn traced(report: &EmulationReport) -> &TraceLog {
+    report
+        .trace
+        .as_ref()
+        .expect("analysis requires a traced run: use EmulatorConfig::traced()")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmulatorConfig;
+    use crate::engine::Emulator;
+    use segbus_model::ids::SegmentId;
+    use segbus_model::mapping::{Allocation, Psm};
+    use segbus_model::platform::Platform;
+    use segbus_model::psdf::{Application, Flow, Process};
+    use segbus_model::time::ClockDomain;
+
+    fn traced_run() -> EmulationReport {
+        let mut app = Application::new("t");
+        let a = app.add_process(Process::initial("A"));
+        let b = app.add_process(Process::new("B"));
+        let c = app.add_process(Process::final_("C"));
+        app.add_flow(Flow::new(a, b, 72, 1, 100)).unwrap();
+        app.add_flow(Flow::new(b, c, 72, 2, 50)).unwrap();
+        let mut alloc = Allocation::new(2);
+        alloc.assign(a, SegmentId(0));
+        alloc.assign(b, SegmentId(0));
+        alloc.assign(c, SegmentId(1));
+        let platform = Platform::builder("p")
+            .package_size(36)
+            .uniform_segments(2, ClockDomain::from_mhz(100.0))
+            .build()
+            .unwrap();
+        let psm = Psm::new(platform, app, alloc).unwrap();
+        Emulator::new(EmulatorConfig::traced()).run(&psm)
+    }
+
+    #[test]
+    fn utilisation_is_positive_and_bounded() {
+        let r = traced_run();
+        let u = bus_utilisation(&r);
+        assert_eq!(u.len(), 2);
+        for b in &u {
+            assert!(b.fraction >= 0.0 && b.fraction <= 1.0, "{b:?}");
+        }
+        assert!(u[0].busy > Picos::ZERO);
+        // Segment 1 carries wave 1 + the fills of wave 2: busier than
+        // segment 2, which only receives deliveries.
+        assert!(u[0].busy > u[1].busy);
+    }
+
+    #[test]
+    fn wave_boundaries_are_monotone() {
+        let r = traced_run();
+        let w = wave_boundaries(&r);
+        assert_eq!(w.len(), 2);
+        assert!(w[0] < w[1]);
+        let d = wave_durations(&r);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0] + d[1], w[1]);
+    }
+
+    #[test]
+    fn every_package_has_a_latency() {
+        let r = traced_run();
+        let lats = package_latencies(&r);
+        assert_eq!(lats.len(), 4); // 2 packages per flow
+        for (_, _, l) in &lats {
+            // At least the compute time (50 or 100 ticks of 10 ns).
+            assert!(l.0 >= 50 * 10_000, "{l:?}");
+        }
+        let stats = latency_stats(&r);
+        assert_eq!(stats.count, 4);
+        assert!(stats.min <= stats.max);
+        assert!(stats.mean_ps >= stats.min.0 as f64);
+        assert!(stats.mean_ps <= stats.max.0 as f64);
+    }
+
+    #[test]
+    fn gantt_lists_every_transaction() {
+        let r = traced_run();
+        let csv = gantt_csv(&r);
+        // 2 local transfers + 2 inter transfers × 2 hops = 6 bus
+        // occupations, plus the header.
+        assert_eq!(csv.lines().count(), 1 + 6, "{csv}");
+        assert!(csv.starts_with("segment,flow,package,start_ps,end_ps"));
+    }
+
+    #[test]
+    fn empty_run_has_empty_stats() {
+        let mut app = Application::new("empty");
+        let a = app.add_process(Process::new("A"));
+        let mut alloc = Allocation::new(1);
+        alloc.assign(a, SegmentId(0));
+        let platform = Platform::builder("p")
+            .uniform_segments(1, ClockDomain::from_mhz(100.0))
+            .build()
+            .unwrap();
+        let psm = Psm::new(platform, app, alloc).unwrap();
+        let r = Emulator::new(EmulatorConfig::traced()).run(&psm);
+        assert_eq!(latency_stats(&r), LatencyStats::default());
+        assert!(wave_boundaries(&r).is_empty());
+        assert_eq!(bus_utilisation(&r)[0].fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a traced run")]
+    fn untraced_run_panics_with_guidance() {
+        let mut app = Application::new("t");
+        let a = app.add_process(Process::initial("A"));
+        let b = app.add_process(Process::final_("B"));
+        app.add_flow(Flow::new(a, b, 36, 1, 10)).unwrap();
+        let mut alloc = Allocation::new(1);
+        alloc.assign(a, SegmentId(0));
+        alloc.assign(b, SegmentId(0));
+        let platform = Platform::builder("p")
+            .uniform_segments(1, ClockDomain::from_mhz(100.0))
+            .build()
+            .unwrap();
+        let psm = Psm::new(platform, app, alloc).unwrap();
+        let r = Emulator::default().run(&psm); // no trace
+        let _ = bus_utilisation(&r);
+    }
+
+    #[test]
+    fn mp3_utilisation_reflects_mapping() {
+        let psm = segbus_apps::mp3::three_segment_psm();
+        let r = Emulator::new(EmulatorConfig::traced()).run(&psm);
+        let u = bus_utilisation(&r);
+        // Segment 3 hosts only P4: near-idle bus.
+        assert!(u[2].fraction < u[0].fraction);
+        assert!(u[2].fraction < u[1].fraction);
+        let waves = wave_boundaries(&r);
+        assert_eq!(waves.len(), 8, "the MP3 schedule has 8 waves");
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-component monitoring counters.
+//!
+//! The paper instruments the `arbitrate` methods of the SA and CA and the
+//! BU transfer paths with counting statements (§3.5); these structs hold
+//! the same quantities and are filled in by the engine.
+
+use segbus_model::time::{ClockDomain, Picos};
+
+/// Counters of one segment arbiter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SaCounters {
+    /// Total clock ticks of the segment's own clock elapsed between the
+    /// start of the emulation and this SA's last activity ("TCT").
+    pub tct: u64,
+    /// Requests for transfers that stay within the segment, plus BU
+    /// deliveries this SA routed onto its bus (see DESIGN.md §4 on how
+    /// this compares to the paper's print-out).
+    pub intra_requests: u64,
+    /// Requests targeting another segment (forwarded to the CA).
+    pub inter_requests: u64,
+    /// Packages this segment pushed into its left-hand BU.
+    pub packets_to_left: u64,
+    /// Packages this segment pushed into its right-hand BU.
+    pub packets_to_right: u64,
+    /// Ticks during which the segment bus was actually occupied by a
+    /// transaction (for the Fig. 11 activity analysis).
+    pub busy_ticks: u64,
+    /// Global instant of the SA's last activity.
+    pub last_activity: Picos,
+}
+
+impl SaCounters {
+    /// The SA's execution time: `TCT × period` (paper §4, "Calculation of
+    /// the execution time").
+    pub fn execution_time(&self, clock: ClockDomain) -> Picos {
+        clock.ticks_to_picos(self.tct)
+    }
+}
+
+/// Counters of the central arbiter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CaCounters {
+    /// Total clock ticks of the CA clock from the start of the emulation
+    /// until global quiescence (the CA polls every tick — §3.6: "The CA
+    /// increments the clock tick's counter every time it checks for any
+    /// incoming inter-segment transfer request").
+    pub tct: u64,
+    /// Inter-segment requests received from the SAs.
+    pub inter_requests: u64,
+    /// Path grants issued.
+    pub grants: u64,
+    /// Segment-grant resets performed (cascade releases).
+    pub releases: u64,
+    /// Ticks actually spent processing (requests + grants + releases), for
+    /// the activity analysis.
+    pub busy_ticks: u64,
+}
+
+impl CaCounters {
+    /// The CA's execution time: `TCT × period`.
+    pub fn execution_time(&self, clock: ClockDomain) -> Picos {
+        clock.ticks_to_picos(self.tct)
+    }
+}
+
+/// Counters of one border unit. Sides are named after the paper's
+/// print-out: `from_left` counts packages received from the lower-numbered
+/// segment, `to_right` packages delivered into the higher-numbered one,
+/// and vice versa.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BuCounters {
+    /// Packages received from the lower-numbered segment.
+    pub received_from_left: u64,
+    /// Packages received from the higher-numbered segment.
+    pub received_from_right: u64,
+    /// Packages delivered into the lower-numbered segment.
+    pub transferred_to_left: u64,
+    /// Packages delivered into the higher-numbered segment.
+    pub transferred_to_right: u64,
+    /// Total clock ticks spent loading, waiting and unloading
+    /// (`TCT = UP + Σ WP` in the paper's bottleneck analysis).
+    pub tct: u64,
+    /// Σ of per-package waiting periods, in ticks (`WP` analysis).
+    pub waiting_ticks: u64,
+}
+
+impl BuCounters {
+    /// Total packages that entered the BU.
+    pub fn total_in(&self) -> u64 {
+        self.received_from_left + self.received_from_right
+    }
+
+    /// Total packages that left the BU.
+    pub fn total_out(&self) -> u64 {
+        self.transferred_to_left + self.transferred_to_right
+    }
+
+    /// The *useful period*: ticks to load and unload every package,
+    /// `2 × s × packages` (paper §4: "it amounts to twice the size of a
+    /// package" per transfer).
+    pub fn useful_period(&self, package_size: u32) -> u64 {
+        2 * package_size as u64 * self.total_in()
+    }
+
+    /// Average waiting period per package, in ticks (the paper's `W̄P`).
+    pub fn avg_waiting_period(&self) -> f64 {
+        if self.total_in() == 0 {
+            0.0
+        } else {
+            self.waiting_ticks as f64 / self.total_in() as f64
+        }
+    }
+}
+
+/// Observed schedule of one functional unit (for the Fig. 10 timeline).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FuTimes {
+    /// Instant the process started its first package computation, if it
+    /// ever ran as a producer.
+    pub start: Option<Picos>,
+    /// Instant the process finished its last transfer (producer side).
+    pub end: Option<Picos>,
+    /// Instant the process received its last package (consumer side).
+    pub last_received: Option<Picos>,
+    /// Packages produced.
+    pub packages_sent: u64,
+    /// Clock ticks spent computing (the counter ranges of §3.3's FU model).
+    pub compute_ticks: u64,
+    /// Packages consumed.
+    pub packages_received: u64,
+    /// `true` once the process raised its *Process Status Flag* (all of
+    /// its flows fully emitted — §3.3).
+    pub flag: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bu_totals_and_up() {
+        let b = BuCounters {
+            received_from_left: 32,
+            transferred_to_right: 32,
+            tct: 2336,
+            waiting_ticks: 32,
+            ..Default::default()
+        };
+        assert_eq!(b.total_in(), 32);
+        assert_eq!(b.total_out(), 32);
+        // Paper: UP12 = 2304 at s = 36 with 32 packages.
+        assert_eq!(b.useful_period(36), 2304);
+        assert!((b.avg_waiting_period() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_bu_has_zero_wp() {
+        assert_eq!(BuCounters::default().avg_waiting_period(), 0.0);
+    }
+
+    #[test]
+    fn execution_times_multiply() {
+        let sa = SaCounters { tct: 34764, ..Default::default() };
+        let clk = ClockDomain::from_mhz(91.0);
+        assert_eq!(sa.execution_time(clk), Picos(382_021_596));
+        let ca = CaCounters { tct: 54367, ..Default::default() };
+        assert_eq!(
+            ca.execution_time(ClockDomain::from_mhz(111.0)),
+            Picos(489_792_303)
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # segbus-core
+//!
+//! The paper's primary contribution: the **SegBus performance-estimation
+//! emulator** (§3). Given a validated PSM ([`segbus_model::Psm`]) the
+//! emulator executes the application schedule on a model of the platform
+//! and reports, per platform element, the counters the paper prints:
+//! total clock ticks (TCT), intra-/inter-segment request counts, package
+//! counts through every border unit, per-process start/end times and the
+//! total execution time `max(t_SA1, …, t_SAn, t_CA)`.
+//!
+//! The engine is a deterministic discrete-event simulation over a global
+//! picosecond timeline with independent clock domains per segment and for
+//! the central arbiter. The operational semantics are documented in
+//! `DESIGN.md` §4; the timing knobs live in [`TimingParams`], whose
+//! default is the paper's *estimator* (clock-domain synchronisation, grant
+//! latencies and master-response delays deliberately skipped — §3.6
+//! "Emulation and estimation").
+//!
+//! Beyond the paper's single-shot run, the crate provides pipelined
+//! multi-frame execution ([`Emulator::run_frames`]), trace [`analysis`],
+//! [`energy`] attribution, [`vcd`] waveform export and a [`parallel`]
+//! sweep runner.
+//!
+//! ```
+//! use segbus_apps::mp3;
+//! use segbus_core::{Emulator, EmulatorConfig};
+//!
+//! let psm = mp3::three_segment_psm();
+//! let report = Emulator::new(EmulatorConfig::default()).run(&psm);
+//! println!("estimated execution time: {:.2} us",
+//!          report.execution_time().as_micros_f64());
+//! assert!(report.ca.inter_requests > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod counters;
+pub mod energy;
+pub mod engine;
+pub mod gantt;
+pub mod parallel;
+pub mod report;
+pub mod trace;
+pub mod vcd;
+
+pub use analysis::{bus_utilisation, gantt_csv, latency_stats, package_latencies, wave_boundaries, wave_durations, BusUtilisation, LatencyStats};
+pub use config::{EmulatorConfig, ProducerRelease, TimingParams};
+pub use counters::{BuCounters, CaCounters, FuTimes, SaCounters};
+pub use energy::{estimate_energy, EnergyBreakdown, EnergyModel};
+pub use engine::Emulator;
+pub use gantt::ascii_gantt;
+pub use parallel::{run_many, run_many_with};
+pub use report::EmulationReport;
+pub use trace::{TraceEvent, TraceKind, TraceLog};
+pub use vcd::to_vcd;

@@ -1,0 +1,123 @@
+//! Parallel execution of independent emulation runs.
+//!
+//! Parameter sweeps (package sizes, placements, frequencies) emulate many
+//! PSMs that share nothing; this module fans the runs out over a scoped
+//! thread pool fed from a work-stealing index queue. Results come back in
+//! input order, bit-identical to a sequential map (each run is itself
+//! deterministic), which the differential test below asserts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use segbus_model::mapping::Psm;
+
+use crate::config::EmulatorConfig;
+use crate::engine::Emulator;
+use crate::report::EmulationReport;
+
+/// Run every PSM with the default estimator configuration, in parallel.
+/// Results are returned in input order.
+pub fn run_many(psms: &[Psm]) -> Vec<EmulationReport> {
+    run_many_with(psms, EmulatorConfig::default(), num_threads(psms.len()))
+}
+
+/// Run every PSM with `config` on up to `threads` worker threads.
+///
+/// `threads == 1` degenerates to a sequential map (no threads spawned).
+pub fn run_many_with(
+    psms: &[Psm],
+    config: EmulatorConfig,
+    threads: usize,
+) -> Vec<EmulationReport> {
+    let emulator = Emulator::new(config);
+    if threads <= 1 || psms.len() <= 1 {
+        return psms.iter().map(|p| emulator.run(p)).collect();
+    }
+    let threads = threads.min(psms.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<EmulationReport>>> =
+        (0..psms.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= psms.len() {
+                    break;
+                }
+                let report = emulator.run(&psms[i]);
+                *slots[i].lock() = Some(report);
+            });
+        }
+    })
+    .expect("emulation workers do not panic");
+
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("every slot filled"))
+        .collect()
+}
+
+/// A reasonable worker count for `jobs` independent runs.
+fn num_threads(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segbus_model::ids::SegmentId;
+    use segbus_model::mapping::Allocation;
+    use segbus_model::platform::Platform;
+    use segbus_model::psdf::{Application, Flow, Process};
+    use segbus_model::time::ClockDomain;
+
+    fn psm(items: u64) -> Psm {
+        let mut app = Application::new("p");
+        let a = app.add_process(Process::initial("A"));
+        let b = app.add_process(Process::final_("B"));
+        app.add_flow(Flow::new(a, b, items, 1, 50)).unwrap();
+        let mut alloc = Allocation::new(2);
+        alloc.assign(a, SegmentId(0));
+        alloc.assign(b, SegmentId(1));
+        let platform = Platform::builder("t")
+            .uniform_segments(2, ClockDomain::from_mhz(100.0))
+            .build()
+            .unwrap();
+        Psm::new(platform, app, alloc).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let psms: Vec<Psm> = (1..=12).map(|k| psm(36 * k)).collect();
+        let seq = run_many_with(&psms, EmulatorConfig::default(), 1);
+        let par = run_many_with(&psms, EmulatorConfig::default(), 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.sas, b.sas);
+            assert_eq!(a.ca, b.ca);
+            assert_eq!(a.bus, b.bus);
+        }
+    }
+
+    #[test]
+    fn results_in_input_order() {
+        let psms: Vec<Psm> = (1..=8).map(|k| psm(36 * k)).collect();
+        let out = run_many(&psms);
+        // More items => strictly longer makespan, so order checks placement.
+        for w in out.windows(2) {
+            assert!(w[0].makespan < w[1].makespan);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        assert!(run_many(&[]).is_empty());
+        let one = run_many(&[psm(36)]);
+        assert_eq!(one.len(), 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Package-level trace of an emulation run.
+//!
+//! When [`crate::EmulatorConfig::trace`] is on, the engine records one
+//! [`TraceEvent`] per package phase. The report binaries turn the log into
+//! the Fig. 10 per-process timeline and the Fig. 11 activity series.
+
+use segbus_model::ids::{FlowId, ProcessId, SegmentId};
+use segbus_model::time::Picos;
+
+/// What happened.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// A producer started computing a package.
+    ComputeStart,
+    /// A producer finished computing a package (transfer request follows).
+    ComputeEnd,
+    /// A package transfer started occupying a segment bus.
+    BusStart,
+    /// A package finished its bus transaction on a segment.
+    BusEnd,
+    /// A package was loaded into a border unit.
+    BuLoaded,
+    /// A package left a border unit into the next segment.
+    BuUnloaded,
+    /// A package reached its destination process.
+    Delivered,
+    /// A process raised its status flag (all its flows fully emitted).
+    FlagRaised,
+    /// A wave barrier was crossed (all flows of a wave fully delivered).
+    WaveComplete,
+}
+
+/// One trace record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Global time of the event.
+    pub at: Picos,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// The flow involved (if any).
+    pub flow: Option<FlowId>,
+    /// Zero-based package index within the flow (if any).
+    pub package: Option<u64>,
+    /// The process involved (producer, consumer or flag owner).
+    pub process: Option<ProcessId>,
+    /// The segment involved (bus events).
+    pub segment: Option<SegmentId>,
+}
+
+/// An append-only event log, ordered by emission time.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Empty log.
+    pub fn new() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// All events in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Events touching one process.
+    pub fn of_process(&self, p: ProcessId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.process == Some(p))
+    }
+
+    /// Busy intervals `[start, end)` of one segment's bus, in emission
+    /// order (pairs of `BusStart`/`BusEnd`).
+    pub fn bus_intervals(&self, seg: SegmentId) -> Vec<(Picos, Picos)> {
+        let mut out = Vec::new();
+        let mut open: Vec<(u64, Picos)> = Vec::new(); // (pkg-key, start)
+        for e in &self.events {
+            if e.segment != Some(seg) {
+                continue;
+            }
+            let key = e
+                .flow
+                .map(|f| f.0 as u64)
+                .unwrap_or(u64::MAX)
+                .wrapping_mul(1 << 20)
+                .wrapping_add(e.package.unwrap_or(0));
+            match e.kind {
+                TraceKind::BusStart => open.push((key, e.at)),
+                TraceKind::BusEnd => {
+                    if let Some(pos) = open.iter().position(|(k, _)| *k == key) {
+                        let (_, start) = open.swap_remove(pos);
+                        out.push((start, e.at));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: Picos(at),
+            kind,
+            flow: Some(FlowId(0)),
+            package: Some(0),
+            process: Some(ProcessId(1)),
+            segment: Some(SegmentId(0)),
+        }
+    }
+
+    #[test]
+    fn push_and_filter() {
+        let mut log = TraceLog::new();
+        assert!(log.is_empty());
+        log.push(ev(10, TraceKind::ComputeStart));
+        log.push(ev(20, TraceKind::ComputeEnd));
+        log.push(ev(30, TraceKind::Delivered));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.of_kind(TraceKind::Delivered).count(), 1);
+        assert_eq!(log.of_process(ProcessId(1)).count(), 3);
+        assert_eq!(log.of_process(ProcessId(2)).count(), 0);
+    }
+
+    #[test]
+    fn bus_intervals_pair_up() {
+        let mut log = TraceLog::new();
+        log.push(ev(100, TraceKind::BusStart));
+        log.push(ev(140, TraceKind::BusEnd));
+        let mut other = ev(200, TraceKind::BusStart);
+        other.package = Some(1);
+        log.push(other);
+        let mut other_end = ev(240, TraceKind::BusEnd);
+        other_end.package = Some(1);
+        log.push(other_end);
+        let iv = log.bus_intervals(SegmentId(0));
+        assert_eq!(iv, vec![(Picos(100), Picos(140)), (Picos(200), Picos(240))]);
+        assert!(log.bus_intervals(SegmentId(1)).is_empty());
+    }
+}

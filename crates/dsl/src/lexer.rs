@@ -1,0 +1,323 @@
+//! Tokenizer for the SegBus DSL.
+//!
+//! Produces identifier, integer, float and punctuation tokens with
+//! line/column spans; skips `//` line comments and `/* … */` block
+//! comments.
+
+use std::fmt;
+
+/// Position of a token in the source.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Span {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token payload.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword (`application`, `P0`, `freq_mhz`, …).
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// Floating-point literal (used for frequencies).
+    Float(f64),
+    /// `->`
+    Arrow,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier {s:?}"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "number {v}"),
+            TokenKind::Arrow => f.write_str("'->'"),
+            TokenKind::LBrace => f.write_str("'{'"),
+            TokenKind::RBrace => f.write_str("'}'"),
+            TokenKind::Semi => f.write_str("';'"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// Payload.
+    pub kind: TokenKind,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// A lexical error (unexpected character or malformed literal).
+#[derive(Clone, PartialEq, Debug)]
+pub struct LexError {
+    /// Where.
+    pub span: Span,
+    /// What.
+    pub message: String,
+}
+
+/// The tokenizer.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Tokenize from the start of `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    /// Tokenize everything, ending with an [`TokenKind::Eof`] token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span { line: self.line, col: self.col }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match (self.peek(), self.peek2()) {
+                (Some(b' ' | b'\t' | b'\r' | b'\n'), _) => {
+                    self.bump();
+                }
+                (Some(b'/'), Some(b'/')) => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.bump();
+                    }
+                }
+                (Some(b'/'), Some(b'*')) => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (None, _) => {
+                                return Err(LexError {
+                                    span: start,
+                                    message: "unterminated block comment".into(),
+                                })
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let span = self.span();
+        let Some(c) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, span });
+        };
+        let kind = match c {
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else {
+                    return Err(LexError { span, message: "expected '->' after '-'".into() });
+                }
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                let mut is_float = false;
+                while let Some(d) = self.peek() {
+                    if d.is_ascii_digit() {
+                        self.bump();
+                    } else if d == b'.' && !is_float
+                        && self.peek2().is_some_and(|n| n.is_ascii_digit())
+                    {
+                        is_float = true;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        span,
+                        message: format!("malformed number {text:?}"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        span,
+                        message: format!("integer {text:?} out of range"),
+                    })?)
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while let Some(d) = self.peek() {
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        self.bump();
+                    } else if d == b'-'
+                        && self
+                            .peek2()
+                            .is_some_and(|n| n.is_ascii_alphanumeric() || n == b'_')
+                    {
+                        // Interior hyphens are part of the name ("mp3-decoder");
+                        // "P0->P1" still lexes as an arrow because '>' follows.
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Ident(
+                    String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+                )
+            }
+            other => {
+                return Err(LexError {
+                    span,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        };
+        Ok(Token { kind, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_the_basic_vocabulary() {
+        assert_eq!(
+            kinds("flow P0 -> P1 { items 576; }"),
+            vec![
+                TokenKind::Ident("flow".into()),
+                TokenKind::Ident("P0".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("P1".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("items".into()),
+                TokenKind::Int(576),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_and_ints() {
+        assert_eq!(
+            kinds("91 91.5"),
+            vec![TokenKind::Int(91), TokenKind::Float(91.5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        assert_eq!(
+            kinds("a // line\n b /* block\n still */ c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(Lexer::new("@").tokenize().is_err());
+        assert!(Lexer::new("- x").tokenize().is_err());
+        assert!(Lexer::new("/* unterminated").tokenize().is_err());
+        assert!(Lexer::new("99999999999999999999999").tokenize().is_err());
+    }
+}

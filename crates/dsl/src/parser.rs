@@ -1,0 +1,528 @@
+//! Recursive-descent parser for the SegBus DSL.
+//!
+//! Parsing produces model objects directly; [`ParsedSource::into_psm`]
+//! resolves the process mapping and runs the full OCL-style validation,
+//! converting any error-severity diagnostic into a [`DslError`].
+
+use std::fmt;
+
+use segbus_model::ids::SegmentId;
+use segbus_model::mapping::{Allocation, Psm};
+use segbus_model::platform::{Platform, Topology};
+use segbus_model::psdf::{Application, CostModel, Flow, Process};
+use segbus_model::time::ClockDomain;
+
+use crate::lexer::{Lexer, Span, Token, TokenKind};
+
+/// A parse or validation failure.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DslError {
+    /// Position (validation errors point at the top of the source).
+    pub span: Span,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+/// A parsed `platform` block: the platform plus the `hosts` lists, with
+/// process references still by name (resolved in [`ParsedSource::into_psm`]).
+#[derive(Clone, Debug)]
+pub struct PlatformSpec {
+    /// The platform instance.
+    pub platform: Platform,
+    /// `(process name, segment)` pairs from the `hosts` clauses.
+    pub hosts: Vec<(String, SegmentId)>,
+}
+
+/// Everything found in one DSL source.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedSource {
+    /// `application` blocks in source order.
+    pub applications: Vec<Application>,
+    /// `platform` blocks in source order.
+    pub platforms: Vec<PlatformSpec>,
+}
+
+impl ParsedSource {
+    /// Combine the first application and first platform into a validated
+    /// [`Psm`].
+    pub fn into_psm(self) -> Result<Psm, DslError> {
+        let top = Span { line: 1, col: 1 };
+        let err = |m: String| DslError { span: top, message: m };
+        let app = self
+            .applications
+            .into_iter()
+            .next()
+            .ok_or_else(|| err("source contains no application block".into()))?;
+        let spec = self
+            .platforms
+            .into_iter()
+            .next()
+            .ok_or_else(|| err("source contains no platform block".into()))?;
+        let mut alloc = Allocation::new(spec.platform.segment_count());
+        for (name, seg) in &spec.hosts {
+            let p = app
+                .process_by_name(name)
+                .ok_or_else(|| err(format!("hosts clause names unknown process {name:?}")))?;
+            alloc.assign(p, *seg);
+        }
+        Psm::new(spec.platform, app, alloc).map_err(|e| err(e.to_string()))
+    }
+}
+
+/// Parse a DSL source into its blocks.
+pub fn parse_source(src: &str) -> Result<ParsedSource, DslError> {
+    let tokens = Lexer::new(src)
+        .tokenize()
+        .map_err(|e| DslError { span: e.span, message: e.message })?;
+    Parser { tokens, pos: 0 }.source()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DslError {
+        DslError { span: self.peek().span, message: msg.into() }
+    }
+
+    fn expect_kind(&mut self, k: &TokenKind) -> Result<Token, DslError> {
+        if &self.peek().kind == k {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!("expected {k}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DslError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), DslError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected keyword {kw:?}, found {other}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, DslError> {
+        match self.peek().kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => Err(self.err(format!("expected an integer, found {other}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, DslError> {
+        match self.peek().kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(v as f64)
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => Err(self.err(format!("expected a number, found {other}"))),
+        }
+    }
+
+    fn source(&mut self) -> Result<ParsedSource, DslError> {
+        let mut out = ParsedSource::default();
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => return Ok(out),
+                TokenKind::Ident(kw) if kw == "application" => {
+                    out.applications.push(self.application()?);
+                }
+                TokenKind::Ident(kw) if kw == "platform" => {
+                    out.platforms.push(self.platform()?);
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected 'application' or 'platform', found {other}"
+                    )))
+                }
+            }
+        }
+    }
+
+    // -- application ---------------------------------------------------------
+
+    fn application(&mut self) -> Result<Application, DslError> {
+        self.keyword("application")?;
+        let name = self.ident()?;
+        let mut app = Application::new(name);
+        self.expect_kind(&TokenKind::LBrace)?;
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => {
+                    self.bump();
+                    return Ok(app);
+                }
+                TokenKind::Ident(kw) if kw == "process" => self.process(&mut app)?,
+                TokenKind::Ident(kw) if kw == "flow" => self.flow(&mut app)?,
+                TokenKind::Ident(kw) if kw == "cost" => self.cost(&mut app)?,
+                other => {
+                    return Err(self.err(format!(
+                        "expected 'process', 'flow', 'cost' or '}}', found {other}"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn process(&mut self, app: &mut Application) -> Result<(), DslError> {
+        self.keyword("process")?;
+        let name = self.ident()?;
+        if app.process_by_name(&name).is_some() {
+            return Err(self.err(format!("process {name:?} is declared twice")));
+        }
+        let p = match &self.peek().kind {
+            TokenKind::Ident(k) if k == "initial" => {
+                self.bump();
+                Process::initial(name)
+            }
+            TokenKind::Ident(k) if k == "final" => {
+                self.bump();
+                Process::final_(name)
+            }
+            _ => Process::new(name),
+        };
+        app.add_process(p);
+        self.expect_kind(&TokenKind::Semi)?;
+        Ok(())
+    }
+
+    fn flow(&mut self, app: &mut Application) -> Result<(), DslError> {
+        self.keyword("flow")?;
+        let src_name = self.ident()?;
+        let src = app
+            .process_by_name(&src_name)
+            .ok_or_else(|| self.err(format!("unknown source process {src_name:?}")))?;
+        self.expect_kind(&TokenKind::Arrow)?;
+        let dst_name = self.ident()?;
+        let dst = app
+            .process_by_name(&dst_name)
+            .ok_or_else(|| self.err(format!("unknown target process {dst_name:?}")))?;
+        self.expect_kind(&TokenKind::LBrace)?;
+        let (mut items, mut order, mut ticks) = (None, None, None);
+        while self.peek().kind != TokenKind::RBrace {
+            let key = self.ident()?;
+            let value = self.int()?;
+            self.expect_kind(&TokenKind::Semi)?;
+            match key.as_str() {
+                "items" => items = Some(value),
+                "order" => order = Some(u32::try_from(value).map_err(|_| {
+                    self.err("order value out of range".to_string())
+                })?),
+                "ticks" => ticks = Some(value),
+                other => return Err(self.err(format!("unknown flow property {other:?}"))),
+            }
+        }
+        self.expect_kind(&TokenKind::RBrace)?;
+        let items = items.ok_or_else(|| self.err("flow lacks 'items'"))?;
+        let order = order.ok_or_else(|| self.err("flow lacks 'order'"))?;
+        let ticks = ticks.ok_or_else(|| self.err("flow lacks 'ticks'"))?;
+        app.add_flow(Flow::new(src, dst, items, order, ticks))
+            .map_err(|e| self.err(e.to_string()))?;
+        Ok(())
+    }
+
+    fn cost(&mut self, app: &mut Application) -> Result<(), DslError> {
+        self.keyword("cost")?;
+        let kind = self.ident()?;
+        let cm = match kind.as_str() {
+            "per_package" => CostModel::PerPackage,
+            "per_item" => {
+                self.keyword("reference")?;
+                let r = self.int()? as u32;
+                CostModel::PerItem { reference_package_size: r }
+            }
+            "affine" => {
+                self.keyword("base")?;
+                let base_ticks = self.int()?;
+                self.keyword("reference")?;
+                let r = self.int()? as u32;
+                CostModel::Affine { base_ticks, reference_package_size: r }
+            }
+            other => {
+                return Err(self.err(format!(
+                    "unknown cost model {other:?} (per_item | per_package | affine)"
+                )))
+            }
+        };
+        app.set_cost_model(cm);
+        self.expect_kind(&TokenKind::Semi)?;
+        Ok(())
+    }
+
+    // -- platform ---------------------------------------------------------------
+
+    fn platform(&mut self) -> Result<PlatformSpec, DslError> {
+        self.keyword("platform")?;
+        let name = self.ident()?;
+        self.expect_kind(&TokenKind::LBrace)?;
+        let mut package_size: Option<u32> = None;
+        let mut topology: Option<Topology> = None;
+        let mut ca_clock: Option<ClockDomain> = None;
+        let mut segments: Vec<(String, ClockDomain)> = Vec::new();
+        let mut hosts: Vec<(String, SegmentId)> = Vec::new();
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Ident(kw) if kw == "package_size" => {
+                    self.bump();
+                    package_size = Some(self.int()? as u32);
+                    self.expect_kind(&TokenKind::Semi)?;
+                }
+                TokenKind::Ident(kw) if kw == "topology" => {
+                    self.bump();
+                    let t = self.ident()?;
+                    topology = Some(match t.as_str() {
+                        "linear" => Topology::Linear,
+                        "ring" => Topology::Ring,
+                        other => {
+                            return Err(self.err(format!(
+                                "unknown topology {other:?} (linear | ring)"
+                            )))
+                        }
+                    });
+                    self.expect_kind(&TokenKind::Semi)?;
+                }
+                TokenKind::Ident(kw) if kw == "ca" => {
+                    self.bump();
+                    self.expect_kind(&TokenKind::LBrace)?;
+                    ca_clock = Some(self.clock()?);
+                    self.expect_kind(&TokenKind::RBrace)?;
+                }
+                TokenKind::Ident(kw) if kw == "segment" => {
+                    self.bump();
+                    let sname = self.ident()?;
+                    let seg = SegmentId(segments.len() as u16);
+                    self.expect_kind(&TokenKind::LBrace)?;
+                    let clock = self.clock()?;
+                    // optional hosts clause
+                    if let TokenKind::Ident(k) = &self.peek().kind {
+                        if k == "hosts" {
+                            self.bump();
+                            while self.peek().kind != TokenKind::Semi {
+                                let pname = self.ident()?;
+                                hosts.push((pname, seg));
+                            }
+                            self.expect_kind(&TokenKind::Semi)?;
+                        }
+                    }
+                    self.expect_kind(&TokenKind::RBrace)?;
+                    segments.push((sname, clock));
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected 'package_size', 'topology', 'ca', 'segment' or '}}', found {other}"
+                    )))
+                }
+            }
+        }
+        let mut builder = Platform::builder(name);
+        if let Some(s) = package_size {
+            builder = builder.package_size(s);
+        }
+        if let Some(t) = topology {
+            builder = builder.topology(t);
+        }
+        if let Some(c) = ca_clock {
+            builder = builder.ca_clock(c);
+        }
+        for (sname, clock) in segments {
+            builder = builder.segment(sname, clock);
+        }
+        let platform = builder.build().map_err(|e| self.err(e.to_string()))?;
+        Ok(PlatformSpec { platform, hosts })
+    }
+
+    /// `freq_mhz <number>;` or `period_ps <int>;`
+    fn clock(&mut self) -> Result<ClockDomain, DslError> {
+        let key = self.ident()?;
+        let clock = match key.as_str() {
+            "freq_mhz" => {
+                let v = self.number()?;
+                if !(v.is_finite() && v > 0.0) {
+                    return Err(self.err("frequency must be positive"));
+                }
+                ClockDomain::from_mhz(v)
+            }
+            "period_ps" => {
+                let v = self.int()?;
+                if v == 0 {
+                    return Err(self.err("period must be non-zero"));
+                }
+                ClockDomain::from_period_ps(v)
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected 'freq_mhz' or 'period_ps', found {other:?}"
+                )))
+            }
+        };
+        self.expect_kind(&TokenKind::Semi)?;
+        Ok(clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+        // a two-stage pipeline on two segments
+        application demo {
+            cost per_item reference 36;
+            process A initial;
+            process B;
+            process C final;
+            flow A -> B { items 72; order 1; ticks 100; }
+            flow B -> C { items 36; order 2; ticks 50; }
+        }
+        platform duo {
+            package_size 36;
+            ca { freq_mhz 111; }
+            segment S1 { freq_mhz 91; hosts A B; }
+            segment S2 { period_ps 10204; hosts C; }
+        }
+    "#;
+
+    #[test]
+    fn parses_a_complete_system() {
+        let psm = crate::parse_system(GOOD).unwrap();
+        assert_eq!(psm.application().process_count(), 3);
+        assert_eq!(psm.application().flows().len(), 2);
+        assert_eq!(psm.platform().segment_count(), 2);
+        assert_eq!(psm.platform().package_size(), 36);
+        assert_eq!(psm.platform().ca_clock().period_ps(), 9009);
+        assert_eq!(psm.platform().segment_clock(SegmentId(1)).period_ps(), 10204);
+        let a = psm.application().process_by_name("A").unwrap();
+        assert_eq!(psm.segment_of(a), SegmentId(0));
+        let c = psm.application().process_by_name("C").unwrap();
+        assert_eq!(psm.segment_of(c), SegmentId(1));
+    }
+
+    #[test]
+    fn cost_models_parse() {
+        let src = |cost: &str| {
+            format!(
+                "application a {{ cost {cost}; process X initial; process Y final;
+                 flow X -> Y {{ items 36; order 1; ticks 10; }} }}
+                 platform p {{ segment S {{ freq_mhz 100; hosts X Y; }} }}"
+            )
+        };
+        let p1 = crate::parse_system(&src("per_package")).unwrap();
+        assert_eq!(p1.application().cost_model(), CostModel::PerPackage);
+        let p2 = crate::parse_system(&src("per_item reference 18")).unwrap();
+        assert_eq!(
+            p2.application().cost_model(),
+            CostModel::PerItem { reference_package_size: 18 }
+        );
+        let p3 = crate::parse_system(&src("affine base 40 reference 36")).unwrap();
+        assert_eq!(
+            p3.application().cost_model(),
+            CostModel::Affine { base_ticks: 40, reference_package_size: 36 }
+        );
+    }
+
+    #[test]
+    fn unknown_process_in_flow() {
+        let e = parse_source(
+            "application a { process X initial; flow X -> GHOST { items 1; order 1; ticks 1; } }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("GHOST"), "{e}");
+    }
+
+    #[test]
+    fn unknown_process_in_hosts() {
+        let src = "application a { process X initial; process Y final;
+                    flow X -> Y { items 36; order 1; ticks 1; } }
+                   platform p { segment S { freq_mhz 100; hosts X GHOST; } }";
+        let e = parse_source(src).unwrap().into_psm().unwrap_err();
+        assert!(e.message.contains("GHOST"), "{e}");
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        // Y is never placed: V003 fires through Psm::new.
+        let src = "application a { process X initial; process Y final;
+                    flow X -> Y { items 36; order 1; ticks 1; } }
+                   platform p { segment S { freq_mhz 100; hosts X; } }";
+        let e = parse_source(src).unwrap().into_psm().unwrap_err();
+        assert!(e.message.contains("validation"), "{e}");
+    }
+
+    #[test]
+    fn missing_flow_property() {
+        let e = parse_source(
+            "application a { process X initial; process Y final;
+              flow X -> Y { items 36; order 1; } }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("ticks"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_process_rejected_at_parse_time() {
+        let e = parse_source("application a { process X; process X; }").unwrap_err();
+        assert!(e.message.contains("twice"), "{e}");
+    }
+
+    #[test]
+    fn error_spans_point_into_the_source() {
+        let e = parse_source("application a {\n  process X;\n  bogus\n}").unwrap_err();
+        assert_eq!(e.span.line, 3, "{e}");
+    }
+
+    #[test]
+    fn empty_source_has_no_system() {
+        let e = parse_source("").unwrap().into_psm().unwrap_err();
+        assert!(e.message.contains("no application"), "{e}");
+    }
+
+    #[test]
+    fn garbage_top_level_rejected() {
+        assert!(parse_source("banana {}").is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Render a validated model back to DSL text.
+//!
+//! `parse_system(to_dsl(psm))` reproduces the application, platform and
+//! allocation exactly (clocks are printed as `period_ps`, which is the
+//! lossless representation).
+
+use std::fmt::Write as _;
+
+use segbus_model::ids::SegmentId;
+use segbus_model::mapping::Psm;
+use segbus_model::psdf::{Application, CostModel, ProcessKind};
+
+/// Render an application block.
+pub fn application_to_dsl(app: &Application) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "application {} {{", app.name());
+    match app.cost_model() {
+        CostModel::PerItem { reference_package_size } => {
+            let _ = writeln!(out, "    cost per_item reference {reference_package_size};");
+        }
+        CostModel::PerPackage => {
+            let _ = writeln!(out, "    cost per_package;");
+        }
+        CostModel::Affine { base_ticks, reference_package_size } => {
+            let _ = writeln!(
+                out,
+                "    cost affine base {base_ticks} reference {reference_package_size};"
+            );
+        }
+    }
+    for p in app.processes() {
+        let suffix = match p.kind {
+            ProcessKind::Initial => " initial",
+            ProcessKind::Final => " final",
+            ProcessKind::Internal => "",
+        };
+        let _ = writeln!(out, "    process {}{suffix};", p.name);
+    }
+    for f in app.flows() {
+        let _ = writeln!(
+            out,
+            "    flow {} -> {} {{ items {}; order {}; ticks {}; }}",
+            app.process(f.src).name,
+            app.process(f.dst).name,
+            f.items,
+            f.order,
+            f.ticks
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a full system (application + platform with hosts clauses).
+pub fn to_dsl(psm: &Psm) -> String {
+    let mut out = application_to_dsl(psm.application());
+    let platform = psm.platform();
+    out.push('\n');
+    let _ = writeln!(out, "platform {} {{", platform.name());
+    let _ = writeln!(out, "    package_size {};", platform.package_size());
+    if platform.topology() != segbus_model::platform::Topology::Linear {
+        let _ = writeln!(out, "    topology {};", platform.topology());
+    }
+    let _ = writeln!(out, "    ca {{ period_ps {}; }}", platform.ca_clock().period_ps());
+    for i in 0..platform.segment_count() {
+        let seg = SegmentId(i as u16);
+        let mut hosts = String::new();
+        for p in psm.allocation().processes_on(seg) {
+            hosts.push(' ');
+            hosts.push_str(&psm.application().process(p).name);
+        }
+        let _ = writeln!(
+            out,
+            "    segment {} {{ period_ps {}; hosts{hosts}; }}",
+            platform.segment(seg).name,
+            platform.segment_clock(seg).period_ps()
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_system;
+    use segbus_apps::mp3;
+
+    #[test]
+    fn mp3_round_trip_is_lossless() {
+        let psm = mp3::three_segment_psm();
+        let text = to_dsl(&psm);
+        let back = parse_system(&text).unwrap();
+        assert_eq!(back.application(), psm.application());
+        assert_eq!(back.platform(), psm.platform());
+        assert_eq!(back.allocation(), psm.allocation());
+    }
+
+    #[test]
+    fn printed_text_is_readable() {
+        let text = to_dsl(&mp3::three_segment_psm());
+        assert!(text.contains("application mp3-decoder {")
+            || text.contains("application mp3_decoder {")
+            || text.contains("application"));
+        assert!(text.contains("cost affine base 40 reference 36;"));
+        assert!(text.contains("flow P0 -> P1 { items 576; order 1; ticks 250; }"));
+        assert!(text.contains("package_size 36;"));
+        assert!(text.contains("hosts P0 P1 P2 P3 P8 P9 P10;"));
+    }
+}

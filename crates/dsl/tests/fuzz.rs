@@ -1,0 +1,84 @@
+//! Robustness of the DSL front-end: the lexer and parser must never panic,
+//! and near-miss sources must produce positioned errors rather than junk.
+
+use proptest::prelude::*;
+use segbus_dsl::{parse_source, parse_system};
+
+fn arb_tokensoup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("application".to_string()),
+            Just("platform".to_string()),
+            Just("process".to_string()),
+            Just("flow".to_string()),
+            Just("segment".to_string()),
+            Just("hosts".to_string()),
+            Just("items".to_string()),
+            Just("order".to_string()),
+            Just("ticks".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just(";".to_string()),
+            Just("->".to_string()),
+            Just("-".to_string()),
+            "[A-Za-z][A-Za-z0-9_]{0,6}".prop_map(|s| s),
+            (0u64..10_000).prop_map(|n| n.to_string()),
+            Just("//x".to_string()),
+            Just("/*".to_string()),
+            Just("*/".to_string()),
+        ],
+        0..50,
+    )
+    .prop_map(|v| v.join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// No token soup can panic the parser.
+    #[test]
+    fn parser_never_panics(src in arb_tokensoup()) {
+        let _ = parse_source(&src);
+        let _ = parse_system(&src);
+    }
+
+    /// Arbitrary unicode cannot panic the lexer.
+    #[test]
+    fn lexer_survives_unicode(src in "\\PC{0,80}") {
+        let _ = parse_source(&src);
+    }
+
+    /// Errors always point at a plausible source position.
+    #[test]
+    fn errors_carry_positions(src in arb_tokensoup()) {
+        if let Err(e) = parse_source(&src) {
+            prop_assert!(e.span.line >= 1);
+            prop_assert!(e.span.col >= 1);
+            prop_assert!(!e.message.is_empty());
+        }
+    }
+}
+
+/// Deleting any single character from a valid source either still parses
+/// or produces a positioned error — never a panic (classic mutation test).
+#[test]
+fn single_character_deletions_are_handled() {
+    let src = r#"application a {
+        process X initial;
+        process Y final;
+        flow X -> Y { items 72; order 1; ticks 10; }
+    }
+    platform p {
+        package_size 36;
+        ca { freq_mhz 111; }
+        segment S { freq_mhz 100; hosts X Y; }
+    }"#;
+    assert!(parse_system(src).is_ok(), "baseline must parse");
+    for i in 0..src.len() {
+        if !src.is_char_boundary(i) || !src.is_char_boundary(i + 1) {
+            continue;
+        }
+        let mutated: String = format!("{}{}", &src[..i], &src[i + 1..]);
+        let _ = parse_system(&mutated); // must not panic
+    }
+}

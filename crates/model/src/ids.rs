@@ -1,0 +1,113 @@
+//! Strongly-typed identifiers for model entities.
+//!
+//! All identifiers are small dense indices (`u16`/`u32` underneath) so they
+//! can be used directly as vector indices inside the simulation engines
+//! without hashing.
+
+use std::fmt;
+
+/// Identifier of an application process (`P0`, `P1`, … in the paper).
+///
+/// Process ids are dense indices into [`crate::psdf::Application::processes`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ProcessId(pub u32);
+
+/// Identifier of a platform segment. Segments are numbered left-to-right
+/// starting at `0` in a linear topology (the paper numbers them from 1; the
+/// [`fmt::Display`] impl uses the paper's 1-based convention).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SegmentId(pub u16);
+
+/// Identifier of a packet flow, dense index into
+/// [`crate::psdf::Application::flows`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FlowId(pub u32);
+
+impl ProcessId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SegmentId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Number of segment-to-segment hops between `self` and `other` in a
+    /// linear topology (`|a - b|`).
+    #[inline]
+    pub fn hops_to(self, other: SegmentId) -> u16 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl FlowId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Paper convention: segments are 1-based ("Segment 1").
+        write!(f, "Segment {}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+impl From<u32> for ProcessId {
+    fn from(v: u32) -> Self {
+        ProcessId(v)
+    }
+}
+
+impl From<u16> for SegmentId {
+    fn from(v: u16) -> Self {
+        SegmentId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_conventions() {
+        assert_eq!(ProcessId(0).to_string(), "P0");
+        assert_eq!(ProcessId(14).to_string(), "P14");
+        assert_eq!(SegmentId(0).to_string(), "Segment 1");
+        assert_eq!(SegmentId(2).to_string(), "Segment 3");
+        assert_eq!(FlowId(3).to_string(), "F3");
+    }
+
+    #[test]
+    fn hops_are_symmetric() {
+        assert_eq!(SegmentId(0).hops_to(SegmentId(2)), 2);
+        assert_eq!(SegmentId(2).hops_to(SegmentId(0)), 2);
+        assert_eq!(SegmentId(1).hops_to(SegmentId(1)), 0);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert!(SegmentId(0) < SegmentId(1));
+    }
+}

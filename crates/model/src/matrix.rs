@@ -1,0 +1,193 @@
+//! The device-to-device communication matrix (paper §3.5, Fig. 8).
+//!
+//! Entry `(i, j)` holds the number of data items process `Pi` sends to
+//! process `Pj` over the whole application run. The matrix is derived from
+//! the PSDF and is the input of the *PlaceTool* allocator.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::ids::ProcessId;
+use crate::psdf::Application;
+
+/// Dense `n × n` matrix of data-item counts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CommMatrix {
+    n: usize,
+    items: Vec<u64>, // row-major
+}
+
+impl CommMatrix {
+    /// An all-zero matrix for `n` processes.
+    pub fn zero(n: usize) -> CommMatrix {
+        CommMatrix { n, items: vec![0; n * n] }
+    }
+
+    /// Build the matrix from a PSDF by summing the items of every flow with
+    /// the same (source, destination) pair.
+    pub fn from_application(app: &Application) -> CommMatrix {
+        let mut m = CommMatrix::zero(app.process_count());
+        for f in app.flows() {
+            m.add(f.src, f.dst, f.items);
+        }
+        m
+    }
+
+    /// Matrix dimension (number of processes).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` if the matrix has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn idx(&self, src: ProcessId, dst: ProcessId) -> usize {
+        debug_assert!(src.index() < self.n && dst.index() < self.n);
+        src.index() * self.n + dst.index()
+    }
+
+    /// Items sent from `src` to `dst`.
+    #[inline]
+    pub fn items(&self, src: ProcessId, dst: ProcessId) -> u64 {
+        self.items[self.idx(src, dst)]
+    }
+
+    /// Add `items` to the `(src, dst)` entry.
+    pub fn add(&mut self, src: ProcessId, dst: ProcessId, items: u64) {
+        let i = self.idx(src, dst);
+        self.items[i] += items;
+    }
+
+    /// Total items a process emits (row sum).
+    pub fn row_sum(&self, src: ProcessId) -> u64 {
+        (0..self.n)
+            .map(|j| self.items[src.index() * self.n + j])
+            .sum()
+    }
+
+    /// Total items a process receives (column sum).
+    pub fn col_sum(&self, dst: ProcessId) -> u64 {
+        (0..self.n)
+            .map(|i| self.items[i * self.n + dst.index()])
+            .sum()
+    }
+
+    /// Total items over all pairs.
+    pub fn total(&self) -> u64 {
+        self.items.iter().sum()
+    }
+
+    /// Iterate over the non-zero entries `(src, dst, items)` in row-major
+    /// order.
+    pub fn entries(&self) -> impl Iterator<Item = (ProcessId, ProcessId, u64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            (0..self.n).filter_map(move |j| {
+                let v = self.items[i * self.n + j];
+                (v > 0).then_some((ProcessId(i as u32), ProcessId(j as u32), v))
+            })
+        })
+    }
+
+    /// Render the matrix in the layout of the paper's Fig. 8 (header row of
+    /// process names, one row per source process).
+    pub fn to_table(&self) -> String {
+        let width = 5usize;
+        let mut out = String::new();
+        let _ = write!(out, "{:width$}", "");
+        for j in 0..self.n {
+            let _ = write!(out, "{:>width$}", format!("P{j}"));
+        }
+        out.push('\n');
+        for i in 0..self.n {
+            let _ = write!(out, "{:<width$}", format!("P{i}"));
+            for j in 0..self.n {
+                let _ = write!(out, "{:>width$}", self.items[i * self.n + j]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for CommMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psdf::{Flow, Process};
+
+    fn app() -> Application {
+        let mut a = Application::new("t");
+        let p0 = a.add_process(Process::initial("P0"));
+        let p1 = a.add_process(Process::new("P1"));
+        let p2 = a.add_process(Process::final_("P2"));
+        a.add_flow(Flow::new(p0, p1, 100, 1, 1)).unwrap();
+        a.add_flow(Flow::new(p0, p2, 50, 1, 1)).unwrap();
+        a.add_flow(Flow::new(p1, p2, 70, 2, 1)).unwrap();
+        a
+    }
+
+    #[test]
+    fn from_application_sums_flows() {
+        let mut a = app();
+        // Two flows over the same pair must sum.
+        let p0 = ProcessId(0);
+        let p1 = ProcessId(1);
+        a.add_flow(Flow::new(p0, p1, 11, 3, 1)).unwrap();
+        let m = CommMatrix::from_application(&a);
+        assert_eq!(m.items(p0, p1), 111);
+        assert_eq!(m.items(p0, ProcessId(2)), 50);
+        assert_eq!(m.items(p1, p0), 0);
+        assert_eq!(m.total(), 231);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let m = CommMatrix::from_application(&app());
+        assert_eq!(m.row_sum(ProcessId(0)), 150);
+        assert_eq!(m.col_sum(ProcessId(2)), 120);
+        assert_eq!(m.row_sum(ProcessId(2)), 0);
+    }
+
+    #[test]
+    fn entries_skip_zeros() {
+        let m = CommMatrix::from_application(&app());
+        let e: Vec<_> = m.entries().collect();
+        assert_eq!(
+            e,
+            vec![
+                (ProcessId(0), ProcessId(1), 100),
+                (ProcessId(0), ProcessId(2), 50),
+                (ProcessId(1), ProcessId(2), 70),
+            ]
+        );
+    }
+
+    #[test]
+    fn table_layout() {
+        let m = CommMatrix::from_application(&app());
+        let t = m.to_table();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 rows
+        assert!(lines[0].contains("P0") && lines[0].contains("P2"));
+        assert!(lines[1].trim_start().starts_with("P0"));
+        assert!(lines[1].contains("100"));
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let m = CommMatrix::zero(4);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.entries().count(), 0);
+        assert!(CommMatrix::zero(0).is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the placement solvers.
+
+use proptest::prelude::*;
+use segbus_apps::generators::{random_layered, GeneratorConfig};
+use segbus_model::ids::{ProcessId, SegmentId};
+use segbus_model::mapping::Allocation;
+use segbus_model::platform::Topology;
+use segbus_place::{Objective, PlaceTool};
+
+#[derive(Clone, Debug)]
+struct Instance {
+    layers: usize,
+    width: usize,
+    seed: u64,
+    segments: usize,
+    ring: bool,
+    packages: bool,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (2usize..=3, 1usize..=3, 0u64..500, 1usize..=3, any::<bool>(), any::<bool>()).prop_map(
+        |(layers, width, seed, segments, ring, packages)| {
+            let n = layers * width;
+            let segments = segments.min(n);
+            Instance { layers, width, seed, segments, ring: ring && segments >= 3, packages }
+        },
+    )
+}
+
+fn tool<'a>(app: &'a segbus_model::psdf::Application, inst: &Instance) -> PlaceTool<'a> {
+    let mut t = PlaceTool::new(app, inst.segments);
+    if inst.ring {
+        t = t.with_topology(Topology::Ring);
+    }
+    if inst.packages {
+        t = t.with_objective(Objective::Packages(36));
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every solver returns a feasible allocation and agrees with cost().
+    #[test]
+    fn solvers_are_feasible(inst in arb_instance()) {
+        let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
+        let t = tool(&app, &inst);
+        for pl in [t.greedy(), t.best(inst.seed)] {
+            prop_assert!(t.feasible(&pl.allocation));
+            prop_assert_eq!(t.cost(&pl.allocation), pl.cost);
+        }
+    }
+
+    /// Refinement never worsens any feasible starting point.
+    #[test]
+    fn refine_is_monotone(inst in arb_instance()) {
+        let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
+        let t = tool(&app, &inst);
+        // Start from a round-robin layout (always feasible: every segment
+        // is seeded because segments <= processes).
+        let mut start = Allocation::new(inst.segments);
+        for i in 0..app.process_count() {
+            start.assign(ProcessId(i as u32), SegmentId((i % inst.segments) as u16));
+        }
+        let before = t.cost(&start);
+        let refined = t.refine(start);
+        prop_assert!(refined.cost <= before);
+    }
+
+    /// `best` never loses to plain greedy.
+    #[test]
+    fn best_dominates_greedy(inst in arb_instance()) {
+        let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
+        let t = tool(&app, &inst);
+        prop_assert!(t.best(inst.seed).cost <= t.greedy().cost);
+    }
+
+    /// Ring distances never exceed linear ones, so any allocation costs no
+    /// more on the ring.
+    #[test]
+    fn ring_cost_never_exceeds_linear(inst in arb_instance()) {
+        prop_assume!(inst.segments >= 3);
+        let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
+        let linear = PlaceTool::new(&app, inst.segments);
+        let ring = PlaceTool::new(&app, inst.segments).with_topology(Topology::Ring);
+        let pl = linear.greedy();
+        prop_assert!(ring.cost(&pl.allocation) <= linear.cost(&pl.allocation));
+    }
+}

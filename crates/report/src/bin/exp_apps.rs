@@ -1,0 +1,6 @@
+//! Ablation A7: the application library across segment counts, with
+//! estimator-vs-reference accuracy for every combination.
+fn main() {
+    println!("A7 — application library (MP3 / JPEG / GSM) on 1-3 segments\n");
+    print!("{}", segbus_report::application_library());
+}

@@ -1,0 +1,5 @@
+//! Ablation A11: segment-arbitration policy under contention.
+fn main() {
+    println!("A11 — SA arbitration policy (three producers, one bus)\n");
+    print!("{}", segbus_report::arbitration_comparison());
+}

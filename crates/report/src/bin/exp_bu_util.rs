@@ -1,0 +1,5 @@
+//! Regenerates the paper's §4 BU bottleneck analysis (UP / TCT / mean WP).
+fn main() {
+    println!("E6 — border-unit utilisation (paper: UP12=2304 TCT12=2336 WP~1)\n");
+    print!("{}", segbus_report::bu_utilisation());
+}

@@ -1,0 +1,5 @@
+//! Ablation A3: processing-cost model (per-item / per-package / affine).
+fn main() {
+    println!("A3 — cost-model ablation (18 vs 36 item packages)\n");
+    print!("{}", segbus_report::cost_model_ablation());
+}

@@ -1,0 +1,6 @@
+//! Ablation A8: energy attribution per configuration (synthetic per-tick
+//! weights; comparisons are the point, not absolute joules).
+fn main() {
+    println!("A8 — energy comparison across configurations\n");
+    print!("{}", segbus_report::energy_comparison());
+}

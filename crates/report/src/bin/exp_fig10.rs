@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 10: per-process progress timeline (CSV).
+fn main() {
+    println!("Fig. 10 — progress of each process, 3 segments, s = 36\n");
+    print!("{}", segbus_report::fig10_timeline().to_csv());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 11: activity per platform element at
+//! package sizes 18 and 36.
+fn main() {
+    println!("Fig. 11 — activity of platform elements, s = 18 vs s = 36\n");
+    print!("{}", segbus_report::fig11_activity());
+}

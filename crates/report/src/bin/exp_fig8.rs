@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 8: the MP3 decoder communication matrix.
+fn main() {
+    println!("Fig. 8 — communication matrix of the MP3 decoder (data items)\n");
+    print!("{}", segbus_report::fig8_matrix().to_table());
+}

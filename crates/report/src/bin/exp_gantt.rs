@@ -1,0 +1,6 @@
+//! Gantt-style CSV of every bus occupation in the 3-segment MP3 run
+//! (feeds external plotting; companion to Figs. 10/11).
+fn main() {
+    let report = segbus_report::threeseg_report();
+    print!("{}", segbus_core::gantt_csv(&report));
+}

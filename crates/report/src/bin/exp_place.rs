@@ -1,0 +1,7 @@
+//! Ablation A1: PlaceTool allocations vs the paper's hand allocation.
+fn main() {
+    println!("A1 — placement quality on the 3-segment platform\n");
+    print!("{}", segbus_report::placement_comparison());
+    println!("\nA1b — two-segment placement (incl. Kernighan-Lin)\n");
+    print!("{}", segbus_report::placement_two_segments());
+}

@@ -1,0 +1,5 @@
+//! Ablation A6: producer flow-control policy.
+fn main() {
+    println!("A6 — producer release policy (flow control vs fire-and-forget)\n");
+    print!("{}", segbus_report::release_policy_ablation());
+}

@@ -1,0 +1,5 @@
+//! Compares the paper's Fig. 9 one-, two- and three-segment configurations.
+fn main() {
+    println!("E7 — Fig. 9 platform configurations compared\n");
+    print!("{}", segbus_report::segment_comparison());
+}

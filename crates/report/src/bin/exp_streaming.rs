@@ -1,0 +1,5 @@
+//! Extension A12: pipelined streaming of successive application frames.
+fn main() {
+    println!("A12 — streaming throughput (frames pipelined through the waves)\n");
+    print!("{}", segbus_report::streaming_throughput());
+}

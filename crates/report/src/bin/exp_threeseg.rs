@@ -1,0 +1,16 @@
+//! Regenerates the paper's §4 three-segment results block (experiment E2).
+fn main() {
+    let report = segbus_report::threeseg_report();
+    println!("Three Segments configuration (Fig. 9), package size 36\n");
+    for (name, start, end) in segbus_report::e2_highlights(&report) {
+        if start == end {
+            println!("{name} at {}ps", start.0);
+        } else {
+            println!("{name}, Start Time = {}ps, End Time = {}ps", start.0, end.0);
+        }
+    }
+    println!();
+    print!("{}", report.paper_style());
+    println!("\n--- paper vs measured ---");
+    print!("{}", segbus_report::e2_comparison());
+}

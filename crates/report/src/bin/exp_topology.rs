@@ -1,0 +1,5 @@
+//! Ablation A9: linear vs ring topology on hub-and-spokes workloads.
+fn main() {
+    println!("A9 — linear vs ring topology (hub-and-spokes mapping)\n");
+    print!("{}", segbus_report::topology_comparison());
+}

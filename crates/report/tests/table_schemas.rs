@@ -1,0 +1,83 @@
+//! Schema-stability tests: every experiment table keeps its column layout
+//! (downstream plotting scripts parse these CSVs).
+
+use segbus_report as report;
+
+fn header(csv: &str) -> &str {
+    csv.lines().next().unwrap()
+}
+
+#[test]
+fn csv_headers_are_stable() {
+    assert_eq!(
+        header(&report::fig10_timeline().to_csv()),
+        "process,start_us,end_us"
+    );
+    assert_eq!(
+        header(&report::fig11_activity().to_csv()),
+        "element,busy_ticks_s18,busy_ticks_s36,tct_s18,tct_s36"
+    );
+    assert_eq!(
+        header(&report::accuracy_table().to_csv()),
+        "config,est_us,act_us,accuracy,paper_est_us,paper_act_us,paper_accuracy"
+    );
+    assert_eq!(
+        header(&report::bu_utilisation().to_csv()),
+        "bu,UP_ticks,TCT_ticks,avg_WP_ticks"
+    );
+    assert_eq!(
+        header(&report::segment_comparison().to_csv()),
+        "config,est_us,inter_seg_packages,ca_grants"
+    );
+    assert_eq!(
+        header(&report::placement_comparison().to_csv()),
+        "allocation,package_cut,est_us"
+    );
+    assert_eq!(
+        header(&report::energy_comparison().to_csv()),
+        "config,total_uj,compute_uj,comm_fraction"
+    );
+    assert_eq!(
+        header(&report::topology_comparison().to_csv()),
+        "workers,linear_us,ring_us,ring_speedup"
+    );
+    assert_eq!(
+        header(&report::streaming_throughput().to_csv()),
+        "application,frames,makespan_us,us_per_frame,pipelining_speedup"
+    );
+    assert_eq!(
+        header(&report::e2_comparison().to_csv()),
+        "counter,paper,measured,status"
+    );
+}
+
+#[test]
+fn no_cell_contains_a_comma_smuggler() {
+    // Table::to_csv does not quote; every experiment must therefore keep
+    // commas out of its cells. Column counts prove it.
+    for (name, csv) in [
+        ("fig10", report::fig10_timeline().to_csv()),
+        ("fig11", report::fig11_activity().to_csv()),
+        ("accuracy", report::accuracy_table().to_csv()),
+        ("bu", report::bu_utilisation().to_csv()),
+        ("segments", report::segment_comparison().to_csv()),
+        ("place", report::placement_comparison().to_csv()),
+        ("energy", report::energy_comparison().to_csv()),
+        ("topology", report::topology_comparison().to_csv()),
+        ("streaming", report::streaming_throughput().to_csv()),
+        ("e2", report::e2_comparison().to_csv()),
+        ("apps", report::application_library().to_csv()),
+        ("arbitration", report::arbitration_comparison().to_csv()),
+        ("costmodel", report::cost_model_ablation().to_csv()),
+        ("release", report::release_policy_ablation().to_csv()),
+    ] {
+        let cols = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(
+                line.split(',').count(),
+                cols,
+                "{name}: ragged CSV row {line:?}"
+            );
+        }
+    }
+}

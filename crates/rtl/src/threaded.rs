@@ -1,0 +1,256 @@
+//! Thread-per-clock-domain driver for the reference simulator.
+//!
+//! The paper's emulator is a Java program in which every platform element
+//! runs as a thread coordinated by a monitor object (§3.6). This module
+//! reproduces that implementation approach in Rust: each clock domain
+//! (every segment with its SA and FUs, plus the CA) runs on its own OS
+//! thread; a barrier closes every edge instant, and the leader thread —
+//! playing the paper's *MonitorClass* — selects the next edge time and
+//! detects global quiescence.
+//!
+//! Because all cross-domain communication carries at least one
+//! synchroniser tick of latency (see [`crate::sim`]), domains that share an
+//! edge instant may execute in any order — so the threaded run is
+//! **bit-identical** to the sequential one, which the differential tests
+//! assert. The `engines` benchmark quantifies the barrier overhead: for
+//! tick-level lock-step simulation, thread-per-component is *slower* than
+//! the sequential loop — an honest negative result about the paper's
+//! implementation strategy.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Barrier;
+
+use parking_lot::Mutex;
+use segbus_core::report::EmulationReport;
+use segbus_model::mapping::Psm;
+use segbus_model::time::Picos;
+
+use crate::config::RtlConfig;
+use crate::sim::{self, RtlError};
+
+const RUNNING: u8 = 0;
+const DONE: u8 = 1;
+const DEADLOCK: u8 = 2;
+
+/// The reference simulator, driven by one thread per clock domain.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadedRtlSimulator {
+    config: RtlConfig,
+}
+
+impl ThreadedRtlSimulator {
+    /// Create a threaded simulator with explicit latencies.
+    pub fn new(config: RtlConfig) -> ThreadedRtlSimulator {
+        ThreadedRtlSimulator { config }
+    }
+
+    /// Simulate the PSM to quiescence, one thread per clock domain.
+    pub fn run(&self, psm: &Psm) -> Result<EmulationReport, RtlError> {
+        self.run_frames(psm, 1)
+    }
+
+    /// Simulate `frames` pipelined iterations, one thread per clock domain.
+    ///
+    /// # Panics
+    /// Panics if `frames` is zero.
+    pub fn run_frames(&self, psm: &Psm, frames: u64) -> Result<EmulationReport, RtlError> {
+        assert!(frames > 0, "at least one frame");
+        let (ctx, shared, domains, mut ca) = sim::build(psm, self.config, frames);
+        let nseg = domains.len();
+        let nthreads = nseg + 1; // + CA
+
+        let fastest = domains
+            .iter()
+            .map(|d| d.clock().period_ps())
+            .chain(std::iter::once(ca.clock().period_ps()))
+            .min()
+            .expect("at least one domain");
+        let cap = self.config.max_ticks.saturating_mul(fastest);
+
+        let barrier = Barrier::new(nthreads);
+        let next_edges: Vec<AtomicU64> = (0..nthreads).map(|_| AtomicU64::new(0)).collect();
+        let idle: Vec<AtomicU8> = (0..nthreads).map(|_| AtomicU8::new(1)).collect();
+        let current_t = AtomicU64::new(0);
+        let status = AtomicU8::new(RUNNING);
+        let deadlock_at = AtomicU64::new(0);
+
+        // Slots for the domain states to come back out of the threads.
+        let returned: Vec<Mutex<Option<sim::DomainState>>> =
+            (0..nseg).map(|_| Mutex::new(None)).collect();
+
+        let ctx_ref = &ctx;
+        let shared_ref = &shared;
+        let ca_mut = &mut ca;
+
+        crossbeam::scope(|scope| {
+            for (si, mut d) in domains.into_iter().enumerate() {
+                let barrier = &barrier;
+                let next_edges = &next_edges;
+                let idle = &idle;
+                let current_t = &current_t;
+                let status = &status;
+                let returned = &returned;
+                scope.spawn(move |_| {
+                    loop {
+                        barrier.wait(); // A: previous round complete
+                        barrier.wait(); // B: leader's decision visible
+                        if status.load(Ordering::Relaxed) != RUNNING {
+                            break;
+                        }
+                        let t = Picos(current_t.load(Ordering::Relaxed));
+                        if next_edges[si].load(Ordering::Relaxed) == t.0 {
+                            sim::step_segment(ctx_ref, shared_ref, &mut d, t);
+                            next_edges[si]
+                                .store(t.0 + d.clock().period_ps(), Ordering::Relaxed);
+                        }
+                        idle[si].store(d.idle() as u8, Ordering::Relaxed);
+                    }
+                    *returned[si].lock() = Some(d);
+                });
+            }
+
+            // The CA thread doubles as the leader / monitor.
+            let ci = nseg;
+            loop {
+                barrier.wait(); // A
+                // Leader decision: quiescent, deadlocked, or pick next t.
+                if status.load(Ordering::Relaxed) == RUNNING {
+                    let all_idle = (0..nthreads)
+                        .all(|i| idle[i].load(Ordering::Relaxed) == 1);
+                    if all_idle
+                        && shared_ref.waves_done(ctx_ref.wave_count())
+                        && shared_ref.mail_quiescent()
+                    {
+                        status.store(DONE, Ordering::Relaxed);
+                    } else {
+                        let t = (0..nthreads)
+                            .map(|i| next_edges[i].load(Ordering::Relaxed))
+                            .min()
+                            .expect("domains exist");
+                        if t > cap {
+                            deadlock_at.store(t, Ordering::Relaxed);
+                            status.store(DEADLOCK, Ordering::Relaxed);
+                        } else {
+                            current_t.store(t, Ordering::Relaxed);
+                        }
+                    }
+                }
+                barrier.wait(); // B
+                if status.load(Ordering::Relaxed) != RUNNING {
+                    break;
+                }
+                let t = Picos(current_t.load(Ordering::Relaxed));
+                if next_edges[ci].load(Ordering::Relaxed) == t.0 {
+                    sim::step_ca(ctx_ref, shared_ref, ca_mut, t);
+                    next_edges[ci].store(t.0 + ca_mut.clock().period_ps(), Ordering::Relaxed);
+                }
+                idle[ci].store(ca_mut.idle() as u8, Ordering::Relaxed);
+            }
+        })
+        .expect("simulation threads do not panic");
+
+        if status.load(Ordering::Relaxed) == DEADLOCK {
+            return Err(RtlError::Deadlock {
+                at: Picos(deadlock_at.load(Ordering::Relaxed)),
+                detail: "tick budget exceeded (threaded driver)".into(),
+            });
+        }
+        let domains: Vec<sim::DomainState> = returned
+            .into_iter()
+            .map(|m| m.into_inner().expect("thread returned its domain"))
+            .collect();
+        Ok(sim::build_report(&ctx, &shared, &domains, &ca))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RtlSimulator;
+    use segbus_model::ids::SegmentId;
+    use segbus_model::mapping::Allocation;
+    use segbus_model::platform::Platform;
+    use segbus_model::psdf::{Application, Flow, Process};
+    use segbus_model::time::ClockDomain;
+
+    fn pipeline_psm(nseg: usize, stages: usize, items: u64) -> Psm {
+        let mut app = Application::new("pipe");
+        let ids: Vec<_> = (0..stages)
+            .map(|i| {
+                app.add_process(match i {
+                    0 => Process::initial(format!("P{i}")),
+                    i if i == stages - 1 => Process::final_(format!("P{i}")),
+                    _ => Process::new(format!("P{i}")),
+                })
+            })
+            .collect();
+        for w in ids.windows(2) {
+            app.add_flow(Flow::new(w[0], w[1], items, 0, 80)).unwrap();
+        }
+        app.assign_orders_topologically().unwrap();
+        let mut alloc = Allocation::new(nseg);
+        for (i, id) in ids.iter().enumerate() {
+            alloc.assign(*id, SegmentId((i % nseg) as u16));
+        }
+        let platform = Platform::builder("t")
+            .package_size(36)
+            .ca_clock(ClockDomain::from_mhz(111.0))
+            .segment("S1", ClockDomain::from_mhz(91.0))
+            .uniform_segments(nseg - 1, ClockDomain::from_mhz(98.0))
+            .build()
+            .unwrap();
+        Psm::new(platform, app, alloc).unwrap()
+    }
+
+    fn assert_reports_equal(a: &EmulationReport, b: &EmulationReport) {
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.sas, b.sas);
+        assert_eq!(a.ca, b.ca);
+        assert_eq!(a.bus, b.bus);
+        assert_eq!(a.fus, b.fus);
+    }
+
+    #[test]
+    fn threaded_matches_sequential_single_segment() {
+        let psm = pipeline_psm(1, 3, 72);
+        let seq = RtlSimulator::default().run(&psm).unwrap();
+        let thr = ThreadedRtlSimulator::default().run(&psm).unwrap();
+        assert_reports_equal(&seq, &thr);
+    }
+
+    #[test]
+    fn threaded_matches_sequential_multi_segment() {
+        let psm = pipeline_psm(3, 6, 3 * 36);
+        let seq = RtlSimulator::default().run(&psm).unwrap();
+        let thr = ThreadedRtlSimulator::default().run(&psm).unwrap();
+        assert_reports_equal(&seq, &thr);
+    }
+
+    #[test]
+    fn threaded_is_deterministic_across_runs() {
+        let psm = pipeline_psm(2, 4, 2 * 36);
+        let a = ThreadedRtlSimulator::default().run(&psm).unwrap();
+        let b = ThreadedRtlSimulator::default().run(&psm).unwrap();
+        assert_reports_equal(&a, &b);
+    }
+
+    /// Full MP3 equality between drivers. ~4 s of barrier-stepped
+    /// simulation; run with `cargo test -- --ignored`.
+    #[test]
+    #[ignore = "slow: ~50k barrier rounds"]
+    fn threaded_matches_sequential_on_full_mp3() {
+        let psm = segbus_apps::mp3::three_segment_psm();
+        let seq = RtlSimulator::default().run(&psm).unwrap();
+        let thr = ThreadedRtlSimulator::default().run(&psm).unwrap();
+        assert_reports_equal(&seq, &thr);
+    }
+
+    #[test]
+    fn threaded_deadlock_guard() {
+        let cfg = RtlConfig { max_ticks: 5, ..RtlConfig::default() };
+        let err = ThreadedRtlSimulator::new(cfg)
+            .run(&pipeline_psm(2, 3, 36))
+            .unwrap_err();
+        assert!(matches!(err, RtlError::Deadlock { .. }));
+    }
+}

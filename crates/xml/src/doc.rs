@@ -1,0 +1,164 @@
+//! A minimal XML document model.
+//!
+//! Enough XML for the SegBus schemes: elements with attributes, child
+//! elements and text nodes. No namespaces beyond literal prefixes
+//! (`xs:element` is just a name containing a colon), no DTDs, no CDATA.
+
+use std::fmt;
+
+/// A document: the optional `<?xml …?>` declaration plus one root element.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct XmlDocument {
+    /// `true` if the document carries the standard XML declaration.
+    pub declaration: bool,
+    /// The root element.
+    pub root: XmlElement,
+}
+
+impl XmlDocument {
+    /// A document with the standard declaration.
+    pub fn new(root: XmlElement) -> XmlDocument {
+        XmlDocument { declaration: true, root }
+    }
+
+    /// Serialise with two-space indentation (see [`crate::writer`]).
+    pub fn to_xml_string(&self) -> String {
+        crate::writer::write_document(self)
+    }
+}
+
+/// An element node: name, attributes in document order, children.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct XmlElement {
+    /// Tag name, colons included verbatim (`xs:complexType`).
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<XmlNode>,
+}
+
+/// A child node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum XmlNode {
+    /// A nested element.
+    Element(XmlElement),
+    /// Character data (entity-decoded).
+    Text(String),
+}
+
+impl XmlElement {
+    /// An element with no attributes or children.
+    pub fn new(name: impl Into<String>) -> XmlElement {
+        XmlElement { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder-style attribute. Setting a key that already exists replaces
+    /// its value (duplicate attribute names are not well-formed XML and the
+    /// parser rejects them).
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> XmlElement {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.attributes.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.attributes.push((key, value));
+        }
+        self
+    }
+
+    /// Builder-style child element.
+    pub fn child(mut self, e: XmlElement) -> XmlElement {
+        self.children.push(XmlNode::Element(e));
+        self
+    }
+
+    /// Builder-style text child.
+    pub fn text(mut self, t: impl Into<String>) -> XmlElement {
+        self.children.push(XmlNode::Text(t.into()));
+        self
+    }
+
+    /// Value of an attribute, if present.
+    pub fn attribute(&self, key: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements (skipping text nodes).
+    pub fn elements(&self) -> impl Iterator<Item = &XmlElement> {
+        self.children.iter().filter_map(|n| match n {
+            XmlNode::Element(e) => Some(e),
+            XmlNode::Text(_) => None,
+        })
+    }
+
+    /// Child elements with a given tag name.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// First child element with a given tag name.
+    pub fn first_named<'a>(&'a self, name: &str) -> Option<&'a XmlElement> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated text content of direct text children, trimmed.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let XmlNode::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Recursively count elements (including self).
+    pub fn element_count(&self) -> usize {
+        1 + self.elements().map(XmlElement::element_count).sum::<usize>()
+    }
+}
+
+impl fmt::Display for XmlElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::writer::write_element_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> XmlElement {
+        XmlElement::new("xs:schema")
+            .attr("name", "demo")
+            .child(
+                XmlElement::new("xs:complexType")
+                    .attr("name", "P0")
+                    .child(XmlElement::new("xs:element").attr("name", "P1_36_1_250")),
+            )
+            .child(XmlElement::new("note").text("hello"))
+    }
+
+    #[test]
+    fn builders_and_accessors() {
+        let e = sample();
+        assert_eq!(e.attribute("name"), Some("demo"));
+        assert_eq!(e.attribute("missing"), None);
+        assert_eq!(e.elements().count(), 2);
+        assert_eq!(e.elements_named("xs:complexType").count(), 1);
+        assert!(e.first_named("note").is_some());
+        assert_eq!(e.first_named("note").unwrap().text_content(), "hello");
+        assert_eq!(e.element_count(), 4);
+    }
+
+    #[test]
+    fn text_content_trims() {
+        let e = XmlElement::new("a").text("  x  ");
+        assert_eq!(e.text_content(), "x");
+        assert_eq!(XmlElement::new("b").text_content(), "");
+    }
+}

@@ -1,0 +1,313 @@
+//! Emulator-side import of the generated XML schemes (paper §3.5).
+//!
+//! The emulator "parses the generated XMLs and builds the required
+//! structure of platform and allocation of resources". [`import_psdf`]
+//! rebuilds the application; [`import_psm`] rebuilds the platform and the
+//! allocation against a given application (the PSM references processes by
+//! name).
+
+use std::fmt;
+
+use segbus_model::ids::SegmentId;
+use segbus_model::mapping::{Allocation, Psm};
+use segbus_model::platform::{Platform, Topology};
+use segbus_model::psdf::{Application, CostModel, Flow, Process};
+use segbus_model::time::ClockDomain;
+
+use crate::doc::{XmlDocument, XmlElement};
+use crate::m2t::decode_flow_name;
+
+/// Why an XML scheme could not be turned back into a model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ImportError(pub String);
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scheme import error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+fn err(msg: impl Into<String>) -> ImportError {
+    ImportError(msg.into())
+}
+
+fn req_attr<'a>(el: &'a XmlElement, key: &str) -> Result<&'a str, ImportError> {
+    el.attribute(key)
+        .ok_or_else(|| err(format!("<{}> lacks the {key:?} attribute", el.name)))
+}
+
+fn parse_num<T: std::str::FromStr>(el: &XmlElement, key: &str) -> Result<T, ImportError> {
+    req_attr(el, key)?
+        .parse()
+        .map_err(|_| err(format!("attribute {key:?} of <{}> is not a number", el.name)))
+}
+
+/// Rebuild an [`Application`] from a PSDF scheme.
+pub fn import_psdf(doc: &XmlDocument) -> Result<Application, ImportError> {
+    let schema = &doc.root;
+    if schema.name != "xs:schema" {
+        return Err(err("root element must be xs:schema"));
+    }
+    let name = req_attr(schema, "name")?;
+    let mut app = Application::new(name);
+
+    let cost_model = match schema.attribute("costModel") {
+        None | Some("perItem") => CostModel::PerItem {
+            reference_package_size: schema
+                .attribute("costReference")
+                .map(|v| v.parse().map_err(|_| err("bad costReference")))
+                .transpose()?
+                .unwrap_or(36),
+        },
+        Some("perPackage") => CostModel::PerPackage,
+        Some("affine") => CostModel::Affine {
+            base_ticks: parse_num(schema, "costBase")?,
+            reference_package_size: parse_num(schema, "costReference")?,
+        },
+        Some(other) => return Err(err(format!("unknown costModel {other:?}"))),
+    };
+    app.set_cost_model(cost_model);
+
+    // First pass: processes (document order defines the ids).
+    for ct in schema.elements_named("xs:complexType") {
+        let pname = req_attr(ct, "name")?;
+        let process = match ct.attribute("kind") {
+            Some("initial") => Process::initial(pname),
+            Some("final") => Process::final_(pname),
+            None | Some("process") => Process::new(pname),
+            Some(other) => return Err(err(format!("unknown process kind {other:?}"))),
+        };
+        app.add_process(process);
+    }
+
+    // Second pass: flows, restored to their global order via the `seq`
+    // attribute (falling back to document order when absent).
+    let mut flows: Vec<(u32, Flow)> = Vec::new();
+    let mut doc_order = 0u32;
+    for ct in schema.elements_named("xs:complexType") {
+        let src_name = req_attr(ct, "name")?;
+        let src = app
+            .process_by_name(src_name)
+            .expect("added in the first pass");
+        for all in ct.elements_named("xs:all") {
+            for el in all.elements_named("xs:element") {
+                let fname = req_attr(el, "name")?;
+                let (target, items, order, ticks) = decode_flow_name(fname).ok_or_else(|| {
+                    err(format!(
+                        "flow element {fname:?} is not of the form <target>_<items>_<order>_<ticks>"
+                    ))
+                })?;
+                let dst = app.process_by_name(&target).ok_or_else(|| {
+                    err(format!("flow {fname:?} targets unknown process {target:?}"))
+                })?;
+                let seq = match el.attribute("seq") {
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| err(format!("bad seq on flow {fname:?}")))?,
+                    None => doc_order,
+                };
+                doc_order += 1;
+                flows.push((seq, Flow::new(src, dst, items, order, ticks)));
+            }
+        }
+    }
+    flows.sort_by_key(|(seq, _)| *seq);
+    for (_, f) in flows {
+        app.add_flow(f)
+            .map_err(|e| err(format!("invalid flow: {e}")))?;
+    }
+    Ok(app)
+}
+
+/// Rebuild the platform and allocation from a PSM scheme, resolving
+/// process references against `app`.
+pub fn import_psm(
+    doc: &XmlDocument,
+    app: &Application,
+) -> Result<(Platform, Allocation), ImportError> {
+    let schema = &doc.root;
+    if schema.name != "xs:schema" {
+        return Err(err("root element must be xs:schema"));
+    }
+    let name = req_attr(schema, "name")?;
+    let package_size: u32 = parse_num(schema, "packageSize")?;
+
+    let ca_ct = schema
+        .elements_named("xs:complexType")
+        .find(|c| c.attribute("name") == Some("CA"))
+        .ok_or_else(|| err("missing CA complexType"))?;
+    let ca_period: u64 = parse_num(ca_ct, "periodPs")?;
+
+    // Segments in numeric order.
+    let mut segments: Vec<(usize, &XmlElement)> = Vec::new();
+    for ct in schema.elements_named("xs:complexType") {
+        let n = req_attr(ct, "name")?;
+        if let Some(idx) = n.strip_prefix("Segment") {
+            let idx: usize = idx
+                .parse()
+                .map_err(|_| err(format!("bad segment type name {n:?}")))?;
+            segments.push((idx, ct));
+        }
+    }
+    segments.sort_by_key(|(i, _)| *i);
+    if segments.is_empty() {
+        return Err(err("the scheme defines no segments"));
+    }
+    for (want, (got, _)) in segments.iter().enumerate() {
+        if *got != want + 1 {
+            return Err(err(format!(
+                "segment numbering gap: expected Segment{}, found Segment{got}",
+                want + 1
+            )));
+        }
+    }
+
+    let topology = match schema.attribute("topology") {
+        None | Some("linear") => Topology::Linear,
+        Some("ring") => Topology::Ring,
+        Some(other) => return Err(err(format!("unknown topology {other:?}"))),
+    };
+    let mut builder = Platform::builder(name)
+        .package_size(package_size)
+        .topology(topology)
+        .ca_clock(ClockDomain::from_period_ps(ca_period));
+    for (i, ct) in &segments {
+        let period: u64 = parse_num(ct, "periodPs")?;
+        let seg_name = ct
+            .attribute("segmentName")
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("Segment{i}"));
+        builder = builder.segment(seg_name, ClockDomain::from_period_ps(period));
+    }
+    let platform = builder
+        .build()
+        .map_err(|e| err(format!("invalid platform: {e}")))?;
+
+    // Allocation: every FU element of every segment.
+    let mut alloc = Allocation::new(platform.segment_count());
+    for (i, ct) in &segments {
+        let seg = SegmentId((*i - 1) as u16);
+        for all in ct.elements_named("xs:all") {
+            for el in all.elements_named("xs:element") {
+                let ename = req_attr(el, "name")?;
+                if ename == "arbiter" || ename == "buLeft" || ename == "buRight" {
+                    continue;
+                }
+                let ty = req_attr(el, "type")?;
+                let p = app.process_by_name(ty).ok_or_else(|| {
+                    err(format!("segment {i} hosts unknown process {ty:?}"))
+                })?;
+                alloc.assign(p, seg);
+            }
+        }
+    }
+    Ok((platform, alloc))
+}
+
+/// Import both schemes and assemble a validated [`Psm`].
+pub fn import_system(
+    psdf: &XmlDocument,
+    psm: &XmlDocument,
+) -> Result<Psm, ImportError> {
+    let app = import_psdf(psdf)?;
+    let (platform, alloc) = import_psm(psm, &app)?;
+    Psm::new(platform, app, alloc).map_err(|e| err(format!("validation failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::m2t::{export_psdf, export_psm};
+    use crate::parse;
+    use segbus_apps::mp3;
+
+    #[test]
+    fn psdf_round_trip_is_lossless() {
+        let app = mp3::mp3_decoder();
+        let doc = export_psdf(&app);
+        let back = import_psdf(&doc).unwrap();
+        assert_eq!(back, app);
+        // Also through the textual form.
+        let reparsed = parse(&doc.to_xml_string()).unwrap();
+        assert_eq!(import_psdf(&reparsed).unwrap(), app);
+    }
+
+    #[test]
+    fn psm_round_trip_is_lossless() {
+        let psm = mp3::three_segment_psm();
+        let doc = export_psm(&psm);
+        let (platform, alloc) = import_psm(&doc, psm.application()).unwrap();
+        assert_eq!(&platform, psm.platform());
+        assert_eq!(&alloc, psm.allocation());
+    }
+
+    #[test]
+    fn full_system_import_runs_in_the_emulator() {
+        let psm = mp3::three_segment_psm();
+        let psdf_doc = parse(&export_psdf(psm.application()).to_xml_string()).unwrap();
+        let psm_doc = parse(&export_psm(&psm).to_xml_string()).unwrap();
+        let system = import_system(&psdf_doc, &psm_doc).unwrap();
+        assert_eq!(system.matrix(), psm.matrix());
+        assert_eq!(system.platform().package_size(), 36);
+    }
+
+    #[test]
+    fn missing_attributes_are_reported() {
+        let doc = parse("<xs:schema name=\"x\"><xs:complexType/></xs:schema>").unwrap();
+        let e = import_psdf(&doc).unwrap_err();
+        assert!(e.to_string().contains("name"), "{e}");
+    }
+
+    #[test]
+    fn unknown_flow_target_is_reported() {
+        let doc = parse(
+            r#"<xs:schema name="x">
+                 <xs:complexType name="A" kind="initial">
+                   <xs:all><xs:element name="GHOST_36_1_10"/></xs:all>
+                 </xs:complexType>
+               </xs:schema>"#,
+        )
+        .unwrap();
+        let e = import_psdf(&doc).unwrap_err();
+        assert!(e.to_string().contains("GHOST"), "{e}");
+    }
+
+    #[test]
+    fn bad_flow_encoding_is_reported() {
+        let doc = parse(
+            r#"<xs:schema name="x">
+                 <xs:complexType name="A">
+                   <xs:all><xs:element name="nonsense"/></xs:all>
+                 </xs:complexType>
+               </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(import_psdf(&doc).is_err());
+    }
+
+    #[test]
+    fn psm_requires_known_processes() {
+        let psm = mp3::three_segment_psm();
+        let doc = export_psm(&psm);
+        let mut other = Application::new("other");
+        other.add_process(Process::new("X"));
+        let e = import_psm(&doc, &other).unwrap_err();
+        assert!(e.to_string().contains("unknown process"), "{e}");
+    }
+
+    #[test]
+    fn segment_numbering_gaps_rejected() {
+        let doc = parse(
+            r#"<xs:schema name="p" packageSize="36">
+                 <xs:complexType name="CA" periodPs="9009"/>
+                 <xs:complexType name="Segment2" periodPs="10989"><xs:all/></xs:complexType>
+               </xs:schema>"#,
+        )
+        .unwrap();
+        let app = Application::new("a");
+        let e = import_psm(&doc, &app).unwrap_err();
+        assert!(e.to_string().contains("numbering gap"), "{e}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # segbus-xml
+//!
+//! The Model-to-Text substrate of the design flow (paper §3.4): SegBus
+//! models are exchanged as XSD-flavoured *XML schemes* produced by the UML
+//! tool's code-generation engine and consumed by the emulator. The paper's
+//! toolchain (MagicDraw code-engineering sets, `javax.xml.parsers`) is
+//! proprietary; this crate rebuilds the pipeline from scratch:
+//!
+//! * [`doc`] — a small XML document model (elements, attributes, text);
+//! * [`parse`] — a hand-written tokenizer/parser with line/column errors;
+//! * [`writer`] — serialisation with escaping and indentation;
+//! * [`m2t`] — the Model-to-Text transformation: PSDF and PSM models to
+//!   XML schemes using the paper's conventions (one `xs:complexType` per
+//!   platform element or process, flow elements named
+//!   `<target>_<items>_<order>_<ticks>` — e.g. `P1_576_1_250`);
+//! * [`import`] — the emulator-side parse of the generated schemes back
+//!   into [`segbus_model`] objects.
+//!
+//! Round-tripping is lossless and property-tested:
+//! `import(export(model)) == model`.
+//!
+//! ```
+//! use segbus_apps::mp3;
+//! use segbus_xml::{m2t, import};
+//!
+//! let app = mp3::mp3_decoder();
+//! let xml = m2t::export_psdf(&app).to_xml_string();
+//! assert!(xml.contains("P1_576_1_250")); // the paper's own example
+//! let back = import::import_psdf(&segbus_xml::parse(&xml).unwrap()).unwrap();
+//! assert_eq!(back, app);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod doc;
+pub mod import;
+pub mod m2t;
+pub mod parser;
+pub mod writer;
+
+pub use doc::{XmlDocument, XmlElement, XmlNode};
+pub use import::ImportError;
+pub use parser::{parse, XmlError};

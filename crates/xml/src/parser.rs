@@ -1,0 +1,337 @@
+//! Hand-written XML tokenizer and recursive-descent parser.
+//!
+//! Supports the subset the SegBus schemes need: the XML declaration,
+//! comments, elements with quoted attributes, self-closing tags, character
+//! data and the five predefined entities. Errors carry line/column.
+
+use std::fmt;
+
+use crate::doc::{XmlDocument, XmlElement, XmlNode};
+
+/// A parse failure with its position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct XmlError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parse a complete document.
+pub fn parse(input: &str) -> Result<XmlDocument, XmlError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0, line: 1, col: 1 };
+    p.skip_ws_and_comments();
+    let declaration = p.try_declaration()?;
+    p.skip_ws_and_comments();
+    let root = p.element()?;
+    p.skip_ws_and_comments();
+    if p.pos != p.input.len() {
+        return Err(p.err("trailing content after the root element"));
+    }
+    Ok(XmlDocument { declaration, root })
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> XmlError {
+        XmlError { line: self.line, col: self.col, message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.eat("<!--");
+                while !self.starts_with("-->") {
+                    if self.bump().is_none() {
+                        return; // unterminated comment caught later
+                    }
+                }
+                self.eat("-->");
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn try_declaration(&mut self) -> Result<bool, XmlError> {
+        if !self.eat("<?xml") {
+            return Ok(false);
+        }
+        while !self.starts_with("?>") {
+            if self.bump().is_none() {
+                return Err(self.err("unterminated XML declaration"));
+            }
+        }
+        self.expect("?>")?;
+        Ok(true)
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
+            if !ok {
+                break;
+            }
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn attribute_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted attribute value")),
+        };
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(q) if q == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'&') => out.push(self.entity()?),
+                Some(b'<') => return Err(self.err("'<' inside attribute value")),
+                Some(c) => {
+                    self.bump();
+                    out.push(c as char);
+                }
+            }
+        }
+    }
+
+    fn entity(&mut self) -> Result<char, XmlError> {
+        self.expect("&")?;
+        for (name, ch) in
+            [("lt;", '<'), ("gt;", '>'), ("amp;", '&'), ("quot;", '"'), ("apos;", '\'')]
+        {
+            if self.eat(name) {
+                return Ok(ch);
+            }
+        }
+        Err(self.err("unknown entity (only lt/gt/amp/quot/apos are supported)"))
+    }
+
+    fn element(&mut self) -> Result<XmlElement, XmlError> {
+        self.expect("<")?;
+        let name = self.name()?;
+        let mut el = XmlElement::new(name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.attribute_value()?;
+                    if el.attribute(&key).is_some() {
+                        return Err(self.err(format!("duplicate attribute {key:?}")));
+                    }
+                    el.attributes.push((key, value));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        // Content until the matching end tag.
+        let mut text = String::new();
+        loop {
+            if self.starts_with("<!--") {
+                flush_text(&mut el, &mut text);
+                self.skip_ws_and_comments();
+                continue;
+            }
+            if self.starts_with("</") {
+                flush_text(&mut el, &mut text);
+                self.expect("</")?;
+                let end = self.name()?;
+                if end != el.name {
+                    return Err(self.err(format!(
+                        "mismatched end tag: expected </{}>, found </{end}>",
+                        el.name
+                    )));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+                return Ok(el);
+            }
+            match self.peek() {
+                None => return Err(self.err(format!("unterminated element <{}>", el.name))),
+                Some(b'<') => {
+                    flush_text(&mut el, &mut text);
+                    let child = self.element()?;
+                    el.children.push(XmlNode::Element(child));
+                }
+                Some(b'&') => text.push(self.entity()?),
+                Some(c) => {
+                    self.bump();
+                    text.push(c as char);
+                }
+            }
+        }
+    }
+}
+
+/// Character data is whitespace-insignificant in the SegBus schemes:
+/// surrounding whitespace (including the writer's indentation) is dropped,
+/// which keeps write → parse an identity on trimmed documents.
+fn flush_text(el: &mut XmlElement, text: &mut String) {
+    let trimmed = text.trim();
+    if !trimmed.is_empty() {
+        el.children.push(XmlNode::Text(trimmed.to_string()));
+    }
+    text.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_declaration_and_nesting() {
+        let doc = parse(
+            r#"<?xml version="1.0" encoding="UTF-8"?>
+            <xs:schema name="s">
+              <xs:complexType name="P0">
+                <xs:element name="P1_576_1_250"/>
+              </xs:complexType>
+            </xs:schema>"#,
+        )
+        .unwrap();
+        assert!(doc.declaration);
+        assert_eq!(doc.root.name, "xs:schema");
+        let ct = doc.root.first_named("xs:complexType").unwrap();
+        assert_eq!(ct.attribute("name"), Some("P0"));
+        assert_eq!(
+            ct.first_named("xs:element").unwrap().attribute("name"),
+            Some("P1_576_1_250")
+        );
+    }
+
+    #[test]
+    fn parses_without_declaration() {
+        let doc = parse("<a/>").unwrap();
+        assert!(!doc.declaration);
+        assert_eq!(doc.root.name, "a");
+    }
+
+    #[test]
+    fn text_and_entities() {
+        let doc = parse("<a>x &lt;&amp;&gt; y</a>").unwrap();
+        assert_eq!(doc.root.text_content(), "x <&> y");
+        let doc = parse(r#"<a k="&quot;v&apos;"/>"#).unwrap();
+        assert_eq!(doc.root.attribute("k"), Some("\"v'"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let doc = parse("<!-- head --><a><!-- mid --><b/><!-- tail --></a>").unwrap();
+        assert_eq!(doc.root.elements().count(), 1);
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let doc = parse("<a k='v'/>").unwrap();
+        assert_eq!(doc.root.attribute("k"), Some("v"));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("<a>\n  <b>\n</a>").unwrap_err();
+        assert_eq!(err.line, 3, "{err}");
+        assert!(err.message.contains("mismatched end tag"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("").is_err());
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a></b>").is_err());
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a k=v/>").is_err());
+        assert!(parse("<a k=\"1\" k=\"2\"/>").is_err());
+        assert!(parse("<a>&unknown;</a>").is_err());
+    }
+
+    #[test]
+    fn display_formats_position() {
+        let err = parse("<a></b>").unwrap_err();
+        let s = err.to_string();
+        assert!(s.starts_with("XML error at 1:"), "{s}");
+    }
+}

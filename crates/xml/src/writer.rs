@@ -1,0 +1,123 @@
+//! XML serialisation with escaping and two-space indentation.
+
+use std::fmt::Write as _;
+
+use crate::doc::{XmlDocument, XmlElement, XmlNode};
+
+/// Serialise a document, with the declaration when present.
+pub fn write_document(doc: &XmlDocument) -> String {
+    let mut out = String::new();
+    if doc.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    }
+    write_element(&mut out, &doc.root, 0);
+    out
+}
+
+/// Serialise one element (used by `Display`).
+pub fn write_element_string(el: &XmlElement) -> String {
+    let mut out = String::new();
+    write_element(&mut out, el, 0);
+    out
+}
+
+fn write_element(out: &mut String, el: &XmlElement, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let _ = write!(out, "{pad}<{}", el.name);
+    for (k, v) in &el.attributes {
+        let _ = write!(out, " {k}=\"{}\"", escape(v, true));
+    }
+    if el.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // Pure-text elements render inline; mixed/element content indents.
+    let only_text = el
+        .children
+        .iter()
+        .all(|c| matches!(c, XmlNode::Text(_)));
+    if only_text {
+        out.push('>');
+        for c in &el.children {
+            if let XmlNode::Text(t) = c {
+                out.push_str(&escape(t, false));
+            }
+        }
+        let _ = writeln!(out, "</{}>", el.name);
+        return;
+    }
+    out.push_str(">\n");
+    for c in &el.children {
+        match c {
+            XmlNode::Element(e) => write_element(out, e, depth + 1),
+            XmlNode::Text(t) => {
+                let _ = writeln!(out, "{}  {}", pad, escape(t.trim(), false));
+            }
+        }
+    }
+    let _ = writeln!(out, "{pad}</{}>", el.name);
+}
+
+fn escape(s: &str, in_attribute: bool) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attribute => out.push_str("&quot;"),
+            '\'' if in_attribute => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn writes_declaration_and_indents() {
+        let doc = XmlDocument::new(
+            XmlElement::new("a").child(XmlElement::new("b").attr("k", "v")),
+        );
+        let s = doc.to_xml_string();
+        assert!(s.starts_with("<?xml version=\"1.0\""));
+        assert!(s.contains("\n  <b k=\"v\"/>\n"));
+    }
+
+    #[test]
+    fn escapes_attributes_and_text() {
+        let doc = XmlDocument::new(
+            XmlElement::new("a").attr("k", "x<\"&'>").text("1 < 2 & 3 > 0"),
+        );
+        let s = doc.to_xml_string();
+        assert!(s.contains("k=\"x&lt;&quot;&amp;&apos;&gt;\""));
+        assert!(s.contains("1 &lt; 2 &amp; 3 &gt; 0"));
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let doc = XmlDocument::new(
+            XmlElement::new("xs:schema")
+                .attr("name", "demo & <co>")
+                .child(
+                    XmlElement::new("xs:complexType")
+                        .attr("name", "P0")
+                        .child(XmlElement::new("xs:element").attr("name", "P1_576_1_250")),
+                )
+                .child(XmlElement::new("note").text("some 'text' & more")),
+        );
+        let s = doc.to_xml_string();
+        let back = parse(&s).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn text_only_elements_inline() {
+        let s = XmlDocument::new(XmlElement::new("a").text("hi")).to_xml_string();
+        assert!(s.contains("<a>hi</a>"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Robustness properties of the XML toolchain: the parser must never
+//! panic, valid documents must round-trip, and the importer must reject
+//! garbage gracefully.
+
+use proptest::prelude::*;
+use segbus_xml::{m2t, parse, XmlDocument, XmlElement};
+
+/// Strategy: arbitrary (mostly hostile) byte soup rendered as a string.
+fn arb_garbage() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("/".to_string()),
+            Just("\"".to_string()),
+            Just("&".to_string()),
+            Just("=".to_string()),
+            Just("xs:element".to_string()),
+            Just(" ".to_string()),
+            "[a-zA-Z0-9]{1,8}".prop_map(|s| s),
+            Just("<!--".to_string()),
+            Just("-->".to_string()),
+            Just("<?xml".to_string()),
+            Just("?>".to_string()),
+        ],
+        0..40,
+    )
+    .prop_map(|v| v.concat())
+}
+
+/// Strategy: a structurally valid random document.
+fn arb_document() -> impl Strategy<Value = XmlDocument> {
+    let name = "[a-zA-Z][a-zA-Z0-9_.:-]{0,10}";
+    let attr_value = "[ -~&&[^<]]{0,12}"; // printable ASCII without '<'
+    let leaf = (name, proptest::collection::vec((name, attr_value), 0..3)).prop_map(
+        |(n, attrs)| {
+            let mut e = XmlElement::new(n);
+            for (k, v) in attrs {
+                if e.attribute(&k).is_none() {
+                    e = e.attr(k, v);
+                }
+            }
+            e
+        },
+    );
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        (
+            "[a-zA-Z][a-zA-Z0-9_.:-]{0,10}",
+            proptest::collection::vec(inner, 0..4),
+            proptest::option::of("[ -~&&[^<]]{1,16}"),
+        )
+            .prop_map(|(n, children, text)| {
+                let mut e = XmlElement::new(n);
+                for c in children {
+                    e = e.child(c);
+                }
+                if let Some(t) = text {
+                    if !t.trim().is_empty() {
+                        e = e.text(t.trim().to_string());
+                    }
+                }
+                e
+            })
+    })
+    .prop_map(XmlDocument::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The parser returns Ok or Err but never panics, whatever the input.
+    #[test]
+    fn parser_never_panics(input in arb_garbage()) {
+        let _ = parse(&input);
+    }
+
+    /// Arbitrary unicode also cannot crash the tokenizer.
+    #[test]
+    fn parser_survives_unicode(input in "\\PC{0,64}") {
+        let _ = parse(&input);
+    }
+
+    /// Write → parse is the identity on structurally valid documents.
+    #[test]
+    fn write_parse_round_trip(doc in arb_document()) {
+        let text = doc.to_xml_string();
+        let back = parse(&text);
+        prop_assert!(back.is_ok(), "serialised document failed to parse:\n{text}");
+        prop_assert_eq!(back.unwrap(), doc);
+    }
+
+    /// The PSDF importer rejects random documents without panicking.
+    #[test]
+    fn importer_never_panics(doc in arb_document()) {
+        let _ = segbus_xml::import::import_psdf(&doc);
+    }
+}
+
+#[test]
+fn m2t_output_always_reparses_for_generated_apps() {
+    use segbus_apps::generators::{random_layered, GeneratorConfig};
+    for seed in 0..20 {
+        let app = random_layered(3, 3, seed, GeneratorConfig::default());
+        let text = m2t::export_psdf(&app).to_xml_string();
+        let doc = parse(&text).expect("generated scheme parses");
+        let back = segbus_xml::import::import_psdf(&doc).expect("generated scheme imports");
+        assert_eq!(back, app, "seed {seed}");
+    }
+}

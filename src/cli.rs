@@ -1,0 +1,676 @@
+//! Implementation of the `segbus` command-line tool.
+//!
+//! Subcommands mirror the design flow of the paper's Fig. 3:
+//!
+//! ```text
+//! segbus validate  <model.sbd>              check DSL + structural constraints
+//! segbus matrix    <model.sbd>              print the communication matrix
+//! segbus emulate   <model.sbd> [--trace] [--package-size N] [--detailed]
+//! segbus reference <model.sbd>              run the cycle-accurate reference
+//! segbus accuracy  <model.sbd>              estimated vs actual
+//! segbus export    <model.sbd> <out-dir>    M2T: write psdf.xml + psm.xml
+//! segbus import    <psdf.xml> <psm.xml>     import schemes, emulate
+//! segbus place     <model.sbd> --segments N re-place with PlaceTool
+//! segbus sweep     <model.sbd> --sizes a,b  package-size sweep
+//! ```
+//!
+//! All functions return their report as a `String` so the test-suite can
+//! assert on outputs without spawning processes.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use segbus_core::{Emulator, EmulatorConfig};
+use segbus_dsl as dsl;
+use segbus_model::mapping::Psm;
+use segbus_model::validate::{validate, Severity};
+use segbus_place::{Objective, PlaceTool};
+use segbus_rtl::RtlSimulator;
+use segbus_xml::{import, m2t};
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message (already formatted).
+    pub message: String,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn fail(msg: impl Into<String>) -> CliError {
+    CliError { message: msg.into() }
+}
+
+/// Top-level dispatch. `args` excludes the program name.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Ok(usage());
+    };
+    match cmd.as_str() {
+        "validate" => cmd_validate(rest),
+        "matrix" => cmd_matrix(rest),
+        "emulate" => cmd_emulate(rest),
+        "reference" => cmd_reference(rest),
+        "accuracy" => cmd_accuracy(rest),
+        "export" => cmd_export(rest),
+        "import" => cmd_import(rest),
+        "place" => cmd_place(rest),
+        "sweep" => cmd_sweep(rest),
+        "codegen" => cmd_codegen(rest),
+        "analyze" => cmd_analyze(rest),
+        "gantt" => cmd_gantt(rest),
+        "vcd" => cmd_vcd(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(fail(format!("unknown command {other:?}\n\n{}", usage()))),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+segbus — SegBus platform modeling, emulation and performance estimation
+
+USAGE:
+    segbus <COMMAND> [ARGS]
+
+COMMANDS:
+    validate  <model.sbd>                 parse and run the structural constraints
+    matrix    <model.sbd>                 print the communication matrix (Fig. 8 style)
+    emulate   <model.sbd> [--trace] [--package-size N] [--detailed] [--frames N]
+                                          run the performance estimator
+    reference <model.sbd> [--package-size N]
+                                          run the cycle-accurate reference simulator
+    accuracy  <model.sbd> [--package-size N]
+                                          estimated vs actual execution time
+    export    <model.sbd> <out-dir>       M2T transformation to psdf.xml / psm.xml
+    import    <psdf.xml> <psm.xml>        rebuild the system from schemes and emulate
+    place     <model.sbd> --segments N [--seed S]
+                                          propose an allocation with PlaceTool
+    sweep     <model.sbd> --sizes 18,36,72
+                                          emulate at several package sizes
+    codegen   <model.sbd> [--format vhdl|rust|c]
+                                          generate arbiter schedule code
+    analyze   <model.sbd>                 bus utilisation, wave timing, latency, energy
+    gantt     <model.sbd> [--width N]     ASCII Gantt chart of the emulation
+    vcd       <model.sbd>                 dump a VCD waveform of the emulation
+
+The .sbd model format is the textual SegBus DSL (see segbus-dsl docs).
+"
+    .to_string()
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))
+}
+
+fn load_psm(path: &str) -> Result<Psm, CliError> {
+    let text = read_file(path)?;
+    dsl::parse_system(&text).map_err(|e| fail(format!("{path}: {e}")))
+}
+
+/// Flags that take a value; every other `--flag` is boolean, so a
+/// following positional is never swallowed.
+const VALUE_FLAGS: &[&str] = &[
+    "package-size",
+    "frames",
+    "segments",
+    "seed",
+    "sizes",
+    "format",
+    "width",
+];
+
+/// Parse `--key value` style options out of an argument list; returns
+/// (positional, lookup).
+fn split_opts(args: &[String]) -> (Vec<&str>, Vec<(&str, Option<&str>)>) {
+    let mut pos = Vec::new();
+    let mut opts = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(key) = a.strip_prefix("--") {
+            let value = if VALUE_FLAGS.contains(&key) {
+                args.get(i + 1).map(|s| s.as_str()).filter(|v| !v.starts_with("--"))
+            } else {
+                None
+            };
+            if value.is_some() {
+                i += 1;
+            }
+            opts.push((key, value));
+        } else {
+            pos.push(a);
+        }
+        i += 1;
+    }
+    (pos, opts)
+}
+
+fn opt<'a>(opts: &[(&'a str, Option<&'a str>)], key: &str) -> Option<Option<&'a str>> {
+    opts.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn opt_u32(opts: &[(&str, Option<&str>)], key: &str) -> Result<Option<u32>, CliError> {
+    match opt(opts, key) {
+        None => Ok(None),
+        Some(None) => Err(fail(format!("--{key} needs a value"))),
+        Some(Some(v)) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| fail(format!("--{key}: {v:?} is not a number"))),
+    }
+}
+
+fn apply_package_size(psm: Psm, opts: &[(&str, Option<&str>)]) -> Result<Psm, CliError> {
+    match opt_u32(opts, "package-size")? {
+        None => Ok(psm),
+        Some(s) => psm
+            .with_package_size(s)
+            .map_err(|e| fail(format!("--package-size: {e}"))),
+    }
+}
+
+// -- subcommands --------------------------------------------------------------
+
+fn cmd_validate(args: &[String]) -> Result<String, CliError> {
+    let (pos, _) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail("usage: segbus validate <model.sbd>"));
+    };
+    let text = read_file(path)?;
+    let source = dsl::parse_source(&text).map_err(|e| fail(format!("{path}: {e}")))?;
+    let mut out = String::new();
+    // Full diagnostic listing (warnings included) before the hard verdict.
+    if let (Some(app), Some(spec)) = (source.applications.first(), source.platforms.first()) {
+        let mut alloc = segbus_model::mapping::Allocation::new(spec.platform.segment_count());
+        for (name, seg) in &spec.hosts {
+            if let Some(p) = app.process_by_name(name) {
+                alloc.assign(p, *seg);
+            }
+        }
+        let diags = validate(&spec.platform, app, &alloc);
+        for d in &diags {
+            let _ = writeln!(out, "{d}");
+        }
+        let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+        if errors > 0 {
+            return Err(fail(format!("{out}{path}: {errors} error(s)")));
+        }
+    }
+    match source.into_psm() {
+        Ok(psm) => {
+            let _ = writeln!(
+                out,
+                "{path}: OK — {} processes, {} flows, {} segments, package size {}",
+                psm.application().process_count(),
+                psm.application().flows().len(),
+                psm.platform().segment_count(),
+                psm.platform().package_size()
+            );
+            Ok(out)
+        }
+        Err(e) => Err(fail(format!("{out}{path}: {e}"))),
+    }
+}
+
+fn cmd_matrix(args: &[String]) -> Result<String, CliError> {
+    let (pos, _) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail("usage: segbus matrix <model.sbd>"));
+    };
+    let psm = load_psm(path)?;
+    Ok(psm.matrix().to_table())
+}
+
+fn cmd_emulate(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail("usage: segbus emulate <model.sbd> [--trace] [--package-size N] [--detailed] [--frames N]"));
+    };
+    let psm = apply_package_size(load_psm(path)?, &opts)?;
+    let mut config = EmulatorConfig::default();
+    if opt(&opts, "trace").is_some() {
+        config.trace = true;
+    }
+    if opt(&opts, "detailed").is_some() {
+        config.timing = segbus_core::TimingParams::detailed();
+    }
+    let frames = opt_u32(&opts, "frames")?.unwrap_or(1) as u64;
+    if frames == 0 {
+        return Err(fail("--frames must be at least 1"));
+    }
+    let report = Emulator::new(config).run_frames(&psm, frames);
+    let mut out = report.paper_style();
+    if let Some(trace) = &report.trace {
+        let _ = writeln!(out, "\ntrace: {} events recorded", trace.len());
+    }
+    Ok(out)
+}
+
+fn cmd_reference(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail("usage: segbus reference <model.sbd> [--package-size N]"));
+    };
+    let psm = apply_package_size(load_psm(path)?, &opts)?;
+    let report = RtlSimulator::default()
+        .run(&psm)
+        .map_err(|e| fail(e.to_string()))?;
+    Ok(report.paper_style())
+}
+
+fn cmd_accuracy(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail("usage: segbus accuracy <model.sbd> [--package-size N]"));
+    };
+    let psm = apply_package_size(load_psm(path)?, &opts)?;
+    let est = Emulator::default().run(&psm).execution_time();
+    let act = RtlSimulator::default()
+        .run(&psm)
+        .map_err(|e| fail(e.to_string()))?
+        .execution_time();
+    Ok(format!(
+        "estimated: {:.2} us\nactual:    {:.2} us\naccuracy:  {:.1}%\n",
+        est.as_micros_f64(),
+        act.as_micros_f64(),
+        100.0 * est.0 as f64 / act.0 as f64
+    ))
+}
+
+fn cmd_export(args: &[String]) -> Result<String, CliError> {
+    let (pos, _) = split_opts(args);
+    let [path, out_dir] = pos.as_slice() else {
+        return Err(fail("usage: segbus export <model.sbd> <out-dir>"));
+    };
+    let psm = load_psm(path)?;
+    std::fs::create_dir_all(out_dir).map_err(|e| fail(format!("{out_dir}: {e}")))?;
+    let psdf_path = Path::new(out_dir).join("psdf.xml");
+    let psm_path = Path::new(out_dir).join("psm.xml");
+    std::fs::write(&psdf_path, m2t::export_psdf(psm.application()).to_xml_string())
+        .map_err(|e| fail(format!("{}: {e}", psdf_path.display())))?;
+    std::fs::write(&psm_path, m2t::export_psm(&psm).to_xml_string())
+        .map_err(|e| fail(format!("{}: {e}", psm_path.display())))?;
+    Ok(format!(
+        "wrote {}\nwrote {}\n",
+        psdf_path.display(),
+        psm_path.display()
+    ))
+}
+
+fn cmd_import(args: &[String]) -> Result<String, CliError> {
+    let (pos, _) = split_opts(args);
+    let [psdf_path, psm_path] = pos.as_slice() else {
+        return Err(fail("usage: segbus import <psdf.xml> <psm.xml>"));
+    };
+    let psdf = segbus_xml::parse(&read_file(psdf_path)?)
+        .map_err(|e| fail(format!("{psdf_path}: {e}")))?;
+    let psm_doc = segbus_xml::parse(&read_file(psm_path)?)
+        .map_err(|e| fail(format!("{psm_path}: {e}")))?;
+    let psm = import::import_system(&psdf, &psm_doc).map_err(|e| fail(e.to_string()))?;
+    let report = Emulator::default().run(&psm);
+    Ok(format!(
+        "imported '{}' on '{}'\nestimated execution time: {:.2} us\n",
+        psm.application().name(),
+        psm.platform().name(),
+        report.execution_time().as_micros_f64()
+    ))
+}
+
+fn cmd_place(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail("usage: segbus place <model.sbd> --segments N [--seed S]"));
+    };
+    let segments = opt_u32(&opts, "segments")?
+        .ok_or_else(|| fail("--segments is required"))? as usize;
+    let seed = opt_u32(&opts, "seed")?.unwrap_or(42) as u64;
+    let psm = load_psm(path)?;
+    let app = psm.application();
+    if segments == 0 || segments > app.process_count() {
+        return Err(fail(format!(
+            "--segments must be in 1..={}",
+            app.process_count()
+        )));
+    }
+    let s = psm.platform().package_size();
+    let placement = PlaceTool::new(app, segments)
+        .with_objective(Objective::Packages(s))
+        .best(seed);
+    let mut out = format!(
+        "PlaceTool: {} segments, package cut {}\n",
+        segments, placement.cost
+    );
+    for i in 0..segments {
+        let seg = segbus_model::ids::SegmentId(i as u16);
+        let names: Vec<String> = placement
+            .allocation
+            .processes_on(seg)
+            .iter()
+            .map(|p| app.process(*p).name.clone())
+            .collect();
+        let _ = writeln!(out, "  {seg}: {}", names.join(" "));
+    }
+    let baseline = psm.allocation().package_cut(app, s);
+    let _ = writeln!(out, "model file's allocation cut: {baseline}");
+    Ok(out)
+}
+
+fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail("usage: segbus sweep <model.sbd> --sizes 18,36,72"));
+    };
+    let sizes: Vec<u32> = match opt(&opts, "sizes") {
+        Some(Some(v)) => v
+            .split(',')
+            .map(|p| p.trim().parse().map_err(|_| fail(format!("bad size {p:?}"))))
+            .collect::<Result<_, _>>()?,
+        _ => vec![9, 18, 36, 72],
+    };
+    let base = load_psm(path)?;
+    let psms: Vec<Psm> = sizes
+        .iter()
+        .map(|&s| base.with_package_size(s).map_err(|e| fail(e.to_string())))
+        .collect::<Result<_, _>>()?;
+    let reports = segbus_core::run_many(&psms);
+    let mut out = format!("{:>8} {:>12}\n", "size", "est_us");
+    for (s, r) in sizes.iter().zip(&reports) {
+        let _ = writeln!(out, "{s:>8} {:>12.2}", r.execution_time().as_micros_f64());
+    }
+    Ok(out)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail("usage: segbus analyze <model.sbd> [--package-size N]"));
+    };
+    let psm = apply_package_size(load_psm(path)?, &opts)?;
+    let report = Emulator::new(EmulatorConfig::traced()).run(&psm);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "estimated execution time: {:.2} us",
+        report.execution_time().as_micros_f64()
+    );
+    let _ = writeln!(out, "
+bus utilisation:");
+    for u in segbus_core::bus_utilisation(&report) {
+        let _ = writeln!(
+            out,
+            "  {}: busy {:.2} us ({:.1}%)",
+            u.segment,
+            u.busy.as_micros_f64(),
+            u.fraction * 100.0
+        );
+    }
+    let _ = writeln!(out, "
+wave durations (us):");
+    for (i, d) in segbus_core::wave_durations(&report).iter().enumerate() {
+        let _ = writeln!(out, "  wave {}: {:.2}", i + 1, d.as_micros_f64());
+    }
+    let stats = segbus_core::latency_stats(&report);
+    let _ = writeln!(
+        out,
+        "
+package latency: {} packages, min {:.2} us, mean {:.2} us, max {:.2} us",
+        stats.count,
+        stats.min.as_micros_f64(),
+        stats.mean_ps / 1e6,
+        stats.max.as_micros_f64()
+    );
+    let energy = segbus_core::estimate_energy(&report, &segbus_core::EnergyModel::default());
+    let _ = writeln!(
+        out,
+        "
+energy (synthetic weights): {:.2} uJ total, {:.1}% communication",
+        energy.total_uj(),
+        energy.communication_fraction() * 100.0
+    );
+    Ok(out)
+}
+
+fn cmd_gantt(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail("usage: segbus gantt <model.sbd> [--width N] [--package-size N]"));
+    };
+    let psm = apply_package_size(load_psm(path)?, &opts)?;
+    let width = opt_u32(&opts, "width")?.unwrap_or(100) as usize;
+    if width == 0 {
+        return Err(fail("--width must be positive"));
+    }
+    let report = Emulator::new(EmulatorConfig::traced()).run(&psm);
+    Ok(segbus_core::ascii_gantt(&report, width))
+}
+
+fn cmd_vcd(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail("usage: segbus vcd <model.sbd> [--package-size N]"));
+    };
+    let psm = apply_package_size(load_psm(path)?, &opts)?;
+    let report = Emulator::new(EmulatorConfig::traced()).run(&psm);
+    Ok(segbus_core::to_vcd(&report))
+}
+
+fn cmd_codegen(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail("usage: segbus codegen <model.sbd> [--format vhdl|rust]"));
+    };
+    let psm = load_psm(path)?;
+    let sched = segbus_codegen::SystemSchedule::derive(&psm);
+    match opt(&opts, "format") {
+        None | Some(Some("vhdl")) => Ok(segbus_codegen::vhdl::to_vhdl(&psm, &sched)),
+        Some(Some("rust")) => Ok(segbus_codegen::rust_emit::to_rust(&psm, &sched)),
+        Some(Some("c")) => Ok(segbus_codegen::c_emit::to_c_header(&psm, &sched)),
+        Some(other) => Err(fail(format!(
+            "--format must be 'vhdl', 'rust' or 'c', got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn demo_file(dir: &Path) -> String {
+        let path = dir.join("demo.sbd");
+        std::fs::write(
+            &path,
+            r#"application demo {
+                 process A initial;
+                 process B final;
+                 flow A -> B { items 360; order 1; ticks 100; }
+               }
+               platform duo {
+                 package_size 36;
+                 ca { freq_mhz 111; }
+                 segment S1 { freq_mhz 91; hosts A; }
+                 segment S2 { freq_mhz 98; hosts B; }
+               }"#,
+        )
+        .unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("segbus-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(run(&args(&["help"])).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_fails_with_usage() {
+        let err = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(err.message.contains("unknown command"));
+        assert!(err.message.contains("USAGE"));
+    }
+
+    #[test]
+    fn validate_and_matrix_and_emulate() {
+        let dir = tmpdir("vme");
+        let f = demo_file(&dir);
+        let v = run(&args(&["validate", &f])).unwrap();
+        assert!(v.contains("OK"), "{v}");
+        let m = run(&args(&["matrix", &f])).unwrap();
+        assert!(m.contains("360"), "{m}");
+        let e = run(&args(&["emulate", &f, "--trace"])).unwrap();
+        assert!(e.contains("Execution time"), "{e}");
+        assert!(e.contains("trace:"), "{e}");
+    }
+
+    #[test]
+    fn boolean_flags_before_the_positional() {
+        // Regression: --trace must not swallow the model path.
+        let dir = tmpdir("bf");
+        let f = demo_file(&dir);
+        let out = run(&args(&["emulate", "--trace", &f])).unwrap();
+        assert!(out.contains("trace:"), "{out}");
+        let out = run(&args(&["emulate", "--detailed", &f])).unwrap();
+        assert!(out.contains("Execution time"), "{out}");
+    }
+
+    #[test]
+    fn frames_flag_streams() {
+        let dir = tmpdir("fr");
+        let f = demo_file(&dir);
+        let one = run(&args(&["emulate", &f])).unwrap();
+        let four = run(&args(&["emulate", &f, "--frames", "4"])).unwrap();
+        assert_ne!(one, four);
+        assert!(run(&args(&["emulate", &f, "--frames", "0"])).is_err());
+    }
+
+    #[test]
+    fn package_size_flag_changes_results() {
+        let dir = tmpdir("pkg");
+        let f = demo_file(&dir);
+        let a = run(&args(&["emulate", &f])).unwrap();
+        let b = run(&args(&["emulate", &f, "--package-size", "18"])).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn accuracy_under_one() {
+        let dir = tmpdir("acc");
+        let f = demo_file(&dir);
+        let out = run(&args(&["accuracy", &f])).unwrap();
+        assert!(out.contains("accuracy"), "{out}");
+        let pct: f64 = out
+            .lines()
+            .find(|l| l.starts_with("accuracy"))
+            .unwrap()
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(pct > 50.0 && pct < 100.0, "{pct}");
+    }
+
+    #[test]
+    fn export_then_import_round_trip() {
+        let dir = tmpdir("exp");
+        let f = demo_file(&dir);
+        let out_dir = dir.join("schemes");
+        let out = run(&args(&["export", &f, &out_dir.to_string_lossy()])).unwrap();
+        assert!(out.contains("psdf.xml"));
+        let psdf = out_dir.join("psdf.xml").to_string_lossy().into_owned();
+        let psm = out_dir.join("psm.xml").to_string_lossy().into_owned();
+        let imported = run(&args(&["import", &psdf, &psm])).unwrap();
+        assert!(imported.contains("imported 'demo' on 'duo'"), "{imported}");
+    }
+
+    #[test]
+    fn place_requires_segments() {
+        let dir = tmpdir("pl");
+        let f = demo_file(&dir);
+        assert!(run(&args(&["place", &f])).is_err());
+        let out = run(&args(&["place", &f, "--segments", "2"])).unwrap();
+        assert!(out.contains("package cut"), "{out}");
+    }
+
+    #[test]
+    fn sweep_parses_sizes() {
+        let dir = tmpdir("sw");
+        let f = demo_file(&dir);
+        let out = run(&args(&["sweep", &f, "--sizes", "18,36"])).unwrap();
+        assert!(out.contains("18") && out.contains("36"), "{out}");
+        assert!(run(&args(&["sweep", &f, "--sizes", "x"])).is_err());
+    }
+
+    #[test]
+    fn analyze_and_vcd() {
+        let dir = tmpdir("an");
+        let f = demo_file(&dir);
+        let a = run(&args(&["analyze", &f])).unwrap();
+        assert!(a.contains("bus utilisation"), "{a}");
+        assert!(a.contains("package latency"), "{a}");
+        assert!(a.contains("energy"), "{a}");
+        let v = run(&args(&["vcd", &f])).unwrap();
+        assert!(v.starts_with("$date"), "{v}");
+        assert!(v.contains("bus_busy_seg1"), "{v}");
+        let g = run(&args(&["gantt", &f, "--width", "40"])).unwrap();
+        assert!(g.contains("Segment 1 |"), "{g}");
+        assert!(run(&args(&["gantt", &f, "--width", "0"])).is_err());
+    }
+
+    #[test]
+    fn codegen_formats() {
+        let dir = tmpdir("cg");
+        let f = demo_file(&dir);
+        let vhdl = run(&args(&["codegen", &f])).unwrap();
+        assert!(vhdl.contains("entity sa1_scheduler"), "{vhdl}");
+        let rust = run(&args(&["codegen", &f, "--format", "rust"])).unwrap();
+        assert!(rust.contains("pub const SA_SCHEDULE_1"), "{rust}");
+        let c = run(&args(&["codegen", &f, "--format", "c"])).unwrap();
+        assert!(c.contains("segbus_sa_job_t"), "{c}");
+        assert!(run(&args(&["codegen", &f, "--format", "cobol"])).is_err());
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = run(&args(&["validate", "/nonexistent/x.sbd"])).unwrap_err();
+        assert!(err.message.contains("/nonexistent/x.sbd"));
+    }
+
+    #[test]
+    fn validation_errors_list_diagnostics() {
+        let dir = tmpdir("bad");
+        let path = dir.join("bad.sbd");
+        std::fs::write(
+            &path,
+            r#"application bad {
+                 process A initial;
+                 process B final;
+                 flow A -> B { items 360; order 1; ticks 100; }
+               }
+               platform p {
+                 segment S1 { freq_mhz 91; hosts A; }
+               }"#,
+        )
+        .unwrap();
+        let err = run(&args(&["validate", &path.to_string_lossy()])).unwrap_err();
+        assert!(err.message.contains("V003"), "{}", err.message);
+    }
+}

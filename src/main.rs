@@ -1,0 +1,13 @@
+//! The `segbus` command-line tool: validate, emulate, transform and place
+//! SegBus models from the shell. See `segbus help` or [`segbus::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match segbus::cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
