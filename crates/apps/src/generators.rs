@@ -2,11 +2,13 @@
 //!
 //! Each generator produces a valid, acyclic application with ordering
 //! numbers assigned topologically. The random generator is fully
-//! deterministic for a given seed, so tests and benchmarks are repeatable.
+//! deterministic for a given seed (a hand-rolled xorshift64* stream,
+//! [`segbus_model::rng::SmallRng`] — the workspace builds offline and
+//! cannot depend on the `rand` crate), so tests and benchmarks are
+//! repeatable.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use segbus_model::prelude::*;
+use segbus_model::rng::SmallRng;
 
 /// Shared knobs for the deterministic generators.
 #[derive(Clone, Copy, Debug)]
@@ -139,7 +141,7 @@ pub fn butterfly(stages_log2: u32, cfg: GeneratorConfig) -> Application {
 /// Panics if `layers < 2` or `width == 0`.
 pub fn random_layered(layers: usize, width: usize, seed: u64, cfg: GeneratorConfig) -> Application {
     assert!(layers >= 2 && width > 0, "need >= 2 layers and width > 0");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut app = Application::new(format!("rand-{layers}x{width}-s{seed}"));
     let mut grid = vec![vec![ProcessId(0); width]; layers];
     for (l, row) in grid.iter_mut().enumerate() {
@@ -155,11 +157,12 @@ pub fn random_layered(layers: usize, width: usize, seed: u64, cfg: GeneratorConf
     let max_mult = (cfg.items_per_flow / 36).max(1);
     for l in 0..layers - 1 {
         for w in 0..width {
-            let fan_in = rng.gen_range(1..=3usize);
+            let fan_in = rng.range_usize(1, 3);
             for _ in 0..fan_in {
-                let src = grid[l][rng.gen_range(0..width)];
-                let items = 36 * rng.gen_range(1..=max_mult);
-                let ticks = rng.gen_range(cfg.ticks_per_package / 2..=cfg.ticks_per_package.max(1));
+                let src = grid[l][rng.range_usize(0, width - 1)];
+                let items = 36 * rng.range_u64(1, max_mult);
+                let ticks =
+                    rng.range_u64(cfg.ticks_per_package / 2, cfg.ticks_per_package.max(1));
                 app.add_flow(Flow::new(src, grid[l + 1][w], items, 0, ticks))
                     .expect("valid");
             }

@@ -7,6 +7,8 @@
 //! [`TimingParams::detailed`] switches the skipped factors on, which is
 //! what the independent reference simulator (`segbus-rtl`) models natively.
 
+use crate::queue::QueueKind;
+
 /// Per-activity tick costs of the platform protocol.
 ///
 /// All values are in clock ticks of the domain where the activity runs
@@ -140,6 +142,9 @@ pub struct EmulatorConfig {
     /// Record a package-level trace (needed for the Fig. 10/11 series;
     /// costs memory proportional to the package count).
     pub trace: bool,
+    /// Event-queue implementation. The indexed calendar queue is the
+    /// default; the binary heap is retained for differential testing.
+    pub queue: QueueKind,
 }
 
 impl EmulatorConfig {

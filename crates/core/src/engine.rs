@@ -20,9 +20,16 @@
 //! The engine is fully deterministic: events are ordered by (time,
 //! insertion sequence), all queues are FIFO, and producers round-robin
 //! over same-wave flows.
+//!
+//! Execution is split into an immutable [`EnginePlan`] — every table that
+//! depends only on the PSM (flow endpoints, package counts, clock domains,
+//! waves, precomputed inter-segment paths with their border units) — and a
+//! mutable scratch state owned by [`Engine`], which is reset and reused
+//! across runs so that parameter sweeps and placement searches do not pay
+//! an allocation storm per emulation. [`Emulator`] remains the one-shot
+//! facade over the same machinery.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use segbus_model::ids::{FlowId, ProcessId, SegmentId};
 use segbus_model::mapping::Psm;
@@ -30,13 +37,15 @@ use segbus_model::time::{ClockDomain, Picos};
 
 use crate::config::{ArbitrationPolicy, EmulatorConfig, ProducerRelease};
 use crate::counters::{BuCounters, CaCounters, FuTimes, SaCounters};
+use crate::queue::EventQueue;
 use crate::report::EmulationReport;
 use crate::trace::{TraceEvent, TraceKind, TraceLog};
 
 /// The performance-estimation emulator.
 ///
 /// Construct once with a configuration, then [`Emulator::run`] any number
-/// of PSMs (runs are independent).
+/// of PSMs (runs are independent). Each call builds a fresh [`Engine`];
+/// hold an `Engine` directly to reuse its scratch buffers across runs.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Emulator {
     config: EmulatorConfig,
@@ -55,7 +64,7 @@ impl Emulator {
 
     /// Execute the PSM to completion and return the report.
     pub fn run(&self, psm: &Psm) -> EmulationReport {
-        Sim::new(psm, self.config, 1).run()
+        Engine::new(self.config).run(psm)
     }
 
     /// Execute `frames` back-to-back iterations of the application — the
@@ -70,8 +79,7 @@ impl Emulator {
     /// # Panics
     /// Panics if `frames` is zero.
     pub fn run_frames(&self, psm: &Psm, frames: u64) -> EmulationReport {
-        assert!(frames > 0, "at least one frame");
-        Sim::new(psm, self.config, frames).run()
+        Engine::new(self.config).run_frames(psm, frames)
     }
 }
 
@@ -94,35 +102,246 @@ enum Ev {
     PhaseDone { req: u32, hop: u8 },
 }
 
-struct QEntry {
-    at: Picos,
-    seq: u64,
-    ev: Ev,
+// ---------------------------------------------------------------------------
+// compiled plan
+
+/// Sentinel in `flow_path` for intra-segment flows (no CA involvement).
+const NO_PATH: u32 = u32::MAX;
+
+/// An inter-segment route with its per-hop border units, compiled once.
+#[derive(Clone, Debug)]
+struct PathInfo {
+    /// Segments on the path, source first, destination last.
+    segs: Vec<SegmentId>,
+    /// `bu[h]` is the dense index of the BU between `segs[h]` and
+    /// `segs[h+1]`.
+    bu: Vec<u32>,
+    /// `segs[h]` is the *left* side of `bu[h]` (load direction).
+    load_left: Vec<bool>,
+    /// `segs[h+1]` is the *right* side of `bu[h]` (unload direction).
+    unload_right: Vec<bool>,
 }
 
-impl PartialEq for QEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// Division by a run-invariant divisor, strength-reduced to a 128-bit
+/// multiply and compiled into the plan once. `floor(x / d)` becomes
+/// `(x * ceil(2^70 / d)) >> 70`, which is exact whenever `x` is below
+/// [`FastDiv::max_exact`]; larger operands fall back to the hardware
+/// divider, so every result equals plain `x / d` everywhere.
+#[derive(Clone, Copy, Debug)]
+struct FastDiv {
+    d: u64,
+    /// `ceil(2^70 / d)`.
+    inv: u128,
+    /// Strict upper bound on `x` for the multiply to be exact:
+    /// `min(2^70 / d, 2^57)`. The first term bounds the rounding error
+    /// (see [`FastDiv::floor_div`]); the second keeps `x * inv` inside
+    /// `u128` even for `d = 1`.
+    max_exact: u64,
+}
+
+impl FastDiv {
+    fn new(d: u64) -> FastDiv {
+        assert!(d > 0, "divisor must be non-zero");
+        let d128 = d as u128;
+        FastDiv {
+            d,
+            inv: ((1u128 << 70) + d128 - 1) / d128,
+            max_exact: ((1u128 << 70) / d128).min(1 << 57) as u64,
+        }
+    }
+
+    /// `floor(x / d)`. Writing `inv = (2^70 + e) / d` with `0 <= e < d`,
+    /// the multiply computes `floor(x/d + x*e/(d*2^70))`; for
+    /// `x < 2^70 / d` the error term is below `1/d`, smaller than the
+    /// distance from `x/d` to the next integer, so the floor is exact.
+    #[inline]
+    fn floor_div(&self, x: u64) -> u64 {
+        if x < self.max_exact {
+            ((x as u128 * self.inv) >> 70) as u64
+        } else {
+            x / self.d
+        }
     }
 }
-impl Eq for QEntry {}
-impl PartialOrd for QEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+/// Clock-edge arithmetic over a [`FastDiv`] of the clock period — the hot
+/// loop's mirror of [`ClockDomain`], bit-identical everywhere.
+#[derive(Clone, Copy, Debug)]
+struct FastClock {
+    period: FastDiv,
+}
+
+impl FastClock {
+    fn new(c: ClockDomain) -> FastClock {
+        FastClock { period: FastDiv::new(c.period_ps()) }
+    }
+
+    /// See [`ClockDomain::next_edge`].
+    #[inline]
+    fn next_edge(&self, t: Picos) -> Picos {
+        Picos(self.period.floor_div(t.0 + self.period.d - 1) * self.period.d)
+    }
+
+    /// See [`ClockDomain::ticks_to_picos`].
+    #[inline]
+    fn ticks_to_picos(&self, ticks: u64) -> Picos {
+        Picos(ticks * self.period.d)
+    }
+
+    /// See [`ClockDomain::ticks_at`].
+    #[inline]
+    fn ticks_at(&self, t: Picos) -> u64 {
+        self.period.floor_div(t.0)
     }
 }
-impl Ord for QEntry {
-    // Reversed: BinaryHeap is a max-heap, we need the earliest event first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+
+/// Everything about a PSM the engine needs, flattened into index-addressed
+/// tables. Building the plan is the only part of a run that touches the
+/// model crate's object graph; the event loop reads these arrays only.
+#[derive(Debug)]
+pub struct EnginePlan<'a> {
+    psm: &'a Psm,
+    s: u32,
+    nseg: usize,
+    nproc: usize,
+    n_bu: usize,
+    flow_src: Vec<ProcessId>,
+    flow_dst: Vec<ProcessId>,
+    flow_pkgs: Vec<u64>,
+    /// Strength-reduced divisions by `flow_pkgs` (frame recovery on
+    /// delivery happens once per package).
+    flow_pkg_div: Vec<FastDiv>,
+    flow_compute: Vec<u64>,
+    /// Wave index of each flow (parallel to the flow table).
+    flow_wave: Vec<usize>,
+    /// Index into `paths`, or [`NO_PATH`] for intra-segment flows.
+    flow_path: Vec<u32>,
+    proc_seg: Vec<SegmentId>,
+    seg_clock: Vec<ClockDomain>,
+    ca_clock: ClockDomain,
+    /// Strength-reduced mirrors of `seg_clock` / `ca_clock` for the event
+    /// loop (report assembly keeps the plain domains).
+    fast_seg: Vec<FastClock>,
+    fast_ca: FastClock,
+    waves: Vec<Vec<FlowId>>,
+    paths: Vec<PathInfo>,
+    /// Calendar-queue bucket-width hint. A bucket of a few dozen clock
+    /// ticks keeps the ring sparse — consecutive events are typically
+    /// many ticks apart — without letting any single bucket collect a
+    /// long scan list.
+    bucket_hint_ps: u64,
+}
+
+impl<'a> EnginePlan<'a> {
+    /// Compile the static tables for `psm`.
+    pub fn new(psm: &'a Psm) -> EnginePlan<'a> {
+        let app = psm.application();
+        let platform = psm.platform();
+        let s = platform.package_size();
+        let nseg = platform.segment_count();
+        let nproc = app.process_count();
+        let nflow = app.flows().len();
+
+        let flow_src: Vec<ProcessId> = app.flows().iter().map(|f| f.src).collect();
+        let flow_dst: Vec<ProcessId> = app.flows().iter().map(|f| f.dst).collect();
+        let flow_pkgs: Vec<u64> = app.flows().iter().map(|f| f.packages(s)).collect();
+        let flow_pkg_div: Vec<FastDiv> = flow_pkgs.iter().map(|&n| FastDiv::new(n)).collect();
+        let flow_compute: Vec<u64> = (0..nflow)
+            .map(|i| app.ticks_per_package(FlowId(i as u32), s))
+            .collect();
+        let proc_seg: Vec<SegmentId> = (0..nproc)
+            .map(|i| psm.segment_of(ProcessId(i as u32)))
+            .collect();
+
+        let waves: Vec<Vec<FlowId>> = app.waves().into_iter().map(|w| w.flows).collect();
+        let mut flow_wave = vec![0usize; nflow];
+        for (w, flows) in waves.iter().enumerate() {
+            for f in flows {
+                flow_wave[f.index()] = w;
+            }
+        }
+
+        // Compile each distinct (source segment, destination segment) route
+        // once: segments plus per-hop BU index and crossing direction.
+        let mut paths: Vec<PathInfo> = Vec::new();
+        let mut path_of = vec![NO_PATH; nseg * nseg];
+        let flow_path: Vec<u32> = (0..nflow)
+            .map(|i| {
+                let a = proc_seg[flow_src[i].index()];
+                let b = proc_seg[flow_dst[i].index()];
+                if a == b {
+                    return NO_PATH;
+                }
+                let key = a.index() * nseg + b.index();
+                if path_of[key] == NO_PATH {
+                    let segs = platform.path_segments(a, b);
+                    let mut bu = Vec::with_capacity(segs.len() - 1);
+                    let mut load_left = Vec::with_capacity(segs.len() - 1);
+                    let mut unload_right = Vec::with_capacity(segs.len() - 1);
+                    for w in segs.windows(2) {
+                        let r = platform
+                            .bu_between(w[0], w[1])
+                            .expect("path hops are adjacent");
+                        bu.push(r.index() as u32);
+                        load_left.push(w[0] == r.left);
+                        unload_right.push(w[1] == r.right);
+                    }
+                    path_of[key] = paths.len() as u32;
+                    paths.push(PathInfo { segs, bu, load_left, unload_right });
+                }
+                path_of[key]
+            })
+            .collect();
+
+        let seg_clock: Vec<ClockDomain> = platform.segments().iter().map(|sg| sg.clock).collect();
+        let ca_clock = platform.ca_clock();
+        let fast_seg: Vec<FastClock> = seg_clock.iter().map(|&c| FastClock::new(c)).collect();
+        let fast_ca = FastClock::new(ca_clock);
+        let min_period_ps = seg_clock
+            .iter()
+            .map(|c| c.period_ps())
+            .chain(std::iter::once(ca_clock.period_ps()))
+            .min()
+            .unwrap_or(1);
+        // Calendar bucket width: 64 fastest-clock periods per virtual
+        // bucket. Measured on the MP3 sweep: narrower buckets pay for
+        // extra window advances, wider ones for longer in-bucket scans;
+        // 64-128 is the flat optimum once same-edge dispatches are
+        // handled inline.
+        let bucket_hint_ps = min_period_ps.saturating_mul(64);
+
+        EnginePlan {
+            psm,
+            s,
+            nseg,
+            nproc,
+            n_bu: platform.border_unit_count(),
+            flow_src,
+            flow_dst,
+            flow_pkgs,
+            flow_pkg_div,
+            flow_compute,
+            flow_wave,
+            flow_path,
+            proc_seg,
+            seg_clock,
+            ca_clock,
+            fast_seg,
+            fast_ca,
+            waves,
+            paths,
+            bucket_hint_ps,
+        }
+    }
+
+    /// The PSM this plan was compiled from.
+    pub fn psm(&self) -> &'a Psm {
+        self.psm
     }
 }
 
 // ---------------------------------------------------------------------------
-// simulation state
+// scratch state
 
 /// A pending intra-segment package transfer.
 #[derive(Clone, Copy, Debug)]
@@ -131,15 +350,22 @@ struct LocalReq {
     pkg: u64,
 }
 
-/// An inter-segment transfer in flight.
-#[derive(Clone, Debug)]
+/// An inter-segment transfer in flight. `path` indexes the plan's route
+/// table, so the record stays `Copy` and transfer bookkeeping never
+/// allocates on the hot path.
+#[derive(Clone, Copy, Debug)]
 struct InterTransfer {
     flow: FlowId,
     pkg: u64,
-    /// Segments on the path, source first, destination last.
-    path: Vec<SegmentId>,
+    path: u32,
     /// Granted yet?
     granted: bool,
+}
+
+#[derive(Clone, Copy, Default, PartialEq, Eq)]
+struct Remaining {
+    out: u64,
+    inp: u64,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -152,29 +378,17 @@ struct ProducerState {
     busy: bool,
 }
 
-struct Sim<'a> {
-    psm: &'a Psm,
-    cfg: EmulatorConfig,
-    s: u32,
-    // static tables
-    flow_pkgs: Vec<u64>,
-    flow_compute: Vec<u64>,
-    seg_clock: Vec<ClockDomain>,
-    ca_clock: ClockDomain,
-    waves: Vec<Vec<FlowId>>,
-    // event queue
-    queue: BinaryHeap<QEntry>,
+/// Every mutable vector of a run, kept allocated between runs.
+#[derive(Default)]
+struct EngineScratch {
+    queue: EventQueue<Ev>,
     seq: u64,
-    // schedule state
-    frames: u64,
-    /// Wave index of each flow (parallel to the flow table).
-    flow_wave: Vec<usize>,
     /// Outstanding deliveries per wave instance (`frame * waves + wave`).
     instance_remaining: Vec<u64>,
     producers: Vec<ProducerState>,
-    outputs_remaining: Vec<u64>,
-    inputs_remaining: Vec<u64>,
-    // platform state
+    /// Packages each process still has to send (`out`) and receive
+    /// (`inp`); one struct so the flag check touches a single slot.
+    remaining: Vec<Remaining>,
     bus_free: Vec<Picos>,
     /// Segment locked into a granted inter-segment circuit.
     reserved: Vec<bool>,
@@ -183,94 +397,154 @@ struct Sim<'a> {
     served: Vec<u64>,
     ca_queue: VecDeque<u32>,
     transfers: Vec<InterTransfer>,
-    // counters
     sas: Vec<SaCounters>,
     ca: CaCounters,
     bus_ctr: Vec<BuCounters>,
     fus: Vec<FuTimes>,
     makespan: Picos,
-    trace: Option<TraceLog>,
 }
 
-impl<'a> Sim<'a> {
-    fn new(psm: &'a Psm, cfg: EmulatorConfig, frames: u64) -> Sim<'a> {
-        let app = psm.application();
-        let platform = psm.platform();
-        let s = platform.package_size();
-        let nseg = platform.segment_count();
-        let nproc = app.process_count();
+/// Clear and re-dimension a vector, keeping its allocation.
+fn refill<T: Clone>(v: &mut Vec<T>, n: usize, value: T) {
+    v.clear();
+    v.resize(n, value);
+}
 
-        let flow_pkgs: Vec<u64> = app.flows().iter().map(|f| f.packages(s)).collect();
-        let flow_compute: Vec<u64> = (0..app.flows().len())
-            .map(|i| app.ticks_per_package(FlowId(i as u32), s))
-            .collect();
-        let waves: Vec<Vec<FlowId>> = app.waves().into_iter().map(|w| w.flows).collect();
-        let mut flow_wave = vec![0usize; app.flows().len()];
-        for (w, flows) in waves.iter().enumerate() {
-            for f in flows {
-                flow_wave[f.index()] = w;
+impl EngineScratch {
+    fn reset(&mut self, plan: &EnginePlan, frames: u64, cfg: &EmulatorConfig) {
+        self.queue.reset(cfg.queue, plan.bucket_hint_ps);
+        self.seq = 0;
+
+        self.instance_remaining.clear();
+        for _ in 0..frames {
+            for flows in &plan.waves {
+                self.instance_remaining
+                    .push(flows.iter().map(|f| plan.flow_pkgs[f.index()]).sum::<u64>());
             }
         }
-        let instance_remaining: Vec<u64> = (0..frames)
-            .flat_map(|_| {
-                waves
-                    .iter()
-                    .map(|flows| flows.iter().map(|f| flow_pkgs[f.index()]).sum::<u64>())
-            })
-            .collect();
 
-        let mut outputs_remaining = vec![0u64; nproc];
-        let mut inputs_remaining = vec![0u64; nproc];
-        for (i, f) in app.flows().iter().enumerate() {
-            outputs_remaining[f.src.index()] += flow_pkgs[i] * frames;
-            inputs_remaining[f.dst.index()] += flow_pkgs[i] * frames;
+        // Producers keep their pending-vector allocations across runs.
+        self.producers.resize_with(plan.nproc, ProducerState::default);
+        self.producers.truncate(plan.nproc);
+        for p in &mut self.producers {
+            p.pending.clear();
+            p.rr = 0;
+            p.busy = false;
         }
 
-        let mut fus = vec![FuTimes::default(); nproc];
+        refill(&mut self.remaining, plan.nproc, Remaining::default());
+        for i in 0..plan.flow_src.len() {
+            self.remaining[plan.flow_src[i].index()].out += plan.flow_pkgs[i] * frames;
+            self.remaining[plan.flow_dst[i].index()].inp += plan.flow_pkgs[i] * frames;
+        }
+
+        refill(&mut self.bus_free, plan.nseg, Picos::ZERO);
+        refill(&mut self.reserved, plan.nseg, false);
+        self.sa_queue.resize_with(plan.nseg, VecDeque::new);
+        self.sa_queue.truncate(plan.nseg);
+        for q in &mut self.sa_queue {
+            q.clear();
+        }
+        refill(&mut self.served, plan.nproc, 0);
+        self.ca_queue.clear();
+        self.transfers.clear();
+
+        refill(&mut self.sas, plan.nseg, SaCounters::default());
+        self.ca = CaCounters::default();
+        refill(&mut self.bus_ctr, plan.n_bu, BuCounters::default());
+        refill(&mut self.fus, plan.nproc, FuTimes::default());
         // Processes with no flows at all raise their flag immediately.
-        for (i, fu) in fus.iter_mut().enumerate() {
-            if outputs_remaining[i] == 0 && inputs_remaining[i] == 0 {
+        for (i, fu) in self.fus.iter_mut().enumerate() {
+            if self.remaining[i] == Remaining::default() {
                 fu.flag = true;
             }
         }
+        self.makespan = Picos::ZERO;
+    }
+}
 
-        Sim {
-            psm,
-            cfg,
-            s,
-            flow_pkgs,
-            flow_compute,
-            seg_clock: platform.segments().iter().map(|sg| sg.clock).collect(),
-            ca_clock: platform.ca_clock(),
-            waves,
-            queue: BinaryHeap::new(),
-            seq: 0,
-            frames,
-            flow_wave,
-            instance_remaining,
-            producers: vec![ProducerState::default(); nproc],
-            outputs_remaining,
-            inputs_remaining,
-            bus_free: vec![Picos::ZERO; nseg],
-            reserved: vec![false; nseg],
-            sa_queue: vec![VecDeque::new(); nseg],
-            served: vec![0; nproc],
-            ca_queue: VecDeque::new(),
-            transfers: Vec::new(),
-            sas: vec![SaCounters::default(); nseg],
-            ca: CaCounters::default(),
-            bus_ctr: vec![BuCounters::default(); platform.border_unit_count()],
-            fus,
-            makespan: Picos::ZERO,
-            trace: cfg.trace.then(TraceLog::new),
-        }
+// ---------------------------------------------------------------------------
+// engine
+
+/// A reusable emulation engine: configuration plus scratch buffers.
+///
+/// Unlike the [`Emulator`] facade, an `Engine` is stateful — successive
+/// [`Engine::run`] calls reuse every internal vector (event queue buckets,
+/// per-segment queues, counters), which makes tight loops over many PSMs
+/// (sweeps, placement searches) allocation-free apart from plan
+/// compilation. Results are bit-identical to a fresh `Emulator` run.
+pub struct Engine {
+    config: EmulatorConfig,
+    scratch: EngineScratch,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EmulatorConfig) -> Engine {
+        Engine { config, scratch: EngineScratch::default() }
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &EmulatorConfig {
+        &self.config
+    }
+
+    /// Execute the PSM to completion and return the report.
+    pub fn run(&mut self, psm: &Psm) -> EmulationReport {
+        let plan = EnginePlan::new(psm);
+        self.run_plan(&plan, 1)
+    }
+
+    /// Multi-frame execution; see [`Emulator::run_frames`].
+    ///
+    /// # Panics
+    /// Panics if `frames` is zero.
+    pub fn run_frames(&mut self, psm: &Psm, frames: u64) -> EmulationReport {
+        let plan = EnginePlan::new(psm);
+        self.run_plan(&plan, frames)
+    }
+
+    /// Execute a pre-compiled plan. Compile once with [`EnginePlan::new`]
+    /// to amortise table construction over repeated runs of one PSM.
+    ///
+    /// # Panics
+    /// Panics if `frames` is zero.
+    pub fn run_plan(&mut self, plan: &EnginePlan, frames: u64) -> EmulationReport {
+        assert!(frames > 0, "at least one frame");
+        self.scratch.reset(plan, frames, &self.config);
+        Run {
+            plan,
+            cfg: self.config,
+            sc: &mut self.scratch,
+            frames,
+            bus_ticks: self.config.timing.bus_transaction_ticks(plan.s),
+            trace: self.config.trace.then(TraceLog::new),
+        }
+        .execute()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// one run
+
+struct Run<'r, 'a> {
+    plan: &'r EnginePlan<'a>,
+    cfg: EmulatorConfig,
+    sc: &'r mut EngineScratch,
+    frames: u64,
+    /// [`TimingParams::bus_transaction_ticks`] for the plan's package
+    /// size, summed once per run instead of per bus transaction.
+    bus_ticks: u64,
+    trace: Option<TraceLog>,
+}
+
+impl Run<'_, '_> {
     // -- helpers ----------------------------------------------------------
 
+    #[inline(always)]
     fn schedule(&mut self, at: Picos, ev: Ev) {
-        self.seq += 1;
-        self.queue.push(QEntry { at, seq: self.seq, ev });
+        self.sc.seq += 1;
+        self.sc.queue.push(at, self.sc.seq, ev);
     }
 
     fn trace(&mut self, e: TraceEvent) {
@@ -280,11 +554,11 @@ impl<'a> Sim<'a> {
     }
 
     fn seg_of(&self, p: ProcessId) -> SegmentId {
-        self.psm.segment_of(p)
+        self.plan.proc_seg[p.index()]
     }
 
     fn touch_sa(&mut self, seg: SegmentId, at: Picos) {
-        let c = &mut self.sas[seg.index()];
+        let c = &mut self.sc.sas[seg.index()];
         c.last_activity = c.last_activity.max(at);
     }
 
@@ -293,24 +567,24 @@ impl<'a> Sim<'a> {
     /// Arm the producers of wave instance `g` (= frame × waves + wave) at
     /// global time `t`. Empty wave instances complete immediately.
     fn start_instance(&mut self, g: usize, t: Picos) {
-        let w = g % self.waves.len();
-        let frame = (g / self.waves.len()) as u64;
-        let flows = self.waves[w].clone();
+        let plan = self.plan;
+        let w = g % plan.waves.len();
+        let frame = (g / plan.waves.len()) as u64;
+        let flows = &plan.waves[w];
         if flows.is_empty() {
             self.complete_instance(g, t);
             return;
         }
-        for f in &flows {
-            let src = self.psm.application().flow(*f).src;
-            self.producers[src.index()]
+        for f in flows {
+            let src = plan.flow_src[f.index()];
+            self.sc.producers[src.index()]
                 .pending
-                .push((*f, self.flow_pkgs[f.index()], frame));
+                .push((*f, plan.flow_pkgs[f.index()], frame));
         }
         // Kick every producer that has work and is idle.
-        let nproc = self.producers.len();
-        for p in 0..nproc {
+        for p in 0..plan.nproc {
             let pid = ProcessId(p as u32);
-            if !self.producers[p].busy && !self.producers[p].pending.is_empty() {
+            if !self.sc.producers[p].busy && !self.sc.producers[p].pending.is_empty() {
                 self.start_next_package(pid, t);
             }
         }
@@ -319,15 +593,15 @@ impl<'a> Sim<'a> {
     /// A wave instance fully delivered: open its successor within the frame.
     fn complete_instance(&mut self, g: usize, now: Picos) {
         self.trace(TraceEvent {
-            at: now,
-            kind: TraceKind::WaveComplete,
-            flow: None,
-            package: None,
-            process: None,
-            segment: None,
-        });
-        let w = g % self.waves.len();
-        if w + 1 < self.waves.len() {
+        at: now,
+        kind: TraceKind::WaveComplete,
+        flow: None,
+        package: None,
+        process: None,
+        segment: None,
+    });
+        let w = g % self.plan.waves.len();
+        if w + 1 < self.plan.waves.len() {
             self.start_instance(g + 1, now);
         }
     }
@@ -335,155 +609,180 @@ impl<'a> Sim<'a> {
     /// Pick the producer's next package (round-robin over its same-wave
     /// flows) and schedule its computation.
     fn start_next_package(&mut self, p: ProcessId, t: Picos) {
-        let st = &mut self.producers[p.index()];
+        let plan = self.plan;
+        let st = &mut self.sc.producers[p.index()];
         if st.pending.is_empty() {
             st.busy = false;
             return;
         }
-        let idx = st.rr % st.pending.len();
+        // Round-robin index; the modulo only triggers on a stale pointer
+        // (the pending list was drained and refilled), so the common path
+        // avoids an integer division per package.
+        let len = st.pending.len();
+        let idx = if st.rr < len { st.rr } else { st.rr % len };
         let (flow, remaining, frame) = st.pending[idx];
         // Frame-global package index, so every event stays unambiguous
         // without carrying the frame separately.
-        let pkg = frame * self.flow_pkgs[flow.index()]
-            + (self.flow_pkgs[flow.index()] - remaining);
+        let pkg = frame * plan.flow_pkgs[flow.index()]
+            + (plan.flow_pkgs[flow.index()] - remaining);
         if remaining == 1 {
             st.pending.remove(idx);
             // keep rr pointing at the element after the removed one
-            if !st.pending.is_empty() {
-                st.rr %= st.pending.len();
+            let len = st.pending.len();
+            if len > 0 && st.rr >= len {
+                st.rr %= len;
             }
         } else {
             st.pending[idx].1 -= 1;
-            st.rr = (st.rr + 1) % st.pending.len().max(1);
+            st.rr += 1;
+            if st.rr >= st.pending.len() {
+                st.rr %= st.pending.len().max(1);
+            }
         }
         st.busy = true;
 
         let seg = self.seg_of(p);
-        let clk = self.seg_clock[seg.index()];
+        let clk = plan.fast_seg[seg.index()];
         let start = clk.next_edge(t);
-        let compute = self.flow_compute[flow.index()];
+        let compute = plan.flow_compute[flow.index()];
         let dur = clk.ticks_to_picos(compute);
         let end = start + dur;
-        self.fus[p.index()].compute_ticks += compute;
-        if self.fus[p.index()].start.is_none() {
-            self.fus[p.index()].start = Some(start);
+        self.sc.fus[p.index()].compute_ticks += compute;
+        if self.sc.fus[p.index()].start.is_none() {
+            self.sc.fus[p.index()].start = Some(start);
         }
         self.trace(TraceEvent {
-            at: start,
-            kind: TraceKind::ComputeStart,
-            flow: Some(flow),
-            package: Some(pkg),
-            process: Some(p),
-            segment: Some(seg),
-        });
+        at: start,
+        kind: TraceKind::ComputeStart,
+        flow: Some(flow),
+        package: Some(pkg),
+        process: Some(p),
+        segment: Some(seg),
+    });
         self.schedule(end, Ev::ComputeDone { flow, pkg });
     }
 
     // -- event handlers ----------------------------------------------------
 
     fn on_compute_done(&mut self, now: Picos, flow: FlowId, pkg: u64) {
-        let f = *self.psm.application().flow(flow);
-        let src_seg = self.seg_of(f.src);
-        let dst_seg = self.seg_of(f.dst);
+        let plan = self.plan;
+        let src = plan.flow_src[flow.index()];
+        let src_seg = self.seg_of(src);
         self.trace(TraceEvent {
-            at: now,
-            kind: TraceKind::ComputeEnd,
-            flow: Some(flow),
-            package: Some(pkg),
-            process: Some(f.src),
-            segment: Some(src_seg),
-        });
+        at: now,
+        kind: TraceKind::ComputeEnd,
+        flow: Some(flow),
+        package: Some(pkg),
+        process: Some(src),
+        segment: Some(src_seg),
+    });
         self.touch_sa(src_seg, now);
-        if src_seg == dst_seg {
-            self.sas[src_seg.index()].intra_requests += 1;
-            self.sa_queue[src_seg.index()].push_back(LocalReq { flow, pkg });
-            let at = self.seg_clock[src_seg.index()].next_edge(now);
-            self.schedule(at, Ev::SaDispatch { seg: src_seg });
+        let path = plan.flow_path[flow.index()];
+        if path == NO_PATH {
+            self.sc.sas[src_seg.index()].intra_requests += 1;
+            self.sc.sa_queue[src_seg.index()].push_back(LocalReq { flow, pkg });
+            let at = plan.fast_seg[src_seg.index()].next_edge(now);
+            // Computation ends on a segment-clock edge, so the dispatch
+            // attempt lands at exactly `now` and — freshly scheduled — would
+            // carry the newest sequence number, i.e. pop after every event
+            // already pending at this instant. Under FIFO arbitration the
+            // serve order and serve times are a function of arrival order
+            // and bus availability alone (a dispatch that finds the bus
+            // busy, the segment reserved, or the queue empty touches no
+            // state and is re-triggered by the blocking event), so running
+            // the attempt inline is report-identical and saves a queue
+            // round-trip per local package. Priority-based policies pick by
+            // queue *content* at dispatch time and keep the event.
+            if at == now && self.cfg.arbitration == ArbitrationPolicy::Fifo {
+                self.on_sa_dispatch(now, src_seg);
+            } else {
+                self.schedule(at, Ev::SaDispatch { seg: src_seg });
+            }
         } else {
-            self.sas[src_seg.index()].inter_requests += 1;
-            let path = self.psm.platform().path_segments(src_seg, dst_seg);
-            let req = self.transfers.len() as u32;
-            self.transfers.push(InterTransfer { flow, pkg, path, granted: false });
-            let at = self.ca_clock.next_edge(now)
-                + self
-                    .ca_clock
-                    .ticks_to_picos(self.cfg.timing.ca_request_ticks);
+            self.sc.sas[src_seg.index()].inter_requests += 1;
+            let req = self.sc.transfers.len() as u32;
+            self.sc.transfers.push(InterTransfer { flow, pkg, path, granted: false });
+            let at = plan.fast_ca.next_edge(now)
+                + plan.fast_ca.ticks_to_picos(self.cfg.timing.ca_request_ticks);
             self.schedule(at, Ev::CaArrive { req });
         }
     }
 
     fn on_sa_dispatch(&mut self, now: Picos, seg: SegmentId) {
+        let plan = self.plan;
         let si = seg.index();
-        if self.sa_queue[si].is_empty() {
+        if self.sc.sa_queue[si].is_empty() {
             return;
         }
-        if self.reserved[si] {
+        if self.sc.reserved[si] {
             // The CA connected this segment into an inter-segment circuit;
             // local traffic resumes at the cascade release (PhaseDone
             // re-triggers dispatch).
             return;
         }
-        if self.bus_free[si] > now {
+        if self.sc.bus_free[si] > now {
             // Bus busy; retry when it frees.
-            let at = self.bus_free[si];
+            let at = self.sc.bus_free[si];
             self.schedule(at, Ev::SaDispatch { seg });
             return;
         }
         let pick = match self.cfg.arbitration {
             ArbitrationPolicy::Fifo => 0,
-            ArbitrationPolicy::FixedPriority => self.sa_queue[si]
+            ArbitrationPolicy::FixedPriority => self.sc.sa_queue[si]
                 .iter()
                 .enumerate()
-                .min_by_key(|(i, r)| (self.psm.application().flow(r.flow).src, *i))
+                .min_by_key(|(i, r)| (plan.flow_src[r.flow.index()], *i))
                 .map(|(i, _)| i)
                 .expect("checked non-empty"),
-            ArbitrationPolicy::FairRoundRobin => self.sa_queue[si]
-                .iter()
-                .enumerate()
-                .min_by_key(|(i, r)| {
-                    let src = self.psm.application().flow(r.flow).src;
-                    (self.served[src.index()], *i)
-                })
-                .map(|(i, _)| i)
-                .expect("checked non-empty"),
+            ArbitrationPolicy::FairRoundRobin => {
+                let served = &self.sc.served;
+                self.sc.sa_queue[si]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, r)| {
+                        let src = plan.flow_src[r.flow.index()];
+                        (served[src.index()], *i)
+                    })
+                    .map(|(i, _)| i)
+                    .expect("checked non-empty")
+            }
         };
-        let req = self.sa_queue[si].remove(pick).expect("index in range");
-        self.served[self.psm.application().flow(req.flow).src.index()] += 1;
-        let clk = self.seg_clock[si];
+        let req = self.sc.sa_queue[si].remove(pick).expect("index in range");
+        self.sc.served[plan.flow_src[req.flow.index()].index()] += 1;
+        let clk = plan.fast_seg[si];
         let start = clk.next_edge(now);
-        let ticks = self.cfg.timing.bus_transaction_ticks(self.s);
+        let ticks = self.bus_ticks;
         let end = start + clk.ticks_to_picos(ticks);
-        self.bus_free[si] = end;
-        self.sas[si].busy_ticks += ticks;
+        self.sc.bus_free[si] = end;
+        self.sc.sas[si].busy_ticks += ticks;
         self.touch_sa(seg, end);
         self.trace(TraceEvent {
-            at: start,
-            kind: TraceKind::BusStart,
-            flow: Some(req.flow),
-            package: Some(req.pkg),
-            process: None,
-            segment: Some(seg),
-        });
+        at: start,
+        kind: TraceKind::BusStart,
+        flow: Some(req.flow),
+        package: Some(req.pkg),
+        process: None,
+        segment: Some(seg),
+    });
         self.trace(TraceEvent {
-            at: end,
-            kind: TraceKind::BusEnd,
-            flow: Some(req.flow),
-            package: Some(req.pkg),
-            process: None,
-            segment: Some(seg),
-        });
+        at: end,
+        kind: TraceKind::BusEnd,
+        flow: Some(req.flow),
+        package: Some(req.pkg),
+        process: None,
+        segment: Some(seg),
+    });
         self.schedule(end, Ev::IntraDone { flow: req.flow, pkg: req.pkg });
         // More work queued? Try again when the bus frees.
-        if !self.sa_queue[si].is_empty() {
+        if !self.sc.sa_queue[si].is_empty() {
             self.schedule(end, Ev::SaDispatch { seg });
         }
     }
 
     fn on_ca_arrive(&mut self, now: Picos, req: u32) {
-        let _ = now;
-        self.ca.inter_requests += 1;
-        self.ca.busy_ticks += self.cfg.timing.ca_request_ticks;
-        self.ca_queue.push_back(req);
+        self.sc.ca.inter_requests += 1;
+        self.sc.ca.busy_ticks += self.cfg.timing.ca_request_ticks;
+        self.sc.ca_queue.push_back(req);
         self.schedule(now, Ev::CaDispatch);
     }
 
@@ -493,15 +792,17 @@ impl<'a> Sim<'a> {
         // same-order global flows simultaneously, §3.1). Segments still
         // draining a local transaction are reserved immediately; the
         // circuit's phases start once each bus frees.
+        let plan = self.plan;
         let mut i = 0;
-        while i < self.ca_queue.len() {
-            let req = self.ca_queue[i];
-            let available = self.transfers[req as usize]
-                .path
+        while i < self.sc.ca_queue.len() {
+            let req = self.sc.ca_queue[i];
+            let tr = self.sc.transfers[req as usize];
+            let available = plan.paths[tr.path as usize]
+                .segs
                 .iter()
-                .all(|m| !self.reserved[m.index()]);
+                .all(|m| !self.sc.reserved[m.index()]);
             if available {
-                self.ca_queue.remove(i);
+                self.sc.ca_queue.remove(i);
                 self.grant(now, req);
             } else {
                 i += 1;
@@ -512,23 +813,25 @@ impl<'a> Sim<'a> {
     /// Reserve the whole path and pre-schedule every hop (circuit-switched
     /// transfer with cascaded release, paper Fig. 2).
     fn grant(&mut self, now: Picos, req: u32) {
-        let tr = self.transfers[req as usize].clone();
+        let plan = self.plan;
+        let tr = self.sc.transfers[req as usize];
         debug_assert!(!tr.granted);
-        self.transfers[req as usize].granted = true;
-        self.ca.grants += 1;
-        self.ca.busy_ticks += self.cfg.timing.ca_grant_ticks;
+        self.sc.transfers[req as usize].granted = true;
+        self.sc.ca.grants += 1;
+        self.sc.ca.busy_ticks += self.cfg.timing.ca_grant_ticks;
         let timing = self.cfg.timing;
-        let ticks = timing.bus_transaction_ticks(self.s);
+        let ticks = self.bus_ticks;
+        let path = &plan.paths[tr.path as usize];
 
         let mut prev_end = Picos::ZERO;
-        for (hop, &m) in tr.path.iter().enumerate() {
+        for (hop, &m) in path.segs.iter().enumerate() {
             let mi = m.index();
-            let clk = self.seg_clock[mi];
-            self.reserved[mi] = true;
+            let clk = plan.fast_seg[mi];
+            self.sc.reserved[mi] = true;
             // A reserved segment first drains its in-flight local
             // transaction; the circuit's phase starts on the later of the
             // protocol time and that drain point.
-            let drain = clk.next_edge(self.bus_free[mi]);
+            let drain = clk.next_edge(self.sc.bus_free[mi]);
             let start = if hop == 0 {
                 clk.next_edge(now).max(drain)
             } else {
@@ -538,133 +841,114 @@ impl<'a> Sim<'a> {
                 let wait = clk.ticks_to_picos(timing.wp_sample_ticks + timing.bu_sync_ticks);
                 let start = (base + wait).max(drain);
                 // Record the waiting period at the BU we are unloading.
-                let bu = self
-                    .psm
-                    .platform()
-                    .bu_between(tr.path[hop - 1], m)
-                    .expect("path hops are adjacent");
                 let wp = clk.ticks_at(start - prev_end);
-                let b = &mut self.bus_ctr[bu.index()];
+                let b = &mut self.sc.bus_ctr[path.bu[hop - 1] as usize];
                 b.waiting_ticks += wp;
-                b.tct += 2 * self.s as u64 + wp;
+                b.tct += 2 * plan.s as u64 + wp;
                 start
             };
             let end = start + clk.ticks_to_picos(ticks);
-            self.bus_free[mi] = end;
-            self.sas[mi].busy_ticks += ticks;
+            self.sc.bus_free[mi] = end;
+            self.sc.sas[mi].busy_ticks += ticks;
             self.touch_sa(m, end);
             self.trace(TraceEvent {
-                at: start,
-                kind: TraceKind::BusStart,
-                flow: Some(tr.flow),
-                package: Some(tr.pkg),
-                process: None,
-                segment: Some(m),
-            });
+            at: start,
+            kind: TraceKind::BusStart,
+            flow: Some(tr.flow),
+            package: Some(tr.pkg),
+            process: None,
+            segment: Some(m),
+        });
             self.trace(TraceEvent {
-                at: end,
-                kind: TraceKind::BusEnd,
-                flow: Some(tr.flow),
-                package: Some(tr.pkg),
-                process: None,
-                segment: Some(m),
-            });
+            at: end,
+            kind: TraceKind::BusEnd,
+            flow: Some(tr.flow),
+            package: Some(tr.pkg),
+            process: None,
+            segment: Some(m),
+        });
             // Package movement bookkeeping at the end of this hop. The BU
             // side is the loading segment's position on that unit (which
             // also covers a ring's wrap-around BU).
-            if hop + 1 < tr.path.len() {
-                let next = tr.path[hop + 1];
-                let bu = self
-                    .psm
-                    .platform()
-                    .bu_between(m, next)
-                    .expect("adjacent");
-                let b = &mut self.bus_ctr[bu.index()];
-                if m == bu.left {
+            if hop + 1 < path.segs.len() {
+                let b = &mut self.sc.bus_ctr[path.bu[hop] as usize];
+                if path.load_left[hop] {
                     b.received_from_left += 1;
                 } else {
                     b.received_from_right += 1;
                 }
                 self.trace(TraceEvent {
-                    at: end,
-                    kind: TraceKind::BuLoaded,
-                    flow: Some(tr.flow),
-                    package: Some(tr.pkg),
-                    process: None,
-                    segment: Some(m),
-                });
+                at: end,
+                kind: TraceKind::BuLoaded,
+                flow: Some(tr.flow),
+                package: Some(tr.pkg),
+                process: None,
+                segment: Some(m),
+            });
             }
             if hop > 0 {
                 // This hop unloaded the BU behind it.
-                let bu = self
-                    .psm
-                    .platform()
-                    .bu_between(tr.path[hop - 1], m)
-                    .expect("adjacent");
-                let b = &mut self.bus_ctr[bu.index()];
-                if m == bu.right {
+                let b = &mut self.sc.bus_ctr[path.bu[hop - 1] as usize];
+                if path.unload_right[hop - 1] {
                     b.transferred_to_right += 1;
                 } else {
                     b.transferred_to_left += 1;
                 }
                 // Routing a BU delivery is an intra-segment job for this SA.
-                self.sas[mi].intra_requests += 1;
+                self.sc.sas[mi].intra_requests += 1;
                 self.trace(TraceEvent {
-                    at: start,
-                    kind: TraceKind::BuUnloaded,
-                    flow: Some(tr.flow),
-                    package: Some(tr.pkg),
-                    process: None,
-                    segment: Some(m),
-                });
+                at: start,
+                kind: TraceKind::BuUnloaded,
+                flow: Some(tr.flow),
+                package: Some(tr.pkg),
+                process: None,
+                segment: Some(m),
+            });
             }
             self.schedule(end, Ev::PhaseDone { req, hop: hop as u8 });
             prev_end = end;
         }
         // The source segment pushed one package toward the destination
         // (side = the source's position on its first-hop BU).
-        let src = tr.path[0];
-        let first_bu = self
-            .psm
-            .platform()
-            .bu_between(src, tr.path[1])
-            .expect("adjacent");
-        if src == first_bu.left {
-            self.sas[src.index()].packets_to_right += 1;
+        let src = path.segs[0];
+        if path.load_left[0] {
+            self.sc.sas[src.index()].packets_to_right += 1;
         } else {
-            self.sas[src.index()].packets_to_left += 1;
+            self.sc.sas[src.index()].packets_to_left += 1;
         }
     }
 
     fn on_intra_done(&mut self, now: Picos, flow: FlowId, pkg: u64) {
-        let f = *self.psm.application().flow(flow);
+        let src = self.plan.flow_src[flow.index()];
         self.deliver(now, flow, pkg);
-        self.producer_transfer_done(now, f.src);
+        self.producer_transfer_done(now, src);
         // A freed bus may unblock a queued CA request.
-        if !self.ca_queue.is_empty() {
-            self.schedule(self.ca_clock.next_edge(now), Ev::CaDispatch);
+        if !self.sc.ca_queue.is_empty() {
+            self.schedule(self.plan.fast_ca.next_edge(now), Ev::CaDispatch);
         }
     }
 
     fn on_phase_done(&mut self, now: Picos, req: u32, hop: u8) {
-        let tr = self.transfers[req as usize].clone();
-        let seg = tr.path[hop as usize];
+        let plan = self.plan;
+        let tr = self.sc.transfers[req as usize];
+        let path = &plan.paths[tr.path as usize];
+        let seg = path.segs[hop as usize];
         // Cascade release: the CA resets this segment's grant.
-        self.reserved[seg.index()] = false;
-        self.ca.releases += 1;
-        self.ca.busy_ticks += self.cfg.timing.ca_release_ticks;
-        let f = *self.psm.application().flow(tr.flow);
-        let last = hop as usize == tr.path.len() - 1;
+        self.sc.reserved[seg.index()] = false;
+        self.sc.ca.releases += 1;
+        self.sc.ca.busy_ticks += self.cfg.timing.ca_release_ticks;
+        let src = plan.flow_src[tr.flow.index()];
+        let last = hop as usize == path.segs.len() - 1;
         match self.cfg.producer_release {
             ProducerRelease::AfterLocalPhase if hop == 0 => {
                 // Fire-and-forget: the producer handed the package to the
                 // first BU and may compute its next package now.
-                self.producer_transfer_done(now, f.src);
+                self.producer_transfer_done(now, src);
             }
             ProducerRelease::AfterDelivery if last => {
                 // Flow control: the producer resumes only once the package
                 // reached its destination.
-                self.producer_transfer_done(now, f.src);
+                self.producer_transfer_done(now, src);
             }
             _ => {}
         }
@@ -672,80 +956,81 @@ impl<'a> Sim<'a> {
             self.deliver(now, tr.flow, tr.pkg);
         }
         // The freed segment may serve local or queued CA work.
-        if !self.sa_queue[seg.index()].is_empty() {
+        if !self.sc.sa_queue[seg.index()].is_empty() {
             self.schedule(now, Ev::SaDispatch { seg });
         }
-        if !self.ca_queue.is_empty() {
-            self.schedule(self.ca_clock.next_edge(now), Ev::CaDispatch);
+        if !self.sc.ca_queue.is_empty() {
+            self.schedule(plan.fast_ca.next_edge(now), Ev::CaDispatch);
         }
     }
 
     /// Producer-side completion of one package's local transfer phase.
     fn producer_transfer_done(&mut self, now: Picos, p: ProcessId) {
-        self.fus[p.index()].packages_sent += 1;
-        self.fus[p.index()].end = Some(now);
-        self.outputs_remaining[p.index()] -= 1;
+        self.sc.fus[p.index()].packages_sent += 1;
+        self.sc.fus[p.index()].end = Some(now);
+        self.sc.remaining[p.index()].out -= 1;
         self.maybe_raise_flag(now, p);
         self.start_next_package(p, now);
     }
 
     /// Final delivery of a package at its destination process.
     fn deliver(&mut self, now: Picos, flow: FlowId, pkg: u64) {
-        let f = *self.psm.application().flow(flow);
-        let fu = &mut self.fus[f.dst.index()];
+        let plan = self.plan;
+        let dst = plan.flow_dst[flow.index()];
+        let fu = &mut self.sc.fus[dst.index()];
         fu.packages_received += 1;
         fu.last_received = Some(now);
-        self.inputs_remaining[f.dst.index()] -= 1;
+        self.sc.remaining[dst.index()].inp -= 1;
         self.trace(TraceEvent {
-            at: now,
-            kind: TraceKind::Delivered,
-            flow: Some(flow),
-            package: Some(pkg),
-            process: Some(f.dst),
-            segment: Some(self.seg_of(f.dst)),
-        });
-        self.maybe_raise_flag(now, f.dst);
+        at: now,
+        kind: TraceKind::Delivered,
+        flow: Some(flow),
+        package: Some(pkg),
+        process: Some(dst),
+        segment: Some(plan.proc_seg[dst.index()]),
+    });
+        self.maybe_raise_flag(now, dst);
         // Wave-instance bookkeeping: the frame is recovered from the
         // frame-global package index.
-        let frame = pkg / self.flow_pkgs[flow.index()];
-        let g = frame as usize * self.waves.len() + self.flow_wave[flow.index()];
-        self.instance_remaining[g] -= 1;
-        if self.instance_remaining[g] == 0 {
+        let frame = plan.flow_pkg_div[flow.index()].floor_div(pkg);
+        let g = frame as usize * plan.waves.len() + plan.flow_wave[flow.index()];
+        self.sc.instance_remaining[g] -= 1;
+        if self.sc.instance_remaining[g] == 0 {
             self.complete_instance(g, now);
         }
     }
 
     fn maybe_raise_flag(&mut self, now: Picos, p: ProcessId) {
         let i = p.index();
-        if !self.fus[i].flag
-            && self.outputs_remaining[i] == 0
-            && self.inputs_remaining[i] == 0
+        if !self.sc.fus[i].flag
+            && self.sc.remaining[i] == Remaining::default()
         {
-            self.fus[i].flag = true;
+            self.sc.fus[i].flag = true;
             self.trace(TraceEvent {
-                at: now,
-                kind: TraceKind::FlagRaised,
-                flow: None,
-                package: None,
-                process: Some(p),
-                segment: None,
-            });
+            at: now,
+            kind: TraceKind::FlagRaised,
+            flow: None,
+            package: None,
+            process: Some(p),
+            segment: None,
+        });
         }
     }
 
     // -- main loop ---------------------------------------------------------
 
-    fn run(mut self) -> EmulationReport {
-        if !self.waves.is_empty() {
+    fn execute(mut self) -> EmulationReport {
+        let plan = self.plan;
+        if !plan.waves.is_empty() {
             // Wave 0 of every frame is input-ready immediately (streaming
             // with a full input buffer); later waves open as their
             // predecessors deliver, so frames pipeline.
             for frame in 0..self.frames {
-                self.start_instance(frame as usize * self.waves.len(), Picos::ZERO);
+                self.start_instance(frame as usize * plan.waves.len(), Picos::ZERO);
             }
         }
-        while let Some(QEntry { at, ev, .. }) = self.queue.pop() {
-            self.makespan = self.makespan.max(at);
+        while let Some((at, ev)) = self.sc.queue.pop() {
+            self.sc.makespan = self.sc.makespan.max(at);
             match ev {
                 Ev::ComputeDone { flow, pkg } => self.on_compute_done(at, flow, pkg),
                 Ev::SaDispatch { seg } => self.on_sa_dispatch(at, seg),
@@ -756,25 +1041,25 @@ impl<'a> Sim<'a> {
             }
         }
         debug_assert!(
-            self.fus.iter().all(|f| f.flag),
+            self.sc.fus.iter().all(|f| f.flag),
             "emulation drained with unraised flags — schedule deadlock"
         );
         // Final counters: each SA's TCT runs to its last activity, the CA
         // polls until global quiescence.
-        for (i, sa) in self.sas.iter_mut().enumerate() {
-            sa.tct = self.seg_clock[i].ticks_covering(sa.last_activity);
+        for (i, sa) in self.sc.sas.iter_mut().enumerate() {
+            sa.tct = plan.seg_clock[i].ticks_covering(sa.last_activity);
         }
-        self.ca.tct = self.ca_clock.ticks_covering(self.makespan);
+        self.sc.ca.tct = plan.ca_clock.ticks_covering(self.sc.makespan);
         EmulationReport {
-            sas: self.sas,
-            ca: self.ca,
-            bus: self.bus_ctr,
-            bu_refs: self.psm.platform().border_units().collect(),
-            fus: self.fus,
-            segment_clocks: self.seg_clock,
-            ca_clock: self.ca_clock,
-            package_size: self.s,
-            makespan: self.makespan,
+            sas: std::mem::take(&mut self.sc.sas),
+            ca: self.sc.ca,
+            bus: std::mem::take(&mut self.sc.bus_ctr),
+            bu_refs: plan.psm.platform().border_units().collect(),
+            fus: std::mem::take(&mut self.sc.fus),
+            segment_clocks: plan.seg_clock.clone(),
+            ca_clock: plan.ca_clock,
+            package_size: plan.s,
+            makespan: self.sc.makespan,
             trace: self.trace,
         }
     }
@@ -783,9 +1068,43 @@ impl<'a> Sim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::queue::QueueKind;
     use segbus_model::mapping::Allocation;
     use segbus_model::platform::Platform;
     use segbus_model::psdf::{Application, Flow, Process};
+
+    /// The strength-reduced division (and the clock arithmetic on top of
+    /// it) must agree with the hardware divider on every operand,
+    /// including the boundary where the multiply hands over to fallback.
+    #[test]
+    fn fast_div_and_clock_match_plain_arithmetic() {
+        let divisors = [1u64, 2, 3, 7, 64, 9009, 10204, 10989, 11236, 16384, 999_983];
+        for &p in &divisors {
+            let c = ClockDomain::from_period_ps(p);
+            let f = FastClock::new(c);
+            let d = FastDiv::new(p);
+            let mut xs: Vec<u64> = vec![0, 1, p - 1, p, p + 1, 3 * p, 3 * p + 1];
+            xs.extend([
+                d.max_exact.saturating_sub(1),
+                d.max_exact,
+                d.max_exact.saturating_add(1),
+            ]);
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                xs.push(x & ((1 << 50) - 1));
+                xs.push(x);
+            }
+            for &v in &xs {
+                assert_eq!(d.floor_div(v), v / p, "floor_div p={p} x={v}");
+                assert_eq!(f.ticks_at(Picos(v)), c.ticks_at(Picos(v)), "ticks_at p={p} x={v}");
+                assert_eq!(f.ticks_to_picos(v % (1 << 40)), c.ticks_to_picos(v % (1 << 40)));
+                if v <= u64::MAX - p {
+                    assert_eq!(f.next_edge(Picos(v)), c.next_edge(Picos(v)), "edge p={p} x={v}");
+                }
+            }
+        }
+    }
 
     fn uniform(nseg: usize, s: u32) -> Platform {
         Platform::builder("t")
@@ -1034,6 +1353,61 @@ mod tests {
         assert_eq!(a.sas, b.sas);
         assert_eq!(a.ca, b.ca);
         assert_eq!(a.bus, b.bus);
+    }
+
+    /// A reused engine must produce the same reports as fresh emulators,
+    /// including after runs over differently shaped PSMs (scratch vectors
+    /// are re-dimensioned on reset).
+    #[test]
+    fn engine_reuse_is_bit_identical() {
+        let mut engine = Engine::new(EmulatorConfig::traced());
+        let shapes = [remote_pair(10 * 36), local_pair(), remote_pair(36), local_pair()];
+        for psm in &shapes {
+            let fresh = run(psm);
+            let reused = engine.run(psm);
+            assert_eq!(fresh.makespan, reused.makespan);
+            assert_eq!(fresh.sas, reused.sas);
+            assert_eq!(fresh.ca, reused.ca);
+            assert_eq!(fresh.bus, reused.bus);
+            assert_eq!(fresh.fus, reused.fus);
+        }
+    }
+
+    /// Running a compiled plan repeatedly matches per-run compilation.
+    #[test]
+    fn plan_reuse_matches_run() {
+        let psm = remote_pair(5 * 36);
+        let plan = EnginePlan::new(&psm);
+        let mut engine = Engine::new(EmulatorConfig::default());
+        let a = engine.run_plan(&plan, 1);
+        let b = engine.run_plan(&plan, 1);
+        let c = Emulator::default().run(&psm);
+        assert_eq!(a.makespan, c.makespan);
+        assert_eq!(b.makespan, c.makespan);
+        assert_eq!(a.sas, c.sas);
+        assert_eq!(a.bus, c.bus);
+    }
+
+    /// The calendar queue and the reference heap drive identical runs.
+    #[test]
+    fn queue_kinds_are_bit_identical() {
+        for psm in [remote_pair(10 * 36), local_pair()] {
+            let heap = Emulator::new(EmulatorConfig {
+                queue: QueueKind::BinaryHeap,
+                ..EmulatorConfig::traced()
+            })
+            .run(&psm);
+            let indexed = Emulator::new(EmulatorConfig {
+                queue: QueueKind::Indexed,
+                ..EmulatorConfig::traced()
+            })
+            .run(&psm);
+            assert_eq!(heap.makespan, indexed.makespan);
+            assert_eq!(heap.sas, indexed.sas);
+            assert_eq!(heap.ca, indexed.ca);
+            assert_eq!(heap.bus, indexed.bus);
+            assert_eq!(heap.fus, indexed.fus);
+        }
     }
 
     /// Arbitration policies: fixed priority favours low process ids; fair

@@ -41,17 +41,21 @@ pub mod energy;
 pub mod engine;
 pub mod gantt;
 pub mod parallel;
+pub mod queue;
+pub mod reference;
 pub mod report;
 pub mod trace;
 pub mod vcd;
 
 pub use analysis::{bus_utilisation, gantt_csv, latency_stats, package_latencies, wave_boundaries, wave_durations, BusUtilisation, LatencyStats};
-pub use config::{EmulatorConfig, ProducerRelease, TimingParams};
+pub use config::{ArbitrationPolicy, EmulatorConfig, ProducerRelease, TimingParams};
 pub use counters::{BuCounters, CaCounters, FuTimes, SaCounters};
 pub use energy::{estimate_energy, EnergyBreakdown, EnergyModel};
-pub use engine::Emulator;
+pub use engine::{Emulator, Engine, EnginePlan};
 pub use gantt::ascii_gantt;
-pub use parallel::{run_many, run_many_with};
+pub use parallel::{run_many, run_many_with, SweepPool};
+pub use queue::QueueKind;
+pub use reference::ReferenceEmulator;
 pub use report::EmulationReport;
 pub use trace::{TraceEvent, TraceKind, TraceLog};
 pub use vcd::to_vcd;

@@ -1,24 +1,132 @@
 //! Parallel execution of independent emulation runs.
 //!
 //! Parameter sweeps (package sizes, placements, frequencies) emulate many
-//! PSMs that share nothing; this module fans the runs out over a scoped
-//! thread pool fed from a work-stealing index queue. Results come back in
-//! input order, bit-identical to a sequential map (each run is itself
-//! deterministic), which the differential test below asserts.
+//! PSMs that share nothing; [`SweepPool`] fans the runs out over scoped
+//! worker threads. Workers claim chunks of the job list from a shared
+//! atomic cursor, each worker reuses one [`Engine`] (and therefore its
+//! scratch buffers) for every job it claims, and results land in
+//! per-index lock-free slots. Results come back in input order,
+//! bit-identical to a sequential map regardless of the thread count —
+//! each run is itself deterministic — which the tests below assert.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
 use segbus_model::mapping::Psm;
 
 use crate::config::EmulatorConfig;
-use crate::engine::Emulator;
+use crate::engine::Engine;
 use crate::report::EmulationReport;
+
+/// Write-once result slots indexed by job position.
+///
+/// Safety: the atomic cursor hands every index to exactly one worker, so
+/// no two threads ever touch the same cell, and `thread::scope` joins all
+/// workers before the slots are read back — that join is the
+/// happens-before edge making the writes visible.
+struct ResultSlots<R>(Vec<UnsafeCell<Option<R>>>);
+
+unsafe impl<R: Send> Sync for ResultSlots<R> {}
+
+impl<R> ResultSlots<R> {
+    /// # Safety
+    /// `i` must be exclusively owned by the calling worker (claimed from
+    /// the cursor) and within bounds.
+    unsafe fn set(&self, i: usize, value: R) {
+        *self.0[i].get() = Some(value);
+    }
+}
+
+/// A reusable pool configuration for batched emulation sweeps.
+///
+/// ```
+/// use segbus_apps::{generators, mp3};
+/// use segbus_core::{EmulatorConfig, SweepPool};
+///
+/// let psms = vec![mp3::three_segment_psm(), mp3::three_segment_psm()];
+/// let pool = SweepPool::new(EmulatorConfig::default());
+/// let reports = pool.sweep(&psms);
+/// assert_eq!(reports[0].makespan, reports[1].makespan);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPool {
+    config: EmulatorConfig,
+    threads: usize,
+}
+
+impl SweepPool {
+    /// A pool using every available hardware thread.
+    pub fn new(config: EmulatorConfig) -> SweepPool {
+        SweepPool::with_threads(config, available_threads())
+    }
+
+    /// A pool capped at `threads` workers (`0` is treated as `1`).
+    pub fn with_threads(config: EmulatorConfig, threads: usize) -> SweepPool {
+        SweepPool { config, threads: threads.max(1) }
+    }
+
+    /// The worker cap.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Emulate every PSM; results are returned in input order.
+    pub fn sweep(&self, psms: &[Psm]) -> Vec<EmulationReport> {
+        self.sweep_with(psms, |engine, psm| engine.run(psm))
+    }
+
+    /// Generalised sweep: run `f(engine, job)` for every job on the pool,
+    /// reusing one engine per worker. The function must be deterministic
+    /// in its inputs for the results to be thread-count independent.
+    pub fn sweep_with<T, R, F>(&self, jobs: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&mut Engine, &T) -> R + Sync,
+    {
+        let threads = self.threads.min(jobs.len());
+        if threads <= 1 {
+            let mut engine = Engine::new(self.config);
+            return jobs.iter().map(|j| f(&mut engine, j)).collect();
+        }
+        // Small chunks keep the tail balanced; claiming more than one job
+        // at a time keeps cursor traffic negligible.
+        let chunk = (jobs.len() / (threads * 8)).clamp(1, 32);
+        let cursor = AtomicUsize::new(0);
+        let slots = ResultSlots((0..jobs.len()).map(|_| UnsafeCell::new(None)).collect());
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut engine = Engine::new(self.config);
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= jobs.len() {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(jobs.len()) {
+                            let r = f(&mut engine, &jobs[i]);
+                            // Safety: index `i` belongs to this worker's
+                            // chunk only (see ResultSlots).
+                            unsafe { slots.set(i, r) };
+                        }
+                    }
+                });
+            }
+        });
+
+        slots
+            .0
+            .into_iter()
+            .map(|c| c.into_inner().expect("every claimed slot is filled"))
+            .collect()
+    }
+}
 
 /// Run every PSM with the default estimator configuration, in parallel.
 /// Results are returned in input order.
 pub fn run_many(psms: &[Psm]) -> Vec<EmulationReport> {
-    run_many_with(psms, EmulatorConfig::default(), num_threads(psms.len()))
+    run_many_with(psms, EmulatorConfig::default(), available_threads())
 }
 
 /// Run every PSM with `config` on up to `threads` worker threads.
@@ -29,41 +137,12 @@ pub fn run_many_with(
     config: EmulatorConfig,
     threads: usize,
 ) -> Vec<EmulationReport> {
-    let emulator = Emulator::new(config);
-    if threads <= 1 || psms.len() <= 1 {
-        return psms.iter().map(|p| emulator.run(p)).collect();
-    }
-    let threads = threads.min(psms.len());
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<EmulationReport>>> =
-        (0..psms.len()).map(|_| Mutex::new(None)).collect();
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= psms.len() {
-                    break;
-                }
-                let report = emulator.run(&psms[i]);
-                *slots[i].lock() = Some(report);
-            });
-        }
-    })
-    .expect("emulation workers do not panic");
-
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("every slot filled"))
-        .collect()
+    SweepPool::with_threads(config, threads).sweep(psms)
 }
 
-/// A reasonable worker count for `jobs` independent runs.
-fn num_threads(jobs: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(jobs.max(1))
+/// A reasonable worker count for independent runs.
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -101,6 +180,37 @@ mod tests {
             assert_eq!(a.sas, b.sas);
             assert_eq!(a.ca, b.ca);
             assert_eq!(a.bus, b.bus);
+        }
+    }
+
+    /// Any worker count produces the same reports — the pool only changes
+    /// who computes a slot, never what lands in it.
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let psms: Vec<Psm> = (1..=40).map(|k| psm(36 * (1 + k % 7))).collect();
+        let reference = SweepPool::with_threads(EmulatorConfig::default(), 1).sweep(&psms);
+        for threads in [4, 16] {
+            let out = SweepPool::with_threads(EmulatorConfig::default(), threads).sweep(&psms);
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in reference.iter().zip(&out) {
+                assert_eq!(a.makespan, b.makespan);
+                assert_eq!(a.sas, b.sas);
+                assert_eq!(a.ca, b.ca);
+                assert_eq!(a.bus, b.bus);
+                assert_eq!(a.fus, b.fus);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_with_custom_job_type() {
+        let base = psm(10 * 36);
+        let frames: Vec<u64> = vec![1, 2, 3, 4];
+        let pool = SweepPool::with_threads(EmulatorConfig::default(), 2);
+        let out = pool.sweep_with(&frames, |engine, &n| engine.run_frames(&base, n).makespan);
+        // More frames => strictly more work.
+        for w in out.windows(2) {
+            assert!(w[0] < w[1]);
         }
     }
 

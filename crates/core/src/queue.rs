@@ -1,0 +1,433 @@
+//! Event queues for the discrete-event engine.
+//!
+//! The engine pops events in strictly non-decreasing `(time, sequence)`
+//! order, and every push is at or after the time of the event currently
+//! being handled. Two interchangeable implementations honour that
+//! contract:
+//!
+//! * [`QueueKind::BinaryHeap`] — the textbook priority queue. `O(log n)`
+//!   per operation, used as the reference in the differential tests.
+//! * [`QueueKind::Indexed`] — a calendar (bucket) queue keyed on the
+//!   picosecond timestamp, fronted by a linear tier. Emulation runs keep
+//!   very few events in flight (package-level flow control serialises
+//!   each producer), so as long as the population stays at or below
+//!   [`LINEAR_MAX`] the entries live in one unsorted vector and a pop is
+//!   a handful of compares over a single cache line — cheaper than any
+//!   bucket indexing. The first push that overflows the linear tier
+//!   migrates everything into the bucketed calendar: a window of
+//!   [`RING`] consecutive virtual buckets (timestamp divided by a
+//!   power-of-two width) held in per-bucket vectors with a single-word
+//!   occupancy bitmap, plus a contiguous overflow list for entries
+//!   beyond the window, redistributed as the window advances. Because
+//!   the engine's pushes never go backwards in time, the scan pointer
+//!   only moves forward and each overflow entry is touched `O(1)`
+//!   amortised times on dense schedules. The queue returns to the linear
+//!   tier once it drains.
+//!
+//! Both return the exact same sequence of events for the same pushes —
+//! the pop order is the globally minimal `(time, seq)` pair — which the
+//! engine's differential tests assert end to end.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use segbus_model::time::Picos;
+
+/// Which event-queue implementation the engine uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum QueueKind {
+    /// Calendar queue indexed on the event timestamp (the default).
+    #[default]
+    Indexed,
+    /// Reference binary heap (kept for differential testing).
+    BinaryHeap,
+}
+
+/// Virtual buckets in the calendar's hot window (power of two, one
+/// occupancy bit per bucket in a single `u64`).
+const RING: usize = 64;
+
+/// Population bound for the linear front tier. Past this, a linear pop
+/// scan costs more than bucket indexing and the calendar takes over.
+const LINEAR_MAX: usize = 16;
+
+pub(crate) struct HeapEntry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    // Reversed: BinaryHeap is a max-heap, we need the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+/// Two-tier calendar queue: a [`RING`]-aligned window of virtual buckets
+/// of width `2^shift` picoseconds, plus a contiguous overflow list for
+/// entries beyond the window.
+///
+/// The window `[base, base + RING)` is RING-aligned, so a virtual bucket
+/// maps to ring slot `vb & (RING - 1)` *exactly* — every entry stored in
+/// a slot has the same virtual bucket, and `pop` can take the slot
+/// minimum without lap checks.
+pub(crate) struct Calendar<T> {
+    /// Linear front tier: unsorted, scanned for the `(at, seq)` minimum.
+    /// Non-empty only while `bucketed` is false.
+    lin: Vec<Entry<T>>,
+    /// Whether the bucketed tiers are live (set on linear-tier overflow,
+    /// cleared when the queue drains).
+    bucketed: bool,
+    shift: u32,
+    /// First virtual bucket of the window (multiple of [`RING`]).
+    base: u64,
+    /// Scan pointer: a lower bound on the smallest stored virtual bucket,
+    /// always within `[base, base + RING)`.
+    vb: u64,
+    /// Bit `i` set iff `ring[i]` is non-empty.
+    occ: u64,
+    /// The hot tier: [`RING`] per-bucket vectors (small enough to stay
+    /// cache-resident together with their entries; a fixed-size array so
+    /// slot indexing needs no bounds check).
+    ring: Box<[Vec<Entry<T>>; RING]>,
+    /// Entries with `vb >= base + RING`, in arrival order.
+    far: Vec<Entry<T>>,
+    /// Smallest virtual bucket in `far` (`u64::MAX` when empty).
+    far_min_vb: u64,
+    len: usize,
+}
+
+/// The widest power-of-two bucket not exceeding `width_hint_ps`.
+fn shift_for(width_hint_ps: u64) -> u32 {
+    63 - width_hint_ps.max(1).leading_zeros()
+}
+
+impl<T> Calendar<T> {
+    fn new(width_hint_ps: u64) -> Calendar<T> {
+        Calendar {
+            lin: Vec::new(),
+            bucketed: false,
+            shift: shift_for(width_hint_ps),
+            base: 0,
+            vb: 0,
+            occ: 0,
+            ring: Box::new(std::array::from_fn(|_| Vec::new())),
+            far: Vec::new(),
+            far_min_vb: u64::MAX,
+            len: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.lin.clear();
+        self.bucketed = false;
+        for b in self.ring.iter_mut() {
+            b.clear();
+        }
+        self.far.clear();
+        self.far_min_vb = u64::MAX;
+        self.occ = 0;
+        self.base = 0;
+        self.vb = 0;
+        self.len = 0;
+    }
+
+    /// Place an entry into the ring or the overflow list (window state
+    /// must already be valid for `vb`, the entry's virtual bucket). Does
+    /// not touch `len`: callers re-inserting counted entries reuse it.
+    #[inline]
+    fn insert(&mut self, vb: u64, e: Entry<T>) {
+        if vb < self.base + RING as u64 {
+            let s = (vb as usize) & (RING - 1);
+            self.occ |= 1 << s;
+            self.ring[s].push(e);
+        } else {
+            self.far_min_vb = self.far_min_vb.min(vb);
+            self.far.push(e);
+        }
+    }
+
+    /// Re-anchor the window at `new_min_vb` and re-place every stored
+    /// entry. Only reached by a push *behind* the window — the engine's
+    /// schedules are monotone, so this is a defensive slow path.
+    fn rebuild(&mut self, new_min_vb: u64) {
+        let mut all = std::mem::take(&mut self.far);
+        for s in self.ring.iter_mut() {
+            all.append(s);
+        }
+        self.occ = 0;
+        self.far_min_vb = u64::MAX;
+        self.base = new_min_vb & !(RING as u64 - 1);
+        self.vb = new_min_vb;
+        for e in all {
+            self.insert(e.at >> self.shift, e);
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, at: u64, seq: u64, item: T) {
+        if !self.bucketed {
+            if self.lin.len() < LINEAR_MAX {
+                self.lin.push(Entry { at, seq, item });
+                self.len += 1;
+                return;
+            }
+            self.migrate();
+        }
+        let vb = at >> self.shift;
+        if self.len == 0 {
+            self.base = vb & !(RING as u64 - 1);
+            self.vb = vb;
+        } else if vb < self.base {
+            self.rebuild(vb);
+        } else if vb < self.vb {
+            // Defensive lower-bound update for non-monotone pushes that
+            // still land inside the window.
+            self.vb = vb;
+        }
+        self.insert(vb, Entry { at, seq, item });
+        self.len += 1;
+    }
+
+    /// Move every linear-tier entry into the bucketed calendar, anchoring
+    /// the window at the earliest one. Cold: runs once per burst that
+    /// outgrows [`LINEAR_MAX`].
+    #[cold]
+    fn migrate(&mut self) {
+        self.bucketed = true;
+        let min_vb = self
+            .lin
+            .iter()
+            .map(|e| e.at >> self.shift)
+            .min()
+            .expect("migrate on non-empty linear tier");
+        self.base = min_vb & !(RING as u64 - 1);
+        self.vb = min_vb;
+        let mut lin = std::mem::take(&mut self.lin);
+        for e in lin.drain(..) {
+            self.insert(e.at >> self.shift, e);
+        }
+        self.lin = lin;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if !self.bucketed {
+            let mut bi = 0;
+            for i in 1..self.lin.len() {
+                if (self.lin[i].at, self.lin[i].seq) < (self.lin[bi].at, self.lin[bi].seq) {
+                    bi = i;
+                }
+            }
+            let e = self.lin.swap_remove(bi);
+            return Some((e.at, e.item));
+        }
+        loop {
+            // Occupied buckets at or after the scan pointer. `base` is
+            // RING-aligned, so bit positions and window offsets agree.
+            let mask = self.occ & (!0u64 << ((self.vb as usize) & (RING - 1)));
+            if mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                self.vb = self.base + s as u64;
+                // Every entry in the slot shares this virtual bucket;
+                // take the (time, seq) minimum.
+                let bucket = &self.ring[s];
+                let mut bi = 0;
+                for i in 1..bucket.len() {
+                    if (bucket[i].at, bucket[i].seq) < (bucket[bi].at, bucket[bi].seq) {
+                        bi = i;
+                    }
+                }
+                let e = self.ring[s].swap_remove(bi);
+                if self.ring[s].is_empty() {
+                    self.occ &= !(1 << s);
+                }
+                if self.len == 0 {
+                    // Drained: the next burst starts on the linear tier.
+                    self.bucketed = false;
+                }
+                return Some((e.at, e.item));
+            }
+            // Window exhausted: jump to the earliest overflow entry and
+            // pull everything that now fits into the new window. The
+            // anchor entry always lands in the ring, so each advance
+            // makes progress.
+            debug_assert!(!self.far.is_empty(), "len > 0 with empty window");
+            self.base = self.far_min_vb & !(RING as u64 - 1);
+            self.vb = self.far_min_vb;
+            self.far_min_vb = u64::MAX;
+            let mut i = 0;
+            while i < self.far.len() {
+                let vb = self.far[i].at >> self.shift;
+                if vb < self.base + RING as u64 {
+                    let e = self.far.swap_remove(i);
+                    let s = (vb as usize) & (RING - 1);
+                    self.occ |= 1 << s;
+                    self.ring[s].push(e);
+                } else {
+                    self.far_min_vb = self.far_min_vb.min(vb);
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic min-queue on `(time, sequence)` with a selectable
+/// implementation (see [`QueueKind`]).
+pub(crate) enum EventQueue<T> {
+    Heap(BinaryHeap<HeapEntry<T>>),
+    Calendar(Calendar<T>),
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::Heap(BinaryHeap::new())
+    }
+}
+
+impl<T> EventQueue<T> {
+    pub fn new(kind: QueueKind, width_hint_ps: u64) -> EventQueue<T> {
+        match kind {
+            QueueKind::BinaryHeap => EventQueue::Heap(BinaryHeap::new()),
+            QueueKind::Indexed => EventQueue::Calendar(Calendar::new(width_hint_ps)),
+        }
+    }
+
+    /// Empty the queue and switch to `kind`, keeping the existing bucket
+    /// allocations whenever the shape already matches.
+    pub fn reset(&mut self, kind: QueueKind, width_hint_ps: u64) {
+        let reusable = match (&mut *self, kind) {
+            (EventQueue::Heap(h), QueueKind::BinaryHeap) => {
+                h.clear();
+                true
+            }
+            (EventQueue::Calendar(c), QueueKind::Indexed)
+                if c.shift == shift_for(width_hint_ps) =>
+            {
+                c.clear();
+                true
+            }
+            _ => false,
+        };
+        if !reusable {
+            *self = EventQueue::new(kind, width_hint_ps);
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, at: Picos, seq: u64, item: T) {
+        match self {
+            EventQueue::Heap(h) => h.push(HeapEntry { at: at.0, seq, item }),
+            EventQueue::Calendar(c) => c.push(at.0, seq, item),
+        }
+    }
+
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Picos, T)> {
+        match self {
+            EventQueue::Heap(h) => h.pop().map(|e| (Picos(e.at), e.item)),
+            EventQueue::Calendar(c) => c.pop().map(|(at, item)| (Picos(at), item)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<T: Copy>(q: &mut EventQueue<T>) -> Vec<(u64, T)> {
+        let mut out = Vec::new();
+        while let Some((at, x)) = q.pop() {
+            out.push((at.0, x));
+        }
+        out
+    }
+
+    /// Feed both implementations an identical adversarial schedule (ties,
+    /// same-bucket clusters, a jump far beyond one ring turn) and require
+    /// the exact same pop sequence.
+    #[test]
+    fn calendar_matches_heap() {
+        let times: Vec<u64> = vec![
+            0, 10_000, 10_000, 9_999, 20_000, 10_001, 8_192, 8_191, 123_456_789, 10_000,
+            1 << 40, (1 << 40) + 1, 70_000, 70_000,
+        ];
+        let mut heap = EventQueue::new(QueueKind::BinaryHeap, 10_000);
+        let mut cal = EventQueue::new(QueueKind::Indexed, 10_000);
+        for (seq, &t) in times.iter().enumerate() {
+            heap.push(Picos(t), seq as u64, seq as u32);
+            cal.push(Picos(t), seq as u64, seq as u32);
+        }
+        assert_eq!(drain(&mut heap), drain(&mut cal));
+    }
+
+    /// Interleaved push/pop where every push is at or after the last pop,
+    /// mimicking the engine's usage pattern.
+    #[test]
+    fn interleaved_monotone_schedule() {
+        let mut heap = EventQueue::new(QueueKind::BinaryHeap, 9_009);
+        let mut cal = EventQueue::new(QueueKind::Indexed, 9_009);
+        let mut seq = 0u64;
+        let mut push = |h: &mut EventQueue<u64>, c: &mut EventQueue<u64>, t: u64| {
+            seq += 1;
+            h.push(Picos(t), seq, seq);
+            c.push(Picos(t), seq, seq);
+        };
+        push(&mut heap, &mut cal, 100);
+        push(&mut heap, &mut cal, 100);
+        push(&mut heap, &mut cal, 50_000);
+        for _ in 0..3 {
+            let a = heap.pop();
+            let b = cal.pop();
+            assert_eq!(a.map(|(t, x)| (t.0, x)), b.map(|(t, x)| (t.0, x)));
+            let now = a.map(|(t, _)| t.0).unwrap_or(0);
+            // Reschedule relative to the popped time, like the engine does.
+            push(&mut heap, &mut cal, now + 11_236);
+            push(&mut heap, &mut cal, now);
+        }
+        assert_eq!(drain(&mut heap), drain(&mut cal));
+    }
+
+    #[test]
+    fn reset_reuses_or_rebuilds() {
+        let mut q: EventQueue<u8> = EventQueue::new(QueueKind::Indexed, 10_000);
+        q.push(Picos(1), 1, 7);
+        q.reset(QueueKind::Indexed, 10_000);
+        assert!(q.pop().is_none());
+        q.reset(QueueKind::BinaryHeap, 10_000);
+        q.push(Picos(2), 1, 9);
+        assert_eq!(q.pop(), Some((Picos(2), 9)));
+    }
+
+    #[test]
+    fn bucket_width_is_floor_power_of_two() {
+        assert_eq!(shift_for(10_000), 13); // 8192
+        assert_eq!(shift_for(9_009), 13);
+        assert_eq!(shift_for(16_384), 14);
+        assert_eq!(shift_for(1), 0);
+        assert_eq!(shift_for(0), 0);
+    }
+}

@@ -1,60 +1,91 @@
 //! Robustness of the DSL front-end: the lexer and parser must never panic,
 //! and near-miss sources must produce positioned errors rather than junk.
+//! Inputs come from a seeded [`SmallRng`] fuzzer (no external fuzzing
+//! dependency), so every case is reproducible.
 
-use proptest::prelude::*;
 use segbus_dsl::{parse_source, parse_system};
+use segbus_model::rng::SmallRng;
 
-fn arb_tokensoup() -> impl Strategy<Value = String> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just("application".to_string()),
-            Just("platform".to_string()),
-            Just("process".to_string()),
-            Just("flow".to_string()),
-            Just("segment".to_string()),
-            Just("hosts".to_string()),
-            Just("items".to_string()),
-            Just("order".to_string()),
-            Just("ticks".to_string()),
-            Just("{".to_string()),
-            Just("}".to_string()),
-            Just(";".to_string()),
-            Just("->".to_string()),
-            Just("-".to_string()),
-            "[A-Za-z][A-Za-z0-9_]{0,6}".prop_map(|s| s),
-            (0u64..10_000).prop_map(|n| n.to_string()),
-            Just("//x".to_string()),
-            Just("/*".to_string()),
-            Just("*/".to_string()),
-        ],
-        0..50,
-    )
-    .prop_map(|v| v.join(" "))
+/// Keyword/punctuation soup: syntactically adjacent to real sources but
+/// almost never valid.
+fn arb_tokensoup(rng: &mut SmallRng) -> String {
+    const FIXED: [&str; 17] = [
+        "application",
+        "platform",
+        "process",
+        "flow",
+        "segment",
+        "hosts",
+        "items",
+        "order",
+        "ticks",
+        "{",
+        "}",
+        ";",
+        "->",
+        "-",
+        "//x",
+        "/*",
+        "*/",
+    ];
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    let n = rng.range_usize(0, 49);
+    let mut toks = Vec::with_capacity(n);
+    for _ in 0..n {
+        match rng.range_usize(0, FIXED.len() + 1) {
+            i if i < FIXED.len() => toks.push(FIXED[i].to_string()),
+            i if i == FIXED.len() => {
+                // A random identifier `[A-Za-z][A-Za-z0-9_]{0,6}`.
+                let mut s = String::new();
+                s.push(FIRST[rng.range_usize(0, FIRST.len() - 1)] as char);
+                for _ in 0..rng.range_usize(0, 6) {
+                    s.push(REST[rng.range_usize(0, REST.len() - 1)] as char);
+                }
+                toks.push(s);
+            }
+            _ => toks.push(rng.below(10_000).to_string()),
+        }
+    }
+    toks.join(" ")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
-
-    /// No token soup can panic the parser.
-    #[test]
-    fn parser_never_panics(src in arb_tokensoup()) {
+/// No token soup can panic the parser.
+#[test]
+fn parser_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0xD_0001);
+    for _ in 0..256 {
+        let src = arb_tokensoup(&mut rng);
         let _ = parse_source(&src);
         let _ = parse_system(&src);
     }
+}
 
-    /// Arbitrary unicode cannot panic the lexer.
-    #[test]
-    fn lexer_survives_unicode(src in "\\PC{0,80}") {
+/// Arbitrary unicode cannot panic the lexer.
+#[test]
+fn lexer_survives_unicode() {
+    let mut rng = SmallRng::seed_from_u64(0xD_0002);
+    for _ in 0..256 {
+        let mut src = String::new();
+        for _ in 0..rng.range_usize(0, 80) {
+            if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                src.push(c);
+            }
+        }
         let _ = parse_source(&src);
     }
+}
 
-    /// Errors always point at a plausible source position.
-    #[test]
-    fn errors_carry_positions(src in arb_tokensoup()) {
+/// Errors always point at a plausible source position.
+#[test]
+fn errors_carry_positions() {
+    let mut rng = SmallRng::seed_from_u64(0xD_0003);
+    for case in 0..256 {
+        let src = arb_tokensoup(&mut rng);
         if let Err(e) = parse_source(&src) {
-            prop_assert!(e.span.line >= 1);
-            prop_assert!(e.span.col >= 1);
-            prop_assert!(!e.message.is_empty());
+            assert!(e.span.line >= 1, "case {case}: {src:?}");
+            assert!(e.span.col >= 1, "case {case}: {src:?}");
+            assert!(!e.message.is_empty(), "case {case}: {src:?}");
         }
     }
 }

@@ -58,6 +58,7 @@ pub mod mapping;
 pub mod matrix;
 pub mod platform;
 pub mod psdf;
+pub mod rng;
 pub mod time;
 pub mod validate;
 
@@ -67,6 +68,7 @@ pub use mapping::{Allocation, Psm};
 pub use matrix::CommMatrix;
 pub use platform::{BorderUnitRef, Platform, PlatformBuilder, Segment, Topology};
 pub use psdf::{Application, CostModel, Flow, Process, ProcessKind, Wave};
+pub use rng::SmallRng;
 pub use time::{ClockDomain, Picos};
 pub use validate::{Constraint, Diagnostic, Severity};
 

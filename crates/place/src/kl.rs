@@ -67,7 +67,9 @@ fn kl_from(
     let n = app.process_count();
     // Symmetric weight matrix from the flows.
     let weight = |f: &segbus_model::psdf::Flow| match objective {
-        Objective::Items => f.items,
+        // KL only ever sees hop-count surrogates; `best` maps Makespan to
+        // Items before calling in.
+        Objective::Items | Objective::Makespan => f.items,
         Objective::Packages(s) => f.packages(s),
     };
     let mut w = vec![0u64; n * n];
@@ -148,7 +150,7 @@ fn kl_from(
         alloc.assign(ProcessId(i as u32), SegmentId(s as u16));
     }
     let cost = match objective {
-        Objective::Items => alloc.weighted_cut(app),
+        Objective::Items | Objective::Makespan => alloc.weighted_cut(app),
         Objective::Packages(s) => alloc.package_cut(app, s),
     };
     Placement { allocation: alloc, cost }

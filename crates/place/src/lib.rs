@@ -23,6 +23,13 @@
 //! [`PlaceTool::best`] composes them (greedy → refine, anneal → refine,
 //! best of the two) and is what the experiments use.
 //!
+//! Hop-weighted traffic is a *proxy* for what the designer actually wants
+//! — a short schedule. [`PlaceTool::with_makespan`] switches the solvers
+//! to [`Objective::Makespan`]: every candidate allocation is judged by
+//! running the discrete-event estimator on a concrete platform, with
+//! per-allocation memoisation and a reused engine keeping the inner loop
+//! affordable (emulation in the loop).
+//!
 //! ```
 //! use segbus_apps::generators::{chain, GeneratorConfig};
 //! use segbus_place::{Objective, PlaceTool};
@@ -41,14 +48,16 @@ pub mod kl;
 
 pub use kl::kernighan_lin;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+use segbus_core::{Engine, EmulatorConfig};
 use segbus_model::ids::{ProcessId, SegmentId};
-use segbus_model::mapping::Allocation;
-use segbus_model::platform::Topology;
+use segbus_model::rng::SmallRng;
+use segbus_model::mapping::{Allocation, Psm};
+use segbus_model::platform::{Platform, Topology};
 use segbus_model::psdf::Application;
 
-/// What a unit of traffic is.
+/// What the solvers minimise.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Objective {
     /// Hop-weighted data items (the communication-matrix entries).
@@ -56,6 +65,14 @@ pub enum Objective {
     Items,
     /// Hop-weighted packages at the given package size.
     Packages(u32),
+    /// The emulated makespan, in picoseconds, of the candidate allocation
+    /// on a concrete platform (emulation in the loop). Configure it with
+    /// [`PlaceTool::with_makespan`]; the hop-count objectives are proxies
+    /// for exactly this quantity, so this variant trades solver speed for
+    /// fidelity. Candidate evaluations are memoised per allocation, and
+    /// the constructive heuristics (greedy seeding, Kernighan–Lin) keep
+    /// using the item-count surrogate to stay cheap.
+    Makespan,
 }
 
 /// A solved placement.
@@ -75,6 +92,9 @@ pub struct PlaceTool<'a> {
     capacity: Option<usize>,
     objective: Objective,
     topology: Topology,
+    /// The concrete platform emulated by [`Objective::Makespan`].
+    platform: Option<&'a Platform>,
+    emu_config: EmulatorConfig,
 }
 
 impl<'a> PlaceTool<'a> {
@@ -96,6 +116,8 @@ impl<'a> PlaceTool<'a> {
             capacity: None,
             objective: Objective::Items,
             topology: Topology::Linear,
+            platform: None,
+            emu_config: EmulatorConfig::default(),
         }
     }
 
@@ -120,8 +142,40 @@ impl<'a> PlaceTool<'a> {
     }
 
     /// Change the objective.
+    ///
+    /// # Panics
+    /// Panics on [`Objective::Makespan`] — that variant needs a platform;
+    /// use [`PlaceTool::with_makespan`] instead.
     pub fn with_objective(mut self, objective: Objective) -> Self {
+        assert!(
+            objective != Objective::Makespan,
+            "Objective::Makespan needs a platform: use with_makespan"
+        );
         self.objective = objective;
+        self
+    }
+
+    /// Minimise the emulated makespan on `platform` (emulation in the
+    /// loop). `refine`/`anneal`/`best` evaluate every candidate allocation
+    /// by running the discrete-event estimator, memoising results per
+    /// allocation so revisited candidates cost a hash lookup.
+    ///
+    /// # Panics
+    /// Panics if the platform's segment count differs from the solver's.
+    pub fn with_makespan(mut self, platform: &'a Platform) -> Self {
+        assert_eq!(
+            platform.segment_count(),
+            self.segments,
+            "platform segment count must match the solver"
+        );
+        self.objective = Objective::Makespan;
+        self.platform = Some(platform);
+        self
+    }
+
+    /// Emulator configuration for [`Objective::Makespan`] evaluations.
+    pub fn with_emulator_config(mut self, config: EmulatorConfig) -> Self {
+        self.emu_config = config;
         self
     }
 
@@ -134,8 +188,21 @@ impl<'a> PlaceTool<'a> {
         }
     }
 
-    /// Objective value of a complete allocation.
+    /// Objective value of a complete allocation. For
+    /// [`Objective::Makespan`] this emulates the candidate from scratch
+    /// (the solvers go through a memoised evaluator instead); the
+    /// allocation must then also be feasible, since the PSM validator
+    /// rejects empty segments.
     pub fn cost(&self, alloc: &Allocation) -> u64 {
+        if self.objective == Objective::Makespan {
+            return self.emulate(&mut Engine::new(self.emu_config), alloc);
+        }
+        self.hop_cost(alloc)
+    }
+
+    /// The hop-weighted traffic objective (always defined, used directly
+    /// by the `Items`/`Packages` objectives).
+    fn hop_cost(&self, alloc: &Allocation) -> u64 {
         self.app
             .flows()
             .iter()
@@ -145,6 +212,23 @@ impl<'a> PlaceTool<'a> {
                 self.flow_weight(f) * self.dist(a, b)
             })
             .sum()
+    }
+
+    /// Emulated makespan of the candidate, in picoseconds.
+    fn emulate(&self, engine: &mut Engine, alloc: &Allocation) -> u64 {
+        let platform = self
+            .platform
+            .expect("Objective::Makespan is only set together with a platform");
+        let psm = Psm::new(platform.clone(), self.app.clone(), alloc.clone())
+            .expect("feasible candidate validates as a PSM");
+        engine.run(&psm).makespan.0
+    }
+
+    /// The allocation as a dense segment-index vector (memoisation key).
+    fn slots(&self, alloc: &Allocation) -> Vec<u16> {
+        (0..self.app.process_count() as u32)
+            .map(|p| alloc.segment_of_checked(ProcessId(p)).0)
+            .collect()
     }
 
     /// `true` if the allocation is complete, within capacity, and leaves no
@@ -227,6 +311,12 @@ impl<'a> PlaceTool<'a> {
     /// that minimises the cost against already-placed neighbours, with
     /// empty segments seeded first.
     pub fn greedy(&self) -> Placement {
+        let alloc = self.greedy_allocation();
+        let cost = self.cost(&alloc);
+        Placement { allocation: alloc, cost }
+    }
+
+    fn greedy_allocation(&self) -> Allocation {
         let n = self.app.process_count();
         let matrix = segbus_model::matrix::CommMatrix::from_application(self.app);
         let mut order: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
@@ -262,8 +352,7 @@ impl<'a> PlaceTool<'a> {
             placed += 1;
         }
         debug_assert!(self.feasible(&alloc));
-        let cost = self.cost(&alloc);
-        Placement { allocation: alloc, cost }
+        alloc
     }
 
     /// Cost contribution of placing `p` on `seg` given the flows to/from
@@ -287,7 +376,9 @@ impl<'a> PlaceTool<'a> {
 
     fn flow_weight(&self, f: &segbus_model::psdf::Flow) -> u64 {
         match self.objective {
-            Objective::Items => f.items,
+            // Makespan uses items as the constructive-heuristic surrogate;
+            // the emulator only judges complete candidates.
+            Objective::Items | Objective::Makespan => f.items,
             Objective::Packages(s) => f.packages(s),
         }
     }
@@ -301,10 +392,14 @@ impl<'a> PlaceTool<'a> {
     /// # Panics
     /// Panics if `start` is infeasible.
     pub fn refine(&self, start: Allocation) -> Placement {
+        self.refine_in(&mut Evaluator::new(self), start)
+    }
+
+    fn refine_in(&self, eval: &mut Evaluator, start: Allocation) -> Placement {
         assert!(self.feasible(&start), "refine needs a feasible start");
         let n = self.app.process_count();
         let mut alloc = start;
-        let mut cost = self.cost(&alloc);
+        let mut cost = eval.cost(&alloc);
         loop {
             let mut improved = false;
             // Single moves.
@@ -316,8 +411,16 @@ impl<'a> PlaceTool<'a> {
                         continue;
                     }
                     alloc.assign(p, to);
-                    if self.feasible(&alloc) && self.cost(&alloc) < cost {
-                        cost = self.cost(&alloc);
+                    let better = self.feasible(&alloc) && {
+                        let c = eval.cost(&alloc);
+                        if c < cost {
+                            cost = c;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if better {
                         improved = true;
                         break;
                     }
@@ -335,8 +438,16 @@ impl<'a> PlaceTool<'a> {
                     }
                     alloc.assign(pa, sb);
                     alloc.assign(pb, sa);
-                    if self.feasible(&alloc) && self.cost(&alloc) < cost {
-                        cost = self.cost(&alloc);
+                    let better = self.feasible(&alloc) && {
+                        let c = eval.cost(&alloc);
+                        if c < cost {
+                            cost = c;
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if better {
                         improved = true;
                     } else {
                         alloc.assign(pa, sa);
@@ -355,10 +466,14 @@ impl<'a> PlaceTool<'a> {
     /// Seeded simulated annealing over moves and swaps, starting from the
     /// greedy placement. Deterministic for a given seed.
     pub fn anneal(&self, seed: u64, iterations: usize) -> Placement {
+        self.anneal_in(&mut Evaluator::new(self), seed, iterations)
+    }
+
+    fn anneal_in(&self, eval: &mut Evaluator, seed: u64, iterations: usize) -> Placement {
         let n = self.app.process_count();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut alloc = self.greedy().allocation;
-        let mut cost = self.cost(&alloc) as f64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut alloc = self.greedy_allocation();
+        let mut cost = eval.cost(&alloc) as f64;
         let mut best = alloc.clone();
         let mut best_cost = cost;
 
@@ -368,14 +483,14 @@ impl<'a> PlaceTool<'a> {
             let temp = t0 * (1.0 - it as f64 / iters as f64) + 1e-9;
             // Propose: 50 % move, 50 % swap.
             let undo: [(ProcessId, SegmentId); 2] = if rng.gen_bool(0.5) {
-                let p = ProcessId(rng.gen_range(0..n as u32));
+                let p = ProcessId(rng.below(n as u64) as u32);
                 let from = alloc.segment_of_checked(p);
-                let to = SegmentId(rng.gen_range(0..self.segments as u16));
+                let to = SegmentId(rng.below(self.segments as u64) as u16);
                 alloc.assign(p, to);
                 [(p, from), (p, from)]
             } else {
-                let a = ProcessId(rng.gen_range(0..n as u32));
-                let b = ProcessId(rng.gen_range(0..n as u32));
+                let a = ProcessId(rng.below(n as u64) as u32);
+                let b = ProcessId(rng.below(n as u64) as u32);
                 let (sa, sb) = (alloc.segment_of_checked(a), alloc.segment_of_checked(b));
                 alloc.assign(a, sb);
                 alloc.assign(b, sa);
@@ -387,7 +502,7 @@ impl<'a> PlaceTool<'a> {
                 }
                 continue;
             }
-            let c = self.cost(&alloc) as f64;
+            let c = eval.cost(&alloc) as f64;
             let accept = c <= cost || rng.gen_bool(((cost - c) / temp).exp().clamp(0.0, 1.0));
             if accept {
                 cost = c;
@@ -410,30 +525,91 @@ impl<'a> PlaceTool<'a> {
     /// segments without capacity limits) Kernighan–Lin → refine.
     pub fn best(&self, seed: u64) -> Placement {
         let n = self.app.process_count();
-        if (self.segments as f64).powi(n as i32) <= 250_000.0 {
+        // Enumerating every allocation is off the table when each
+        // evaluation is a full emulation run.
+        if self.objective != Objective::Makespan
+            && (self.segments as f64).powi(n as i32) <= 250_000.0
+        {
             if let Some(p) = self.exhaustive() {
                 return p;
             }
         }
-        let mut winner = self.refine(self.greedy().allocation);
+        // One evaluator for the whole composition: candidates revisited
+        // across greedy/KL/annealing restarts hit the memo.
+        let mut eval = Evaluator::new(self);
+        let mut winner = self.refine_in(&mut eval, self.greedy_allocation());
         if self.segments == 2 && self.capacity.is_none() && n >= 2 {
-            let kl = crate::kl::kernighan_lin(self.app, self.objective, 8);
-            let kl = self.refine(kl.allocation);
+            // KL optimises the surrogate cut weight; the refine pass after
+            // it judges with the real objective.
+            let kl_objective = match self.objective {
+                Objective::Makespan => Objective::Items,
+                o => o,
+            };
+            let kl = crate::kl::kernighan_lin(self.app, kl_objective, 8);
+            let kl = self.refine_in(&mut eval, kl.allocation);
             if kl.cost < winner.cost {
                 winner = kl;
             }
         }
+        let iterations = match self.objective {
+            // Emulated evaluations are ~1000× a hop count; memoisation
+            // soaks up revisits but fresh candidates stay expensive.
+            Objective::Makespan => (20 * n * self.segments).min(600),
+            _ => 200 * n * self.segments,
+        };
         for restart in 0..3u64 {
-            let a = self.anneal(
+            let a = self.anneal_in(
+                &mut eval,
                 seed.wrapping_add(restart.wrapping_mul(0x9e37_79b9)),
-                200 * n * self.segments,
+                iterations,
             );
-            let a = self.refine(a.allocation);
+            let a = self.refine_in(&mut eval, a.allocation);
             if a.cost < winner.cost {
                 winner = a;
             }
         }
         winner
+    }
+}
+
+/// Objective evaluator shared across the solver phases of one `best` run.
+///
+/// For the hop-count objectives it is a thin pass-through; for
+/// [`Objective::Makespan`] it owns a reusable [`Engine`] (plan/scratch
+/// buffers survive across candidates) and memoises the makespan per
+/// allocation, so local-search neighbourhoods that keep revisiting the
+/// same candidates pay for each distinct one exactly once.
+struct Evaluator<'t, 'a> {
+    tool: &'t PlaceTool<'a>,
+    engine: Engine,
+    memo: HashMap<Vec<u16>, u64>,
+    /// Distinct emulation runs performed (memo misses).
+    misses: usize,
+}
+
+impl<'t, 'a> Evaluator<'t, 'a> {
+    fn new(tool: &'t PlaceTool<'a>) -> Evaluator<'t, 'a> {
+        Evaluator {
+            tool,
+            engine: Engine::new(tool.emu_config),
+            memo: HashMap::new(),
+            misses: 0,
+        }
+    }
+
+    /// Objective value of a feasible candidate.
+    fn cost(&mut self, alloc: &Allocation) -> u64 {
+        if self.tool.objective != Objective::Makespan {
+            return self.tool.hop_cost(alloc);
+        }
+        let key = self.tool.slots(alloc);
+        if let Some(&c) = self.memo.get(&key) {
+            return c;
+        }
+        let c = self.tool.emulate(&mut self.engine, alloc);
+        self.misses += 1;
+        self.memo.insert(key, c);
+        c
     }
 }
 
@@ -632,5 +808,83 @@ mod tests {
         let mut app = Application::new("tiny");
         app.add_process(Process::new("A"));
         let _ = PlaceTool::new(&app, 2);
+    }
+
+    // -- emulation-in-the-loop ------------------------------------------------
+
+    /// A schedulable application (the clique fixtures violate the wave
+    /// ordering rule and cannot become a PSM).
+    fn pipeline_app() -> Application {
+        segbus_apps::generators::chain(6, segbus_apps::generators::GeneratorConfig::default())
+    }
+
+    fn two_segment_platform() -> Platform {
+        Platform::builder("t")
+            .uniform_segments(2, segbus_model::time::ClockDomain::from_mhz(100.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn makespan_cost_matches_the_emulator() {
+        let app = pipeline_app();
+        let platform = two_segment_platform();
+        let tool = PlaceTool::new(&app, 2).with_makespan(&platform);
+        let alloc = Allocation::from_groups(&[&[0, 1, 2], &[3, 4, 5]]);
+        let reference = segbus_core::Emulator::default()
+            .run(&Psm::new(platform.clone(), app.clone(), alloc.clone()).unwrap())
+            .makespan
+            .0;
+        assert_eq!(tool.cost(&alloc), reference);
+    }
+
+    #[test]
+    fn makespan_refine_never_worsens_the_schedule() {
+        let app = pipeline_app();
+        let platform = two_segment_platform();
+        let tool = PlaceTool::new(&app, 2).with_makespan(&platform);
+        // Deliberately bad but feasible start: alternate the stages so
+        // every flow crosses the border.
+        let start = Allocation::from_groups(&[&[0, 2, 4], &[1, 3, 5]]);
+        let start_makespan = tool.cost(&start);
+        let refined = tool.refine(start);
+        assert!(tool.feasible(&refined.allocation));
+        assert!(refined.cost <= start_makespan);
+        assert_eq!(refined.cost, tool.cost(&refined.allocation));
+    }
+
+    #[test]
+    fn makespan_best_is_deterministic_and_no_worse_than_greedy() {
+        let app = pipeline_app();
+        let platform = two_segment_platform();
+        let tool = PlaceTool::new(&app, 2).with_makespan(&platform);
+        let best = tool.best(3);
+        assert!(tool.feasible(&best.allocation));
+        assert!(best.cost <= tool.greedy().cost);
+        assert_eq!(best, tool.best(3));
+    }
+
+    #[test]
+    fn makespan_evaluations_are_memoised() {
+        let app = pipeline_app();
+        let platform = two_segment_platform();
+        let tool = PlaceTool::new(&app, 2).with_makespan(&platform);
+        let mut eval = Evaluator::new(&tool);
+        let a = Allocation::from_groups(&[&[0, 1, 2], &[3, 4, 5]]);
+        let b = Allocation::from_groups(&[&[0, 1], &[2, 3, 4, 5]]);
+        let first = eval.cost(&a);
+        assert_eq!(eval.cost(&a), first);
+        assert_eq!(eval.misses, 1, "repeat candidate must hit the memo");
+        let _ = eval.cost(&b);
+        assert_eq!(eval.misses, 2);
+        assert_eq!(eval.cost(&b), eval.cost(&b));
+        assert_eq!(eval.misses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "use with_makespan")]
+    fn bare_makespan_objective_rejected() {
+        let app = two_cliques();
+        let _ = PlaceTool::new(&app, 2).with_objective(Objective::Makespan);
     }
 }

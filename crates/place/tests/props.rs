@@ -1,10 +1,11 @@
-//! Property tests for the placement solvers.
+//! Property tests for the placement solvers, driven by a seeded
+//! [`SmallRng`] case stream (no external fuzzing dependency).
 
-use proptest::prelude::*;
 use segbus_apps::generators::{random_layered, GeneratorConfig};
 use segbus_model::ids::{ProcessId, SegmentId};
 use segbus_model::mapping::Allocation;
 use segbus_model::platform::Topology;
+use segbus_model::rng::SmallRng;
 use segbus_place::{Objective, PlaceTool};
 
 #[derive(Clone, Debug)]
@@ -17,14 +18,27 @@ struct Instance {
     packages: bool,
 }
 
-fn arb_instance() -> impl Strategy<Value = Instance> {
-    (2usize..=3, 1usize..=3, 0u64..500, 1usize..=3, any::<bool>(), any::<bool>()).prop_map(
-        |(layers, width, seed, segments, ring, packages)| {
-            let n = layers * width;
-            let segments = segments.min(n);
-            Instance { layers, width, seed, segments, ring: ring && segments >= 3, packages }
-        },
-    )
+fn arb_instance(rng: &mut SmallRng) -> Instance {
+    let layers = rng.range_usize(2, 3);
+    let width = rng.range_usize(1, 3);
+    let seed = rng.below(500);
+    let segments = rng.range_usize(1, 3).min(layers * width);
+    let ring = rng.gen_bool(0.5) && segments >= 3;
+    let packages = rng.gen_bool(0.5);
+    Instance { layers, width, seed, segments, ring, packages }
+}
+
+fn for_each_instance(test_seed: u64, cases: usize, check: impl Fn(&Instance)) {
+    let mut rng = SmallRng::seed_from_u64(test_seed);
+    for case in 0..cases {
+        let inst = arb_instance(&mut rng);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&inst)));
+        if let Err(e) = result {
+            eprintln!("failing case {case}: {inst:?}");
+            std::panic::resume_unwind(e);
+        }
+    }
 }
 
 fn tool<'a>(app: &'a segbus_model::psdf::Application, inst: &Instance) -> PlaceTool<'a> {
@@ -38,25 +52,25 @@ fn tool<'a>(app: &'a segbus_model::psdf::Application, inst: &Instance) -> PlaceT
     t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Every solver returns a feasible allocation and agrees with cost().
-    #[test]
-    fn solvers_are_feasible(inst in arb_instance()) {
+/// Every solver returns a feasible allocation and agrees with cost().
+#[test]
+fn solvers_are_feasible() {
+    for_each_instance(0x9_0001, 64, |inst| {
         let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
-        let t = tool(&app, &inst);
+        let t = tool(&app, inst);
         for pl in [t.greedy(), t.best(inst.seed)] {
-            prop_assert!(t.feasible(&pl.allocation));
-            prop_assert_eq!(t.cost(&pl.allocation), pl.cost);
+            assert!(t.feasible(&pl.allocation));
+            assert_eq!(t.cost(&pl.allocation), pl.cost);
         }
-    }
+    });
+}
 
-    /// Refinement never worsens any feasible starting point.
-    #[test]
-    fn refine_is_monotone(inst in arb_instance()) {
+/// Refinement never worsens any feasible starting point.
+#[test]
+fn refine_is_monotone() {
+    for_each_instance(0x9_0002, 64, |inst| {
         let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
-        let t = tool(&app, &inst);
+        let t = tool(&app, inst);
         // Start from a round-robin layout (always feasible: every segment
         // is seeded because segments <= processes).
         let mut start = Allocation::new(inst.segments);
@@ -65,26 +79,32 @@ proptest! {
         }
         let before = t.cost(&start);
         let refined = t.refine(start);
-        prop_assert!(refined.cost <= before);
-    }
+        assert!(refined.cost <= before);
+    });
+}
 
-    /// `best` never loses to plain greedy.
-    #[test]
-    fn best_dominates_greedy(inst in arb_instance()) {
+/// `best` never loses to plain greedy.
+#[test]
+fn best_dominates_greedy() {
+    for_each_instance(0x9_0003, 64, |inst| {
         let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
-        let t = tool(&app, &inst);
-        prop_assert!(t.best(inst.seed).cost <= t.greedy().cost);
-    }
+        let t = tool(&app, inst);
+        assert!(t.best(inst.seed).cost <= t.greedy().cost);
+    });
+}
 
-    /// Ring distances never exceed linear ones, so any allocation costs no
-    /// more on the ring.
-    #[test]
-    fn ring_cost_never_exceeds_linear(inst in arb_instance()) {
-        prop_assume!(inst.segments >= 3);
+/// Ring distances never exceed linear ones, so any allocation costs no
+/// more on the ring.
+#[test]
+fn ring_cost_never_exceeds_linear() {
+    for_each_instance(0x9_0004, 64, |inst| {
+        if inst.segments < 3 {
+            return;
+        }
         let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
         let linear = PlaceTool::new(&app, inst.segments);
         let ring = PlaceTool::new(&app, inst.segments).with_topology(Topology::Ring);
         let pl = linear.greedy();
-        prop_assert!(ring.cost(&pl.allocation) <= linear.cost(&pl.allocation));
-    }
+        assert!(ring.cost(&pl.allocation) <= linear.cost(&pl.allocation));
+    });
 }

@@ -261,9 +261,12 @@ pub fn placement_two_segments() -> Table {
 /// A2 — package-size sweep on the 3-segment configuration.
 pub fn package_size_sweep(sizes: &[u32]) -> Table {
     let mut t = Table::new(["package_size", "est_us", "packages", "bu12_tct"]);
-    for &s in sizes {
-        let psm = mp3::three_segment_psm().with_package_size(s).expect("valid");
-        let r = Emulator::default().run(&psm);
+    let psms: Vec<Psm> = sizes
+        .iter()
+        .map(|&s| mp3::three_segment_psm().with_package_size(s).expect("valid"))
+        .collect();
+    let reports = segbus_core::SweepPool::new(EmulatorConfig::default()).sweep(&psms);
+    for ((&s, psm), r) in sizes.iter().zip(&psms).zip(&reports) {
         t.row([
             s.to_string(),
             format!("{:.2}", r.execution_time().as_micros_f64()),
@@ -309,18 +312,23 @@ pub fn cost_model_ablation() -> Table {
 /// while the CA stays at 111 MHz.
 pub fn clock_sensitivity(factors: &[f64]) -> Table {
     let mut t = Table::new(["segment_clock_factor", "est_us"]);
-    for &f in factors {
-        let platform = segbus_model::platform::Platform::builder("scaled")
-            .package_size(36)
-            .ca_clock(segbus_model::time::ClockDomain::from_mhz(111.0))
-            .segment("S1", segbus_model::time::ClockDomain::from_mhz(91.0 * f))
-            .segment("S2", segbus_model::time::ClockDomain::from_mhz(98.0 * f))
-            .segment("S3", segbus_model::time::ClockDomain::from_mhz(89.0 * f))
-            .build()
-            .expect("valid");
-        let psm = Psm::new(platform, mp3::mp3_decoder(), mp3::three_segment_allocation())
-            .expect("valid");
-        let r = Emulator::default().run(&psm);
+    let psms: Vec<Psm> = factors
+        .iter()
+        .map(|&f| {
+            let platform = segbus_model::platform::Platform::builder("scaled")
+                .package_size(36)
+                .ca_clock(segbus_model::time::ClockDomain::from_mhz(111.0))
+                .segment("S1", segbus_model::time::ClockDomain::from_mhz(91.0 * f))
+                .segment("S2", segbus_model::time::ClockDomain::from_mhz(98.0 * f))
+                .segment("S3", segbus_model::time::ClockDomain::from_mhz(89.0 * f))
+                .build()
+                .expect("valid");
+            Psm::new(platform, mp3::mp3_decoder(), mp3::three_segment_allocation())
+                .expect("valid")
+        })
+        .collect();
+    let reports = segbus_core::SweepPool::new(EmulatorConfig::default()).sweep(&psms);
+    for (&f, r) in factors.iter().zip(&reports) {
         t.row([format!("{f:.2}"), format!("{:.2}", r.execution_time().as_micros_f64())]);
     }
     t

@@ -21,7 +21,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use segbus_core::counters::{BuCounters, CaCounters, FuTimes, SaCounters};
 use segbus_core::report::EmulationReport;
 use segbus_model::ids::{FlowId, ProcessId, SegmentId};
@@ -139,13 +139,13 @@ impl<T: Copy> Mailbox<T> {
     }
 
     fn post(&self, visible_at: Picos, sender: u16, seq: u64, payload: T) {
-        self.0.lock().push(Stamped { visible_at, sender, seq, payload });
+        self.0.lock().unwrap().push(Stamped { visible_at, sender, seq, payload });
     }
 
     /// Remove and return every message visible at `now`, ordered by
     /// `(visible_at, sender, seq)`.
     fn drain_due(&self, now: Picos) -> Vec<Stamped<T>> {
-        let mut g = self.0.lock();
+        let mut g = self.0.lock().unwrap();
         let mut due: Vec<Stamped<T>> = Vec::new();
         let mut i = 0;
         while i < g.len() {
@@ -160,7 +160,7 @@ impl<T: Copy> Mailbox<T> {
     }
 
     fn is_empty(&self) -> bool {
-        self.0.lock().is_empty()
+        self.0.lock().unwrap().is_empty()
     }
 }
 
@@ -208,11 +208,11 @@ pub(crate) struct Shared {
 
 impl Shared {
     fn transfer(&self, t: Tid) -> Transfer {
-        self.transfers[tid_seg(t)].lock()[tid_idx(t)].clone()
+        self.transfers[tid_seg(t)].lock().unwrap()[tid_idx(t)].clone()
     }
 
     fn advance_hop(&self, t: Tid) {
-        self.transfers[tid_seg(t)].lock()[tid_idx(t)].hop += 1;
+        self.transfers[tid_seg(t)].lock().unwrap()[tid_idx(t)].hop += 1;
     }
 
     fn note_activity(&self, at: Picos) {
@@ -223,7 +223,7 @@ impl Shared {
         self.ca_inbox.is_empty()
             && self.sa_inbox.iter().all(Mailbox::is_empty)
             && self.fu_ack.iter().all(Mailbox::is_empty)
-            && self.bus.iter().all(|b| b.lock().full.is_none())
+            && self.bus.iter().all(|b| b.lock().unwrap().full.is_none())
     }
 
     pub(crate) fn waves_done(&self, _n_waves: usize) -> bool {
@@ -595,7 +595,7 @@ fn step_sa(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
                 let idx = d.next_tid_idx;
                 d.next_tid_idx += 1;
                 let t = tid(d.seg, idx);
-                shared.transfers[si].lock().push(Transfer { flow, pkg, path, hop: 0 });
+                shared.transfers[si].lock().unwrap().push(Transfer { flow, pkg, path, hop: 0 });
                 let visible = now + Picos(ctx.cfg.sync_ticks * ctx.ca_clock.period_ps());
                 let seq = d.seq;
                 d.seq += 1;
@@ -698,7 +698,7 @@ fn sa_pick(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
                 .bu_between(prev, d.seg)
                 .expect("path hops adjacent");
             let ready = shared.bus[bu.index()]
-                .lock()
+                .lock().unwrap()
                 .full
                 .map(|(ft, visible_at, _)| ft == t && visible_at <= now)
                 .unwrap_or(false);
@@ -772,7 +772,7 @@ fn complete_transaction(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now
             let next_clock = ctx.psm.platform().segment_clock(next);
             let visible = now + Picos(ctx.cfg.sync_ticks * next_clock.period_ps());
             {
-                let mut b = shared.bus[bu.index()].lock();
+                let mut b = shared.bus[bu.index()].lock().unwrap();
                 debug_assert!(b.full.is_none(), "BU overwritten");
                 b.full = Some((t, visible, now));
                 if d.seg == bu.left {
@@ -801,7 +801,7 @@ fn complete_transaction(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now
             // moment this unload transfer started driving beats.
             let started = d.transfer_started;
             {
-                let mut b = shared.bus[bu_in.index()].lock();
+                let mut b = shared.bus[bu_in.index()].lock().unwrap();
                 let (ft, _, loaded_at) = b.full.take().expect("BU was full");
                 debug_assert_eq!(ft, t);
                 let wp = d.clock.ticks_at(started.saturating_sub(loaded_at));
@@ -831,7 +831,7 @@ fn complete_transaction(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now
                 let bu_out = ctx.psm.platform().bu_between(d.seg, next).expect("adjacent");
                 let next_clock = ctx.psm.platform().segment_clock(next);
                 let visible = now + Picos(ctx.cfg.sync_ticks * next_clock.period_ps());
-                let mut b = shared.bus[bu_out.index()].lock();
+                let mut b = shared.bus[bu_out.index()].lock().unwrap();
                 debug_assert!(b.full.is_none(), "BU overwritten");
                 b.full = Some((t, visible, now));
                 if d.seg == bu_out.left {
@@ -986,7 +986,7 @@ pub(crate) fn build_report(
     }
     let mut cac = ca.counters;
     cac.tct = ca.clock.ticks_covering(makespan);
-    let bus = shared.bus.iter().map(|b| b.lock().counters).collect();
+    let bus = shared.bus.iter().map(|b| b.lock().unwrap().counters).collect();
     EmulationReport {
         sas,
         ca: cac,

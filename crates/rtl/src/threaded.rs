@@ -20,7 +20,7 @@
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Barrier;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use segbus_core::report::EmulationReport;
 use segbus_model::mapping::Psm;
 use segbus_model::time::Picos;
@@ -82,7 +82,7 @@ impl ThreadedRtlSimulator {
         let shared_ref = &shared;
         let ca_mut = &mut ca;
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (si, mut d) in domains.into_iter().enumerate() {
                 let barrier = &barrier;
                 let next_edges = &next_edges;
@@ -90,7 +90,7 @@ impl ThreadedRtlSimulator {
                 let current_t = &current_t;
                 let status = &status;
                 let returned = &returned;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     loop {
                         barrier.wait(); // A: previous round complete
                         barrier.wait(); // B: leader's decision visible
@@ -105,7 +105,7 @@ impl ThreadedRtlSimulator {
                         }
                         idle[si].store(d.idle() as u8, Ordering::Relaxed);
                     }
-                    *returned[si].lock() = Some(d);
+                    *returned[si].lock().unwrap() = Some(d);
                 });
             }
 
@@ -146,8 +146,7 @@ impl ThreadedRtlSimulator {
                 }
                 idle[ci].store(ca_mut.idle() as u8, Ordering::Relaxed);
             }
-        })
-        .expect("simulation threads do not panic");
+        });
 
         if status.load(Ordering::Relaxed) == DEADLOCK {
             return Err(RtlError::Deadlock {
@@ -157,7 +156,7 @@ impl ThreadedRtlSimulator {
         }
         let domains: Vec<sim::DomainState> = returned
             .into_iter()
-            .map(|m| m.into_inner().expect("thread returned its domain"))
+            .map(|m| m.into_inner().unwrap().expect("thread returned its domain"))
             .collect();
         Ok(sim::build_report(&ctx, &shared, &domains, &ca))
     }

@@ -1,97 +1,133 @@
 //! Robustness properties of the XML toolchain: the parser must never
 //! panic, valid documents must round-trip, and the importer must reject
-//! garbage gracefully.
+//! garbage gracefully. Inputs come from a seeded [`SmallRng`] fuzzer
+//! (no external fuzzing dependency); every case is reproducible.
 
-use proptest::prelude::*;
+use segbus_model::rng::SmallRng;
 use segbus_xml::{m2t, parse, XmlDocument, XmlElement};
 
-/// Strategy: arbitrary (mostly hostile) byte soup rendered as a string.
-fn arb_garbage() -> impl Strategy<Value = String> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just("<".to_string()),
-            Just(">".to_string()),
-            Just("/".to_string()),
-            Just("\"".to_string()),
-            Just("&".to_string()),
-            Just("=".to_string()),
-            Just("xs:element".to_string()),
-            Just(" ".to_string()),
-            "[a-zA-Z0-9]{1,8}".prop_map(|s| s),
-            Just("<!--".to_string()),
-            Just("-->".to_string()),
-            Just("<?xml".to_string()),
-            Just("?>".to_string()),
-        ],
-        0..40,
-    )
-    .prop_map(|v| v.concat())
-}
-
-/// Strategy: a structurally valid random document.
-fn arb_document() -> impl Strategy<Value = XmlDocument> {
-    let name = "[a-zA-Z][a-zA-Z0-9_.:-]{0,10}";
-    let attr_value = "[ -~&&[^<]]{0,12}"; // printable ASCII without '<'
-    let leaf = (name, proptest::collection::vec((name, attr_value), 0..3)).prop_map(
-        |(n, attrs)| {
-            let mut e = XmlElement::new(n);
-            for (k, v) in attrs {
-                if e.attribute(&k).is_none() {
-                    e = e.attr(k, v);
-                }
+/// Arbitrary (mostly hostile) token soup rendered as a string.
+fn arb_garbage(rng: &mut SmallRng) -> String {
+    const TOKENS: [&str; 13] = [
+        "<", ">", "/", "\"", "&", "=", "xs:element", " ", "", "<!--", "-->", "<?xml", "?>",
+    ];
+    let n = rng.range_usize(0, 39);
+    let mut out = String::new();
+    for _ in 0..n {
+        let pick = rng.range_usize(0, TOKENS.len());
+        if pick == TOKENS.len() {
+            // A short random alphanumeric word.
+            for _ in 0..rng.range_usize(1, 8) {
+                out.push(random_alnum(rng));
             }
-            e
-        },
-    );
-    leaf.prop_recursive(3, 24, 4, move |inner| {
-        (
-            "[a-zA-Z][a-zA-Z0-9_.:-]{0,10}",
-            proptest::collection::vec(inner, 0..4),
-            proptest::option::of("[ -~&&[^<]]{1,16}"),
-        )
-            .prop_map(|(n, children, text)| {
-                let mut e = XmlElement::new(n);
-                for c in children {
-                    e = e.child(c);
-                }
-                if let Some(t) = text {
-                    if !t.trim().is_empty() {
-                        e = e.text(t.trim().to_string());
-                    }
-                }
-                e
-            })
-    })
-    .prop_map(XmlDocument::new)
+        } else {
+            out.push_str(TOKENS[pick]);
+        }
+    }
+    out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+fn random_alnum(rng: &mut SmallRng) -> char {
+    const ALNUM: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    ALNUM[rng.range_usize(0, ALNUM.len() - 1)] as char
+}
 
-    /// The parser returns Ok or Err but never panics, whatever the input.
-    #[test]
-    fn parser_never_panics(input in arb_garbage()) {
+/// A plausible XML name: `[a-zA-Z][a-zA-Z0-9_.:-]{0,10}`.
+fn random_name(rng: &mut SmallRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.:-";
+    let mut s = String::new();
+    s.push(FIRST[rng.range_usize(0, FIRST.len() - 1)] as char);
+    for _ in 0..rng.range_usize(0, 10) {
+        s.push(REST[rng.range_usize(0, REST.len() - 1)] as char);
+    }
+    s
+}
+
+/// Printable ASCII without `<`, up to `max` characters.
+fn random_text(rng: &mut SmallRng, max: usize) -> String {
+    let mut s = String::new();
+    for _ in 0..rng.range_usize(0, max) {
+        let c = (0x20 + rng.below(0x5f) as u8) as char; // ' '..='~'
+        if c != '<' {
+            s.push(c);
+        }
+    }
+    s
+}
+
+/// A structurally valid random document (recursive, depth-limited).
+fn arb_element(rng: &mut SmallRng, depth: usize) -> XmlElement {
+    let mut e = XmlElement::new(random_name(rng));
+    for _ in 0..rng.range_usize(0, 2) {
+        let k = random_name(rng);
+        if e.attribute(&k).is_none() {
+            e = e.attr(k, random_text(rng, 12));
+        }
+    }
+    if depth > 0 {
+        for _ in 0..rng.range_usize(0, 3) {
+            e = e.child(arb_element(rng, depth - 1));
+        }
+    }
+    if rng.gen_bool(0.4) {
+        let t = random_text(rng, 16);
+        if !t.trim().is_empty() {
+            e = e.text(t.trim().to_string());
+        }
+    }
+    e
+}
+
+fn arb_document(rng: &mut SmallRng) -> XmlDocument {
+    XmlDocument::new(arb_element(rng, 3))
+}
+
+/// The parser returns Ok or Err but never panics, whatever the input.
+#[test]
+fn parser_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0xF_0001);
+    for _ in 0..256 {
+        let input = arb_garbage(&mut rng);
         let _ = parse(&input);
     }
+}
 
-    /// Arbitrary unicode also cannot crash the tokenizer.
-    #[test]
-    fn parser_survives_unicode(input in "\\PC{0,64}") {
+/// Arbitrary unicode also cannot crash the tokenizer.
+#[test]
+fn parser_survives_unicode() {
+    let mut rng = SmallRng::seed_from_u64(0xF_0002);
+    for _ in 0..256 {
+        let mut input = String::new();
+        for _ in 0..rng.range_usize(0, 64) {
+            // Any valid scalar value, surrogate range excluded by from_u32.
+            if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                input.push(c);
+            }
+        }
         let _ = parse(&input);
     }
+}
 
-    /// Write → parse is the identity on structurally valid documents.
-    #[test]
-    fn write_parse_round_trip(doc in arb_document()) {
+/// Write → parse is the identity on structurally valid documents.
+#[test]
+fn write_parse_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0xF_0003);
+    for case in 0..256 {
+        let doc = arb_document(&mut rng);
         let text = doc.to_xml_string();
         let back = parse(&text);
-        prop_assert!(back.is_ok(), "serialised document failed to parse:\n{text}");
-        prop_assert_eq!(back.unwrap(), doc);
+        assert!(back.is_ok(), "case {case}: serialised document failed to parse:\n{text}");
+        assert_eq!(back.unwrap(), doc, "case {case}");
     }
+}
 
-    /// The PSDF importer rejects random documents without panicking.
-    #[test]
-    fn importer_never_panics(doc in arb_document()) {
+/// The PSDF importer rejects random documents without panicking.
+#[test]
+fn importer_never_panics() {
+    let mut rng = SmallRng::seed_from_u64(0xF_0004);
+    for _ in 0..256 {
+        let doc = arb_document(&mut rng);
         let _ = segbus_xml::import::import_psdf(&doc);
     }
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the repo must build and test clean, fully offline.
+#
+#   scripts/verify.sh          # build (offline) + release build + full test suite
+#
+# The --offline build is the dependency-trim guard: the workspace must
+# compile with no registry access and no vendored third-party crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --offline =="
+cargo build --offline
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test --workspace =="
+cargo test --workspace -q
+
+echo "verify: OK"

@@ -473,7 +473,8 @@ fn cmd_codegen(args: &[String]) -> Result<String, CliError> {
         Some(Some("rust")) => Ok(segbus_codegen::rust_emit::to_rust(&psm, &sched)),
         Some(Some("c")) => Ok(segbus_codegen::c_emit::to_c_header(&psm, &sched)),
         Some(other) => Err(fail(format!(
-            "--format must be 'vhdl', 'rust' or 'c', got {other:?}"
+            "--format must be 'vhdl', 'rust' or 'c', got '{}'",
+            other.unwrap_or("")
         ))),
     }
 }

@@ -1,9 +1,9 @@
 //! Property-based tests over randomly generated applications, platforms
-//! and mappings. The generators are seeded (`segbus::apps::generators`),
-//! so proptest shrinks over the seed/parameter space and every failure is
-//! reproducible.
+//! and mappings. Cases are drawn from a seeded [`SmallRng`] stream
+//! (the workspace builds offline and cannot depend on `proptest`), so
+//! every failure reproduces exactly; the failing `SystemSpec` is printed
+//! in the panic message.
 
-use proptest::prelude::*;
 use segbus::apps::generators::{
     block_allocation, random_layered, ring_platform, round_robin_allocation,
     uniform_platform, GeneratorConfig,
@@ -11,11 +11,12 @@ use segbus::apps::generators::{
 use segbus::dsl;
 use segbus::emu::{Emulator, EmulatorConfig};
 use segbus::model::prelude::*;
+use segbus::model::SmallRng;
 use segbus::rtl::RtlSimulator;
 use segbus::xml::{import, m2t, parse};
 
-/// A random but always-valid PSM, described by a handful of scalars so
-/// shrinking stays meaningful.
+/// A random but always-valid PSM, described by a handful of scalars so a
+/// failure report stays meaningful.
 #[derive(Clone, Debug)]
 struct SystemSpec {
     layers: usize,
@@ -29,35 +30,25 @@ struct SystemSpec {
     ticks: u64,
 }
 
-fn arb_system() -> impl Strategy<Value = SystemSpec> {
-    (
-        2usize..=4,   // layers
-        1usize..=3,   // width
-        0u64..1000,   // seed
-        1usize..=3,   // segments (clamped below)
-        prop_oneof![Just(9u32), Just(12), Just(18), Just(36)],
-        any::<bool>(),
-        any::<bool>(),
-        prop_oneof![Just(36u64), Just(72), Just(144), Just(360)],
-        1u64..=300,
-    )
-        .prop_map(
-            |(layers, width, seed, segments, package_size, block, ring, items_per_flow, ticks)| {
-                let segments = segments.min(layers * width);
-                SystemSpec {
-                    layers,
-                    width,
-                    seed,
-                    segments,
-                    package_size,
-                    block,
-                    // Rings need at least three segments.
-                    ring: ring && segments >= 3,
-                    items_per_flow,
-                    ticks,
-                }
-            },
-        )
+fn arb_system(rng: &mut SmallRng) -> SystemSpec {
+    let layers = rng.range_usize(2, 4);
+    let width = rng.range_usize(1, 3);
+    let seed = rng.below(1000);
+    let segments = rng.range_usize(1, 3).min(layers * width);
+    let package_size = [9u32, 12, 18, 36][rng.range_usize(0, 3)];
+    let items_per_flow = [36u64, 72, 144, 360][rng.range_usize(0, 3)];
+    SystemSpec {
+        layers,
+        width,
+        seed,
+        segments,
+        package_size,
+        block: rng.gen_bool(0.5),
+        // Rings need at least three segments.
+        ring: rng.gen_bool(0.5) && segments >= 3,
+        items_per_flow,
+        ticks: rng.range_u64(1, 300),
+    }
 }
 
 fn build(spec: &SystemSpec) -> Psm {
@@ -79,45 +70,61 @@ fn build(spec: &SystemSpec) -> Psm {
     Psm::new(platform, app, alloc).expect("generated systems validate")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// Every run terminates with all status flags raised, and packages are
-    /// conserved end to end (sent = received = total; BU in = BU out).
-    #[test]
-    fn conservation_and_flags(spec in arb_system()) {
+/// Run `cases` generated systems through `check`, labelling any panic
+/// with the offending spec.
+fn for_each_system(test_seed: u64, cases: usize, check: impl Fn(&SystemSpec, &Psm)) {
+    let mut rng = SmallRng::seed_from_u64(test_seed);
+    for case in 0..cases {
+        let spec = arb_system(&mut rng);
         let psm = build(&spec);
-        let r = Emulator::default().run(&psm);
-        prop_assert!(r.all_flags_raised());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check(&spec, &psm)
+        }));
+        if let Err(e) = result {
+            eprintln!("failing case {case}: {spec:?}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+/// Every run terminates with all status flags raised, and packages are
+/// conserved end to end (sent = received = total; BU in = BU out).
+#[test]
+fn conservation_and_flags() {
+    for_each_system(0xC0_0001, 48, |_, psm| {
+        let r = Emulator::default().run(psm);
+        assert!(r.all_flags_raised());
         let s = psm.platform().package_size();
         let total: u64 = psm.application().flows().iter().map(|f| f.packages(s)).sum();
         let sent: u64 = r.fus.iter().map(|f| f.packages_sent).sum();
         let recv: u64 = r.fus.iter().map(|f| f.packages_received).sum();
-        prop_assert_eq!(sent, total);
-        prop_assert_eq!(recv, total);
+        assert_eq!(sent, total);
+        assert_eq!(recv, total);
         for b in &r.bus {
-            prop_assert_eq!(b.total_in(), b.total_out());
-            prop_assert_eq!(b.tct, b.useful_period(s) + b.waiting_ticks);
+            assert_eq!(b.total_in(), b.total_out());
+            assert_eq!(b.tct, b.useful_period(s) + b.waiting_ticks);
         }
-    }
+    });
+}
 
-    /// The emulator is deterministic.
-    #[test]
-    fn estimator_determinism(spec in arb_system()) {
-        let psm = build(&spec);
-        let a = Emulator::default().run(&psm);
-        let b = Emulator::default().run(&psm);
-        prop_assert_eq!(a.makespan, b.makespan);
-        prop_assert_eq!(a.sas, b.sas);
-        prop_assert_eq!(a.ca, b.ca);
-        prop_assert_eq!(a.bus, b.bus);
-    }
+/// The emulator is deterministic.
+#[test]
+fn estimator_determinism() {
+    for_each_system(0xC0_0002, 48, |_, psm| {
+        let a = Emulator::default().run(psm);
+        let b = Emulator::default().run(psm);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.sas, b.sas);
+        assert_eq!(a.ca, b.ca);
+        assert_eq!(a.bus, b.bus);
+    });
+}
 
-    /// The makespan respects the schedule's compute lower bound:
-    /// waves are barriers, producers serialise their own packages.
-    #[test]
-    fn makespan_lower_bound(spec in arb_system()) {
-        let psm = build(&spec);
+/// The makespan respects the schedule's compute lower bound:
+/// waves are barriers, producers serialise their own packages.
+#[test]
+fn makespan_lower_bound() {
+    for_each_system(0xC0_0003, 48, |_, psm| {
         let app = psm.application();
         let s = psm.platform().package_size();
         let mut bound = 0u64; // picoseconds
@@ -133,114 +140,121 @@ proptest! {
             }
             bound += per_producer.values().copied().max().unwrap_or(0);
         }
-        let r = Emulator::default().run(&psm);
-        prop_assert!(
+        let r = Emulator::default().run(psm);
+        assert!(
             r.makespan.0 >= bound,
-            "makespan {} below compute bound {}", r.makespan.0, bound
+            "makespan {} below compute bound {}",
+            r.makespan.0,
+            bound
         );
-    }
+    });
+}
 
-    /// The detailed reference simulation always completes and is never
-    /// faster than the estimator (it pays for every signal the estimator
-    /// skips), while staying within a sane factor.
-    #[test]
-    fn estimator_underestimates_reference(spec in arb_system()) {
-        let psm = build(&spec);
-        let est = Emulator::default().run(&psm).execution_time();
-        let act = RtlSimulator::default().run(&psm);
-        let act = prop_unwrap(act)?;
-        let act = act.execution_time();
+/// The detailed reference simulation always completes and is never
+/// faster than the estimator (it pays for every signal the estimator
+/// skips), while staying within a sane factor.
+#[test]
+fn estimator_underestimates_reference() {
+    for_each_system(0xC0_0004, 48, |_, psm| {
+        let est = Emulator::default().run(psm).execution_time();
+        let act = RtlSimulator::default()
+            .run(psm)
+            .expect("reference simulation completes")
+            .execution_time();
         // Allow a 5 % scheduling-luck reversal (differing arbitration
         // orders); the MP3 accuracy tests assert strict underestimation.
-        prop_assert!(
+        assert!(
             act.0 * 100 >= est.0 * 95,
             "reference {act:?} much faster than estimate {est:?}"
         );
-        prop_assert!(act.0 <= est.0.saturating_mul(3), "gap too large: {act:?} vs {est:?}");
-    }
-
-    /// XML round trip: `import(export(app)) == app` for arbitrary apps.
-    #[test]
-    fn xml_psdf_round_trip(spec in arb_system()) {
-        let psm = build(&spec);
-        let app = psm.application();
-        let text = m2t::export_psdf(app).to_xml_string();
-        let doc = prop_unwrap(parse(&text).map_err(|e| e.to_string()))?;
-        let back = prop_unwrap(import::import_psdf(&doc).map_err(|e| e.to_string()))?;
-        prop_assert_eq!(&back, app);
-    }
-
-    /// Full-system XML round trip preserves the emulation result exactly.
-    #[test]
-    fn xml_system_round_trip_preserves_results(spec in arb_system()) {
-        let psm = build(&spec);
-        let psdf = prop_unwrap(parse(&m2t::export_psdf(psm.application()).to_xml_string()).map_err(|e| e.to_string()))?;
-        let psm_doc = prop_unwrap(parse(&m2t::export_psm(&psm).to_xml_string()).map_err(|e| e.to_string()))?;
-        let back = prop_unwrap(import::import_system(&psdf, &psm_doc).map_err(|e| e.to_string()))?;
-        let a = Emulator::default().run(&psm);
-        let b = Emulator::default().run(&back);
-        prop_assert_eq!(a.makespan, b.makespan);
-        prop_assert_eq!(a.sas, b.sas);
-    }
-
-    /// DSL round trip: `parse(print(psm))` reproduces the exact model.
-    #[test]
-    fn dsl_round_trip(spec in arb_system()) {
-        let psm = build(&spec);
-        let text = dsl::printer::to_dsl(&psm);
-        let back = prop_unwrap(dsl::parse_system(&text).map_err(|e| e.to_string()))?;
-        prop_assert_eq!(back.application(), psm.application());
-        prop_assert_eq!(back.platform(), psm.platform());
-        prop_assert_eq!(back.allocation(), psm.allocation());
-    }
-
-    /// Tracing must not perturb timing: traced and untraced runs agree.
-    #[test]
-    fn tracing_is_observation_only(spec in arb_system()) {
-        let psm = build(&spec);
-        let plain = Emulator::default().run(&psm);
-        let traced = Emulator::new(EmulatorConfig::traced()).run(&psm);
-        prop_assert_eq!(plain.makespan, traced.makespan);
-        prop_assert_eq!(plain.sas, traced.sas);
-        prop_assert_eq!(plain.ca, traced.ca);
-        prop_assert!(traced.trace.is_some());
-    }
+        assert!(act.0 <= est.0.saturating_mul(3), "gap too large: {act:?} vs {est:?}");
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+/// XML round trip: `import(export(app)) == app` for arbitrary apps.
+#[test]
+fn xml_psdf_round_trip() {
+    for_each_system(0xC0_0005, 48, |_, psm| {
+        let app = psm.application();
+        let text = m2t::export_psdf(app).to_xml_string();
+        let doc = parse(&text).expect("exported scheme parses");
+        let back = import::import_psdf(&doc).expect("exported scheme imports");
+        assert_eq!(&back, app);
+    });
+}
 
-    /// Streaming: `run_frames` conserves packages frame-for-frame, and the
-    /// pipelined makespan is bounded by the serial repetition while never
-    /// undercutting a single frame.
-    #[test]
-    fn streaming_conservation_and_bounds(spec in arb_system(), frames in 1u64..=3) {
-        let psm = build(&spec);
-        let single = Emulator::default().run(&psm).makespan;
-        let r = Emulator::default().run_frames(&psm, frames);
-        prop_assert!(r.all_flags_raised());
+/// Full-system XML round trip preserves the emulation result exactly.
+#[test]
+fn xml_system_round_trip_preserves_results() {
+    for_each_system(0xC0_0006, 48, |_, psm| {
+        let psdf = parse(&m2t::export_psdf(psm.application()).to_xml_string())
+            .expect("psdf parses");
+        let psm_doc = parse(&m2t::export_psm(psm).to_xml_string()).expect("psm parses");
+        let back = import::import_system(&psdf, &psm_doc).expect("system imports");
+        let a = Emulator::default().run(psm);
+        let b = Emulator::default().run(&back);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.sas, b.sas);
+    });
+}
+
+/// DSL round trip: `parse(print(psm))` reproduces the exact model.
+#[test]
+fn dsl_round_trip() {
+    for_each_system(0xC0_0007, 48, |_, psm| {
+        let text = dsl::printer::to_dsl(psm);
+        let back = dsl::parse_system(&text).expect("printed DSL parses");
+        assert_eq!(back.application(), psm.application());
+        assert_eq!(back.platform(), psm.platform());
+        assert_eq!(back.allocation(), psm.allocation());
+    });
+}
+
+/// Tracing must not perturb timing: traced and untraced runs agree.
+#[test]
+fn tracing_is_observation_only() {
+    for_each_system(0xC0_0008, 48, |_, psm| {
+        let plain = Emulator::default().run(psm);
+        let traced = Emulator::new(EmulatorConfig::traced()).run(psm);
+        assert_eq!(plain.makespan, traced.makespan);
+        assert_eq!(plain.sas, traced.sas);
+        assert_eq!(plain.ca, traced.ca);
+        assert!(traced.trace.is_some());
+    });
+}
+
+/// Streaming: `run_frames` conserves packages frame-for-frame, and the
+/// pipelined makespan is bounded by the serial repetition while never
+/// undercutting a single frame.
+#[test]
+fn streaming_conservation_and_bounds() {
+    let mut frame_rng = SmallRng::seed_from_u64(0xC0_0009);
+    let frames_of: Vec<u64> = (0..24).map(|_| frame_rng.range_u64(1, 3)).collect();
+    let case = std::cell::Cell::new(0usize);
+    for_each_system(0xC0_000A, 24, |_, psm| {
+        let frames = frames_of[case.get()];
+        case.set(case.get() + 1);
+        let single = Emulator::default().run(psm).makespan;
+        let r = Emulator::default().run_frames(psm, frames);
+        assert!(r.all_flags_raised());
         let s = psm.platform().package_size();
         let per_frame: u64 = psm.application().flows().iter().map(|f| f.packages(s)).sum();
         let sent: u64 = r.fus.iter().map(|f| f.packages_sent).sum();
-        prop_assert_eq!(sent, per_frame * frames);
+        assert_eq!(sent, per_frame * frames);
         for b in &r.bus {
-            prop_assert_eq!(b.total_in(), b.total_out());
+            assert_eq!(b.total_in(), b.total_out());
         }
-        prop_assert!(r.makespan >= single, "pipelining cannot beat one frame");
+        assert!(r.makespan >= single, "pipelining cannot beat one frame");
         // Frame interleaving is subject to classic scheduling anomalies
         // (a FIFO arbiter can delay the critical chain), so serial
         // repetition is not a hard upper bound — but a run far beyond it
         // would be a pipelining bug. Sanity: within 25 %.
         let bound = frames * single.0 + frames * single.0 / 4;
-        prop_assert!(
+        assert!(
             r.makespan.0 <= bound,
             "pipelining far exceeds serial repetition: {} > {}",
-            r.makespan.0, bound
+            r.makespan.0,
+            bound
         );
-    }
-}
-
-/// Adapter: turn a `Result` into a proptest failure with context.
-fn prop_unwrap<T, E: std::fmt::Display>(r: Result<T, E>) -> Result<T, TestCaseError> {
-    r.map_err(|e| TestCaseError::fail(e.to_string()))
+    });
 }
