@@ -22,7 +22,10 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        GeneratorConfig { items_per_flow: 576, ticks_per_package: 250 }
+        GeneratorConfig {
+            items_per_flow: 576,
+            ticks_per_package: 250,
+        }
     }
 }
 
@@ -70,12 +73,25 @@ pub fn diamond(width: usize, cfg: GeneratorConfig) -> Application {
         .collect();
     let sink = app.add_process(Process::final_("SINK"));
     for &w in &workers {
-        app.add_flow(Flow::new(src, w, cfg.items_per_flow, 0, cfg.ticks_per_package))
-            .expect("valid");
-        app.add_flow(Flow::new(w, sink, cfg.items_per_flow, 0, cfg.ticks_per_package))
-            .expect("valid");
+        app.add_flow(Flow::new(
+            src,
+            w,
+            cfg.items_per_flow,
+            0,
+            cfg.ticks_per_package,
+        ))
+        .expect("valid");
+        app.add_flow(Flow::new(
+            w,
+            sink,
+            cfg.items_per_flow,
+            0,
+            cfg.ticks_per_package,
+        ))
+        .expect("valid");
     }
-    app.assign_orders_topologically().expect("diamond is acyclic");
+    app.assign_orders_topologically()
+        .expect("diamond is acyclic");
     app
 }
 
@@ -125,7 +141,8 @@ pub fn butterfly(stages_log2: u32, cfg: GeneratorConfig) -> Application {
             .expect("valid");
         }
     }
-    app.assign_orders_topologically().expect("butterfly is acyclic");
+    app.assign_orders_topologically()
+        .expect("butterfly is acyclic");
     app
 }
 
@@ -161,14 +178,14 @@ pub fn random_layered(layers: usize, width: usize, seed: u64, cfg: GeneratorConf
             for _ in 0..fan_in {
                 let src = grid[l][rng.range_usize(0, width - 1)];
                 let items = 36 * rng.range_u64(1, max_mult);
-                let ticks =
-                    rng.range_u64(cfg.ticks_per_package / 2, cfg.ticks_per_package.max(1));
+                let ticks = rng.range_u64(cfg.ticks_per_package / 2, cfg.ticks_per_package.max(1));
                 app.add_flow(Flow::new(src, grid[l + 1][w], items, 0, ticks))
                     .expect("valid");
             }
         }
     }
-    app.assign_orders_topologically().expect("layered DAG is acyclic");
+    app.assign_orders_topologically()
+        .expect("layered DAG is acyclic");
     app
 }
 
@@ -178,10 +195,7 @@ pub fn random_layered(layers: usize, width: usize, seed: u64, cfg: GeneratorConf
 pub fn round_robin_allocation(app: &Application, segments: usize) -> Allocation {
     let mut alloc = Allocation::new(segments);
     for i in 0..app.process_count() {
-        alloc.assign(
-            ProcessId(i as u32),
-            SegmentId((i % segments) as u16),
-        );
+        alloc.assign(ProcessId(i as u32), SegmentId((i % segments) as u16));
     }
     alloc
 }

@@ -22,8 +22,10 @@ use segbus_model::prelude::*;
 /// stage compresses ~3:1. All item counts are multiples of 36 so the
 /// paper's package size divides them exactly.
 pub fn jpeg_encoder() -> Application {
-    let mut app = Application::new("jpeg-encoder")
-        .with_cost_model(CostModel::Affine { base_ticks: 40, reference_package_size: 36 });
+    let mut app = Application::new("jpeg-encoder").with_cost_model(CostModel::Affine {
+        base_ticks: 40,
+        reference_package_size: 36,
+    });
     let rgb2ycc = app.add_process(Process::initial("RGB2YCC"));
     let dct_y = app.add_process(Process::new("DCT_Y"));
     let dct_cb = app.add_process(Process::new("DCT_CB"));
@@ -66,8 +68,10 @@ pub fn jpeg_encoder() -> Application {
 ///              └──────────┴────┘ (reflection coefficients / residual)
 /// ```
 pub fn gsm_encoder() -> Application {
-    let mut app = Application::new("gsm-encoder")
-        .with_cost_model(CostModel::Affine { base_ticks: 40, reference_package_size: 36 });
+    let mut app = Application::new("gsm-encoder").with_cost_model(CostModel::Affine {
+        base_ticks: 40,
+        reference_package_size: 36,
+    });
     let pre = app.add_process(Process::initial("PREPROC"));
     let lpc = app.add_process(Process::new("LPC"));
     let stf = app.add_process(Process::new("STF"));
@@ -103,8 +107,10 @@ pub fn gsm_encoder() -> Application {
 ///       └─ DDC_Q ── FIR_Q ──┴── DEMOD ── FEC ── SINK
 /// ```
 pub fn sdr_receiver() -> Application {
-    let mut app = Application::new("sdr-receiver")
-        .with_cost_model(CostModel::Affine { base_ticks: 40, reference_package_size: 36 });
+    let mut app = Application::new("sdr-receiver").with_cost_model(CostModel::Affine {
+        base_ticks: 40,
+        reference_package_size: 36,
+    });
     let adc = app.add_process(Process::initial("ADC"));
     let ddc_i = app.add_process(Process::new("DDC_I"));
     let ddc_q = app.add_process(Process::new("DDC_Q"));
@@ -145,8 +151,10 @@ pub fn sdr_receiver() -> Application {
 /// Three DCT+quantise workers operate on interleaved macroblocks in
 /// parallel — the fork-join shape that profits from segmentation.
 pub fn video_encoder() -> Application {
-    let mut app = Application::new("video-encoder")
-        .with_cost_model(CostModel::Affine { base_ticks: 40, reference_package_size: 36 });
+    let mut app = Application::new("video-encoder").with_cost_model(CostModel::Affine {
+        base_ticks: 40,
+        reference_package_size: 36,
+    });
     let capture = app.add_process(Process::initial("CAPTURE"));
     let split = app.add_process(Process::new("MB_SPLIT"));
     let workers: Vec<ProcessId> = (0..3)
@@ -272,7 +280,12 @@ mod tests {
     #[test]
     fn library_apps_run_on_paper_platforms() {
         for segments in 1..=3 {
-            for app in [jpeg_encoder(), gsm_encoder(), sdr_receiver(), video_encoder()] {
+            for app in [
+                jpeg_encoder(),
+                gsm_encoder(),
+                sdr_receiver(),
+                video_encoder(),
+            ] {
                 let name = app.name().to_string();
                 let psm = on_paper_platform(app, segments);
                 assert_eq!(psm.platform().segment_count(), segments, "{name}");

@@ -33,7 +33,9 @@ pub struct Mp3Config {
 
 impl Default for Mp3Config {
     fn default() -> Self {
-        Mp3Config { ticks_per_package: 250 }
+        Mp3Config {
+            ticks_per_package: 250,
+        }
     }
 }
 
@@ -55,8 +57,10 @@ pub fn mp3_decoder_with(cfg: Mp3Config) -> Application {
     // This reproduces the paper's ~14 % slowdown at package size 18
     // (pure per-item cost would be repackaging-invariant, pure
     // per-package cost would double — see EXPERIMENTS.md).
-    let mut app = Application::new("mp3-decoder")
-        .with_cost_model(CostModel::Affine { base_ticks: 40, reference_package_size: 36 });
+    let mut app = Application::new("mp3-decoder").with_cost_model(CostModel::Affine {
+        base_ticks: 40,
+        reference_package_size: 36,
+    });
 
     // P0..P14, in index order.
     let p: Vec<ProcessId> = (0..15)
@@ -125,10 +129,7 @@ pub fn two_segment_psm() -> Psm {
         .segment("Segment2", ClockDomain::from_mhz(98.0))
         .build()
         .expect("valid platform");
-    let alloc = Allocation::from_groups(&[
-        &[4, 5, 6, 7, 10, 11, 12, 13, 14],
-        &[0, 1, 2, 3, 8, 9],
-    ]);
+    let alloc = Allocation::from_groups(&[&[4, 5, 6, 7, 10, 11, 12, 13, 14], &[0, 1, 2, 3, 8, 9]]);
     Psm::new(platform, mp3_decoder(), alloc).expect("valid PSM")
 }
 
@@ -152,11 +153,7 @@ pub fn three_segment_psm_with(cfg: Mp3Config, package_size: u32) -> Psm {
 
 /// The Fig. 9 three-segment allocation on its own.
 pub fn three_segment_allocation() -> Allocation {
-    Allocation::from_groups(&[
-        &[0, 1, 2, 3, 8, 9, 10],
-        &[5, 6, 7, 11, 12, 13, 14],
-        &[4],
-    ])
+    Allocation::from_groups(&[&[0, 1, 2, 3, 8, 9, 10], &[5, 6, 7, 11, 12, 13, 14], &[4]])
 }
 
 /// The paper's third experiment: the 3-segment configuration with process

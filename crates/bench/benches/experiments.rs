@@ -27,11 +27,17 @@ fn print_all_tables() {
         println!("\n=== A1 — placement comparison ===");
         print!("{}", segbus_report::placement_comparison());
         println!("\n=== A2 — package-size sweep ===");
-        print!("{}", segbus_report::package_size_sweep(&segbus_report::SWEEP_SIZES));
+        print!(
+            "{}",
+            segbus_report::package_size_sweep(&segbus_report::SWEEP_SIZES)
+        );
         println!("\n=== A3 — cost-model ablation ===");
         print!("{}", segbus_report::cost_model_ablation());
         println!("\n=== A5 — clock sensitivity ===");
-        print!("{}", segbus_report::clock_sensitivity(&[0.5, 0.75, 1.0, 1.5, 2.0]));
+        print!(
+            "{}",
+            segbus_report::clock_sensitivity(&[0.5, 0.75, 1.0, 1.5, 2.0])
+        );
         println!("\n=== A6 — producer release policy ===");
         print!("{}", segbus_report::release_policy_ablation());
         println!("\n=== A7 — application library ===");
@@ -55,24 +61,46 @@ fn bench_experiments(c: &mut Criterion) {
     let mut g = c.benchmark_group("experiments");
     g.sample_size(10);
     g.bench_function("e1_fig8_matrix", |b| b.iter(segbus_report::fig8_matrix));
-    g.bench_function("e2_threeseg_report", |b| b.iter(segbus_report::threeseg_report));
-    g.bench_function("e3_fig10_timeline", |b| b.iter(segbus_report::fig10_timeline));
-    g.bench_function("e4_fig11_activity", |b| b.iter(segbus_report::fig11_activity));
+    g.bench_function("e2_threeseg_report", |b| {
+        b.iter(segbus_report::threeseg_report)
+    });
+    g.bench_function("e3_fig10_timeline", |b| {
+        b.iter(segbus_report::fig10_timeline)
+    });
+    g.bench_function("e4_fig11_activity", |b| {
+        b.iter(segbus_report::fig11_activity)
+    });
     g.bench_function("e5_accuracy_rows", |b| b.iter(segbus_report::accuracy_rows));
-    g.bench_function("e6_bu_utilisation", |b| b.iter(segbus_report::bu_utilisation));
-    g.bench_function("e7_segment_comparison", |b| b.iter(segbus_report::segment_comparison));
-    g.bench_function("a1_placement", |b| b.iter(segbus_report::placement_comparison));
+    g.bench_function("e6_bu_utilisation", |b| {
+        b.iter(segbus_report::bu_utilisation)
+    });
+    g.bench_function("e7_segment_comparison", |b| {
+        b.iter(segbus_report::segment_comparison)
+    });
+    g.bench_function("a1_placement", |b| {
+        b.iter(segbus_report::placement_comparison)
+    });
     g.bench_function("a2_sweep", |b| {
         b.iter(|| segbus_report::package_size_sweep(&segbus_report::SWEEP_SIZES))
     });
-    g.bench_function("a3_cost_models", |b| b.iter(segbus_report::cost_model_ablation));
+    g.bench_function("a3_cost_models", |b| {
+        b.iter(segbus_report::cost_model_ablation)
+    });
     g.bench_function("a5_clocks", |b| {
         b.iter(|| segbus_report::clock_sensitivity(&[0.5, 1.0, 2.0]))
     });
-    g.bench_function("a6_release_policy", |b| b.iter(segbus_report::release_policy_ablation));
-    g.bench_function("a9_topology", |b| b.iter(segbus_report::topology_comparison));
-    g.bench_function("a11_arbitration", |b| b.iter(segbus_report::arbitration_comparison));
-    g.bench_function("a12_streaming", |b| b.iter(segbus_report::streaming_throughput));
+    g.bench_function("a6_release_policy", |b| {
+        b.iter(segbus_report::release_policy_ablation)
+    });
+    g.bench_function("a9_topology", |b| {
+        b.iter(segbus_report::topology_comparison)
+    });
+    g.bench_function("a11_arbitration", |b| {
+        b.iter(segbus_report::arbitration_comparison)
+    });
+    g.bench_function("a12_streaming", |b| {
+        b.iter(segbus_report::streaming_throughput)
+    });
     g.finish();
 }
 

@@ -31,7 +31,9 @@ fn bench_scaling(c: &mut Criterion) {
         let n = app.process_count();
         let tool = PlaceTool::new(&app, 4);
         g.bench_function(format!("greedy_n{n}"), |b| b.iter(|| tool.greedy()));
-        g.bench_function(format!("anneal1k_n{n}"), |b| b.iter(|| tool.anneal(7, 1000)));
+        g.bench_function(format!("anneal1k_n{n}"), |b| {
+            b.iter(|| tool.anneal(7, 1000))
+        });
     }
     g.finish();
 }

@@ -43,16 +43,31 @@ fn bench_sweep(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("fresh_emulator_seq", |b| {
         let emulator = Emulator::default();
-        b.iter(|| jobs.iter().map(|p| emulator.run(p).makespan).collect::<Vec<_>>())
+        b.iter(|| {
+            jobs.iter()
+                .map(|p| emulator.run(p).makespan)
+                .collect::<Vec<_>>()
+        })
     });
     g.bench_function("engine_reuse_seq", |b| {
         let mut engine = Engine::new(EmulatorConfig::default());
-        b.iter(|| jobs.iter().map(|p| engine.run(p).makespan).collect::<Vec<_>>())
+        b.iter(|| {
+            jobs.iter()
+                .map(|p| engine.run(p).makespan)
+                .collect::<Vec<_>>()
+        })
     });
     g.bench_function("engine_reuse_heap_queue", |b| {
-        let cfg = EmulatorConfig { queue: QueueKind::BinaryHeap, ..EmulatorConfig::default() };
+        let cfg = EmulatorConfig {
+            queue: QueueKind::BinaryHeap,
+            ..EmulatorConfig::default()
+        };
         let mut engine = Engine::new(cfg);
-        b.iter(|| jobs.iter().map(|p| engine.run(p).makespan).collect::<Vec<_>>())
+        b.iter(|| {
+            jobs.iter()
+                .map(|p| engine.run(p).makespan)
+                .collect::<Vec<_>>()
+        })
     });
     g.bench_function("sweep_pool", |b| {
         let pool = SweepPool::new(EmulatorConfig::default());

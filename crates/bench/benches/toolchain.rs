@@ -16,8 +16,12 @@ fn bench_xml(c: &mut Criterion) {
     let mut g = c.benchmark_group("toolchain/xml");
     g.bench_function("m2t_export_psdf", |b| b.iter(|| m2t::export_psdf(&app)));
     g.bench_function("m2t_export_psm", |b| b.iter(|| m2t::export_psm(&psm)));
-    g.bench_function("parse_psdf_scheme", |b| b.iter(|| parse(&psdf_text).unwrap()));
-    g.bench_function("import_psdf", |b| b.iter(|| import::import_psdf(&psdf_doc).unwrap()));
+    g.bench_function("parse_psdf_scheme", |b| {
+        b.iter(|| parse(&psdf_text).unwrap())
+    });
+    g.bench_function("import_psdf", |b| {
+        b.iter(|| import::import_psdf(&psdf_doc).unwrap())
+    });
     g.bench_function("import_full_system", |b| {
         b.iter(|| import::import_system(&psdf_doc, &psm_doc).unwrap())
     });

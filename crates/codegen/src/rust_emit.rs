@@ -51,17 +51,43 @@ pub fn to_rust(psm: &Psm, sched: &SystemSchedule) -> String {
         );
         for (wave, job) in jobs {
             let rendered = match job {
-                SaJob::Local { src, dst, packages, .. } => {
+                SaJob::Local {
+                    src, dst, packages, ..
+                } => {
                     format!("({wave}, SaJob::Local({}, {}), {packages})", src.0, dst.0)
                 }
-                SaJob::SourceFill { src, toward, packages, .. } => {
-                    format!("({wave}, SaJob::SourceFill({}, {}), {packages})", src.0, toward.0)
+                SaJob::SourceFill {
+                    src,
+                    toward,
+                    packages,
+                    ..
+                } => {
+                    format!(
+                        "({wave}, SaJob::SourceFill({}, {}), {packages})",
+                        src.0, toward.0
+                    )
                 }
-                SaJob::BuForward { from, toward, packages, .. } => {
-                    format!("({wave}, SaJob::BuForward({}, {}), {packages})", from.0, toward.0)
+                SaJob::BuForward {
+                    from,
+                    toward,
+                    packages,
+                    ..
+                } => {
+                    format!(
+                        "({wave}, SaJob::BuForward({}, {}), {packages})",
+                        from.0, toward.0
+                    )
                 }
-                SaJob::BuDeliver { from, dst, packages, .. } => {
-                    format!("({wave}, SaJob::BuDeliver({}, {}), {packages})", from.0, dst.0)
+                SaJob::BuDeliver {
+                    from,
+                    dst,
+                    packages,
+                    ..
+                } => {
+                    format!(
+                        "({wave}, SaJob::BuDeliver({}, {}), {packages})",
+                        from.0, dst.0
+                    )
                 }
             };
             let _ = writeln!(out, "    {rendered},");
@@ -75,7 +101,11 @@ pub fn to_rust(psm: &Psm, sched: &SystemSchedule) -> String {
         sched.ca.len()
     );
     for j in &sched.ca {
-        let _ = writeln!(out, "    ({}, {}, {}, {}),", j.wave, j.from.0, j.to.0, j.packages);
+        let _ = writeln!(
+            out,
+            "    ({}, {}, {}, {}),",
+            j.wave, j.from.0, j.to.0, j.packages
+        );
     }
     out.push_str("];\n");
     out

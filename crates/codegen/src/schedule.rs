@@ -128,7 +128,12 @@ impl SystemSchedule {
                 if from == to {
                     sa[from.index()].push((
                         wave.order,
-                        SaJob::Local { flow: fid, src: f.src, dst: f.dst, packages: pkgs },
+                        SaJob::Local {
+                            flow: fid,
+                            src: f.src,
+                            dst: f.dst,
+                            packages: pkgs,
+                        },
                     ));
                     continue;
                 }
@@ -168,7 +173,11 @@ impl SystemSchedule {
                 }
             }
         }
-        SystemSchedule { sa, ca, package_size: s }
+        SystemSchedule {
+            sa,
+            ca,
+            package_size: s,
+        }
     }
 
     /// Number of segments covered.
@@ -211,7 +220,10 @@ impl SystemSchedule {
     /// Cascade releases the CA will perform: one per traversed segment per
     /// package.
     pub fn predicted_ca_releases(&self) -> u64 {
-        self.ca.iter().map(|j| j.packages * j.path.len() as u64).sum()
+        self.ca
+            .iter()
+            .map(|j| j.packages * j.path.len() as u64)
+            .sum()
     }
 
     /// Packages the schedule pushes into the BU right of `seg` (i.e. from
@@ -221,12 +233,12 @@ impl SystemSchedule {
         self.sa[seg.index()]
             .iter()
             .map(|(_, j)| match j {
-                SaJob::SourceFill { toward, packages, .. }
-                | SaJob::BuForward { toward, packages, .. }
-                    if *toward == next =>
-                {
-                    *packages
+                SaJob::SourceFill {
+                    toward, packages, ..
                 }
+                | SaJob::BuForward {
+                    toward, packages, ..
+                } if *toward == next => *packages,
                 _ => 0,
             })
             .sum()
@@ -309,7 +321,16 @@ mod tests {
             .filter(|(_, j)| matches!(j, SaJob::BuForward { .. }))
             .collect();
         assert_eq!(forwards.len(), 1);
-        if let (_, SaJob::BuForward { from, toward, packages, .. }) = forwards[0] {
+        if let (
+            _,
+            SaJob::BuForward {
+                from,
+                toward,
+                packages,
+                ..
+            },
+        ) = forwards[0]
+        {
             assert_eq!(*from, SegmentId(0));
             assert_eq!(*toward, SegmentId(2));
             assert_eq!(*packages, 1);

@@ -150,12 +150,18 @@ pub struct EmulatorConfig {
 impl EmulatorConfig {
     /// Estimator timing with tracing enabled.
     pub fn traced() -> EmulatorConfig {
-        EmulatorConfig { trace: true, ..EmulatorConfig::default() }
+        EmulatorConfig {
+            trace: true,
+            ..EmulatorConfig::default()
+        }
     }
 
     /// Detailed timing (see [`TimingParams::detailed`]).
     pub fn detailed() -> EmulatorConfig {
-        EmulatorConfig { timing: TimingParams::detailed(), ..EmulatorConfig::default() }
+        EmulatorConfig {
+            timing: TimingParams::detailed(),
+            ..EmulatorConfig::default()
+        }
     }
 }
 

@@ -160,10 +160,16 @@ mod tests {
 
     #[test]
     fn execution_times_multiply() {
-        let sa = SaCounters { tct: 34764, ..Default::default() };
+        let sa = SaCounters {
+            tct: 34764,
+            ..Default::default()
+        };
         let clk = ClockDomain::from_mhz(91.0);
         assert_eq!(sa.execution_time(clk), Picos(382_021_596));
-        let ca = CaCounters { tct: 54367, ..Default::default() };
+        let ca = CaCounters {
+            tct: 54367,
+            ..Default::default()
+        };
         assert_eq!(
             ca.execution_time(ClockDomain::from_mhz(111.0)),
             Picos(489_792_303)

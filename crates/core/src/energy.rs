@@ -98,8 +98,7 @@ pub fn estimate_energy(report: &EmulationReport, model: &EnergyModel) -> EnergyB
         })
         .collect();
     let ca_idle = report.ca.tct.saturating_sub(report.ca.busy_ticks);
-    let ca_pj = report.ca.busy_ticks as f64 * model.ca_busy_pj
-        + ca_idle as f64 * model.ca_idle_pj;
+    let ca_pj = report.ca.busy_ticks as f64 * model.ca_busy_pj + ca_idle as f64 * model.ca_idle_pj;
     let bu_pj = report
         .bus
         .iter()
@@ -110,7 +109,12 @@ pub fn estimate_energy(report: &EmulationReport, model: &EnergyModel) -> EnergyB
         .iter()
         .map(|f| f.compute_ticks as f64 * model.fu_compute_pj)
         .collect();
-    EnergyBreakdown { sa_pj, ca_pj, bu_pj, fu_pj }
+    EnergyBreakdown {
+        sa_pj,
+        ca_pj,
+        bu_pj,
+        fu_pj,
+    }
 }
 
 #[cfg(test)]
@@ -136,14 +140,8 @@ mod tests {
     fn remote_mapping_costs_more_communication_energy() {
         let local = segbus_apps::mp3::three_segment_psm();
         let moved = segbus_apps::mp3::three_segment_p9_moved_psm();
-        let e_local = estimate_energy(
-            &Emulator::default().run(&local),
-            &EnergyModel::default(),
-        );
-        let e_moved = estimate_energy(
-            &Emulator::default().run(&moved),
-            &EnergyModel::default(),
-        );
+        let e_local = estimate_energy(&Emulator::default().run(&local), &EnergyModel::default());
+        let e_moved = estimate_energy(&Emulator::default().run(&moved), &EnergyModel::default());
         let bu_local: f64 = e_local.bu_pj.iter().sum();
         let bu_moved: f64 = e_moved.bu_pj.iter().sum();
         assert!(

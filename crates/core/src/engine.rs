@@ -173,7 +173,9 @@ struct FastClock {
 
 impl FastClock {
     fn new(c: ClockDomain) -> FastClock {
-        FastClock { period: FastDiv::new(c.period_ps()) }
+        FastClock {
+            period: FastDiv::new(c.period_ps()),
+        }
     }
 
     /// See [`ClockDomain::next_edge`].
@@ -287,7 +289,12 @@ impl<'a> EnginePlan<'a> {
                         unload_right.push(w[1] == r.right);
                     }
                     path_of[key] = paths.len() as u32;
-                    paths.push(PathInfo { segs, bu, load_left, unload_right });
+                    paths.push(PathInfo {
+                        segs,
+                        bu,
+                        load_left,
+                        unload_right,
+                    });
                 }
                 path_of[key]
             })
@@ -424,7 +431,8 @@ impl EngineScratch {
         }
 
         // Producers keep their pending-vector allocations across runs.
-        self.producers.resize_with(plan.nproc, ProducerState::default);
+        self.producers
+            .resize_with(plan.nproc, ProducerState::default);
         self.producers.truncate(plan.nproc);
         for p in &mut self.producers {
             p.pending.clear();
@@ -481,7 +489,10 @@ pub struct Engine {
 impl Engine {
     /// Create an engine with the given configuration.
     pub fn new(config: EmulatorConfig) -> Engine {
-        Engine { config, scratch: EngineScratch::default() }
+        Engine {
+            config,
+            scratch: EngineScratch::default(),
+        }
     }
 
     /// The active configuration.
@@ -593,13 +604,13 @@ impl Run<'_, '_> {
     /// A wave instance fully delivered: open its successor within the frame.
     fn complete_instance(&mut self, g: usize, now: Picos) {
         self.trace(TraceEvent {
-        at: now,
-        kind: TraceKind::WaveComplete,
-        flow: None,
-        package: None,
-        process: None,
-        segment: None,
-    });
+            at: now,
+            kind: TraceKind::WaveComplete,
+            flow: None,
+            package: None,
+            process: None,
+            segment: None,
+        });
         let w = g % self.plan.waves.len();
         if w + 1 < self.plan.waves.len() {
             self.start_instance(g + 1, now);
@@ -623,8 +634,7 @@ impl Run<'_, '_> {
         let (flow, remaining, frame) = st.pending[idx];
         // Frame-global package index, so every event stays unambiguous
         // without carrying the frame separately.
-        let pkg = frame * plan.flow_pkgs[flow.index()]
-            + (plan.flow_pkgs[flow.index()] - remaining);
+        let pkg = frame * plan.flow_pkgs[flow.index()] + (plan.flow_pkgs[flow.index()] - remaining);
         if remaining == 1 {
             st.pending.remove(idx);
             // keep rr pointing at the element after the removed one
@@ -652,13 +662,13 @@ impl Run<'_, '_> {
             self.sc.fus[p.index()].start = Some(start);
         }
         self.trace(TraceEvent {
-        at: start,
-        kind: TraceKind::ComputeStart,
-        flow: Some(flow),
-        package: Some(pkg),
-        process: Some(p),
-        segment: Some(seg),
-    });
+            at: start,
+            kind: TraceKind::ComputeStart,
+            flow: Some(flow),
+            package: Some(pkg),
+            process: Some(p),
+            segment: Some(seg),
+        });
         self.schedule(end, Ev::ComputeDone { flow, pkg });
     }
 
@@ -669,13 +679,13 @@ impl Run<'_, '_> {
         let src = plan.flow_src[flow.index()];
         let src_seg = self.seg_of(src);
         self.trace(TraceEvent {
-        at: now,
-        kind: TraceKind::ComputeEnd,
-        flow: Some(flow),
-        package: Some(pkg),
-        process: Some(src),
-        segment: Some(src_seg),
-    });
+            at: now,
+            kind: TraceKind::ComputeEnd,
+            flow: Some(flow),
+            package: Some(pkg),
+            process: Some(src),
+            segment: Some(src_seg),
+        });
         self.touch_sa(src_seg, now);
         let path = plan.flow_path[flow.index()];
         if path == NO_PATH {
@@ -701,9 +711,16 @@ impl Run<'_, '_> {
         } else {
             self.sc.sas[src_seg.index()].inter_requests += 1;
             let req = self.sc.transfers.len() as u32;
-            self.sc.transfers.push(InterTransfer { flow, pkg, path, granted: false });
+            self.sc.transfers.push(InterTransfer {
+                flow,
+                pkg,
+                path,
+                granted: false,
+            });
             let at = plan.fast_ca.next_edge(now)
-                + plan.fast_ca.ticks_to_picos(self.cfg.timing.ca_request_ticks);
+                + plan
+                    .fast_ca
+                    .ticks_to_picos(self.cfg.timing.ca_request_ticks);
             self.schedule(at, Ev::CaArrive { req });
         }
     }
@@ -757,22 +774,28 @@ impl Run<'_, '_> {
         self.sc.sas[si].busy_ticks += ticks;
         self.touch_sa(seg, end);
         self.trace(TraceEvent {
-        at: start,
-        kind: TraceKind::BusStart,
-        flow: Some(req.flow),
-        package: Some(req.pkg),
-        process: None,
-        segment: Some(seg),
-    });
+            at: start,
+            kind: TraceKind::BusStart,
+            flow: Some(req.flow),
+            package: Some(req.pkg),
+            process: None,
+            segment: Some(seg),
+        });
         self.trace(TraceEvent {
-        at: end,
-        kind: TraceKind::BusEnd,
-        flow: Some(req.flow),
-        package: Some(req.pkg),
-        process: None,
-        segment: Some(seg),
-    });
-        self.schedule(end, Ev::IntraDone { flow: req.flow, pkg: req.pkg });
+            at: end,
+            kind: TraceKind::BusEnd,
+            flow: Some(req.flow),
+            package: Some(req.pkg),
+            process: None,
+            segment: Some(seg),
+        });
+        self.schedule(
+            end,
+            Ev::IntraDone {
+                flow: req.flow,
+                pkg: req.pkg,
+            },
+        );
         // More work queued? Try again when the bus frees.
         if !self.sc.sa_queue[si].is_empty() {
             self.schedule(end, Ev::SaDispatch { seg });
@@ -852,21 +875,21 @@ impl Run<'_, '_> {
             self.sc.sas[mi].busy_ticks += ticks;
             self.touch_sa(m, end);
             self.trace(TraceEvent {
-            at: start,
-            kind: TraceKind::BusStart,
-            flow: Some(tr.flow),
-            package: Some(tr.pkg),
-            process: None,
-            segment: Some(m),
-        });
+                at: start,
+                kind: TraceKind::BusStart,
+                flow: Some(tr.flow),
+                package: Some(tr.pkg),
+                process: None,
+                segment: Some(m),
+            });
             self.trace(TraceEvent {
-            at: end,
-            kind: TraceKind::BusEnd,
-            flow: Some(tr.flow),
-            package: Some(tr.pkg),
-            process: None,
-            segment: Some(m),
-        });
+                at: end,
+                kind: TraceKind::BusEnd,
+                flow: Some(tr.flow),
+                package: Some(tr.pkg),
+                process: None,
+                segment: Some(m),
+            });
             // Package movement bookkeeping at the end of this hop. The BU
             // side is the loading segment's position on that unit (which
             // also covers a ring's wrap-around BU).
@@ -878,13 +901,13 @@ impl Run<'_, '_> {
                     b.received_from_right += 1;
                 }
                 self.trace(TraceEvent {
-                at: end,
-                kind: TraceKind::BuLoaded,
-                flow: Some(tr.flow),
-                package: Some(tr.pkg),
-                process: None,
-                segment: Some(m),
-            });
+                    at: end,
+                    kind: TraceKind::BuLoaded,
+                    flow: Some(tr.flow),
+                    package: Some(tr.pkg),
+                    process: None,
+                    segment: Some(m),
+                });
             }
             if hop > 0 {
                 // This hop unloaded the BU behind it.
@@ -897,15 +920,21 @@ impl Run<'_, '_> {
                 // Routing a BU delivery is an intra-segment job for this SA.
                 self.sc.sas[mi].intra_requests += 1;
                 self.trace(TraceEvent {
-                at: start,
-                kind: TraceKind::BuUnloaded,
-                flow: Some(tr.flow),
-                package: Some(tr.pkg),
-                process: None,
-                segment: Some(m),
-            });
+                    at: start,
+                    kind: TraceKind::BuUnloaded,
+                    flow: Some(tr.flow),
+                    package: Some(tr.pkg),
+                    process: None,
+                    segment: Some(m),
+                });
             }
-            self.schedule(end, Ev::PhaseDone { req, hop: hop as u8 });
+            self.schedule(
+                end,
+                Ev::PhaseDone {
+                    req,
+                    hop: hop as u8,
+                },
+            );
             prev_end = end;
         }
         // The source segment pushed one package toward the destination
@@ -982,13 +1011,13 @@ impl Run<'_, '_> {
         fu.last_received = Some(now);
         self.sc.remaining[dst.index()].inp -= 1;
         self.trace(TraceEvent {
-        at: now,
-        kind: TraceKind::Delivered,
-        flow: Some(flow),
-        package: Some(pkg),
-        process: Some(dst),
-        segment: Some(plan.proc_seg[dst.index()]),
-    });
+            at: now,
+            kind: TraceKind::Delivered,
+            flow: Some(flow),
+            package: Some(pkg),
+            process: Some(dst),
+            segment: Some(plan.proc_seg[dst.index()]),
+        });
         self.maybe_raise_flag(now, dst);
         // Wave-instance bookkeeping: the frame is recovered from the
         // frame-global package index.
@@ -1002,18 +1031,16 @@ impl Run<'_, '_> {
 
     fn maybe_raise_flag(&mut self, now: Picos, p: ProcessId) {
         let i = p.index();
-        if !self.sc.fus[i].flag
-            && self.sc.remaining[i] == Remaining::default()
-        {
+        if !self.sc.fus[i].flag && self.sc.remaining[i] == Remaining::default() {
             self.sc.fus[i].flag = true;
             self.trace(TraceEvent {
-            at: now,
-            kind: TraceKind::FlagRaised,
-            flow: None,
-            package: None,
-            process: Some(p),
-            segment: None,
-        });
+                at: now,
+                kind: TraceKind::FlagRaised,
+                flow: None,
+                package: None,
+                process: Some(p),
+                segment: None,
+            });
         }
     }
 
@@ -1091,16 +1118,29 @@ mod tests {
             ]);
             let mut x = 0x9E37_79B9_7F4A_7C15u64;
             for _ in 0..1000 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 xs.push(x & ((1 << 50) - 1));
                 xs.push(x);
             }
             for &v in &xs {
                 assert_eq!(d.floor_div(v), v / p, "floor_div p={p} x={v}");
-                assert_eq!(f.ticks_at(Picos(v)), c.ticks_at(Picos(v)), "ticks_at p={p} x={v}");
-                assert_eq!(f.ticks_to_picos(v % (1 << 40)), c.ticks_to_picos(v % (1 << 40)));
+                assert_eq!(
+                    f.ticks_at(Picos(v)),
+                    c.ticks_at(Picos(v)),
+                    "ticks_at p={p} x={v}"
+                );
+                assert_eq!(
+                    f.ticks_to_picos(v % (1 << 40)),
+                    c.ticks_to_picos(v % (1 << 40))
+                );
                 if v <= u64::MAX - p {
-                    assert_eq!(f.next_edge(Picos(v)), c.next_edge(Picos(v)), "edge p={p} x={v}");
+                    assert_eq!(
+                        f.next_edge(Picos(v)),
+                        c.next_edge(Picos(v)),
+                        "edge p={p} x={v}"
+                    );
                 }
             }
         }
@@ -1212,7 +1252,10 @@ mod tests {
         let r = run(&remote_pair(5 * 36));
         assert_eq!(r.bus[0].useful_period(36), 2 * 36 * 5);
         // TCT = UP + waiting ticks.
-        assert_eq!(r.bus[0].tct, r.bus[0].useful_period(36) + r.bus[0].waiting_ticks);
+        assert_eq!(
+            r.bus[0].tct,
+            r.bus[0].useful_period(36) + r.bus[0].waiting_ticks
+        );
     }
 
     /// Two waves: A -> B (wave 1), B -> C (wave 2), all local.
@@ -1361,7 +1404,12 @@ mod tests {
     #[test]
     fn engine_reuse_is_bit_identical() {
         let mut engine = Engine::new(EmulatorConfig::traced());
-        let shapes = [remote_pair(10 * 36), local_pair(), remote_pair(36), local_pair()];
+        let shapes = [
+            remote_pair(10 * 36),
+            local_pair(),
+            remote_pair(36),
+            local_pair(),
+        ];
         for psm in &shapes {
             let fresh = run(psm);
             let reused = engine.run(psm);
@@ -1431,7 +1479,10 @@ mod tests {
         let psm = Psm::new(uniform(1, 36), app, alloc).unwrap();
 
         let run_with = |policy| {
-            let cfg = EmulatorConfig { arbitration: policy, ..EmulatorConfig::traced() };
+            let cfg = EmulatorConfig {
+                arbitration: policy,
+                ..EmulatorConfig::traced()
+            };
             Emulator::new(cfg).run(&psm)
         };
         let fifo = run_with(ArbitrationPolicy::Fifo);
@@ -1510,6 +1561,11 @@ mod tests {
         let p18 = p36.with_package_size(18).unwrap();
         let r36 = run(&p36);
         let r18 = run(&p18);
-        assert!(r18.makespan > r36.makespan, "{:?} !> {:?}", r18.makespan, r36.makespan);
+        assert!(
+            r18.makespan > r36.makespan,
+            "{:?} !> {:?}",
+            r18.makespan,
+            r36.makespan
+        );
     }
 }

@@ -47,8 +47,7 @@ pub fn ascii_gantt(report: &EmulationReport, width: usize) -> String {
     }
 
     // Producer rows (compute intervals).
-    let mut starts: std::collections::HashMap<(u32, u64), Picos> =
-        std::collections::HashMap::new();
+    let mut starts: std::collections::HashMap<(u32, u64), Picos> = std::collections::HashMap::new();
     let mut rows: Vec<Vec<char>> = vec![vec![' '; width]; report.fus.len()];
     for e in trace.events() {
         let (Some(p), Some(f), Some(pkg)) = (e.process, e.flow, e.package) else {

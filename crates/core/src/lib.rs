@@ -47,7 +47,10 @@ pub mod report;
 pub mod trace;
 pub mod vcd;
 
-pub use analysis::{bus_utilisation, gantt_csv, latency_stats, package_latencies, wave_boundaries, wave_durations, BusUtilisation, LatencyStats};
+pub use analysis::{
+    bus_utilisation, gantt_csv, latency_stats, package_latencies, wave_boundaries, wave_durations,
+    BusUtilisation, LatencyStats,
+};
 pub use config::{ArbitrationPolicy, EmulatorConfig, ProducerRelease, TimingParams};
 pub use counters::{BuCounters, CaCounters, FuTimes, SaCounters};
 pub use energy::{estimate_energy, EnergyBreakdown, EnergyModel};

@@ -62,7 +62,10 @@ impl SweepPool {
 
     /// A pool capped at `threads` workers (`0` is treated as `1`).
     pub fn with_threads(config: EmulatorConfig, threads: usize) -> SweepPool {
-        SweepPool { config, threads: threads.max(1) }
+        SweepPool {
+            config,
+            threads: threads.max(1),
+        }
     }
 
     /// The worker cap.
@@ -132,17 +135,15 @@ pub fn run_many(psms: &[Psm]) -> Vec<EmulationReport> {
 /// Run every PSM with `config` on up to `threads` worker threads.
 ///
 /// `threads == 1` degenerates to a sequential map (no threads spawned).
-pub fn run_many_with(
-    psms: &[Psm],
-    config: EmulatorConfig,
-    threads: usize,
-) -> Vec<EmulationReport> {
+pub fn run_many_with(psms: &[Psm], config: EmulatorConfig, threads: usize) -> Vec<EmulationReport> {
     SweepPool::with_threads(config, threads).sweep(psms)
 }
 
 /// A reasonable worker count for independent runs.
 fn available_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

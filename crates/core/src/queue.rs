@@ -71,7 +71,10 @@ impl<T> PartialOrd for HeapEntry<T> {
 impl<T> Ord for HeapEntry<T> {
     // Reversed: BinaryHeap is a max-heap, we need the earliest event first.
     fn cmp(&self, other: &Self) -> Ordering {
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -340,7 +343,11 @@ impl<T> EventQueue<T> {
     #[inline]
     pub fn push(&mut self, at: Picos, seq: u64, item: T) {
         match self {
-            EventQueue::Heap(h) => h.push(HeapEntry { at: at.0, seq, item }),
+            EventQueue::Heap(h) => h.push(HeapEntry {
+                at: at.0,
+                seq,
+                item,
+            }),
             EventQueue::Calendar(c) => c.push(at.0, seq, item),
         }
     }
@@ -372,8 +379,20 @@ mod tests {
     #[test]
     fn calendar_matches_heap() {
         let times: Vec<u64> = vec![
-            0, 10_000, 10_000, 9_999, 20_000, 10_001, 8_192, 8_191, 123_456_789, 10_000,
-            1 << 40, (1 << 40) + 1, 70_000, 70_000,
+            0,
+            10_000,
+            10_000,
+            9_999,
+            20_000,
+            10_001,
+            8_192,
+            8_191,
+            123_456_789,
+            10_000,
+            1 << 40,
+            (1 << 40) + 1,
+            70_000,
+            70_000,
         ];
         let mut heap = EventQueue::new(QueueKind::BinaryHeap, 10_000);
         let mut cal = EventQueue::new(QueueKind::Indexed, 10_000);

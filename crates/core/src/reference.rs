@@ -263,7 +263,11 @@ impl<'a> Sim<'a> {
 
     fn schedule(&mut self, at: Picos, ev: Ev) {
         self.seq += 1;
-        self.queue.push(QEntry { at, seq: self.seq, ev });
+        self.queue.push(QEntry {
+            at,
+            seq: self.seq,
+            ev,
+        });
     }
 
     fn trace(&mut self, e: TraceEvent) {
@@ -337,8 +341,7 @@ impl<'a> Sim<'a> {
         let (flow, remaining, frame) = st.pending[idx];
         // Frame-global package index, so every event stays unambiguous
         // without carrying the frame separately.
-        let pkg = frame * self.flow_pkgs[flow.index()]
-            + (self.flow_pkgs[flow.index()] - remaining);
+        let pkg = frame * self.flow_pkgs[flow.index()] + (self.flow_pkgs[flow.index()] - remaining);
         if remaining == 1 {
             st.pending.remove(idx);
             // keep rr pointing at the element after the removed one
@@ -396,7 +399,12 @@ impl<'a> Sim<'a> {
             self.sas[src_seg.index()].inter_requests += 1;
             let path = self.psm.platform().path_segments(src_seg, dst_seg);
             let req = self.transfers.len() as u32;
-            self.transfers.push(InterTransfer { flow, pkg, path, granted: false });
+            self.transfers.push(InterTransfer {
+                flow,
+                pkg,
+                path,
+                granted: false,
+            });
             let at = self.ca_clock.next_edge(now)
                 + self
                     .ca_clock
@@ -465,7 +473,13 @@ impl<'a> Sim<'a> {
             process: None,
             segment: Some(seg),
         });
-        self.schedule(end, Ev::IntraDone { flow: req.flow, pkg: req.pkg });
+        self.schedule(
+            end,
+            Ev::IntraDone {
+                flow: req.flow,
+                pkg: req.pkg,
+            },
+        );
         // More work queued? Try again when the bus frees.
         if !self.sa_queue[si].is_empty() {
             self.schedule(end, Ev::SaDispatch { seg });
@@ -567,11 +581,7 @@ impl<'a> Sim<'a> {
             // also covers a ring's wrap-around BU).
             if hop + 1 < tr.path.len() {
                 let next = tr.path[hop + 1];
-                let bu = self
-                    .psm
-                    .platform()
-                    .bu_between(m, next)
-                    .expect("adjacent");
+                let bu = self.psm.platform().bu_between(m, next).expect("adjacent");
                 let b = &mut self.bus_ctr[bu.index()];
                 if m == bu.left {
                     b.received_from_left += 1;
@@ -611,7 +621,13 @@ impl<'a> Sim<'a> {
                     segment: Some(m),
                 });
             }
-            self.schedule(end, Ev::PhaseDone { req, hop: hop as u8 });
+            self.schedule(
+                end,
+                Ev::PhaseDone {
+                    req,
+                    hop: hop as u8,
+                },
+            );
             prev_end = end;
         }
         // The source segment pushed one package toward the destination
@@ -710,10 +726,7 @@ impl<'a> Sim<'a> {
 
     fn maybe_raise_flag(&mut self, now: Picos, p: ProcessId) {
         let i = p.index();
-        if !self.fus[i].flag
-            && self.outputs_remaining[i] == 0
-            && self.inputs_remaining[i] == 0
-        {
+        if !self.fus[i].flag && self.outputs_remaining[i] == 0 && self.inputs_remaining[i] == 0 {
             self.fus[i].flag = true;
             self.trace(TraceEvent {
                 at: now,

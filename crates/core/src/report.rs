@@ -100,10 +100,7 @@ impl EmulationReport {
             let _ = writeln!(
                 out,
                 "    Package Received from {} = {}, Package Transfered to {} = {}",
-                r.left,
-                bu.received_from_left,
-                r.left,
-                bu.transferred_to_left
+                r.left, bu.received_from_left, r.left, bu.transferred_to_left
             );
             let _ = writeln!(
                 out,
@@ -181,10 +178,22 @@ mod tests {
     fn sample() -> EmulationReport {
         EmulationReport {
             sas: vec![
-                SaCounters { tct: 1000, intra_requests: 5, ..Default::default() },
-                SaCounters { tct: 2000, inter_requests: 2, ..Default::default() },
+                SaCounters {
+                    tct: 1000,
+                    intra_requests: 5,
+                    ..Default::default()
+                },
+                SaCounters {
+                    tct: 2000,
+                    inter_requests: 2,
+                    ..Default::default()
+                },
             ],
-            ca: CaCounters { tct: 3000, inter_requests: 2, ..Default::default() },
+            ca: CaCounters {
+                tct: 3000,
+                inter_requests: 2,
+                ..Default::default()
+            },
             bus: vec![BuCounters {
                 received_from_left: 2,
                 transferred_to_right: 2,

@@ -7,16 +7,25 @@
 //! shortcuts), and the sweep pool must not depend on its thread count.
 
 use segbus_apps::generators::{
-    block_allocation, chain, diamond, random_layered, round_robin_allocation,
-    uniform_platform, GeneratorConfig,
+    block_allocation, chain, diamond, random_layered, round_robin_allocation, uniform_platform,
+    GeneratorConfig,
 };
 use segbus_apps::mp3;
-use segbus_core::{ArbitrationPolicy, Emulator, EmulatorConfig, ProducerRelease, QueueKind, ReferenceEmulator, SweepPool};
+use segbus_core::{
+    ArbitrationPolicy, Emulator, EmulatorConfig, ProducerRelease, QueueKind, ReferenceEmulator,
+    SweepPool,
+};
 use segbus_model::mapping::Psm;
 
 fn configs() -> (EmulatorConfig, EmulatorConfig) {
-    let indexed = EmulatorConfig { queue: QueueKind::Indexed, ..EmulatorConfig::default() };
-    let heap = EmulatorConfig { queue: QueueKind::BinaryHeap, ..EmulatorConfig::default() };
+    let indexed = EmulatorConfig {
+        queue: QueueKind::Indexed,
+        ..EmulatorConfig::default()
+    };
+    let heap = EmulatorConfig {
+        queue: QueueKind::BinaryHeap,
+        ..EmulatorConfig::default()
+    };
     (indexed, heap)
 }
 
@@ -28,12 +37,7 @@ fn assert_identical(psm: &Psm, label: &str) {
     assert_identical_under(psm, indexed, heap, label);
 }
 
-fn assert_identical_under(
-    psm: &Psm,
-    indexed: EmulatorConfig,
-    heap: EmulatorConfig,
-    label: &str,
-) {
+fn assert_identical_under(psm: &Psm, indexed: EmulatorConfig, heap: EmulatorConfig, label: &str) {
     let a = Emulator::new(indexed).run(psm);
     let b = Emulator::new(heap).run(psm);
     let r = ReferenceEmulator::new(heap).run(psm);
@@ -57,15 +61,19 @@ fn all_policies_match_the_reference_engine() {
         ArbitrationPolicy::FixedPriority,
         ArbitrationPolicy::FairRoundRobin,
     ] {
-        for producer_release in
-            [ProducerRelease::AfterDelivery, ProducerRelease::AfterLocalPhase]
-        {
+        for producer_release in [
+            ProducerRelease::AfterDelivery,
+            ProducerRelease::AfterLocalPhase,
+        ] {
             let indexed = EmulatorConfig {
                 arbitration,
                 producer_release,
                 ..EmulatorConfig::default()
             };
-            let heap = EmulatorConfig { queue: QueueKind::BinaryHeap, ..indexed };
+            let heap = EmulatorConfig {
+                queue: QueueKind::BinaryHeap,
+                ..indexed
+            };
             assert_identical_under(
                 &psm,
                 indexed,
@@ -147,8 +155,12 @@ fn sweep_pool_is_thread_count_invariant_on_mp3_sweeps() {
     for seed in 0..8u64 {
         let app = random_layered(3, 2, seed, cfg);
         psms.push(
-            Psm::new(uniform_platform(2, 36), app.clone(), block_allocation(&app, 2))
-                .unwrap(),
+            Psm::new(
+                uniform_platform(2, 36),
+                app.clone(),
+                block_allocation(&app, 2),
+            )
+            .unwrap(),
         );
     }
     let reference = SweepPool::with_threads(EmulatorConfig::default(), 1).sweep(&psms);

@@ -142,7 +142,10 @@ fn many_waves_chain() {
     // A 40-stage chain: 39 waves, all barriers honoured.
     let app = segbus_apps::generators::chain(
         40,
-        segbus_apps::generators::GeneratorConfig { items_per_flow: 36, ticks_per_package: 7 },
+        segbus_apps::generators::GeneratorConfig {
+            items_per_flow: 36,
+            ticks_per_package: 7,
+        },
     );
     let alloc = segbus_apps::generators::block_allocation(&app, 2);
     let platform = segbus_apps::generators::uniform_platform(2, 36);

@@ -80,11 +80,13 @@ fn three_segment_run_matches_paper_structure() {
 fn package_size_18_is_slower() {
     // Paper: 489.79 µs at s = 36 vs 560.16 µs at s = 18 (~14 % slower).
     let r36 = Emulator::default().run(&mp3::three_segment_psm());
-    let r18 =
-        Emulator::default().run(&mp3::three_segment_psm().with_package_size(18).unwrap());
+    let r18 = Emulator::default().run(&mp3::three_segment_psm().with_package_size(18).unwrap());
     let t36 = r36.execution_time().as_micros_f64();
     let t18 = r18.execution_time().as_micros_f64();
-    assert!(t18 > t36, "s=18 ({t18:.2} µs) should be slower than s=36 ({t36:.2} µs)");
+    assert!(
+        t18 > t36,
+        "s=18 ({t18:.2} µs) should be slower than s=36 ({t36:.2} µs)"
+    );
     let ratio = t18 / t36;
     assert!(
         (1.01..=1.6).contains(&ratio),
@@ -100,8 +102,14 @@ fn moving_p9_to_segment_3_is_slower() {
     let moved = Emulator::default().run(&mp3::three_segment_p9_moved_psm());
     let t0 = base.execution_time().as_micros_f64();
     let t1 = moved.execution_time().as_micros_f64();
-    assert!(t1 > t0, "moved P9 ({t1:.2} µs) should be slower than base ({t0:.2} µs)");
-    eprintln!("base: {t0:.2} µs, P9 moved: {t1:.2} µs, ratio {:.3}", t1 / t0);
+    assert!(
+        t1 > t0,
+        "moved P9 ({t1:.2} µs) should be slower than base ({t0:.2} µs)"
+    );
+    eprintln!(
+        "base: {t0:.2} µs, P9 moved: {t1:.2} µs, ratio {:.3}",
+        t1 / t0
+    );
 }
 
 #[test]

@@ -83,7 +83,10 @@ fn pipelining_beats_serial_execution() {
     let t9 = Emulator::default().run_frames(&psm, 9).makespan.0;
     let inc = t9 - t8;
     assert!(inc >= 140 * 10_000, "increment {inc}");
-    assert!(inc < t1, "steady-state increment must undercut frame latency");
+    assert!(
+        inc < t1,
+        "steady-state increment must undercut frame latency"
+    );
 }
 
 #[test]

@@ -86,7 +86,12 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Tokenize from the start of `src`.
     pub fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     /// Tokenize everything, ending with an [`TokenKind::Eof`] token.
@@ -123,7 +128,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn span(&self) -> Span {
-        Span { line: self.line, col: self.col }
+        Span {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn skip_trivia(&mut self) -> Result<(), LexError> {
@@ -169,7 +177,10 @@ impl<'a> Lexer<'a> {
         self.skip_trivia()?;
         let span = self.span();
         let Some(c) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, span });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span,
+            });
         };
         let kind = match c {
             b'{' => {
@@ -190,7 +201,10 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     TokenKind::Arrow
                 } else {
-                    return Err(LexError { span, message: "expected '->' after '-'".into() });
+                    return Err(LexError {
+                        span,
+                        message: "expected '->' after '-'".into(),
+                    });
                 }
             }
             b'0'..=b'9' => {
@@ -199,7 +213,8 @@ impl<'a> Lexer<'a> {
                 while let Some(d) = self.peek() {
                     if d.is_ascii_digit() {
                         self.bump();
-                    } else if d == b'.' && !is_float
+                    } else if d == b'.'
+                        && !is_float
                         && self.peek2().is_some_and(|n| n.is_ascii_digit())
                     {
                         is_float = true;
@@ -238,9 +253,7 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                 }
-                TokenKind::Ident(
-                    String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
-                )
+                TokenKind::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
             }
             other => {
                 return Err(LexError {

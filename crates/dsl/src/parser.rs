@@ -55,7 +55,10 @@ impl ParsedSource {
     /// [`Psm`].
     pub fn into_psm(self) -> Result<Psm, DslError> {
         let top = Span { line: 1, col: 1 };
-        let err = |m: String| DslError { span: top, message: m };
+        let err = |m: String| DslError {
+            span: top,
+            message: m,
+        };
         let app = self
             .applications
             .into_iter()
@@ -79,9 +82,10 @@ impl ParsedSource {
 
 /// Parse a DSL source into its blocks.
 pub fn parse_source(src: &str) -> Result<ParsedSource, DslError> {
-    let tokens = Lexer::new(src)
-        .tokenize()
-        .map_err(|e| DslError { span: e.span, message: e.message })?;
+    let tokens = Lexer::new(src).tokenize().map_err(|e| DslError {
+        span: e.span,
+        message: e.message,
+    })?;
     Parser { tokens, pos: 0 }.source()
 }
 
@@ -104,7 +108,10 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> DslError {
-        DslError { span: self.peek().span, message: msg.into() }
+        DslError {
+            span: self.peek().span,
+            message: msg.into(),
+        }
     }
 
     fn expect_kind(&mut self, k: &TokenKind) -> Result<Token, DslError> {
@@ -246,9 +253,12 @@ impl Parser {
             self.expect_kind(&TokenKind::Semi)?;
             match key.as_str() {
                 "items" => items = Some(value),
-                "order" => order = Some(u32::try_from(value).map_err(|_| {
-                    self.err("order value out of range".to_string())
-                })?),
+                "order" => {
+                    order = Some(
+                        u32::try_from(value)
+                            .map_err(|_| self.err("order value out of range".to_string()))?,
+                    )
+                }
                 "ticks" => ticks = Some(value),
                 other => return Err(self.err(format!("unknown flow property {other:?}"))),
             }
@@ -270,14 +280,19 @@ impl Parser {
             "per_item" => {
                 self.keyword("reference")?;
                 let r = self.int()? as u32;
-                CostModel::PerItem { reference_package_size: r }
+                CostModel::PerItem {
+                    reference_package_size: r,
+                }
             }
             "affine" => {
                 self.keyword("base")?;
                 let base_ticks = self.int()?;
                 self.keyword("reference")?;
                 let r = self.int()? as u32;
-                CostModel::Affine { base_ticks, reference_package_size: r }
+                CostModel::Affine {
+                    base_ticks,
+                    reference_package_size: r,
+                }
             }
             other => {
                 return Err(self.err(format!(
@@ -319,9 +334,9 @@ impl Parser {
                         "linear" => Topology::Linear,
                         "ring" => Topology::Ring,
                         other => {
-                            return Err(self.err(format!(
-                                "unknown topology {other:?} (linear | ring)"
-                            )))
+                            return Err(
+                                self.err(format!("unknown topology {other:?} (linear | ring)"))
+                            )
                         }
                     });
                     self.expect_kind(&TokenKind::Semi)?;
@@ -354,8 +369,8 @@ impl Parser {
                 }
                 other => {
                     return Err(self.err(format!(
-                        "expected 'package_size', 'topology', 'ca', 'segment' or '}}', found {other}"
-                    )))
+                    "expected 'package_size', 'topology', 'ca', 'segment' or '}}', found {other}"
+                )))
                 }
             }
         }
@@ -435,7 +450,10 @@ mod tests {
         assert_eq!(psm.platform().segment_count(), 2);
         assert_eq!(psm.platform().package_size(), 36);
         assert_eq!(psm.platform().ca_clock().period_ps(), 9009);
-        assert_eq!(psm.platform().segment_clock(SegmentId(1)).period_ps(), 10204);
+        assert_eq!(
+            psm.platform().segment_clock(SegmentId(1)).period_ps(),
+            10204
+        );
         let a = psm.application().process_by_name("A").unwrap();
         assert_eq!(psm.segment_of(a), SegmentId(0));
         let c = psm.application().process_by_name("C").unwrap();
@@ -456,12 +474,17 @@ mod tests {
         let p2 = crate::parse_system(&src("per_item reference 18")).unwrap();
         assert_eq!(
             p2.application().cost_model(),
-            CostModel::PerItem { reference_package_size: 18 }
+            CostModel::PerItem {
+                reference_package_size: 18
+            }
         );
         let p3 = crate::parse_system(&src("affine base 40 reference 36")).unwrap();
         assert_eq!(
             p3.application().cost_model(),
-            CostModel::Affine { base_ticks: 40, reference_package_size: 36 }
+            CostModel::Affine {
+                base_ticks: 40,
+                reference_package_size: 36
+            }
         );
     }
 

@@ -15,13 +15,18 @@ pub fn application_to_dsl(app: &Application) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "application {} {{", app.name());
     match app.cost_model() {
-        CostModel::PerItem { reference_package_size } => {
+        CostModel::PerItem {
+            reference_package_size,
+        } => {
             let _ = writeln!(out, "    cost per_item reference {reference_package_size};");
         }
         CostModel::PerPackage => {
             let _ = writeln!(out, "    cost per_package;");
         }
-        CostModel::Affine { base_ticks, reference_package_size } => {
+        CostModel::Affine {
+            base_ticks,
+            reference_package_size,
+        } => {
             let _ = writeln!(
                 out,
                 "    cost affine base {base_ticks} reference {reference_package_size};"
@@ -61,7 +66,11 @@ pub fn to_dsl(psm: &Psm) -> String {
     if platform.topology() != segbus_model::platform::Topology::Linear {
         let _ = writeln!(out, "    topology {};", platform.topology());
     }
-    let _ = writeln!(out, "    ca {{ period_ps {}; }}", platform.ca_clock().period_ps());
+    let _ = writeln!(
+        out,
+        "    ca {{ period_ps {}; }}",
+        platform.ca_clock().period_ps()
+    );
     for i in 0..platform.segment_count() {
         let seg = SegmentId(i as u16);
         let mut hosts = String::new();
@@ -99,9 +108,11 @@ mod tests {
     #[test]
     fn printed_text_is_readable() {
         let text = to_dsl(&mp3::three_segment_psm());
-        assert!(text.contains("application mp3-decoder {")
-            || text.contains("application mp3_decoder {")
-            || text.contains("application"));
+        assert!(
+            text.contains("application mp3-decoder {")
+                || text.contains("application mp3_decoder {")
+                || text.contains("application")
+        );
         assert!(text.contains("cost affine base 40 reference 36;"));
         assert!(text.contains("flow P0 -> P1 { items 576; order 1; ticks 250; }"));
         assert!(text.contains("package_size 36;"));

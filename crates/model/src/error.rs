@@ -62,7 +62,10 @@ impl fmt::Display for ModelError {
             ModelError::ZeroPackageSize => write!(f, "package size must be non-zero"),
             ModelError::Unplaced(p) => write!(f, "process {p} is not placed on any segment"),
             ModelError::Invalid { errors, first } => {
-                write!(f, "model failed validation with {errors} error(s); first: {first}")
+                write!(
+                    f,
+                    "model failed validation with {errors} error(s); first: {first}"
+                )
             }
         }
     }

@@ -25,7 +25,10 @@ pub struct Allocation {
 impl Allocation {
     /// An empty allocation for a platform with `segments` segments.
     pub fn new(segments: usize) -> Allocation {
-        Allocation { segments, slots: Vec::new() }
+        Allocation {
+            segments,
+            slots: Vec::new(),
+        }
     }
 
     /// Build an allocation from per-segment process lists, e.g. the paper's
@@ -179,7 +182,12 @@ impl Psm {
             });
         }
         let matrix = CommMatrix::from_application(&application);
-        Ok(Psm { platform, application, allocation, matrix })
+        Ok(Psm {
+            platform,
+            application,
+            allocation,
+            matrix,
+        })
     }
 
     /// The platform instance.
@@ -265,7 +273,10 @@ mod tests {
         assert_eq!(a.segment_of(ProcessId(5)), Some(SegmentId(2)));
         assert_eq!(a.segment_of(ProcessId(6)), None);
         assert_eq!(a.count_on(SegmentId(0)), 3);
-        assert_eq!(a.processes_on(SegmentId(2)), vec![ProcessId(4), ProcessId(5)]);
+        assert_eq!(
+            a.processes_on(SegmentId(2)),
+            vec![ProcessId(4), ProcessId(5)]
+        );
     }
 
     #[test]
@@ -328,6 +339,9 @@ mod tests {
     fn psm_with_package_size() {
         let (p, a, al) = parts();
         let psm = Psm::new(p, a, al).unwrap();
-        assert_eq!(psm.with_package_size(18).unwrap().platform().package_size(), 18);
+        assert_eq!(
+            psm.with_package_size(18).unwrap().platform().package_size(),
+            18
+        );
     }
 }

@@ -20,7 +20,10 @@ pub struct CommMatrix {
 impl CommMatrix {
     /// An all-zero matrix for `n` processes.
     pub fn zero(n: usize) -> CommMatrix {
-        CommMatrix { n, items: vec![0; n * n] }
+        CommMatrix {
+            n,
+            items: vec![0; n * n],
+        }
     }
 
     /// Build the matrix from a PSDF by summing the items of every flow with

@@ -66,12 +66,18 @@ pub struct BorderUnitRef {
 impl BorderUnitRef {
     /// The border unit on the right side of `left` in a linear topology.
     pub fn right_of(left: SegmentId) -> BorderUnitRef {
-        BorderUnitRef { left, right: SegmentId(left.0 + 1) }
+        BorderUnitRef {
+            left,
+            right: SegmentId(left.0 + 1),
+        }
     }
 
     /// The ring's wrap-around unit between the last segment and segment 0.
     pub fn wrap(last: SegmentId) -> BorderUnitRef {
-        BorderUnitRef { left: last, right: SegmentId(0) }
+        BorderUnitRef {
+            left: last,
+            right: SegmentId(0),
+        }
     }
 
     /// Higher-numbered adjacent segment (segment 0 for the wrap unit).
@@ -218,10 +224,7 @@ impl Platform {
         if a.hops_to(b) == 1 {
             return Some(BorderUnitRef::right_of(SegmentId(a.0.min(b.0))));
         }
-        if self.topology == Topology::Ring
-            && a.hops_to(b) == n - 1
-            && (a.0 == 0 || b.0 == 0)
-        {
+        if self.topology == Topology::Ring && a.hops_to(b) == n - 1 && (a.0 == 0 || b.0 == 0) {
             return Some(BorderUnitRef::wrap(SegmentId(n - 1)));
         }
         None
@@ -298,7 +301,10 @@ impl PlatformBuilder {
 
     /// Append a segment with the given clock.
     pub fn segment(mut self, name: impl Into<String>, clock: ClockDomain) -> Self {
-        self.segments.push(Segment { name: name.into(), clock });
+        self.segments.push(Segment {
+            name: name.into(),
+            clock,
+        });
         self
     }
 
@@ -442,7 +448,10 @@ mod tests {
             p.path_segments(SegmentId(2), SegmentId(0)),
             vec![SegmentId(2), SegmentId(1), SegmentId(0)]
         );
-        assert_eq!(p.path_segments(SegmentId(1), SegmentId(1)), vec![SegmentId(1)]);
+        assert_eq!(
+            p.path_segments(SegmentId(1), SegmentId(1)),
+            vec![SegmentId(1)]
+        );
     }
 
     #[test]
@@ -520,7 +529,10 @@ mod tests {
             p4.path_segments(SegmentId(0), SegmentId(2)),
             vec![SegmentId(0), SegmentId(1), SegmentId(2)]
         );
-        assert_eq!(p.path_segments(SegmentId(2), SegmentId(2)), vec![SegmentId(2)]);
+        assert_eq!(
+            p.path_segments(SegmentId(2), SegmentId(2)),
+            vec![SegmentId(2)]
+        );
     }
 
     #[test]

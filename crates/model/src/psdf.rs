@@ -61,17 +61,26 @@ pub struct Process {
 impl Process {
     /// An interior process.
     pub fn new(name: impl Into<String>) -> Process {
-        Process { name: name.into(), kind: ProcessKind::Internal }
+        Process {
+            name: name.into(),
+            kind: ProcessKind::Internal,
+        }
     }
 
     /// An initial (source) process.
     pub fn initial(name: impl Into<String>) -> Process {
-        Process { name: name.into(), kind: ProcessKind::Initial }
+        Process {
+            name: name.into(),
+            kind: ProcessKind::Initial,
+        }
     }
 
     /// A final (sink) process. Named `final_` because `final` is reserved.
     pub fn final_(name: impl Into<String>) -> Process {
-        Process { name: name.into(), kind: ProcessKind::Final }
+        Process {
+            name: name.into(),
+            kind: ProcessKind::Final,
+        }
     }
 }
 
@@ -94,7 +103,13 @@ pub struct Flow {
 impl Flow {
     /// Create a flow. Use [`Application::add_flow`] to attach it.
     pub fn new(src: ProcessId, dst: ProcessId, items: u64, order: u32, ticks: u64) -> Flow {
-        Flow { src, dst, items, order, ticks }
+        Flow {
+            src,
+            dst,
+            items,
+            order,
+            ticks,
+        }
     }
 
     /// Number of packages this flow produces at platform package size `s`.
@@ -141,14 +156,19 @@ impl CostModel {
     #[inline]
     pub fn ticks_per_package(&self, c: u64, package_size: u32) -> u64 {
         match *self {
-            CostModel::PerItem { reference_package_size } => {
+            CostModel::PerItem {
+                reference_package_size,
+            } => {
                 let r = reference_package_size as u64;
                 debug_assert!(r > 0);
                 // round(c * s / r) in integer arithmetic
                 (c * package_size as u64 + r / 2) / r
             }
             CostModel::PerPackage => c,
-            CostModel::Affine { base_ticks, reference_package_size } => {
+            CostModel::Affine {
+                base_ticks,
+                reference_package_size,
+            } => {
                 let r = reference_package_size as u64;
                 debug_assert!(r > 0);
                 let variable = c.saturating_sub(base_ticks);
@@ -161,7 +181,9 @@ impl CostModel {
 impl Default for CostModel {
     /// The paper's MP3 PSDF uses 36-item packages as its reference.
     fn default() -> Self {
-        CostModel::PerItem { reference_package_size: 36 }
+        CostModel::PerItem {
+            reference_package_size: 36,
+        }
     }
 }
 
@@ -237,7 +259,10 @@ impl Application {
             return Err(ModelError::SelfFlow(f.src));
         }
         if f.items == 0 {
-            return Err(ModelError::EmptyFlow { src: f.src, dst: f.dst });
+            return Err(ModelError::EmptyFlow {
+                src: f.src,
+                dst: f.dst,
+            });
         }
         let id = FlowId(self.flows.len() as u32);
         self.flows.push(f);
@@ -435,7 +460,10 @@ mod tests {
         assert_eq!(f.packages(36), 16);
         assert_eq!(f.packages(18), 32);
         assert_eq!(f.packages(100), 6); // 576/100 -> 6 packages
-        assert_eq!(Flow::new(ProcessId(0), ProcessId(1), 1, 1, 1).packages(36), 1);
+        assert_eq!(
+            Flow::new(ProcessId(0), ProcessId(1), 1, 1, 1).packages(36),
+            1
+        );
     }
 
     #[test]
@@ -533,7 +561,9 @@ mod tests {
 
     #[test]
     fn cost_model_per_item_scales() {
-        let cm = CostModel::PerItem { reference_package_size: 36 };
+        let cm = CostModel::PerItem {
+            reference_package_size: 36,
+        };
         assert_eq!(cm.ticks_per_package(250, 36), 250);
         assert_eq!(cm.ticks_per_package(250, 18), 125);
         assert_eq!(cm.ticks_per_package(250, 72), 500);
@@ -545,7 +575,10 @@ mod tests {
 
     #[test]
     fn cost_model_affine_interpolates() {
-        let cm = CostModel::Affine { base_ticks: 40, reference_package_size: 36 };
+        let cm = CostModel::Affine {
+            base_ticks: 40,
+            reference_package_size: 36,
+        };
         // At the reference size the annotated cost is returned verbatim.
         assert_eq!(cm.ticks_per_package(250, 36), 250);
         // Halving the size halves only the variable part: 40 + 105 = 145.
@@ -560,7 +593,9 @@ mod tests {
     fn default_cost_model_is_per_item_at_36() {
         assert_eq!(
             CostModel::default(),
-            CostModel::PerItem { reference_package_size: 36 }
+            CostModel::PerItem {
+                reference_package_size: 36
+            }
         );
     }
 }

@@ -28,7 +28,9 @@ impl SmallRng {
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;
-        SmallRng { state: if z == 0 { 0x9e37_79b9_7f4a_7c15 } else { z } }
+        SmallRng {
+            state: if z == 0 { 0x9e37_79b9_7f4a_7c15 } else { z },
+        }
     }
 
     /// Next 64 uniformly distributed bits.

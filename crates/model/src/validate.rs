@@ -89,11 +89,19 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     fn error(constraint: Constraint, message: String) -> Diagnostic {
-        Diagnostic { constraint, severity: Severity::Error, message }
+        Diagnostic {
+            constraint,
+            severity: Severity::Error,
+            message,
+        }
     }
 
     fn warning(constraint: Constraint, message: String) -> Diagnostic {
-        Diagnostic { constraint, severity: Severity::Warning, message }
+        Diagnostic {
+            constraint,
+            severity: Severity::Warning,
+            message,
+        }
     }
 }
 
@@ -109,11 +117,7 @@ impl fmt::Display for Diagnostic {
 
 /// Run every constraint over the triple, returning all findings (empty means
 /// fully valid).
-pub fn validate(
-    platform: &Platform,
-    app: &Application,
-    alloc: &Allocation,
-) -> Vec<Diagnostic> {
+pub fn validate(platform: &Platform, app: &Application, alloc: &Allocation) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     validate_platform(platform, &mut out);
     validate_application(app, platform.package_size(), &mut out);
@@ -392,7 +396,9 @@ mod tests {
         alloc.assign(a, SegmentId(0));
         alloc.assign(b, SegmentId(0));
         let d = validate(&platform(1), &app, &alloc);
-        let v009 = d.iter().filter(|d| d.constraint == Constraint::KindConsistent);
+        let v009 = d
+            .iter()
+            .filter(|d| d.constraint == Constraint::KindConsistent);
         assert_eq!(v009.count(), 2);
     }
 

@@ -153,7 +153,10 @@ fn kl_from(
         Objective::Items | Objective::Makespan => alloc.weighted_cut(app),
         Objective::Packages(s) => alloc.package_cut(app, s),
     };
-    Placement { allocation: alloc, cost }
+    Placement {
+        allocation: alloc,
+        cost,
+    }
 }
 
 #[cfg(test)]

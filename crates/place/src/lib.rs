@@ -50,12 +50,12 @@ pub use kl::kernighan_lin;
 
 use std::collections::HashMap;
 
-use segbus_core::{Engine, EmulatorConfig};
+use segbus_core::{EmulatorConfig, Engine};
 use segbus_model::ids::{ProcessId, SegmentId};
-use segbus_model::rng::SmallRng;
 use segbus_model::mapping::{Allocation, Psm};
 use segbus_model::platform::{Platform, Topology};
 use segbus_model::psdf::Application;
+use segbus_model::rng::SmallRng;
 
 /// What the solvers minimise.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -301,7 +301,10 @@ impl<'a> PlaceTool<'a> {
         for (p, &s) in assign.iter().enumerate() {
             alloc.assign(ProcessId(p as u32), SegmentId(s as u16));
         }
-        Some(Placement { allocation: alloc, cost })
+        Some(Placement {
+            allocation: alloc,
+            cost,
+        })
     }
 
     // -- greedy constructive --------------------------------------------------
@@ -313,7 +316,10 @@ impl<'a> PlaceTool<'a> {
     pub fn greedy(&self) -> Placement {
         let alloc = self.greedy_allocation();
         let cost = self.cost(&alloc);
-        Placement { allocation: alloc, cost }
+        Placement {
+            allocation: alloc,
+            cost,
+        }
     }
 
     fn greedy_allocation(&self) -> Allocation {
@@ -431,8 +437,7 @@ impl<'a> PlaceTool<'a> {
             for a in 0..n as u32 {
                 for b in (a + 1)..n as u32 {
                     let (pa, pb) = (ProcessId(a), ProcessId(b));
-                    let (sa, sb) =
-                        (alloc.segment_of_checked(pa), alloc.segment_of_checked(pb));
+                    let (sa, sb) = (alloc.segment_of_checked(pa), alloc.segment_of_checked(pb));
                     if sa == sb {
                         continue;
                     }
@@ -456,7 +461,10 @@ impl<'a> PlaceTool<'a> {
                 }
             }
             if !improved {
-                return Placement { allocation: alloc, cost };
+                return Placement {
+                    allocation: alloc,
+                    cost,
+                };
             }
         }
     }
@@ -516,7 +524,10 @@ impl<'a> PlaceTool<'a> {
                 }
             }
         }
-        Placement { allocation: best, cost: best_cost as u64 }
+        Placement {
+            allocation: best,
+            cost: best_cost as u64,
+        }
     }
 
     /// The composed solver used by the experiments: exact search when the

@@ -25,15 +25,21 @@ fn arb_instance(rng: &mut SmallRng) -> Instance {
     let segments = rng.range_usize(1, 3).min(layers * width);
     let ring = rng.gen_bool(0.5) && segments >= 3;
     let packages = rng.gen_bool(0.5);
-    Instance { layers, width, seed, segments, ring, packages }
+    Instance {
+        layers,
+        width,
+        seed,
+        segments,
+        ring,
+        packages,
+    }
 }
 
 fn for_each_instance(test_seed: u64, cases: usize, check: impl Fn(&Instance)) {
     let mut rng = SmallRng::seed_from_u64(test_seed);
     for case in 0..cases {
         let inst = arb_instance(&mut rng);
-        let result =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&inst)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&inst)));
         if let Err(e) = result {
             eprintln!("failing case {case}: {inst:?}");
             std::panic::resume_unwind(e);
@@ -56,7 +62,12 @@ fn tool<'a>(app: &'a segbus_model::psdf::Application, inst: &Instance) -> PlaceT
 #[test]
 fn solvers_are_feasible() {
     for_each_instance(0x9_0001, 64, |inst| {
-        let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
+        let app = random_layered(
+            inst.layers,
+            inst.width,
+            inst.seed,
+            GeneratorConfig::default(),
+        );
         let t = tool(&app, inst);
         for pl in [t.greedy(), t.best(inst.seed)] {
             assert!(t.feasible(&pl.allocation));
@@ -69,7 +80,12 @@ fn solvers_are_feasible() {
 #[test]
 fn refine_is_monotone() {
     for_each_instance(0x9_0002, 64, |inst| {
-        let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
+        let app = random_layered(
+            inst.layers,
+            inst.width,
+            inst.seed,
+            GeneratorConfig::default(),
+        );
         let t = tool(&app, inst);
         // Start from a round-robin layout (always feasible: every segment
         // is seeded because segments <= processes).
@@ -87,7 +103,12 @@ fn refine_is_monotone() {
 #[test]
 fn best_dominates_greedy() {
     for_each_instance(0x9_0003, 64, |inst| {
-        let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
+        let app = random_layered(
+            inst.layers,
+            inst.width,
+            inst.seed,
+            GeneratorConfig::default(),
+        );
         let t = tool(&app, inst);
         assert!(t.best(inst.seed).cost <= t.greedy().cost);
     });
@@ -101,7 +122,12 @@ fn ring_cost_never_exceeds_linear() {
         if inst.segments < 3 {
             return;
         }
-        let app = random_layered(inst.layers, inst.width, inst.seed, GeneratorConfig::default());
+        let app = random_layered(
+            inst.layers,
+            inst.width,
+            inst.seed,
+            GeneratorConfig::default(),
+        );
         let linear = PlaceTool::new(&app, inst.segments);
         let ring = PlaceTool::new(&app, inst.segments).with_topology(Topology::Ring);
         let pl = linear.greedy();

@@ -1,5 +1,8 @@
 //! Ablation A5: segment clock-frequency sensitivity.
 fn main() {
     println!("A5 — segment clock scaling (CA fixed at 111 MHz)\n");
-    print!("{}", segbus_report::clock_sensitivity(&[0.5, 0.75, 1.0, 1.5, 2.0]));
+    print!(
+        "{}",
+        segbus_report::clock_sensitivity(&[0.5, 0.75, 1.0, 1.5, 2.0])
+    );
 }

@@ -22,9 +22,7 @@
 use std::time::{Duration, Instant};
 
 use segbus_apps::mp3;
-use segbus_core::{
-    EmulatorConfig, EnginePlan, QueueKind, ReferenceEmulator, SweepPool,
-};
+use segbus_core::{EmulatorConfig, EnginePlan, QueueKind, ReferenceEmulator, SweepPool};
 use segbus_model::mapping::Psm;
 use segbus_model::time::ClockDomain;
 
@@ -45,8 +43,12 @@ fn build_psm(size: u32, factor: f64) -> Psm {
         .segment("S3", ClockDomain::from_mhz(89.0 * factor))
         .build()
         .expect("valid platform");
-    Psm::new(platform, mp3::mp3_decoder(), mp3::three_segment_allocation())
-        .expect("valid system")
+    Psm::new(
+        platform,
+        mp3::mp3_decoder(),
+        mp3::three_segment_allocation(),
+    )
+    .expect("valid system")
 }
 
 fn main() {
@@ -56,8 +58,10 @@ fn main() {
         .collect();
     let runs = grid.len() * REPS;
 
-    let heap_cfg =
-        EmulatorConfig { queue: QueueKind::BinaryHeap, ..EmulatorConfig::default() };
+    let heap_cfg = EmulatorConfig {
+        queue: QueueKind::BinaryHeap,
+        ..EmulatorConfig::default()
+    };
     let pool = SweepPool::new(EmulatorConfig::default());
 
     // Warm-up pass so neither leg pays first-touch costs.
@@ -92,7 +96,9 @@ fn main() {
             let reports = pool.sweep_with(round, |engine, &(s, f)| {
                 let psm = build_psm(s, f);
                 let plan = EnginePlan::new(&psm);
-                (0..REPS).map(|_| engine.run_plan(&plan, 1)).collect::<Vec<_>>()
+                (0..REPS)
+                    .map(|_| engine.run_plan(&plan, 1))
+                    .collect::<Vec<_>>()
             });
             optimised_time += t.elapsed();
             optimised.extend(reports.into_iter().flatten());

@@ -1,5 +1,8 @@
 //! Ablation A2: package-size sweep on the 3-segment configuration.
 fn main() {
     println!("A2 — package-size sweep\n");
-    print!("{}", segbus_report::package_size_sweep(&segbus_report::SWEEP_SIZES));
+    print!(
+        "{}",
+        segbus_report::package_size_sweep(&segbus_report::SWEEP_SIZES)
+    );
 }

@@ -54,7 +54,13 @@ pub fn fig11_activity() -> Table {
             .with_package_size(18)
             .expect("valid size"),
     );
-    let mut t = Table::new(["element", "busy_ticks_s18", "busy_ticks_s36", "tct_s18", "tct_s36"]);
+    let mut t = Table::new([
+        "element",
+        "busy_ticks_s18",
+        "busy_ticks_s36",
+        "tct_s18",
+        "tct_s36",
+    ]);
     for i in 0..r36.sas.len() {
         t.row([
             format!("SA{}", i + 1),
@@ -113,7 +119,9 @@ pub fn accuracy_rows() -> Vec<AccuracyRow> {
         ("3seg s=36 (Fig. 9)", mp3::three_segment_psm()),
         (
             "3seg s=18",
-            mp3::three_segment_psm().with_package_size(18).expect("valid"),
+            mp3::three_segment_psm()
+                .with_package_size(18)
+                .expect("valid"),
         ),
         ("3seg s=36 P9 on seg3", mp3::three_segment_p9_moved_psm()),
     ];
@@ -170,7 +178,12 @@ pub fn bu_utilisation() -> Table {
     let report = threeseg_report();
     let mut t = Table::new(["bu", "UP_ticks", "TCT_ticks", "avg_WP_ticks"]);
     for (bu, up, tct, wp) in report.bu_analysis() {
-        t.row([bu.to_string(), up.to_string(), tct.to_string(), format!("{wp:.2}")]);
+        t.row([
+            bu.to_string(),
+            up.to_string(),
+            tct.to_string(),
+            format!("{wp:.2}"),
+        ]);
     }
     t
 }
@@ -245,7 +258,11 @@ pub fn placement_two_segments() -> Table {
     let kl = segbus_place::kernighan_lin(&app, Objective::Packages(36), 8).allocation;
     let best = tool.best(7).allocation;
     let mut t = Table::new(["allocation", "package_cut", "est_us"]);
-    for (name, alloc) in [("Fig. 9 (hand)", hand), ("Kernighan-Lin", kl), ("PlaceTool best", best)] {
+    for (name, alloc) in [
+        ("Fig. 9 (hand)", hand),
+        ("Kernighan-Lin", kl),
+        ("PlaceTool best", best),
+    ] {
         let cut = alloc.package_cut(&app, 36);
         let psm = Psm::new(platform.clone(), app.clone(), alloc).expect("valid");
         let r = Emulator::default().run(&psm);
@@ -263,7 +280,11 @@ pub fn package_size_sweep(sizes: &[u32]) -> Table {
     let mut t = Table::new(["package_size", "est_us", "packages", "bu12_tct"]);
     let psms: Vec<Psm> = sizes
         .iter()
-        .map(|&s| mp3::three_segment_psm().with_package_size(s).expect("valid"))
+        .map(|&s| {
+            mp3::three_segment_psm()
+                .with_package_size(s)
+                .expect("valid")
+        })
         .collect();
     let reports = segbus_core::SweepPool::new(EmulatorConfig::default()).sweep(&psms);
     for ((&s, psm), r) in sizes.iter().zip(&psms).zip(&reports) {
@@ -284,9 +305,20 @@ pub const SWEEP_SIZES: [u32; 7] = [6, 9, 12, 18, 36, 72, 144];
 /// A3 — cost-model ablation at package sizes 18 and 36.
 pub fn cost_model_ablation() -> Table {
     let models: [(&str, CostModel); 3] = [
-        ("per_item(36)", CostModel::PerItem { reference_package_size: 36 }),
+        (
+            "per_item(36)",
+            CostModel::PerItem {
+                reference_package_size: 36,
+            },
+        ),
         ("per_package", CostModel::PerPackage),
-        ("affine(base=40;ref=36)", CostModel::Affine { base_ticks: 40, reference_package_size: 36 }),
+        (
+            "affine(base=40;ref=36)",
+            CostModel::Affine {
+                base_ticks: 40,
+                reference_package_size: 36,
+            },
+        ),
     ];
     let mut t = Table::new(["cost_model", "est_us_s36", "est_us_s18", "ratio"]);
     for (name, cm) in models {
@@ -296,8 +328,14 @@ pub fn cost_model_ablation() -> Table {
         let alloc = mp3::three_segment_allocation();
         let p36 = Psm::new(platform.clone(), app.clone(), alloc.clone()).expect("valid");
         let p18 = p36.with_package_size(18).expect("valid");
-        let t36 = Emulator::default().run(&p36).execution_time().as_micros_f64();
-        let t18 = Emulator::default().run(&p18).execution_time().as_micros_f64();
+        let t36 = Emulator::default()
+            .run(&p36)
+            .execution_time()
+            .as_micros_f64();
+        let t18 = Emulator::default()
+            .run(&p18)
+            .execution_time()
+            .as_micros_f64();
         t.row([
             name.to_string(),
             format!("{t36:.2}"),
@@ -323,13 +361,20 @@ pub fn clock_sensitivity(factors: &[f64]) -> Table {
                 .segment("S3", segbus_model::time::ClockDomain::from_mhz(89.0 * f))
                 .build()
                 .expect("valid");
-            Psm::new(platform, mp3::mp3_decoder(), mp3::three_segment_allocation())
-                .expect("valid")
+            Psm::new(
+                platform,
+                mp3::mp3_decoder(),
+                mp3::three_segment_allocation(),
+            )
+            .expect("valid")
         })
         .collect();
     let reports = segbus_core::SweepPool::new(EmulatorConfig::default()).sweep(&psms);
     for (&f, r) in factors.iter().zip(&reports) {
-        t.row([format!("{f:.2}"), format!("{:.2}", r.execution_time().as_micros_f64())]);
+        t.row([
+            format!("{f:.2}"),
+            format!("{:.2}", r.execution_time().as_micros_f64()),
+        ]);
     }
     t
 }
@@ -405,7 +450,12 @@ pub fn energy_comparison() -> Table {
         ("1 segment", mp3::one_segment_psm()),
         ("2 segments", mp3::two_segment_psm()),
         ("3 segments", mp3::three_segment_psm()),
-        ("3 seg s=18", mp3::three_segment_psm().with_package_size(18).expect("valid")),
+        (
+            "3 seg s=18",
+            mp3::three_segment_psm()
+                .with_package_size(18)
+                .expect("valid"),
+        ),
         ("3 seg P9 moved", mp3::three_segment_p9_moved_psm()),
     ];
     let mut t = Table::new(["config", "total_uj", "compute_uj", "comm_fraction"]);
@@ -435,10 +485,13 @@ pub fn topology_comparison() -> Table {
     let mut t = Table::new(["workers", "linear_us", "ring_us", "ring_speedup"]);
     for workers in [3usize, 5, 7] {
         let segments = workers + 1;
-        let app = diamond(workers, GeneratorConfig {
-            items_per_flow: 4 * 36,
-            ticks_per_package: 150,
-        });
+        let app = diamond(
+            workers,
+            GeneratorConfig {
+                items_per_flow: 4 * 36,
+                ticks_per_package: 150,
+            },
+        );
         // SRC (id 0) and SINK (last id) on segment 0; worker i on segment i+1.
         let mut alloc = Allocation::new(segments);
         alloc.assign(ProcessId(0), SegmentId(0));
@@ -484,26 +537,32 @@ pub fn arbitration_comparison() -> Table {
         .collect();
     let sink = app.add_process(Process::final_("SINK"));
     for &p in &producers {
-        app.add_flow(Flow::new(p, sink, 8 * 36, 1, 10)).expect("valid");
+        app.add_flow(Flow::new(p, sink, 8 * 36, 1, 10))
+            .expect("valid");
     }
     let mut alloc = Allocation::new(1);
     for p in producers.iter().chain(std::iter::once(&sink)) {
         alloc.assign(*p, SegmentId(0));
     }
-    let psm = Psm::new(
-        segbus_apps::generators::uniform_platform(1, 36),
-        app,
-        alloc,
-    )
-    .expect("valid");
+    let psm =
+        Psm::new(segbus_apps::generators::uniform_platform(1, 36), app, alloc).expect("valid");
 
-    let mut t = Table::new(["policy", "makespan_us", "a0_end_us", "a2_end_us", "finish_spread_us"]);
+    let mut t = Table::new([
+        "policy",
+        "makespan_us",
+        "a0_end_us",
+        "a2_end_us",
+        "finish_spread_us",
+    ]);
     for (name, policy) in [
         ("fifo", ArbitrationPolicy::Fifo),
         ("fixed_priority", ArbitrationPolicy::FixedPriority),
         ("fair_round_robin", ArbitrationPolicy::FairRoundRobin),
     ] {
-        let cfg = EmulatorConfig { arbitration: policy, ..EmulatorConfig::default() };
+        let cfg = EmulatorConfig {
+            arbitration: policy,
+            ..EmulatorConfig::default()
+        };
         let r = Emulator::new(cfg).run(&psm);
         let ends: Vec<f64> = (0..3)
             .map(|i| r.fus[i].end.expect("producers ran").as_micros_f64())
@@ -568,19 +627,54 @@ pub fn e2_comparison() -> Table {
         } else {
             "approx (unpublished per-flow costs)"
         };
-        t.row([name.to_string(), paper.to_string(), measured.to_string(), status.to_string()]);
+        t.row([
+            name.to_string(),
+            paper.to_string(),
+            measured.to_string(),
+            status.to_string(),
+        ]);
     };
     // Fully determined by Fig. 8 × Fig. 9 — must be exact.
     row("BU12 packages in", 32, r.bus[0].total_in(), true);
     row("BU12 packages out", 32, r.bus[0].total_out(), true);
     row("BU23 packages in", 2, r.bus[1].total_in(), true);
     row("BU23 packages out", 2, r.bus[1].total_out(), true);
-    row("Segment1 packets to right", 32, r.sas[0].packets_to_right, true);
-    row("Segment2 packets to left", 0, r.sas[1].packets_to_left, true);
-    row("Segment3 packets to left", 1, r.sas[2].packets_to_left, true);
-    row("SA1 inter-segment requests", 32, r.sas[0].inter_requests, true);
-    row("SA2 inter-segment requests", 0, r.sas[1].inter_requests, true);
-    row("SA3 inter-segment requests", 1, r.sas[2].inter_requests, true);
+    row(
+        "Segment1 packets to right",
+        32,
+        r.sas[0].packets_to_right,
+        true,
+    );
+    row(
+        "Segment2 packets to left",
+        0,
+        r.sas[1].packets_to_left,
+        true,
+    );
+    row(
+        "Segment3 packets to left",
+        1,
+        r.sas[2].packets_to_left,
+        true,
+    );
+    row(
+        "SA1 inter-segment requests",
+        32,
+        r.sas[0].inter_requests,
+        true,
+    );
+    row(
+        "SA2 inter-segment requests",
+        0,
+        r.sas[1].inter_requests,
+        true,
+    );
+    row(
+        "SA3 inter-segment requests",
+        1,
+        r.sas[2].inter_requests,
+        true,
+    );
     row("BU12 TCT", 2336, r.bus[0].tct, true);
     row("BU23 TCT", 146, r.bus[1].tct, true);
     // Depend on the 19 unpublished per-flow costs — approximate.
@@ -588,8 +682,18 @@ pub fn e2_comparison() -> Table {
     row("SA2 TCT", 46_031, r.sas[1].tct, false);
     row("SA3 TCT", 35_884, r.sas[2].tct, false);
     row("CA TCT", 54_367, r.ca.tct, false);
-    row("SA1 intra-segment requests", 124, r.sas[0].intra_requests, false);
-    row("SA2 intra-segment requests", 137, r.sas[1].intra_requests, false);
+    row(
+        "SA1 intra-segment requests",
+        124,
+        r.sas[0].intra_requests,
+        false,
+    );
+    row(
+        "SA2 intra-segment requests",
+        137,
+        r.sas[1].intra_requests,
+        false,
+    );
     row(
         "Execution time (ps)",
         489_792_303,
@@ -657,7 +761,12 @@ mod tests {
         let rows = accuracy_rows();
         assert_eq!(rows.len(), 3);
         for r in &rows {
-            assert!(r.accuracy > 0.85 && r.accuracy < 1.0, "{}: {}", r.config, r.accuracy);
+            assert!(
+                r.accuracy > 0.85 && r.accuracy < 1.0,
+                "{}: {}",
+                r.config,
+                r.accuracy
+            );
         }
         // Smaller packages hurt accuracy (93 % vs 95 % in the paper).
         assert!(rows[1].accuracy < rows[0].accuracy);

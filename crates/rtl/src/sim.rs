@@ -21,12 +21,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use std::sync::Mutex;
 use segbus_core::counters::{BuCounters, CaCounters, FuTimes, SaCounters};
 use segbus_core::report::EmulationReport;
 use segbus_model::ids::{FlowId, ProcessId, SegmentId};
 use segbus_model::mapping::Psm;
 use segbus_model::time::{ClockDomain, Picos};
+use std::sync::Mutex;
 
 use crate::config::RtlConfig;
 
@@ -139,7 +139,12 @@ impl<T: Copy> Mailbox<T> {
     }
 
     fn post(&self, visible_at: Picos, sender: u16, seq: u64, payload: T) {
-        self.0.lock().unwrap().push(Stamped { visible_at, sender, seq, payload });
+        self.0.lock().unwrap().push(Stamped {
+            visible_at,
+            sender,
+            seq,
+            payload,
+        });
     }
 
     /// Remove and return every message visible at `now`, ordered by
@@ -269,9 +274,20 @@ impl<'a> Ctx<'a> {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum FuState {
     Idle,
-    Computing { left: u64, flow: FlowId, pkg: u64 },
-    Requesting { flow: FlowId, pkg: u64, forwarded: bool },
-    InTransaction { flow: FlowId, pkg: u64 },
+    Computing {
+        left: u64,
+        flow: FlowId,
+        pkg: u64,
+    },
+    Requesting {
+        flow: FlowId,
+        pkg: u64,
+        forwarded: bool,
+    },
+    InTransaction {
+        flow: FlowId,
+        pkg: u64,
+    },
     WaitDelivery,
 }
 
@@ -295,7 +311,12 @@ struct Fu {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Driver {
     /// A local master drives the bus.
-    Fu { fu: usize, flow: FlowId, pkg: u64, inter: Option<Tid> },
+    Fu {
+        fu: usize,
+        flow: FlowId,
+        pkg: u64,
+        inter: Option<Tid>,
+    },
     /// The SA unloads a border unit (hop > 0 of a transfer).
     Bu { t: Tid },
 }
@@ -360,9 +381,7 @@ impl CaState {
     }
 
     pub(crate) fn idle(&self) -> bool {
-        self.queue.is_empty()
-            && self.busy_left == 0
-            && self.reserved.iter().all(Option::is_none)
+        self.queue.is_empty() && self.busy_left == 0 && self.reserved.iter().all(Option::is_none)
     }
 }
 
@@ -462,9 +481,7 @@ pub(crate) fn build<'a>(
     // Wave-0 instances of every frame open at time zero (streaming with a
     // full input buffer); the rest open as predecessors complete.
     let instance_open_at: Vec<AtomicU64> = (0..frames)
-        .flat_map(|_| {
-            (0..waves.len()).map(|w| AtomicU64::new(if w == 0 { 0 } else { u64::MAX }))
-        })
+        .flat_map(|_| (0..waves.len()).map(|w| AtomicU64::new(if w == 0 { 0 } else { u64::MAX })))
         .collect();
 
     let shared = Shared {
@@ -543,8 +560,7 @@ fn step_fus(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
                 for k in 0..fu.my_waves.len() {
                     let w = fu.my_waves[k].0;
                     while fu.armed_frame[k] < ctx.frames
-                        && shared
-                            .instance_openable(fu.armed_frame[k] as usize * n_waves + w, now)
+                        && shared.instance_openable(fu.armed_frame[k] as usize * n_waves + w, now)
                     {
                         let frame = fu.armed_frame[k];
                         for fi in 0..fu.my_waves[k].1.len() {
@@ -565,9 +581,17 @@ fn step_fus(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
             }
             FuState::Computing { left, flow, pkg } => {
                 fu.state = if left <= 1 {
-                    FuState::Requesting { flow, pkg, forwarded: false }
+                    FuState::Requesting {
+                        flow,
+                        pkg,
+                        forwarded: false,
+                    }
                 } else {
-                    FuState::Computing { left: left - 1, flow, pkg }
+                    FuState::Computing {
+                        left: left - 1,
+                        flow,
+                        pkg,
+                    }
                 };
             }
             // Requesting / InTransaction / WaitDelivery are driven by the
@@ -587,7 +611,12 @@ fn step_sa(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
     // Forward fresh inter-segment requests to the CA (request lines are
     // sampled in parallel with the data-path FSM).
     for fi in 0..d.fus.len() {
-        if let FuState::Requesting { flow, pkg, forwarded: false } = d.fus[fi].state {
+        if let FuState::Requesting {
+            flow,
+            pkg,
+            forwarded: false,
+        } = d.fus[fi].state
+        {
             let f = *ctx.psm.application().flow(flow);
             let dst_seg = ctx.psm.segment_of(f.dst);
             if dst_seg != d.seg {
@@ -595,14 +624,25 @@ fn step_sa(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
                 let idx = d.next_tid_idx;
                 d.next_tid_idx += 1;
                 let t = tid(d.seg, idx);
-                shared.transfers[si].lock().unwrap().push(Transfer { flow, pkg, path, hop: 0 });
+                shared.transfers[si].lock().unwrap().push(Transfer {
+                    flow,
+                    pkg,
+                    path,
+                    hop: 0,
+                });
                 let visible = now + Picos(ctx.cfg.sync_ticks * ctx.ca_clock.period_ps());
                 let seq = d.seq;
                 d.seq += 1;
-                shared.ca_inbox.post(visible, si as u16, seq, CaMsg::Request(t));
+                shared
+                    .ca_inbox
+                    .post(visible, si as u16, seq, CaMsg::Request(t));
                 d.counters.inter_requests += 1;
                 d.counters.last_activity = d.counters.last_activity.max(now);
-                d.fus[fi].state = FuState::Requesting { flow, pkg, forwarded: true };
+                d.fus[fi].state = FuState::Requesting {
+                    flow,
+                    pkg,
+                    forwarded: true,
+                };
             }
         }
     }
@@ -627,8 +667,9 @@ fn step_sa(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
             sa_busy(d, now);
             if left <= 1 {
                 d.transfer_started = now;
-                d.sa_state =
-                    SaState::Transfer { beats_left: ctx.cfg.header_beats + ctx.s as u64 };
+                d.sa_state = SaState::Transfer {
+                    beats_left: ctx.cfg.header_beats + ctx.s as u64,
+                };
             } else {
                 d.sa_state = SaState::Response { left: left - 1 };
             }
@@ -636,16 +677,22 @@ fn step_sa(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
         SaState::Transfer { beats_left } => {
             sa_busy(d, now);
             if beats_left <= 1 {
-                d.sa_state = SaState::Detect { left: ctx.cfg.detect_ticks.max(1) };
+                d.sa_state = SaState::Detect {
+                    left: ctx.cfg.detect_ticks.max(1),
+                };
             } else {
-                d.sa_state = SaState::Transfer { beats_left: beats_left - 1 };
+                d.sa_state = SaState::Transfer {
+                    beats_left: beats_left - 1,
+                };
             }
         }
         SaState::Detect { left } => {
             sa_busy(d, now);
             if left <= 1 {
                 complete_transaction(ctx, shared, d, now);
-                d.sa_state = SaState::GrantReset { left: ctx.cfg.grant_reset_ticks.max(1) };
+                d.sa_state = SaState::GrantReset {
+                    left: ctx.cfg.grant_reset_ticks.max(1),
+                };
             } else {
                 d.sa_state = SaState::Detect { left: left - 1 };
             }
@@ -685,8 +732,22 @@ fn sa_pick(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
                 .iter()
                 .position(|f| f.id == src)
                 .expect("source FU on source segment");
-            if matches!(d.fus[fi].state, FuState::Requesting { forwarded: true, .. }) {
-                pick = Some((ri, Driver::Fu { fu: fi, flow: tr.flow, pkg: tr.pkg, inter: Some(t) }));
+            if matches!(
+                d.fus[fi].state,
+                FuState::Requesting {
+                    forwarded: true,
+                    ..
+                }
+            ) {
+                pick = Some((
+                    ri,
+                    Driver::Fu {
+                        fu: fi,
+                        flow: tr.flow,
+                        pkg: tr.pkg,
+                        inter: Some(t),
+                    },
+                ));
                 break;
             }
         } else {
@@ -698,7 +759,8 @@ fn sa_pick(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
                 .bu_between(prev, d.seg)
                 .expect("path hops adjacent");
             let ready = shared.bus[bu.index()]
-                .lock().unwrap()
+                .lock()
+                .unwrap()
                 .full
                 .map(|(ft, visible_at, _)| ft == t && visible_at <= now)
                 .unwrap_or(false);
@@ -718,7 +780,9 @@ fn sa_pick(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
             d.counters.intra_requests += 1;
         }
         d.driver = Some(driver);
-        d.sa_state = SaState::GrantSet { left: ctx.cfg.sa_grant_ticks.max(1) };
+        d.sa_state = SaState::GrantSet {
+            left: ctx.cfg.sa_grant_ticks.max(1),
+        };
         sa_busy(d, now);
         return;
     }
@@ -741,8 +805,15 @@ fn sa_pick(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
             d.sa_rr = (fi + 1) % nfus;
             d.counters.intra_requests += 1;
             d.fus[fi].state = FuState::InTransaction { flow, pkg };
-            d.driver = Some(Driver::Fu { fu: fi, flow, pkg, inter: None });
-            d.sa_state = SaState::GrantSet { left: ctx.cfg.sa_grant_ticks.max(1) };
+            d.driver = Some(Driver::Fu {
+                fu: fi,
+                flow,
+                pkg,
+                inter: None,
+            });
+            d.sa_state = SaState::GrantSet {
+                left: ctx.cfg.sa_grant_ticks.max(1),
+            };
             sa_busy(d, now);
             return;
         }
@@ -753,7 +824,12 @@ fn sa_pick(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
 fn complete_transaction(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: Picos) {
     let driver = d.driver.expect("transaction has a driver");
     match driver {
-        Driver::Fu { fu, flow, pkg, inter: None } => {
+        Driver::Fu {
+            fu,
+            flow,
+            pkg,
+            inter: None,
+        } => {
             // Local delivery: producer done, consumer receives.
             d.fus[fu].state = FuState::Idle;
             d.fus[fu].times.packages_sent += 1;
@@ -764,11 +840,20 @@ fn complete_transaction(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now
             }
             deliver(ctx, shared, d, flow, pkg, now);
         }
-        Driver::Fu { fu, flow: _, pkg: _, inter: Some(t) } => {
+        Driver::Fu {
+            fu,
+            flow: _,
+            pkg: _,
+            inter: Some(t),
+        } => {
             // Source fill completed: the package sits in the first BU.
             let tr = shared.transfer(t);
             let next = tr.path[1];
-            let bu = ctx.psm.platform().bu_between(d.seg, next).expect("adjacent");
+            let bu = ctx
+                .psm
+                .platform()
+                .bu_between(d.seg, next)
+                .expect("adjacent");
             let next_clock = ctx.psm.platform().segment_clock(next);
             let visible = now + Picos(ctx.cfg.sync_ticks * next_clock.period_ps());
             {
@@ -796,7 +881,11 @@ fn complete_transaction(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now
             let tr = shared.transfer(t);
             let hop = tr.hop;
             let prev = tr.path[hop - 1];
-            let bu_in = ctx.psm.platform().bu_between(prev, d.seg).expect("adjacent");
+            let bu_in = ctx
+                .psm
+                .platform()
+                .bu_between(prev, d.seg)
+                .expect("adjacent");
             // Unload accounting: WP runs from the load instant to the
             // moment this unload transfer started driving beats.
             let started = d.transfer_started;
@@ -821,14 +910,20 @@ fn complete_transaction(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now
                 let src = ctx.psm.application().flow(tr.flow).src;
                 let src_clock = ctx.psm.platform().segment_clock(ctx.psm.segment_of(src));
                 let ack_at = now
-                    + Picos(ctx.cfg.sync_ticks * (ctx.ca_clock.period_ps() + src_clock.period_ps()));
+                    + Picos(
+                        ctx.cfg.sync_ticks * (ctx.ca_clock.period_ps() + src_clock.period_ps()),
+                    );
                 let seq = d.seq;
                 d.seq += 1;
                 shared.fu_ack[src.index()].post(ack_at, d.seg.0, seq, ());
             } else {
                 // Load the next BU.
                 let next = tr.path[hop + 1];
-                let bu_out = ctx.psm.platform().bu_between(d.seg, next).expect("adjacent");
+                let bu_out = ctx
+                    .psm
+                    .platform()
+                    .bu_between(d.seg, next)
+                    .expect("adjacent");
                 let next_clock = ctx.psm.platform().segment_clock(next);
                 let visible = now + Picos(ctx.cfg.sync_ticks * next_clock.period_ps());
                 let mut b = shared.bus[bu_out.index()].lock().unwrap();
@@ -851,7 +946,9 @@ fn segment_done_to_ca(ctx: &Ctx<'_>, shared: &Shared, d: &mut DomainState, now: 
     let visible = now + Picos(ctx.cfg.sync_ticks * ctx.ca_clock.period_ps());
     let seq = d.seq;
     d.seq += 1;
-    shared.ca_inbox.post(visible, d.seg.0, seq, CaMsg::SegmentDone(d.seg));
+    shared
+        .ca_inbox
+        .post(visible, d.seg.0, seq, CaMsg::SegmentDone(d.seg));
 }
 
 /// Final delivery of a package at its destination process (which always
@@ -865,7 +962,11 @@ fn deliver(
     now: Picos,
 ) {
     let dst = ctx.psm.application().flow(flow).dst;
-    debug_assert_eq!(ctx.psm.segment_of(dst), d.seg, "delivery in the wrong domain");
+    debug_assert_eq!(
+        ctx.psm.segment_of(dst),
+        d.seg,
+        "delivery in the wrong domain"
+    );
     let fu = d
         .fus
         .iter_mut()
@@ -986,7 +1087,11 @@ pub(crate) fn build_report(
     }
     let mut cac = ca.counters;
     cac.tct = ca.clock.ticks_covering(makespan);
-    let bus = shared.bus.iter().map(|b| b.lock().unwrap().counters).collect();
+    let bus = shared
+        .bus
+        .iter()
+        .map(|b| b.lock().unwrap().counters)
+        .collect();
     EmulationReport {
         sas,
         ca: cac,
@@ -1016,7 +1121,13 @@ impl<'a> World<'a> {
     pub(crate) fn new(psm: &'a Psm, cfg: RtlConfig, frames: u64) -> World<'a> {
         let (ctx, shared, domains, ca) = build(psm, cfg, frames);
         let n = domains.len() + 1;
-        World { ctx, shared, domains, ca, next_edge: vec![Picos::ZERO; n] }
+        World {
+            ctx,
+            shared,
+            domains,
+            ca,
+            next_edge: vec![Picos::ZERO; n],
+        }
     }
 
     fn quiescent(&self) -> bool {
@@ -1029,7 +1140,10 @@ impl<'a> World<'a> {
     fn stuck_summary(&self) -> String {
         let mut out = String::new();
         for d in &self.domains {
-            out.push_str(&format!("{}: sa={:?} reservations={:?}; ", d.seg, d.sa_state, d.reservations));
+            out.push_str(&format!(
+                "{}: sa={:?} reservations={:?}; ",
+                d.seg, d.sa_state, d.reservations
+            ));
             for fu in &d.fus {
                 if fu.state != FuState::Idle {
                     out.push_str(&format!("{}={:?}; ", fu.id, fu.state));
@@ -1058,7 +1172,10 @@ impl<'a> World<'a> {
         loop {
             let t = *self.next_edge.iter().min().expect("domains exist");
             if t > cap {
-                return Err(RtlError::Deadlock { at: t, detail: self.stuck_summary() });
+                return Err(RtlError::Deadlock {
+                    at: t,
+                    detail: self.stuck_summary(),
+                });
             }
             for si in 0..nseg {
                 if self.next_edge[si] == t {
@@ -1151,7 +1268,10 @@ mod tests {
         let est = segbus_core::Emulator::default().run(&psm);
         let rtl = RtlSimulator::default().run(&psm).unwrap();
         assert_eq!(rtl.bus[0].received_from_left, est.bus[0].received_from_left);
-        assert_eq!(rtl.bus[0].transferred_to_right, est.bus[0].transferred_to_right);
+        assert_eq!(
+            rtl.bus[0].transferred_to_right,
+            est.bus[0].transferred_to_right
+        );
         assert_eq!(rtl.sas[0].inter_requests, est.sas[0].inter_requests);
         assert_eq!(rtl.sas[0].packets_to_right, est.sas[0].packets_to_right);
         assert_eq!(rtl.ca.grants, est.ca.grants);
@@ -1192,7 +1312,10 @@ mod tests {
         let wp = r.bus[0].avg_waiting_period();
         assert!(wp >= 2.0, "wp {wp}");
         assert!(wp <= (36 + 12) as f64, "wp {wp}");
-        assert_eq!(r.bus[0].tct, r.bus[0].useful_period(36) + r.bus[0].waiting_ticks);
+        assert_eq!(
+            r.bus[0].tct,
+            r.bus[0].useful_period(36) + r.bus[0].waiting_ticks
+        );
     }
 
     #[test]
@@ -1208,7 +1331,10 @@ mod tests {
 
     #[test]
     fn deadlock_guard_fires_on_tiny_budget() {
-        let cfg = RtlConfig { max_ticks: 10, ..RtlConfig::default() };
+        let cfg = RtlConfig {
+            max_ticks: 10,
+            ..RtlConfig::default()
+        };
         let err = RtlSimulator::new(cfg).run(&local_pair()).unwrap_err();
         assert!(matches!(err, RtlError::Deadlock { .. }));
         assert!(err.to_string().contains("deadlocked"));

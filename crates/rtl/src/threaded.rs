@@ -20,10 +20,10 @@
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Barrier;
 
-use std::sync::Mutex;
 use segbus_core::report::EmulationReport;
 use segbus_model::mapping::Psm;
 use segbus_model::time::Picos;
+use std::sync::Mutex;
 
 use crate::config::RtlConfig;
 use crate::sim::{self, RtlError};
@@ -100,8 +100,7 @@ impl ThreadedRtlSimulator {
                         let t = Picos(current_t.load(Ordering::Relaxed));
                         if next_edges[si].load(Ordering::Relaxed) == t.0 {
                             sim::step_segment(ctx_ref, shared_ref, &mut d, t);
-                            next_edges[si]
-                                .store(t.0 + d.clock().period_ps(), Ordering::Relaxed);
+                            next_edges[si].store(t.0 + d.clock().period_ps(), Ordering::Relaxed);
                         }
                         idle[si].store(d.idle() as u8, Ordering::Relaxed);
                     }
@@ -113,10 +112,9 @@ impl ThreadedRtlSimulator {
             let ci = nseg;
             loop {
                 barrier.wait(); // A
-                // Leader decision: quiescent, deadlocked, or pick next t.
+                                // Leader decision: quiescent, deadlocked, or pick next t.
                 if status.load(Ordering::Relaxed) == RUNNING {
-                    let all_idle = (0..nthreads)
-                        .all(|i| idle[i].load(Ordering::Relaxed) == 1);
+                    let all_idle = (0..nthreads).all(|i| idle[i].load(Ordering::Relaxed) == 1);
                     if all_idle
                         && shared_ref.waves_done(ctx_ref.wave_count())
                         && shared_ref.mail_quiescent()
@@ -246,7 +244,10 @@ mod tests {
 
     #[test]
     fn threaded_deadlock_guard() {
-        let cfg = RtlConfig { max_ticks: 5, ..RtlConfig::default() };
+        let cfg = RtlConfig {
+            max_ticks: 5,
+            ..RtlConfig::default()
+        };
         let err = ThreadedRtlSimulator::new(cfg)
             .run(&pipeline_psm(2, 3, 36))
             .unwrap_err();

@@ -13,8 +13,8 @@
 
 use segbus_apps::mp3;
 use segbus_core::Emulator;
-use segbus_rtl::RtlSimulator;
 use segbus_model::mapping::Psm;
+use segbus_rtl::RtlSimulator;
 
 fn accuracy(psm: &Psm) -> (f64, f64, f64) {
     let est = Emulator::default().run(psm).execution_time();
@@ -32,7 +32,10 @@ fn accuracy(psm: &Psm) -> (f64, f64, f64) {
 #[test]
 fn three_segment_accuracy_band() {
     let (est, act, acc) = accuracy(&mp3::three_segment_psm());
-    eprintln!("s=36: estimated {est:.2} µs, actual {act:.2} µs, accuracy {:.1}%", acc * 100.0);
+    eprintln!(
+        "s=36: estimated {est:.2} µs, actual {act:.2} µs, accuracy {:.1}%",
+        acc * 100.0
+    );
     assert!(acc < 1.0, "the estimator must under-predict");
     assert!(acc > 0.85, "accuracy {acc:.3} below the paper's band");
 }

@@ -18,7 +18,10 @@ pub struct XmlDocument {
 impl XmlDocument {
     /// A document with the standard declaration.
     pub fn new(root: XmlElement) -> XmlDocument {
-        XmlDocument { declaration: true, root }
+        XmlDocument {
+            declaration: true,
+            root,
+        }
     }
 
     /// Serialise with two-space indentation (see [`crate::writer`]).
@@ -50,7 +53,11 @@ pub enum XmlNode {
 impl XmlElement {
     /// An element with no attributes or children.
     pub fn new(name: impl Into<String>) -> XmlElement {
-        XmlElement { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        XmlElement {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder-style attribute. Setting a key that already exists replaces
@@ -118,7 +125,10 @@ impl XmlElement {
 
     /// Recursively count elements (including self).
     pub fn element_count(&self) -> usize {
-        1 + self.elements().map(XmlElement::element_count).sum::<usize>()
+        1 + self
+            .elements()
+            .map(XmlElement::element_count)
+            .sum::<usize>()
     }
 }
 

@@ -39,9 +39,12 @@ fn req_attr<'a>(el: &'a XmlElement, key: &str) -> Result<&'a str, ImportError> {
 }
 
 fn parse_num<T: std::str::FromStr>(el: &XmlElement, key: &str) -> Result<T, ImportError> {
-    req_attr(el, key)?
-        .parse()
-        .map_err(|_| err(format!("attribute {key:?} of <{}> is not a number", el.name)))
+    req_attr(el, key)?.parse().map_err(|_| {
+        err(format!(
+            "attribute {key:?} of <{}> is not a number",
+            el.name
+        ))
+    })
 }
 
 /// Rebuild an [`Application`] from a PSDF scheme.
@@ -196,9 +199,9 @@ pub fn import_psm(
                     continue;
                 }
                 let ty = req_attr(el, "type")?;
-                let p = app.process_by_name(ty).ok_or_else(|| {
-                    err(format!("segment {i} hosts unknown process {ty:?}"))
-                })?;
+                let p = app
+                    .process_by_name(ty)
+                    .ok_or_else(|| err(format!("segment {i} hosts unknown process {ty:?}")))?;
                 alloc.assign(p, seg);
             }
         }
@@ -207,10 +210,7 @@ pub fn import_psm(
 }
 
 /// Import both schemes and assemble a validated [`Psm`].
-pub fn import_system(
-    psdf: &XmlDocument,
-    psm: &XmlDocument,
-) -> Result<Psm, ImportError> {
+pub fn import_system(psdf: &XmlDocument, psm: &XmlDocument) -> Result<Psm, ImportError> {
     let app = import_psdf(psdf)?;
     let (platform, alloc) = import_psm(psm, &app)?;
     Psm::new(platform, app, alloc).map_err(|e| err(format!("validation failed: {e}")))

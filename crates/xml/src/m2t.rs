@@ -30,11 +30,16 @@ pub fn export_psdf(app: &Application) -> XmlDocument {
         .attr("xmlns:xs", XS_NS)
         .attr("name", app.name());
     schema = match app.cost_model() {
-        CostModel::PerItem { reference_package_size } => schema
+        CostModel::PerItem {
+            reference_package_size,
+        } => schema
             .attr("costModel", "perItem")
             .attr("costReference", reference_package_size.to_string()),
         CostModel::PerPackage => schema.attr("costModel", "perPackage"),
-        CostModel::Affine { base_ticks, reference_package_size } => schema
+        CostModel::Affine {
+            base_ticks,
+            reference_package_size,
+        } => schema
             .attr("costModel", "affine")
             .attr("costBase", base_ticks.to_string())
             .attr("costReference", reference_package_size.to_string()),
@@ -90,7 +95,11 @@ pub fn export_psm(psm: &Psm) -> XmlDocument {
                 .attr("type", format!("Segment{}", i + 1)),
         );
     }
-    sbp_all = sbp_all.child(XmlElement::new("xs:element").attr("name", "ca").attr("type", "CA"));
+    sbp_all = sbp_all.child(
+        XmlElement::new("xs:element")
+            .attr("name", "ca")
+            .attr("type", "CA"),
+    );
     for bu in platform.border_units() {
         sbp_all = sbp_all.child(
             XmlElement::new("xs:element")
@@ -153,7 +162,10 @@ pub fn export_psm(psm: &Psm) -> XmlDocument {
             XmlElement::new("xs:complexType")
                 .attr("name", format!("Segment{}", i + 1))
                 .attr("segmentName", platform.segment(seg).name.clone())
-                .attr("periodPs", platform.segment_clock(seg).period_ps().to_string())
+                .attr(
+                    "periodPs",
+                    platform.segment_clock(seg).period_ps().to_string(),
+                )
                 .child(all),
         );
     }

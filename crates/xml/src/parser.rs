@@ -21,7 +21,11 @@ pub struct XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "XML error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -29,7 +33,12 @@ impl std::error::Error for XmlError {}
 
 /// Parse a complete document.
 pub fn parse(input: &str) -> Result<XmlDocument, XmlError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
     p.skip_ws_and_comments();
     let declaration = p.try_declaration()?;
     p.skip_ws_and_comments();
@@ -50,7 +59,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: impl Into<String>) -> XmlError {
-        XmlError { line: self.line, col: self.col, message: msg.into() }
+        XmlError {
+            line: self.line,
+            col: self.col,
+            message: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -169,9 +182,13 @@ impl<'a> Parser<'a> {
 
     fn entity(&mut self) -> Result<char, XmlError> {
         self.expect("&")?;
-        for (name, ch) in
-            [("lt;", '<'), ("gt;", '>'), ("amp;", '&'), ("quot;", '"'), ("apos;", '\'')]
-        {
+        for (name, ch) in [
+            ("lt;", '<'),
+            ("gt;", '>'),
+            ("amp;", '&'),
+            ("quot;", '"'),
+            ("apos;", '\''),
+        ] {
             if self.eat(name) {
                 return Ok(ch);
             }

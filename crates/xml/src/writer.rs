@@ -32,10 +32,7 @@ fn write_element(out: &mut String, el: &XmlElement, depth: usize) {
         return;
     }
     // Pure-text elements render inline; mixed/element content indents.
-    let only_text = el
-        .children
-        .iter()
-        .all(|c| matches!(c, XmlNode::Text(_)));
+    let only_text = el.children.iter().all(|c| matches!(c, XmlNode::Text(_)));
     if only_text {
         out.push('>');
         for c in &el.children {
@@ -80,9 +77,7 @@ mod tests {
 
     #[test]
     fn writes_declaration_and_indents() {
-        let doc = XmlDocument::new(
-            XmlElement::new("a").child(XmlElement::new("b").attr("k", "v")),
-        );
+        let doc = XmlDocument::new(XmlElement::new("a").child(XmlElement::new("b").attr("k", "v")));
         let s = doc.to_xml_string();
         assert!(s.starts_with("<?xml version=\"1.0\""));
         assert!(s.contains("\n  <b k=\"v\"/>\n"));
@@ -91,7 +86,9 @@ mod tests {
     #[test]
     fn escapes_attributes_and_text() {
         let doc = XmlDocument::new(
-            XmlElement::new("a").attr("k", "x<\"&'>").text("1 < 2 & 3 > 0"),
+            XmlElement::new("a")
+                .attr("k", "x<\"&'>")
+                .text("1 < 2 & 3 > 0"),
         );
         let s = doc.to_xml_string();
         assert!(s.contains("k=\"x&lt;&quot;&amp;&apos;&gt;\""));

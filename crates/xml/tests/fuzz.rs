@@ -9,7 +9,19 @@ use segbus_xml::{m2t, parse, XmlDocument, XmlElement};
 /// Arbitrary (mostly hostile) token soup rendered as a string.
 fn arb_garbage(rng: &mut SmallRng) -> String {
     const TOKENS: [&str; 13] = [
-        "<", ">", "/", "\"", "&", "=", "xs:element", " ", "", "<!--", "-->", "<?xml", "?>",
+        "<",
+        ">",
+        "/",
+        "\"",
+        "&",
+        "=",
+        "xs:element",
+        " ",
+        "",
+        "<!--",
+        "-->",
+        "<?xml",
+        "?>",
     ];
     let n = rng.range_usize(0, 39);
     let mut out = String::new();
@@ -117,7 +129,10 @@ fn write_parse_round_trip() {
         let doc = arb_document(&mut rng);
         let text = doc.to_xml_string();
         let back = parse(&text);
-        assert!(back.is_ok(), "case {case}: serialised document failed to parse:\n{text}");
+        assert!(
+            back.is_ok(),
+            "case {case}: serialised document failed to parse:\n{text}"
+        );
         assert_eq!(back.unwrap(), doc, "case {case}");
     }
 }

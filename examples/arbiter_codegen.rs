@@ -29,8 +29,14 @@ fn main() {
             report.sas[i].inter_requests,
             report.sas[i].intra_requests,
         );
-        assert_eq!(schedule.predicted_inter_requests(seg), report.sas[i].inter_requests);
-        assert_eq!(schedule.predicted_intra_requests(seg), report.sas[i].intra_requests);
+        assert_eq!(
+            schedule.predicted_inter_requests(seg),
+            report.sas[i].inter_requests
+        );
+        assert_eq!(
+            schedule.predicted_intra_requests(seg),
+            report.sas[i].intra_requests
+        );
     }
     println!(
         "  CA : schedule predicts {} grants / {} releases, emulator counted {} / {}",
@@ -66,7 +72,11 @@ fn main() {
         }
     }
     println!("\n--- Rust excerpt ---");
-    for line in rust_src.lines().skip_while(|l| !l.contains("SA_SCHEDULE_1")).take(8) {
+    for line in rust_src
+        .lines()
+        .skip_while(|l| !l.contains("SA_SCHEDULE_1"))
+        .take(8)
+    {
         println!("{line}");
     }
 }

@@ -66,7 +66,11 @@ fn main() {
     let psdf_doc = parse(&psdf_xml).expect("generated XML parses");
     let psm_doc = parse(&psm_xml).expect("generated XML parses");
     let system = import::import_system(&psdf_doc, &psm_doc).expect("schemes import");
-    assert_eq!(system.application(), psm.application(), "round trip is lossless");
+    assert_eq!(
+        system.application(),
+        psm.application(),
+        "round trip is lossless"
+    );
 
     // (5) Emulate.
     let report = Emulator::default().run(&system);

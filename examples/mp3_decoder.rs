@@ -59,8 +59,8 @@ fn main() {
 
     // The full paper-style print-out of the 3-segment run.
     println!("\n--- three-segment results, paper style ---");
-    let report = Emulator::new(segbus::emu::EmulatorConfig::traced())
-        .run(&mp3::three_segment_psm());
+    let report =
+        Emulator::new(segbus::emu::EmulatorConfig::traced()).run(&mp3::three_segment_psm());
     print!("{}", report.paper_style());
 
     // The BU bottleneck analysis.

@@ -26,7 +26,10 @@ fn main() {
     let reports: Vec<EmulationReport> = run_many(&psms);
 
     println!("package-size sweep — MP3 decoder, 3 segments (Fig. 9 allocation)\n");
-    println!("{:>6} {:>10} {:>10} {:>12} {:>10}", "size", "packages", "est_us", "bu12_wp_avg", "ca_grants");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>10}",
+        "size", "packages", "est_us", "bu12_wp_avg", "ca_grants"
+    );
     let mut best = (0u32, f64::INFINITY);
     for (s, r) in sizes.iter().zip(&reports) {
         let t = r.execution_time().as_micros_f64();

@@ -14,10 +14,15 @@ use segbus::place::{Objective, PlaceTool};
 
 fn main() {
     // A synthetic 18-process streaming application (seeded, reproducible).
-    let app = random_layered(6, 3, 2026, GeneratorConfig {
-        items_per_flow: 8 * 36,
-        ticks_per_package: 220,
-    });
+    let app = random_layered(
+        6,
+        3,
+        2026,
+        GeneratorConfig {
+            items_per_flow: 8 * 36,
+            ticks_per_package: 220,
+        },
+    );
     println!(
         "application '{}': {} processes, {} flows, {} items total\n",
         app.name(),

@@ -45,10 +45,7 @@ fn main() {
         "estimated execution time: {:.2} us",
         report.execution_time().as_micros_f64()
     );
-    println!(
-        "packages crossing BU12:   {}",
-        report.bus[0].total_in()
-    );
+    println!("packages crossing BU12:   {}", report.bus[0].total_in());
     println!(
         "SA1: {} intra-segment requests, {} inter-segment requests",
         report.sas[0].intra_requests, report.sas[0].inter_requests

@@ -44,7 +44,9 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 fn fail(msg: impl Into<String>) -> CliError {
-    CliError { message: msg.into() }
+    CliError {
+        message: msg.into(),
+    }
 }
 
 /// Top-level dispatch. `args` excludes the program name.
@@ -136,7 +138,9 @@ fn split_opts(args: &[String]) -> (Vec<&str>, Vec<(&str, Option<&str>)>) {
         let a = args[i].as_str();
         if let Some(key) = a.strip_prefix("--") {
             let value = if VALUE_FLAGS.contains(&key) {
-                args.get(i + 1).map(|s| s.as_str()).filter(|v| !v.starts_with("--"))
+                args.get(i + 1)
+                    .map(|s| s.as_str())
+                    .filter(|v| !v.starts_with("--"))
             } else {
                 None
             };
@@ -198,7 +202,10 @@ fn cmd_validate(args: &[String]) -> Result<String, CliError> {
         for d in &diags {
             let _ = writeln!(out, "{d}");
         }
-        let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
         if errors > 0 {
             return Err(fail(format!("{out}{path}: {errors} error(s)")));
         }
@@ -256,7 +263,9 @@ fn cmd_emulate(args: &[String]) -> Result<String, CliError> {
 fn cmd_reference(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     let [path] = pos.as_slice() else {
-        return Err(fail("usage: segbus reference <model.sbd> [--package-size N]"));
+        return Err(fail(
+            "usage: segbus reference <model.sbd> [--package-size N]",
+        ));
     };
     let psm = apply_package_size(load_psm(path)?, &opts)?;
     let report = RtlSimulator::default()
@@ -268,7 +277,9 @@ fn cmd_reference(args: &[String]) -> Result<String, CliError> {
 fn cmd_accuracy(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     let [path] = pos.as_slice() else {
-        return Err(fail("usage: segbus accuracy <model.sbd> [--package-size N]"));
+        return Err(fail(
+            "usage: segbus accuracy <model.sbd> [--package-size N]",
+        ));
     };
     let psm = apply_package_size(load_psm(path)?, &opts)?;
     let est = Emulator::default().run(&psm).execution_time();
@@ -293,8 +304,11 @@ fn cmd_export(args: &[String]) -> Result<String, CliError> {
     std::fs::create_dir_all(out_dir).map_err(|e| fail(format!("{out_dir}: {e}")))?;
     let psdf_path = Path::new(out_dir).join("psdf.xml");
     let psm_path = Path::new(out_dir).join("psm.xml");
-    std::fs::write(&psdf_path, m2t::export_psdf(psm.application()).to_xml_string())
-        .map_err(|e| fail(format!("{}: {e}", psdf_path.display())))?;
+    std::fs::write(
+        &psdf_path,
+        m2t::export_psdf(psm.application()).to_xml_string(),
+    )
+    .map_err(|e| fail(format!("{}: {e}", psdf_path.display())))?;
     std::fs::write(&psm_path, m2t::export_psm(&psm).to_xml_string())
         .map_err(|e| fail(format!("{}: {e}", psm_path.display())))?;
     Ok(format!(
@@ -309,10 +323,10 @@ fn cmd_import(args: &[String]) -> Result<String, CliError> {
     let [psdf_path, psm_path] = pos.as_slice() else {
         return Err(fail("usage: segbus import <psdf.xml> <psm.xml>"));
     };
-    let psdf = segbus_xml::parse(&read_file(psdf_path)?)
-        .map_err(|e| fail(format!("{psdf_path}: {e}")))?;
-    let psm_doc = segbus_xml::parse(&read_file(psm_path)?)
-        .map_err(|e| fail(format!("{psm_path}: {e}")))?;
+    let psdf =
+        segbus_xml::parse(&read_file(psdf_path)?).map_err(|e| fail(format!("{psdf_path}: {e}")))?;
+    let psm_doc =
+        segbus_xml::parse(&read_file(psm_path)?).map_err(|e| fail(format!("{psm_path}: {e}")))?;
     let psm = import::import_system(&psdf, &psm_doc).map_err(|e| fail(e.to_string()))?;
     let report = Emulator::default().run(&psm);
     Ok(format!(
@@ -326,10 +340,12 @@ fn cmd_import(args: &[String]) -> Result<String, CliError> {
 fn cmd_place(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     let [path] = pos.as_slice() else {
-        return Err(fail("usage: segbus place <model.sbd> --segments N [--seed S]"));
+        return Err(fail(
+            "usage: segbus place <model.sbd> --segments N [--seed S]",
+        ));
     };
-    let segments = opt_u32(&opts, "segments")?
-        .ok_or_else(|| fail("--segments is required"))? as usize;
+    let segments =
+        opt_u32(&opts, "segments")?.ok_or_else(|| fail("--segments is required"))? as usize;
     let seed = opt_u32(&opts, "seed")?.unwrap_or(42) as u64;
     let psm = load_psm(path)?;
     let app = psm.application();
@@ -370,7 +386,11 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
     let sizes: Vec<u32> = match opt(&opts, "sizes") {
         Some(Some(v)) => v
             .split(',')
-            .map(|p| p.trim().parse().map_err(|_| fail(format!("bad size {p:?}"))))
+            .map(|p| {
+                p.trim()
+                    .parse()
+                    .map_err(|_| fail(format!("bad size {p:?}")))
+            })
             .collect::<Result<_, _>>()?,
         _ => vec![9, 18, 36, 72],
     };
@@ -400,8 +420,11 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
         "estimated execution time: {:.2} us",
         report.execution_time().as_micros_f64()
     );
-    let _ = writeln!(out, "
-bus utilisation:");
+    let _ = writeln!(
+        out,
+        "
+bus utilisation:"
+    );
     for u in segbus_core::bus_utilisation(&report) {
         let _ = writeln!(
             out,
@@ -411,8 +434,11 @@ bus utilisation:");
             u.fraction * 100.0
         );
     }
-    let _ = writeln!(out, "
-wave durations (us):");
+    let _ = writeln!(
+        out,
+        "
+wave durations (us):"
+    );
     for (i, d) in segbus_core::wave_durations(&report).iter().enumerate() {
         let _ = writeln!(out, "  wave {}: {:.2}", i + 1, d.as_micros_f64());
     }
@@ -440,7 +466,9 @@ energy (synthetic weights): {:.2} uJ total, {:.1}% communication",
 fn cmd_gantt(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     let [path] = pos.as_slice() else {
-        return Err(fail("usage: segbus gantt <model.sbd> [--width N] [--package-size N]"));
+        return Err(fail(
+            "usage: segbus gantt <model.sbd> [--width N] [--package-size N]",
+        ));
     };
     let psm = apply_package_size(load_psm(path)?, &opts)?;
     let width = opt_u32(&opts, "width")?.unwrap_or(100) as usize;
@@ -464,7 +492,9 @@ fn cmd_vcd(args: &[String]) -> Result<String, CliError> {
 fn cmd_codegen(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     let [path] = pos.as_slice() else {
-        return Err(fail("usage: segbus codegen <model.sbd> [--format vhdl|rust]"));
+        return Err(fail(
+            "usage: segbus codegen <model.sbd> [--format vhdl|rust]",
+        ));
     };
     let psm = load_psm(path)?;
     let sched = segbus_codegen::SystemSchedule::derive(&psm);

@@ -1,13 +1,13 @@
 //! Facade crate re-exporting the SegBus workspace public API.
 #![warn(missing_docs)]
-pub use segbus_model as model;
-pub use segbus_xml as xml;
-pub use segbus_dsl as dsl;
-pub use segbus_place as place;
-pub use segbus_core as emu;
-pub use segbus_rtl as rtl;
 pub use segbus_apps as apps;
 pub use segbus_codegen as codegen;
+pub use segbus_core as emu;
+pub use segbus_dsl as dsl;
+pub use segbus_model as model;
+pub use segbus_place as place;
 pub use segbus_report as report;
+pub use segbus_rtl as rtl;
+pub use segbus_xml as xml;
 
 pub mod cli;

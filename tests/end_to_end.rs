@@ -38,7 +38,10 @@ fn dsl_to_xml_to_emulation_is_consistent() {
 /// counter for a variety of applications (they differ only in timing).
 #[test]
 fn engines_agree_structurally_across_apps() {
-    let cfg = generators::GeneratorConfig { items_per_flow: 3 * 36, ticks_per_package: 80 };
+    let cfg = generators::GeneratorConfig {
+        items_per_flow: 3 * 36,
+        ticks_per_package: 80,
+    };
     let apps = vec![
         generators::chain(5, cfg),
         generators::diamond(3, cfg),
@@ -55,7 +58,12 @@ fn engines_agree_structurally_across_apps() {
                 .run(&psm)
                 .unwrap_or_else(|e| panic!("{} on {} segs: {e}", app.name(), segments));
             for i in 0..est.bus.len() {
-                assert_eq!(est.bus[i].total_in(), act.bus[i].total_in(), "{}", app.name());
+                assert_eq!(
+                    est.bus[i].total_in(),
+                    act.bus[i].total_in(),
+                    "{}",
+                    app.name()
+                );
                 assert_eq!(est.bus[i].total_out(), act.bus[i].total_out());
             }
             assert_eq!(est.ca.grants, act.ca.grants);
@@ -89,8 +97,7 @@ fn placetool_output_emulates_no_worse_than_round_robin() {
         let tool = PlaceTool::new(&app, 3).with_objective(Objective::Packages(36));
         let best = tool.best(seed);
         let platform = generators::uniform_platform(3, 36);
-        let psm_best =
-            Psm::new(platform.clone(), app.clone(), best.allocation).expect("valid");
+        let psm_best = Psm::new(platform.clone(), app.clone(), best.allocation).expect("valid");
         let psm_rr = Psm::new(
             platform,
             app.clone(),

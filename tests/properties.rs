@@ -5,8 +5,8 @@
 //! in the panic message.
 
 use segbus::apps::generators::{
-    block_allocation, random_layered, ring_platform, round_robin_allocation,
-    uniform_platform, GeneratorConfig,
+    block_allocation, random_layered, ring_platform, round_robin_allocation, uniform_platform,
+    GeneratorConfig,
 };
 use segbus::dsl;
 use segbus::emu::{Emulator, EmulatorConfig};
@@ -77,9 +77,7 @@ fn for_each_system(test_seed: u64, cases: usize, check: impl Fn(&SystemSpec, &Ps
     for case in 0..cases {
         let spec = arb_system(&mut rng);
         let psm = build(&spec);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            check(&spec, &psm)
-        }));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&spec, &psm)));
         if let Err(e) = result {
             eprintln!("failing case {case}: {spec:?}");
             std::panic::resume_unwind(e);
@@ -95,7 +93,12 @@ fn conservation_and_flags() {
         let r = Emulator::default().run(psm);
         assert!(r.all_flags_raised());
         let s = psm.platform().package_size();
-        let total: u64 = psm.application().flows().iter().map(|f| f.packages(s)).sum();
+        let total: u64 = psm
+            .application()
+            .flows()
+            .iter()
+            .map(|f| f.packages(s))
+            .sum();
         let sent: u64 = r.fus.iter().map(|f| f.packages_sent).sum();
         let recv: u64 = r.fus.iter().map(|f| f.packages_received).sum();
         assert_eq!(sent, total);
@@ -167,7 +170,10 @@ fn estimator_underestimates_reference() {
             act.0 * 100 >= est.0 * 95,
             "reference {act:?} much faster than estimate {est:?}"
         );
-        assert!(act.0 <= est.0.saturating_mul(3), "gap too large: {act:?} vs {est:?}");
+        assert!(
+            act.0 <= est.0.saturating_mul(3),
+            "gap too large: {act:?} vs {est:?}"
+        );
     });
 }
 
@@ -187,8 +193,8 @@ fn xml_psdf_round_trip() {
 #[test]
 fn xml_system_round_trip_preserves_results() {
     for_each_system(0xC0_0006, 48, |_, psm| {
-        let psdf = parse(&m2t::export_psdf(psm.application()).to_xml_string())
-            .expect("psdf parses");
+        let psdf =
+            parse(&m2t::export_psdf(psm.application()).to_xml_string()).expect("psdf parses");
         let psm_doc = parse(&m2t::export_psm(psm).to_xml_string()).expect("psm parses");
         let back = import::import_system(&psdf, &psm_doc).expect("system imports");
         let a = Emulator::default().run(psm);
@@ -238,7 +244,12 @@ fn streaming_conservation_and_bounds() {
         let r = Emulator::default().run_frames(psm, frames);
         assert!(r.all_flags_raised());
         let s = psm.platform().package_size();
-        let per_frame: u64 = psm.application().flows().iter().map(|f| f.packages(s)).sum();
+        let per_frame: u64 = psm
+            .application()
+            .flows()
+            .iter()
+            .map(|f| f.packages(s))
+            .sum();
         let sent: u64 = r.fus.iter().map(|f| f.packages_sent).sum();
         assert_eq!(sent, per_frame * frames);
         for b in &r.bus {
