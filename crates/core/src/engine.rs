@@ -31,8 +31,10 @@
 
 use std::collections::VecDeque;
 
+use segbus_model::diag::SegbusError;
 use segbus_model::ids::{FlowId, ProcessId, SegmentId};
 use segbus_model::mapping::Psm;
+use segbus_model::psdf::CostModel;
 use segbus_model::time::{ClockDomain, Picos};
 
 use crate::config::{ArbitrationPolicy, EmulatorConfig, ProducerRelease};
@@ -80,6 +82,20 @@ impl Emulator {
     /// Panics if `frames` is zero.
     pub fn run_frames(&self, psm: &Psm, frames: u64) -> EmulationReport {
         Engine::new(self.config).run_frames(psm, frames)
+    }
+
+    /// Like [`Emulator::run`], but validate the PSM against the engine
+    /// invariants first ([`crate::precheck::strict_validate`]) and report
+    /// violations as typed errors instead of panicking. This is the entry
+    /// point for untrusted input (imports, fuzzing, user files).
+    pub fn try_run(&self, psm: &Psm) -> Result<EmulationReport, SegbusError> {
+        self.try_run_frames(psm, 1)
+    }
+
+    /// Like [`Emulator::run_frames`], but panic-free; see
+    /// [`Emulator::try_run`].
+    pub fn try_run_frames(&self, psm: &Psm, frames: u64) -> Result<EmulationReport, SegbusError> {
+        Engine::new(self.config).try_run_frames(psm, frames)
     }
 }
 
@@ -145,7 +161,7 @@ impl FastDiv {
         let d128 = d as u128;
         FastDiv {
             d,
-            inv: ((1u128 << 70) + d128 - 1) / d128,
+            inv: (1u128 << 70).div_ceil(d128),
             max_exact: ((1u128 << 70) / d128).min(1 << 57) as u64,
         }
     }
@@ -236,13 +252,45 @@ pub struct EnginePlan<'a> {
 
 impl<'a> EnginePlan<'a> {
     /// Compile the static tables for `psm`.
+    ///
+    /// # Panics
+    /// Panics if the PSM violates an engine invariant (unplaced process,
+    /// missing border unit, zero-reference cost model). Use
+    /// [`EnginePlan::try_new`] for input that has not been through
+    /// [`crate::precheck::strict_validate`].
     pub fn new(psm: &'a Psm) -> EnginePlan<'a> {
+        match EnginePlan::try_new(psm) {
+            Ok(plan) => plan,
+            Err(e) => panic!("PSM violates an engine invariant: {e}"),
+        }
+    }
+
+    /// Compile the static tables for `psm`, reporting engine-invariant
+    /// violations as typed errors (`C0xx` codes, see [`crate::precheck`])
+    /// instead of panicking.
+    pub fn try_new(psm: &'a Psm) -> Result<EnginePlan<'a>, SegbusError> {
         let app = psm.application();
         let platform = psm.platform();
         let s = platform.package_size();
         let nseg = platform.segment_count();
         let nproc = app.process_count();
         let nflow = app.flows().len();
+
+        match app.cost_model() {
+            CostModel::PerItem {
+                reference_package_size,
+            }
+            | CostModel::Affine {
+                reference_package_size,
+                ..
+            } if reference_package_size == 0 => {
+                return Err(SegbusError::new(
+                    "C007",
+                    "cost model reference package size is zero",
+                ));
+            }
+            _ => {}
+        }
 
         let flow_src: Vec<ProcessId> = app.flows().iter().map(|f| f.src).collect();
         let flow_dst: Vec<ProcessId> = app.flows().iter().map(|f| f.dst).collect();
@@ -252,8 +300,21 @@ impl<'a> EnginePlan<'a> {
             .map(|i| app.ticks_per_package(FlowId(i as u32), s))
             .collect();
         let proc_seg: Vec<SegmentId> = (0..nproc)
-            .map(|i| psm.segment_of(ProcessId(i as u32)))
-            .collect();
+            .map(|i| {
+                let p = ProcessId(i as u32);
+                match psm.allocation().segment_of(p) {
+                    Some(seg) if platform.contains(seg) => Ok(seg),
+                    Some(seg) => Err(SegbusError::new(
+                        "C002",
+                        format!("process {p} is placed on non-existent segment {seg}"),
+                    )),
+                    None => Err(SegbusError::new(
+                        "C002",
+                        format!("process {p} is not placed"),
+                    )),
+                }
+            })
+            .collect::<Result<_, SegbusError>>()?;
 
         let waves: Vec<Vec<FlowId>> = app.waves().into_iter().map(|w| w.flows).collect();
         let mut flow_wave = vec![0usize; nflow];
@@ -272,18 +333,30 @@ impl<'a> EnginePlan<'a> {
                 let a = proc_seg[flow_src[i].index()];
                 let b = proc_seg[flow_dst[i].index()];
                 if a == b {
-                    return NO_PATH;
+                    return Ok(NO_PATH);
                 }
                 let key = a.index() * nseg + b.index();
                 if path_of[key] == NO_PATH {
                     let segs = platform.path_segments(a, b);
+                    if segs.len() < 2 || segs.first() != Some(&a) || segs.last() != Some(&b) {
+                        return Err(SegbusError::new(
+                            "C005",
+                            format!("no route from segment {a} to segment {b}"),
+                        ));
+                    }
                     let mut bu = Vec::with_capacity(segs.len() - 1);
                     let mut load_left = Vec::with_capacity(segs.len() - 1);
                     let mut unload_right = Vec::with_capacity(segs.len() - 1);
                     for w in segs.windows(2) {
-                        let r = platform
-                            .bu_between(w[0], w[1])
-                            .expect("path hops are adjacent");
+                        let r = platform.bu_between(w[0], w[1]).ok_or_else(|| {
+                            SegbusError::new(
+                                "C005",
+                                format!(
+                                    "no border unit between adjacent segments {} and {}",
+                                    w[0], w[1]
+                                ),
+                            )
+                        })?;
                         bu.push(r.index() as u32);
                         load_left.push(w[0] == r.left);
                         unload_right.push(w[1] == r.right);
@@ -296,9 +369,9 @@ impl<'a> EnginePlan<'a> {
                         unload_right,
                     });
                 }
-                path_of[key]
+                Ok(path_of[key])
             })
-            .collect();
+            .collect::<Result<_, SegbusError>>()?;
 
         let seg_clock: Vec<ClockDomain> = platform.segments().iter().map(|sg| sg.clock).collect();
         let ca_clock = platform.ca_clock();
@@ -317,7 +390,7 @@ impl<'a> EnginePlan<'a> {
         // handled inline.
         let bucket_hint_ps = min_period_ps.saturating_mul(64);
 
-        EnginePlan {
+        Ok(EnginePlan {
             psm,
             s,
             nseg,
@@ -338,7 +411,7 @@ impl<'a> EnginePlan<'a> {
             waves,
             paths,
             bucket_hint_ps,
-        }
+        })
     }
 
     /// The PSM this plan was compiled from.
@@ -513,6 +586,24 @@ impl Engine {
     pub fn run_frames(&mut self, psm: &Psm, frames: u64) -> EmulationReport {
         let plan = EnginePlan::new(psm);
         self.run_plan(&plan, frames)
+    }
+
+    /// Panic-free [`Engine::run`]; see [`Emulator::try_run`].
+    pub fn try_run(&mut self, psm: &Psm) -> Result<EmulationReport, SegbusError> {
+        self.try_run_frames(psm, 1)
+    }
+
+    /// Panic-free [`Engine::run_frames`]: runs
+    /// [`crate::precheck::strict_validate`], compiles the plan with
+    /// [`EnginePlan::try_new`], and only then executes.
+    pub fn try_run_frames(
+        &mut self,
+        psm: &Psm,
+        frames: u64,
+    ) -> Result<EmulationReport, SegbusError> {
+        crate::precheck::strict_validate(psm, frames, &self.config)?;
+        let plan = EnginePlan::try_new(psm)?;
+        Ok(self.run_plan(&plan, frames))
     }
 
     /// Execute a pre-compiled plan. Compile once with [`EnginePlan::new`]

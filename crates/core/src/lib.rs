@@ -41,6 +41,7 @@ pub mod energy;
 pub mod engine;
 pub mod gantt;
 pub mod parallel;
+pub mod precheck;
 pub mod queue;
 pub mod reference;
 pub mod report;
@@ -57,6 +58,7 @@ pub use energy::{estimate_energy, EnergyBreakdown, EnergyModel};
 pub use engine::{Emulator, Engine, EnginePlan};
 pub use gantt::ascii_gantt;
 pub use parallel::{run_many, run_many_with, SweepPool};
+pub use precheck::{is_emulable, strict_validate};
 pub use queue::QueueKind;
 pub use reference::ReferenceEmulator;
 pub use report::EmulationReport;

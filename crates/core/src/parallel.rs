@@ -107,8 +107,9 @@ impl SweepPool {
                         if start >= jobs.len() {
                             break;
                         }
-                        for i in start..(start + chunk).min(jobs.len()) {
-                            let r = f(&mut engine, &jobs[i]);
+                        let end = (start + chunk).min(jobs.len());
+                        for (i, job) in jobs.iter().enumerate().take(end).skip(start) {
+                            let r = f(&mut engine, job);
                             // Safety: index `i` belongs to this worker's
                             // chunk only (see ResultSlots).
                             unsafe { slots.set(i, r) };

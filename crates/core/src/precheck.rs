@@ -1,0 +1,331 @@
+//! Strict pre-flight validation of a PSM against the engine's own
+//! execution invariants.
+//!
+//! [`segbus_model::validate`] checks the paper's OCL-style *structural*
+//! constraints (`V0xx`). This module re-checks, immediately before
+//! emulation, the cross-layer invariants the *engine* relies on — with
+//! stable `C0xx` codes:
+//!
+//! * `C001` — the frame count must be non-zero;
+//! * `C002` — every process must be placed on a segment the platform has;
+//! * `C003` — every flow endpoint must reference a defined process;
+//! * `C004` — the package size and every clock period must be non-zero;
+//! * `C005` — the topology must provide a border unit between every pair
+//!   of adjacent segments an inter-segment flow crosses;
+//! * `C006` — the wave ordering must be acyclic and respect data
+//!   dependencies;
+//! * `C007` — the cost model's reference package size must be non-zero
+//!   (it is a divisor);
+//! * `C008` — the run must fit the engine's 64-bit picosecond timeline
+//!   and its scratch tables (a conservative horizon/resource bound).
+//!
+//! A PSM built through [`segbus_model::Psm::new`] already satisfies most
+//! of these; the pass exists so that *any* path into the engine — including
+//! programmatic construction and fuzzed imports — fails with a typed
+//! [`SegbusError`] instead of a panic, an overflow or an out-of-memory
+//! abort deep inside the event loop.
+
+use segbus_model::diag::SegbusError;
+use segbus_model::ids::ProcessId;
+use segbus_model::mapping::Psm;
+use segbus_model::psdf::CostModel;
+
+use crate::config::EmulatorConfig;
+
+/// Upper bound on the conservative worst-case makespan, in picoseconds.
+/// `2^62` leaves two bits of headroom below `u64::MAX` for every addition
+/// the event loop performs on the global timeline.
+const HORIZON_MAX_PS: u128 = 1 << 62;
+
+/// Upper bound on `frames × waves` and `frames × total packages`: bounds
+/// the per-run scratch allocations (`instance_remaining` et al.) and every
+/// package counter.
+const INSTANCE_MAX: u128 = 1 << 24;
+
+fn err(code: &'static str, message: String) -> SegbusError {
+    SegbusError::new(code, message)
+}
+
+/// Validate `psm` against the engine invariants for a `frames`-frame run.
+///
+/// Returns the first violated invariant as a [`SegbusError`] with a `C0xx`
+/// code (see the module docs). A `Ok(())` guarantees the emulation cannot
+/// panic, overflow the picosecond timeline, or allocate unboundedly.
+pub fn strict_validate(psm: &Psm, frames: u64, cfg: &EmulatorConfig) -> Result<(), SegbusError> {
+    let app = psm.application();
+    let platform = psm.platform();
+    let nproc = app.process_count();
+    let nseg = platform.segment_count();
+
+    // C001 — frames.
+    if frames == 0 {
+        return Err(err("C001", "frame count must be non-zero".into()));
+    }
+
+    // C004 — package size and clocks. `ClockDomain` cannot represent a
+    // zero period, so the clock half is a defensive re-check.
+    let s = platform.package_size();
+    if s == 0 {
+        return Err(err("C004", "platform package size is zero".into()));
+    }
+    if platform.ca_clock().period_ps() == 0 {
+        return Err(err("C004", "CA clock period is zero".into()));
+    }
+    for (i, seg) in platform.segments().iter().enumerate() {
+        if seg.clock.period_ps() == 0 {
+            return Err(err("C004", format!("segment {i} clock period is zero")));
+        }
+    }
+
+    // C002 — placement onto existing segments.
+    for i in 0..nproc {
+        let p = ProcessId(i as u32);
+        match psm.allocation().segment_of(p) {
+            None => return Err(err("C002", format!("process {p} is not placed"))),
+            Some(seg) if !platform.contains(seg) => {
+                return Err(err(
+                    "C002",
+                    format!("process {p} is placed on non-existent segment {seg}"),
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+
+    // C003 — flow endpoints.
+    for (i, f) in app.flows().iter().enumerate() {
+        if f.src.index() >= nproc || f.dst.index() >= nproc {
+            return Err(err(
+                "C003",
+                format!("flow #{i} references an undefined process"),
+            ));
+        }
+    }
+
+    // C007 — the cost model divides by its reference package size.
+    match app.cost_model() {
+        CostModel::PerItem {
+            reference_package_size,
+        }
+        | CostModel::Affine {
+            reference_package_size,
+            ..
+        } if reference_package_size == 0 => {
+            return Err(err(
+                "C007",
+                "cost model reference package size is zero".into(),
+            ));
+        }
+        _ => {}
+    }
+
+    // C005 — topology / border-unit consistency: every hop of every route
+    // an inter-segment flow takes must have a border unit.
+    for f in app.flows() {
+        let a = psm.segment_of(f.src);
+        let b = psm.segment_of(f.dst);
+        if a == b {
+            continue;
+        }
+        let segs = platform.path_segments(a, b);
+        if segs.len() < 2 || segs.first() != Some(&a) || segs.last() != Some(&b) {
+            return Err(err(
+                "C005",
+                format!("no route from segment {a} to segment {b}"),
+            ));
+        }
+        for w in segs.windows(2) {
+            if platform.bu_between(w[0], w[1]).is_none() {
+                return Err(err(
+                    "C005",
+                    format!(
+                        "no border unit between adjacent segments {} and {} on the {:?} topology",
+                        w[0],
+                        w[1],
+                        platform.topology()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // C006 — wave ordering.
+    if !app.orders_respect_dependencies() {
+        return Err(err(
+            "C006",
+            "flow ordering violates data dependencies (a flow is scheduled \
+             no later than an input of its source)"
+                .into(),
+        ));
+    }
+
+    // C008 — horizon and resource bounds, in u128 so the check itself
+    // cannot overflow. The bound is conservative: it assumes every package
+    // is computed and then serialised over every segment of the platform
+    // with full protocol overhead, all end to end.
+    let waves = app.waves().len() as u128;
+    let total_pkgs: u128 = app
+        .flows()
+        .iter()
+        .map(|f| f.packages(s) as u128)
+        .sum::<u128>();
+    let instances = (frames as u128).saturating_mul(waves.max(1));
+    let pkg_instances = (frames as u128).saturating_mul(total_pkgs);
+    if instances > INSTANCE_MAX || pkg_instances > INSTANCE_MAX {
+        return Err(err(
+            "C008",
+            format!(
+                "run is too large: {frames} frame(s) x {waves} wave(s) / \
+                 {total_pkgs} package(s) exceed the {INSTANCE_MAX} instance budget"
+            ),
+        ));
+    }
+
+    let t = &cfg.timing;
+    let overhead_ticks: u128 = [
+        t.request_ticks,
+        t.header_ticks,
+        t.release_ticks,
+        t.ca_request_ticks,
+        t.ca_grant_ticks,
+        t.ca_release_ticks,
+        t.wp_sample_ticks,
+        t.bu_sync_ticks,
+        t.sa_grant_ticks,
+        t.master_response_ticks,
+        t.sa_grant_reset_ticks,
+    ]
+    .iter()
+    .map(|&v| v as u128)
+    .sum::<u128>()
+        + s as u128;
+    let max_period = platform
+        .segments()
+        .iter()
+        .map(|sg| sg.clock.period_ps())
+        .chain(std::iter::once(platform.ca_clock().period_ps()))
+        .max()
+        .unwrap_or(1) as u128;
+    let per_pkg_ticks: u128 = app
+        .flows()
+        .iter()
+        .map(|f| {
+            let compute = compute_ticks_u128(app.cost_model(), f.ticks, s);
+            let transit = overhead_ticks.saturating_mul(nseg as u128 + 1);
+            (f.packages(s) as u128).saturating_mul(compute.saturating_add(transit))
+        })
+        .fold(0u128, u128::saturating_add);
+    let horizon_ps = (frames as u128)
+        .saturating_mul(per_pkg_ticks)
+        .saturating_mul(max_period);
+    if horizon_ps > HORIZON_MAX_PS {
+        return Err(err(
+            "C008",
+            format!(
+                "worst-case horizon {horizon_ps}ps exceeds the engine's \
+                 {HORIZON_MAX_PS}ps timeline budget"
+            ),
+        ));
+    }
+
+    Ok(())
+}
+
+/// [`CostModel::ticks_per_package`] re-derived in `u128`: the model crate
+/// computes in `u64`, which can overflow for hostile inputs before this
+/// pass has bounded them.
+fn compute_ticks_u128(cm: CostModel, c: u64, package_size: u32) -> u128 {
+    let c = c as u128;
+    let s = package_size as u128;
+    match cm {
+        CostModel::PerItem {
+            reference_package_size,
+        } => {
+            let r = (reference_package_size as u128).max(1);
+            (c * s + r / 2) / r
+        }
+        CostModel::PerPackage => c,
+        CostModel::Affine {
+            base_ticks,
+            reference_package_size,
+        } => {
+            let r = (reference_package_size as u128).max(1);
+            let base = base_ticks as u128;
+            base + ((c.saturating_sub(base)) * s + r / 2) / r
+        }
+    }
+}
+
+/// `true` if `psm` passes [`strict_validate`] for a single-frame run under
+/// the default configuration — the common "is this emulable at all?" probe.
+pub fn is_emulable(psm: &Psm) -> bool {
+    strict_validate(psm, 1, &EmulatorConfig::default()).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use segbus_model::ids::SegmentId;
+    use segbus_model::mapping::Allocation;
+    use segbus_model::psdf::{Application, Flow, Process};
+    use segbus_model::time::ClockDomain;
+    use segbus_model::Platform;
+
+    fn small_psm() -> Psm {
+        let platform = Platform::builder("t")
+            .uniform_segments(2, ClockDomain::from_mhz(100.0))
+            .build()
+            .unwrap();
+        let mut app = Application::new("a");
+        let p0 = app.add_process(Process::initial("P0"));
+        let p1 = app.add_process(Process::final_("P1"));
+        app.add_flow(Flow::new(p0, p1, 72, 1, 10)).unwrap();
+        let mut alloc = Allocation::new(2);
+        alloc.assign(p0, SegmentId(0));
+        alloc.assign(p1, SegmentId(1));
+        Psm::new(platform, app, alloc).unwrap()
+    }
+
+    #[test]
+    fn valid_psm_passes() {
+        let psm = small_psm();
+        assert!(strict_validate(&psm, 1, &EmulatorConfig::default()).is_ok());
+        assert!(is_emulable(&psm));
+    }
+
+    #[test]
+    fn zero_frames_is_c001() {
+        let psm = small_psm();
+        let e = strict_validate(&psm, 0, &EmulatorConfig::default()).unwrap_err();
+        assert_eq!(e.code, "C001");
+    }
+
+    #[test]
+    fn absurd_frame_counts_are_c008() {
+        let psm = small_psm();
+        let e = strict_validate(&psm, u64::MAX, &EmulatorConfig::default()).unwrap_err();
+        assert_eq!(e.code, "C008");
+    }
+
+    #[test]
+    fn overflowing_workload_is_c008() {
+        // A flow whose item count produces an astronomically long run:
+        // accepted by the structural validator (warnings only), rejected
+        // by the horizon bound before it can overflow the engine.
+        let platform = Platform::builder("t")
+            .uniform_segments(1, ClockDomain::from_mhz(100.0))
+            .build()
+            .unwrap();
+        let mut app = Application::new("a");
+        let p0 = app.add_process(Process::initial("P0"));
+        let p1 = app.add_process(Process::final_("P1"));
+        app.add_flow(Flow::new(p0, p1, u64::MAX, 1, u64::MAX))
+            .unwrap();
+        let mut alloc = Allocation::new(1);
+        alloc.assign(p0, SegmentId(0));
+        alloc.assign(p1, SegmentId(0));
+        let psm = Psm::new(platform, app, alloc).unwrap();
+        let e = strict_validate(&psm, 1, &EmulatorConfig::default()).unwrap_err();
+        assert_eq!(e.code, "C008");
+    }
+}

@@ -92,18 +92,17 @@ impl TraceLog {
     /// Busy intervals `[start, end)` of one segment's bus, in emission
     /// order (pairs of `BusStart`/`BusEnd`).
     pub fn bus_intervals(&self, seg: SegmentId) -> Vec<(Picos, Picos)> {
+        // Keyed on the full (flow, package) identity: a packed-integer key
+        // would conflate distinct packages once a flow exceeds the packing
+        // width, and flow=None with large flow ids.
+        type BusKey = (Option<FlowId>, Option<u64>);
         let mut out = Vec::new();
-        let mut open: Vec<(u64, Picos)> = Vec::new(); // (pkg-key, start)
+        let mut open: Vec<(BusKey, Picos)> = Vec::new();
         for e in &self.events {
             if e.segment != Some(seg) {
                 continue;
             }
-            let key = e
-                .flow
-                .map(|f| f.0 as u64)
-                .unwrap_or(u64::MAX)
-                .wrapping_mul(1 << 20)
-                .wrapping_add(e.package.unwrap_or(0));
+            let key = (e.flow, e.package);
             match e.kind {
                 TraceKind::BusStart => open.push((key, e.at)),
                 TraceKind::BusEnd => {
@@ -161,5 +160,50 @@ mod tests {
         let iv = log.bus_intervals(SegmentId(0));
         assert_eq!(iv, vec![(Picos(100), Picos(140)), (Picos(200), Picos(240))]);
         assert!(log.bus_intervals(SegmentId(1)).is_empty());
+    }
+
+    #[test]
+    fn bus_intervals_do_not_conflate_distant_packages() {
+        // Packages 2^20 apart within one flow used to collide under the
+        // old `flow << 20 | package` packing.
+        let mut log = TraceLog::new();
+        let mut a = ev(100, TraceKind::BusStart);
+        a.package = Some(0);
+        let mut b = ev(150, TraceKind::BusStart);
+        b.package = Some(1 << 20);
+        let mut b_end = ev(180, TraceKind::BusEnd);
+        b_end.package = Some(1 << 20);
+        let mut a_end = ev(200, TraceKind::BusEnd);
+        a_end.package = Some(0);
+        log.push(a);
+        log.push(b);
+        log.push(b_end);
+        log.push(a_end);
+        let iv = log.bus_intervals(SegmentId(0));
+        assert_eq!(iv, vec![(Picos(150), Picos(180)), (Picos(100), Picos(200))]);
+    }
+
+    #[test]
+    fn bus_intervals_do_not_conflate_flowless_events_with_flows() {
+        // flow=None used to pack to the same key as certain large flow ids.
+        let mut log = TraceLog::new();
+        let mut anon = ev(100, TraceKind::BusStart);
+        anon.flow = None;
+        anon.package = None;
+        let mut flowed = ev(150, TraceKind::BusStart);
+        flowed.flow = Some(FlowId(u32::MAX));
+        flowed.package = None;
+        let mut flowed_end = ev(170, TraceKind::BusEnd);
+        flowed_end.flow = Some(FlowId(u32::MAX));
+        flowed_end.package = None;
+        let mut anon_end = ev(190, TraceKind::BusEnd);
+        anon_end.flow = None;
+        anon_end.package = None;
+        log.push(anon);
+        log.push(flowed);
+        log.push(flowed_end);
+        log.push(anon_end);
+        let iv = log.bus_intervals(SegmentId(0));
+        assert_eq!(iv, vec![(Picos(150), Picos(170)), (Picos(100), Picos(190))]);
     }
 }

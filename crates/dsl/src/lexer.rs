@@ -2,24 +2,16 @@
 //!
 //! Produces identifier, integer, float and punctuation tokens with
 //! line/column spans; skips `//` line comments and `/* … */` block
-//! comments.
+//! comments. Lexical failures surface as [`SegbusError`]s with code
+//! `P001` (malformed input) or `P003` (integer literal out of range).
 
 use std::fmt;
 
-/// Position of a token in the source.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct Span {
-    /// 1-based line.
-    pub line: usize,
-    /// 1-based column.
-    pub col: usize,
-}
+use segbus_model::diag::SegbusError;
 
-impl fmt::Display for Span {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.line, self.col)
-    }
-}
+/// Position of a token in the source (re-exported model type: 1-based
+/// line/column).
+pub use segbus_model::diag::SourceSpan as Span;
 
 /// Token payload.
 #[derive(Clone, PartialEq, Debug)]
@@ -66,21 +58,16 @@ pub struct Token {
     pub span: Span,
 }
 
-/// A lexical error (unexpected character or malformed literal).
-#[derive(Clone, PartialEq, Debug)]
-pub struct LexError {
-    /// Where.
-    pub span: Span,
-    /// What.
-    pub message: String,
-}
-
 /// The tokenizer.
 pub struct Lexer<'a> {
     src: &'a [u8],
     pos: usize,
     line: usize,
     col: usize,
+}
+
+fn lex_err(span: Span, message: impl Into<String>) -> SegbusError {
+    SegbusError::new("P001", message).with_span(span.line, span.col)
 }
 
 impl<'a> Lexer<'a> {
@@ -95,7 +82,7 @@ impl<'a> Lexer<'a> {
     }
 
     /// Tokenize everything, ending with an [`TokenKind::Eof`] token.
-    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+    pub fn tokenize(mut self) -> Result<Vec<Token>, SegbusError> {
         let mut out = Vec::new();
         loop {
             let t = self.next_token()?;
@@ -129,12 +116,12 @@ impl<'a> Lexer<'a> {
 
     fn span(&self) -> Span {
         Span {
-            line: self.line,
-            col: self.col,
+            line: u32::try_from(self.line).unwrap_or(u32::MAX),
+            col: u32::try_from(self.col).unwrap_or(u32::MAX),
         }
     }
 
-    fn skip_trivia(&mut self) -> Result<(), LexError> {
+    fn skip_trivia(&mut self) -> Result<(), SegbusError> {
         loop {
             match (self.peek(), self.peek2()) {
                 (Some(b' ' | b'\t' | b'\r' | b'\n'), _) => {
@@ -156,12 +143,7 @@ impl<'a> Lexer<'a> {
                                 self.bump();
                                 break;
                             }
-                            (None, _) => {
-                                return Err(LexError {
-                                    span: start,
-                                    message: "unterminated block comment".into(),
-                                })
-                            }
+                            (None, _) => return Err(lex_err(start, "unterminated block comment")),
                             _ => {
                                 self.bump();
                             }
@@ -173,7 +155,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn next_token(&mut self) -> Result<Token, LexError> {
+    fn next_token(&mut self) -> Result<Token, SegbusError> {
         self.skip_trivia()?;
         let span = self.span();
         let Some(c) = self.peek() else {
@@ -201,10 +183,7 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     TokenKind::Arrow
                 } else {
-                    return Err(LexError {
-                        span,
-                        message: "expected '->' after '-'".into(),
-                    });
+                    return Err(lex_err(span, "expected '->' after '-'"));
                 }
             }
             b'0'..=b'9' => {
@@ -223,16 +202,18 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                 }
-                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+                // The scanned slice is ASCII digits and dots by construction;
+                // the lossy conversion can never actually lose anything.
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]);
                 if is_float {
-                    TokenKind::Float(text.parse().map_err(|_| LexError {
-                        span,
-                        message: format!("malformed number {text:?}"),
-                    })?)
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| lex_err(span, format!("malformed number {text:?}")))?,
+                    )
                 } else {
-                    TokenKind::Int(text.parse().map_err(|_| LexError {
-                        span,
-                        message: format!("integer {text:?} out of range"),
+                    TokenKind::Int(text.parse().map_err(|_| {
+                        SegbusError::new("P003", format!("integer {text:?} out of range"))
+                            .with_span(span.line, span.col)
                     })?)
                 }
             }
@@ -256,10 +237,10 @@ impl<'a> Lexer<'a> {
                 TokenKind::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
             }
             other => {
-                return Err(LexError {
+                return Err(lex_err(
                     span,
-                    message: format!("unexpected character {:?}", other as char),
-                })
+                    format!("unexpected character {:?}", other as char),
+                ))
             }
         };
         Ok(Token { kind, span })
@@ -328,9 +309,14 @@ mod tests {
 
     #[test]
     fn lex_errors() {
-        assert!(Lexer::new("@").tokenize().is_err());
-        assert!(Lexer::new("- x").tokenize().is_err());
-        assert!(Lexer::new("/* unterminated").tokenize().is_err());
-        assert!(Lexer::new("99999999999999999999999").tokenize().is_err());
+        assert_eq!(Lexer::new("@").tokenize().unwrap_err().code, "P001");
+        assert_eq!(Lexer::new("- x").tokenize().unwrap_err().code, "P001");
+        let e = Lexer::new("/* unterminated").tokenize().unwrap_err();
+        assert_eq!(e.code, "P001");
+        assert_eq!(e.span, Some(Span { line: 1, col: 1 }));
+        let e = Lexer::new("99999999999999999999999")
+            .tokenize()
+            .unwrap_err();
+        assert_eq!(e.code, "P003");
     }
 }

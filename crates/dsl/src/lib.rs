@@ -51,12 +51,13 @@ pub mod parser;
 pub mod printer;
 
 pub use lexer::{Lexer, Span, Token, TokenKind};
-pub use parser::{parse_source, DslError, ParsedSource, PlatformSpec};
+pub use parser::{parse_source, ParsedSource, PlatformSpec};
+pub use segbus_model::diag::{SegbusError, SourceSpan};
 
 use segbus_model::mapping::Psm;
 
 /// One-call convenience: parse a source containing one application and one
 /// platform, resolve the mapping, and validate into a [`Psm`].
-pub fn parse_system(src: &str) -> Result<Psm, DslError> {
+pub fn parse_system(src: &str) -> Result<Psm, SegbusError> {
     parse_source(src)?.into_psm()
 }

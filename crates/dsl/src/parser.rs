@@ -2,10 +2,20 @@
 //!
 //! Parsing produces model objects directly; [`ParsedSource::into_psm`]
 //! resolves the process mapping and runs the full OCL-style validation,
-//! converting any error-severity diagnostic into a [`DslError`].
+//! converting any error-severity diagnostic into a [`SegbusError`].
+//!
+//! Error codes emitted by this front end:
+//!
+//! * `P001` — lexical error (from [`crate::lexer`]);
+//! * `P002` — syntax error (unexpected token, unknown property);
+//! * `P003` — integer literal out of the range its context allows;
+//! * `P004` — source lacks an `application` or `platform` block;
+//! * `P005` — a name references an undeclared process;
+//! * `P006` — duplicate declaration;
+//! * `M0xx`/`V0xx` — model construction/validation failures, spanned to
+//!   the block that produced them.
 
-use std::fmt;
-
+use segbus_model::diag::SegbusError;
 use segbus_model::ids::SegmentId;
 use segbus_model::mapping::{Allocation, Psm};
 use segbus_model::platform::{Platform, Topology};
@@ -14,31 +24,17 @@ use segbus_model::time::ClockDomain;
 
 use crate::lexer::{Lexer, Span, Token, TokenKind};
 
-/// A parse or validation failure.
-#[derive(Clone, PartialEq, Debug)]
-pub struct DslError {
-    /// Position (validation errors point at the top of the source).
-    pub span: Span,
-    /// Description.
-    pub message: String,
-}
-
-impl fmt::Display for DslError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error at {}: {}", self.span, self.message)
-    }
-}
-
-impl std::error::Error for DslError {}
-
 /// A parsed `platform` block: the platform plus the `hosts` lists, with
 /// process references still by name (resolved in [`ParsedSource::into_psm`]).
 #[derive(Clone, Debug)]
 pub struct PlatformSpec {
     /// The platform instance.
     pub platform: Platform,
-    /// `(process name, segment)` pairs from the `hosts` clauses.
-    pub hosts: Vec<(String, SegmentId)>,
+    /// `(process name, segment, name span)` triples from the `hosts`
+    /// clauses.
+    pub hosts: Vec<(String, SegmentId, Span)>,
+    /// Where the `platform` keyword appeared.
+    pub span: Span,
 }
 
 /// Everything found in one DSL source.
@@ -53,39 +49,40 @@ pub struct ParsedSource {
 impl ParsedSource {
     /// Combine the first application and first platform into a validated
     /// [`Psm`].
-    pub fn into_psm(self) -> Result<Psm, DslError> {
-        let top = Span { line: 1, col: 1 };
-        let err = |m: String| DslError {
-            span: top,
-            message: m,
+    pub fn into_psm(self) -> Result<Psm, SegbusError> {
+        let missing = |what: &str| {
+            SegbusError::new("P004", format!("source contains no {what} block")).with_span(1, 1)
         };
         let app = self
             .applications
             .into_iter()
             .next()
-            .ok_or_else(|| err("source contains no application block".into()))?;
+            .ok_or_else(|| missing("application"))?;
         let spec = self
             .platforms
             .into_iter()
             .next()
-            .ok_or_else(|| err("source contains no platform block".into()))?;
+            .ok_or_else(|| missing("platform"))?;
         let mut alloc = Allocation::new(spec.platform.segment_count());
-        for (name, seg) in &spec.hosts {
-            let p = app
-                .process_by_name(name)
-                .ok_or_else(|| err(format!("hosts clause names unknown process {name:?}")))?;
+        for (name, seg, span) in &spec.hosts {
+            let p = app.process_by_name(name).ok_or_else(|| {
+                SegbusError::new(
+                    "P005",
+                    format!("hosts clause names unknown process {name:?}"),
+                )
+                .with_span(span.line, span.col)
+            })?;
             alloc.assign(p, *seg);
         }
-        Psm::new(spec.platform, app, alloc).map_err(|e| err(e.to_string()))
+        let at = spec.span;
+        Psm::new(spec.platform, app, alloc)
+            .map_err(|e| SegbusError::from(e).with_span(at.line, at.col))
     }
 }
 
 /// Parse a DSL source into its blocks.
-pub fn parse_source(src: &str) -> Result<ParsedSource, DslError> {
-    let tokens = Lexer::new(src).tokenize().map_err(|e| DslError {
-        span: e.span,
-        message: e.message,
-    })?;
+pub fn parse_source(src: &str) -> Result<ParsedSource, SegbusError> {
+    let tokens = Lexer::new(src).tokenize()?;
     Parser { tokens, pos: 0 }.source()
 }
 
@@ -107,14 +104,16 @@ impl Parser {
         t
     }
 
-    fn err(&self, msg: impl Into<String>) -> DslError {
-        DslError {
-            span: self.peek().span,
-            message: msg.into(),
-        }
+    fn err(&self, msg: impl Into<String>) -> SegbusError {
+        self.err_code("P002", msg)
     }
 
-    fn expect_kind(&mut self, k: &TokenKind) -> Result<Token, DslError> {
+    fn err_code(&self, code: &'static str, msg: impl Into<String>) -> SegbusError {
+        let span = self.peek().span;
+        SegbusError::new(code, msg).with_span(span.line, span.col)
+    }
+
+    fn expect_kind(&mut self, k: &TokenKind) -> Result<Token, SegbusError> {
         if &self.peek().kind == k {
             Ok(self.bump())
         } else {
@@ -122,7 +121,7 @@ impl Parser {
         }
     }
 
-    fn ident(&mut self) -> Result<String, DslError> {
+    fn ident(&mut self) -> Result<String, SegbusError> {
         match &self.peek().kind {
             TokenKind::Ident(s) => {
                 let s = s.clone();
@@ -133,7 +132,7 @@ impl Parser {
         }
     }
 
-    fn keyword(&mut self, kw: &str) -> Result<(), DslError> {
+    fn keyword(&mut self, kw: &str) -> Result<(), SegbusError> {
         match &self.peek().kind {
             TokenKind::Ident(s) if s == kw => {
                 self.bump();
@@ -143,7 +142,7 @@ impl Parser {
         }
     }
 
-    fn int(&mut self) -> Result<u64, DslError> {
+    fn int(&mut self) -> Result<u64, SegbusError> {
         match self.peek().kind {
             TokenKind::Int(v) => {
                 self.bump();
@@ -153,7 +152,21 @@ impl Parser {
         }
     }
 
-    fn number(&mut self) -> Result<f64, DslError> {
+    /// An integer that must fit in `u32` (package sizes, orders, reference
+    /// sizes). Overflow is a spanned `P003`, never a silent truncation.
+    fn int_u32(&mut self, what: &str) -> Result<u32, SegbusError> {
+        let span = self.peek().span;
+        let v = self.int()?;
+        u32::try_from(v).map_err(|_| {
+            SegbusError::new(
+                "P003",
+                format!("{what} value {v} is out of range (max {})", u32::MAX),
+            )
+            .with_span(span.line, span.col)
+        })
+    }
+
+    fn number(&mut self) -> Result<f64, SegbusError> {
         match self.peek().kind {
             TokenKind::Int(v) => {
                 self.bump();
@@ -167,7 +180,7 @@ impl Parser {
         }
     }
 
-    fn source(&mut self) -> Result<ParsedSource, DslError> {
+    fn source(&mut self) -> Result<ParsedSource, SegbusError> {
         let mut out = ParsedSource::default();
         loop {
             match &self.peek().kind {
@@ -189,7 +202,7 @@ impl Parser {
 
     // -- application ---------------------------------------------------------
 
-    fn application(&mut self) -> Result<Application, DslError> {
+    fn application(&mut self) -> Result<Application, SegbusError> {
         self.keyword("application")?;
         let name = self.ident()?;
         let mut app = Application::new(name);
@@ -212,11 +225,15 @@ impl Parser {
         }
     }
 
-    fn process(&mut self, app: &mut Application) -> Result<(), DslError> {
+    fn process(&mut self, app: &mut Application) -> Result<(), SegbusError> {
         self.keyword("process")?;
+        let name_span = self.peek().span;
         let name = self.ident()?;
         if app.process_by_name(&name).is_some() {
-            return Err(self.err(format!("process {name:?} is declared twice")));
+            return Err(
+                SegbusError::new("P006", format!("process {name:?} is declared twice"))
+                    .with_span(name_span.line, name_span.col),
+            );
         }
         let p = match &self.peek().kind {
             TokenKind::Ident(k) if k == "initial" => {
@@ -234,52 +251,53 @@ impl Parser {
         Ok(())
     }
 
-    fn flow(&mut self, app: &mut Application) -> Result<(), DslError> {
+    fn flow(&mut self, app: &mut Application) -> Result<(), SegbusError> {
         self.keyword("flow")?;
+        let src_span = self.peek().span;
         let src_name = self.ident()?;
-        let src = app
-            .process_by_name(&src_name)
-            .ok_or_else(|| self.err(format!("unknown source process {src_name:?}")))?;
+        let src = app.process_by_name(&src_name).ok_or_else(|| {
+            SegbusError::new("P005", format!("unknown source process {src_name:?}"))
+                .with_span(src_span.line, src_span.col)
+        })?;
         self.expect_kind(&TokenKind::Arrow)?;
+        let dst_span = self.peek().span;
         let dst_name = self.ident()?;
-        let dst = app
-            .process_by_name(&dst_name)
-            .ok_or_else(|| self.err(format!("unknown target process {dst_name:?}")))?;
+        let dst = app.process_by_name(&dst_name).ok_or_else(|| {
+            SegbusError::new("P005", format!("unknown target process {dst_name:?}"))
+                .with_span(dst_span.line, dst_span.col)
+        })?;
         self.expect_kind(&TokenKind::LBrace)?;
         let (mut items, mut order, mut ticks) = (None, None, None);
         while self.peek().kind != TokenKind::RBrace {
             let key = self.ident()?;
-            let value = self.int()?;
-            self.expect_kind(&TokenKind::Semi)?;
             match key.as_str() {
-                "items" => items = Some(value),
-                "order" => {
-                    order = Some(
-                        u32::try_from(value)
-                            .map_err(|_| self.err("order value out of range".to_string()))?,
-                    )
-                }
-                "ticks" => ticks = Some(value),
+                "items" => items = Some(self.int()?),
+                "order" => order = Some(self.int_u32("order")?),
+                "ticks" => ticks = Some(self.int()?),
                 other => return Err(self.err(format!("unknown flow property {other:?}"))),
             }
+            self.expect_kind(&TokenKind::Semi)?;
         }
         self.expect_kind(&TokenKind::RBrace)?;
         let items = items.ok_or_else(|| self.err("flow lacks 'items'"))?;
         let order = order.ok_or_else(|| self.err("flow lacks 'order'"))?;
         let ticks = ticks.ok_or_else(|| self.err("flow lacks 'ticks'"))?;
         app.add_flow(Flow::new(src, dst, items, order, ticks))
-            .map_err(|e| self.err(e.to_string()))?;
+            .map_err(|e| {
+                let span = self.peek().span;
+                SegbusError::from(e).with_span(span.line, span.col)
+            })?;
         Ok(())
     }
 
-    fn cost(&mut self, app: &mut Application) -> Result<(), DslError> {
+    fn cost(&mut self, app: &mut Application) -> Result<(), SegbusError> {
         self.keyword("cost")?;
         let kind = self.ident()?;
         let cm = match kind.as_str() {
             "per_package" => CostModel::PerPackage,
             "per_item" => {
                 self.keyword("reference")?;
-                let r = self.int()? as u32;
+                let r = self.int_u32("reference")?;
                 CostModel::PerItem {
                     reference_package_size: r,
                 }
@@ -288,7 +306,7 @@ impl Parser {
                 self.keyword("base")?;
                 let base_ticks = self.int()?;
                 self.keyword("reference")?;
-                let r = self.int()? as u32;
+                let r = self.int_u32("reference")?;
                 CostModel::Affine {
                     base_ticks,
                     reference_package_size: r,
@@ -307,7 +325,8 @@ impl Parser {
 
     // -- platform ---------------------------------------------------------------
 
-    fn platform(&mut self) -> Result<PlatformSpec, DslError> {
+    fn platform(&mut self) -> Result<PlatformSpec, SegbusError> {
+        let block_span = self.peek().span;
         self.keyword("platform")?;
         let name = self.ident()?;
         self.expect_kind(&TokenKind::LBrace)?;
@@ -315,7 +334,7 @@ impl Parser {
         let mut topology: Option<Topology> = None;
         let mut ca_clock: Option<ClockDomain> = None;
         let mut segments: Vec<(String, ClockDomain)> = Vec::new();
-        let mut hosts: Vec<(String, SegmentId)> = Vec::new();
+        let mut hosts: Vec<(String, SegmentId, Span)> = Vec::new();
         loop {
             match &self.peek().kind {
                 TokenKind::RBrace => {
@@ -324,7 +343,7 @@ impl Parser {
                 }
                 TokenKind::Ident(kw) if kw == "package_size" => {
                     self.bump();
-                    package_size = Some(self.int()? as u32);
+                    package_size = Some(self.int_u32("package_size")?);
                     self.expect_kind(&TokenKind::Semi)?;
                 }
                 TokenKind::Ident(kw) if kw == "topology" => {
@@ -358,8 +377,9 @@ impl Parser {
                         if k == "hosts" {
                             self.bump();
                             while self.peek().kind != TokenKind::Semi {
+                                let pspan = self.peek().span;
                                 let pname = self.ident()?;
-                                hosts.push((pname, seg));
+                                hosts.push((pname, seg, pspan));
                             }
                             self.expect_kind(&TokenKind::Semi)?;
                         }
@@ -387,27 +407,33 @@ impl Parser {
         for (sname, clock) in segments {
             builder = builder.segment(sname, clock);
         }
-        let platform = builder.build().map_err(|e| self.err(e.to_string()))?;
-        Ok(PlatformSpec { platform, hosts })
+        let platform = builder
+            .build()
+            .map_err(|e| SegbusError::from(e).with_span(block_span.line, block_span.col))?;
+        Ok(PlatformSpec {
+            platform,
+            hosts,
+            span: block_span,
+        })
     }
 
     /// `freq_mhz <number>;` or `period_ps <int>;`
-    fn clock(&mut self) -> Result<ClockDomain, DslError> {
+    fn clock(&mut self) -> Result<ClockDomain, SegbusError> {
         let key = self.ident()?;
+        let value_span = self.peek().span;
+        let value_err = |msg: &str| {
+            SegbusError::new("P003", msg.to_string()).with_span(value_span.line, value_span.col)
+        };
         let clock = match key.as_str() {
             "freq_mhz" => {
                 let v = self.number()?;
-                if !(v.is_finite() && v > 0.0) {
-                    return Err(self.err("frequency must be positive"));
-                }
-                ClockDomain::from_mhz(v)
+                ClockDomain::try_from_mhz(v)
+                    .ok_or_else(|| value_err("frequency must be positive"))?
             }
             "period_ps" => {
                 let v = self.int()?;
-                if v == 0 {
-                    return Err(self.err("period must be non-zero"));
-                }
-                ClockDomain::from_period_ps(v)
+                ClockDomain::try_from_period_ps(v)
+                    .ok_or_else(|| value_err("period must be non-zero"))?
             }
             other => {
                 return Err(self.err(format!(
@@ -494,6 +520,7 @@ mod tests {
             "application a { process X initial; flow X -> GHOST { items 1; order 1; ticks 1; } }",
         )
         .unwrap_err();
+        assert_eq!(e.code, "P005");
         assert!(e.message.contains("GHOST"), "{e}");
     }
 
@@ -503,6 +530,7 @@ mod tests {
                     flow X -> Y { items 36; order 1; ticks 1; } }
                    platform p { segment S { freq_mhz 100; hosts X GHOST; } }";
         let e = parse_source(src).unwrap().into_psm().unwrap_err();
+        assert_eq!(e.code, "P005");
         assert!(e.message.contains("GHOST"), "{e}");
     }
 
@@ -513,6 +541,7 @@ mod tests {
                     flow X -> Y { items 36; order 1; ticks 1; } }
                    platform p { segment S { freq_mhz 100; hosts X; } }";
         let e = parse_source(src).unwrap().into_psm().unwrap_err();
+        assert_eq!(e.code, "V003");
         assert!(e.message.contains("validation"), "{e}");
     }
 
@@ -529,18 +558,47 @@ mod tests {
     #[test]
     fn duplicate_process_rejected_at_parse_time() {
         let e = parse_source("application a { process X; process X; }").unwrap_err();
+        assert_eq!(e.code, "P006");
         assert!(e.message.contains("twice"), "{e}");
     }
 
     #[test]
     fn error_spans_point_into_the_source() {
         let e = parse_source("application a {\n  process X;\n  bogus\n}").unwrap_err();
-        assert_eq!(e.span.line, 3, "{e}");
+        assert_eq!(e.span.unwrap().line, 3, "{e}");
+    }
+
+    #[test]
+    fn int_out_of_range_is_spanned_not_truncated() {
+        // 2^32 + 1 used to truncate to package_size 1; now a P003.
+        let src = "application a { process X initial; process Y final;
+                    flow X -> Y { items 36; order 1; ticks 1; } }
+                   platform p { package_size 4294967297;
+                                segment S { freq_mhz 100; hosts X Y; } }";
+        let e = parse_source(src).unwrap_err();
+        assert_eq!(e.code, "P003");
+        assert_eq!(e.span.unwrap().line, 3);
+        assert!(e.message.contains("package_size"), "{e}");
+
+        let e = parse_source("application a { cost per_item reference 4294967297; }").unwrap_err();
+        assert_eq!(e.code, "P003");
+
+        let e = parse_source("application a { cost affine base 1 reference 99999999999; }")
+            .unwrap_err();
+        assert_eq!(e.code, "P003");
+
+        let e = parse_source(
+            "application a { process X initial; process Y final;
+              flow X -> Y { items 1; order 4294967297; ticks 1; } }",
+        )
+        .unwrap_err();
+        assert_eq!(e.code, "P003");
     }
 
     #[test]
     fn empty_source_has_no_system() {
         let e = parse_source("").unwrap().into_psm().unwrap_err();
+        assert_eq!(e.code, "P004");
         assert!(e.message.contains("no application"), "{e}");
     }
 

@@ -83,9 +83,13 @@ fn errors_carry_positions() {
     for case in 0..256 {
         let src = arb_tokensoup(&mut rng);
         if let Err(e) = parse_source(&src) {
-            assert!(e.span.line >= 1, "case {case}: {src:?}");
-            assert!(e.span.col >= 1, "case {case}: {src:?}");
+            let span = e
+                .span
+                .unwrap_or_else(|| panic!("case {case}: unspanned error {e}"));
+            assert!(span.line >= 1, "case {case}: {src:?}");
+            assert!(span.col >= 1, "case {case}: {src:?}");
             assert!(!e.message.is_empty(), "case {case}: {src:?}");
+            assert!(!e.code.is_empty(), "case {case}: {src:?}");
         }
     }
 }

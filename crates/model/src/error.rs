@@ -40,6 +40,8 @@ pub enum ModelError {
         errors: usize,
         /// First error message, for context.
         first: String,
+        /// Stable `V0xx` code of the first failed constraint.
+        first_code: &'static str,
     },
 }
 
@@ -61,7 +63,7 @@ impl fmt::Display for ModelError {
             }
             ModelError::ZeroPackageSize => write!(f, "package size must be non-zero"),
             ModelError::Unplaced(p) => write!(f, "process {p} is not placed on any segment"),
-            ModelError::Invalid { errors, first } => {
+            ModelError::Invalid { errors, first, .. } => {
                 write!(
                     f,
                     "model failed validation with {errors} error(s); first: {first}"
@@ -89,7 +91,8 @@ mod tests {
         );
         assert!(ModelError::Invalid {
             errors: 2,
-            first: "boom".into()
+            first: "boom".into(),
+            first_code: "V001",
         }
         .to_string()
         .contains("2 error(s)"));

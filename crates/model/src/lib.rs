@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod error;
 pub mod ids;
 pub mod mapping;
@@ -62,6 +63,7 @@ pub mod rng;
 pub mod time;
 pub mod validate;
 
+pub use diag::{SegbusError, SourceSpan};
 pub use error::ModelError;
 pub use ids::{FlowId, ProcessId, SegmentId};
 pub use mapping::{Allocation, Psm};
@@ -74,6 +76,7 @@ pub use validate::{Constraint, Diagnostic, Severity};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
+    pub use crate::diag::{SegbusError, SourceSpan};
     pub use crate::error::ModelError;
     pub use crate::ids::{FlowId, ProcessId, SegmentId};
     pub use crate::mapping::{Allocation, Psm};

@@ -179,6 +179,7 @@ impl Psm {
             return Err(ModelError::Invalid {
                 errors: errors.len(),
                 first: first.to_string(),
+                first_code: first.constraint.code(),
             });
         }
         let matrix = CommMatrix::from_application(&application);

@@ -104,6 +104,22 @@ impl ClockDomain {
         ClockDomain { period_ps }
     }
 
+    /// Fallible variant of [`ClockDomain::from_period_ps`] for untrusted
+    /// inputs: returns `None` instead of panicking on a zero period.
+    pub fn try_from_period_ps(period_ps: u64) -> Option<ClockDomain> {
+        (period_ps > 0).then_some(ClockDomain { period_ps })
+    }
+
+    /// Fallible variant of [`ClockDomain::from_mhz`]: returns `None` if
+    /// `mhz` is not a positive finite number.
+    pub fn try_from_mhz(mhz: f64) -> Option<ClockDomain> {
+        if !(mhz.is_finite() && mhz > 0.0) {
+            return None;
+        }
+        let period = (1_000_000.0 / mhz).round() as u64;
+        ClockDomain::try_from_period_ps(period.max(1))
+    }
+
     /// Create a domain from a frequency in MHz, rounding the period to the
     /// nearest picosecond (the paper's convention: 111 MHz ⇒ 9009 ps).
     ///

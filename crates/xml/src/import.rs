@@ -6,8 +6,7 @@
 //! allocation against a given application (the PSM references processes by
 //! name).
 
-use std::fmt;
-
+use segbus_model::diag::SegbusError;
 use segbus_model::ids::SegmentId;
 use segbus_model::mapping::{Allocation, Psm};
 use segbus_model::platform::{Platform, Topology};
@@ -17,38 +16,34 @@ use segbus_model::time::ClockDomain;
 use crate::doc::{XmlDocument, XmlElement};
 use crate::m2t::decode_flow_name;
 
-/// Why an XML scheme could not be turned back into a model.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ImportError(pub String);
-
-impl fmt::Display for ImportError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "scheme import error: {}", self.0)
-    }
+/// Scheme-structure failure (`X002`): a required element or attribute is
+/// missing, misnamed or malformed.
+fn err(msg: impl Into<String>) -> SegbusError {
+    SegbusError::new("X002", format!("scheme import error: {}", msg.into()))
 }
 
-impl std::error::Error for ImportError {}
-
-fn err(msg: impl Into<String>) -> ImportError {
-    ImportError(msg.into())
+/// Scheme-value failure (`X003`): an attribute is present but its value is
+/// outside the domain the model accepts.
+fn value_err(msg: impl Into<String>) -> SegbusError {
+    SegbusError::new("X003", format!("scheme import error: {}", msg.into()))
 }
 
-fn req_attr<'a>(el: &'a XmlElement, key: &str) -> Result<&'a str, ImportError> {
+fn req_attr<'a>(el: &'a XmlElement, key: &str) -> Result<&'a str, SegbusError> {
     el.attribute(key)
         .ok_or_else(|| err(format!("<{}> lacks the {key:?} attribute", el.name)))
 }
 
-fn parse_num<T: std::str::FromStr>(el: &XmlElement, key: &str) -> Result<T, ImportError> {
+fn parse_num<T: std::str::FromStr>(el: &XmlElement, key: &str) -> Result<T, SegbusError> {
     req_attr(el, key)?.parse().map_err(|_| {
-        err(format!(
-            "attribute {key:?} of <{}> is not a number",
+        value_err(format!(
+            "attribute {key:?} of <{}> is not a number in range",
             el.name
         ))
     })
 }
 
 /// Rebuild an [`Application`] from a PSDF scheme.
-pub fn import_psdf(doc: &XmlDocument) -> Result<Application, ImportError> {
+pub fn import_psdf(doc: &XmlDocument) -> Result<Application, SegbusError> {
     let schema = &doc.root;
     if schema.name != "xs:schema" {
         return Err(err("root element must be xs:schema"));
@@ -60,7 +55,7 @@ pub fn import_psdf(doc: &XmlDocument) -> Result<Application, ImportError> {
         None | Some("perItem") => CostModel::PerItem {
             reference_package_size: schema
                 .attribute("costReference")
-                .map(|v| v.parse().map_err(|_| err("bad costReference")))
+                .map(|v| v.parse().map_err(|_| value_err("bad costReference")))
                 .transpose()?
                 .unwrap_or(36),
         },
@@ -93,7 +88,7 @@ pub fn import_psdf(doc: &XmlDocument) -> Result<Application, ImportError> {
         let src_name = req_attr(ct, "name")?;
         let src = app
             .process_by_name(src_name)
-            .expect("added in the first pass");
+            .ok_or_else(|| err(format!("process {src_name:?} vanished between passes")))?;
         for all in ct.elements_named("xs:all") {
             for el in all.elements_named("xs:element") {
                 let fname = req_attr(el, "name")?;
@@ -108,7 +103,7 @@ pub fn import_psdf(doc: &XmlDocument) -> Result<Application, ImportError> {
                 let seq = match el.attribute("seq") {
                     Some(v) => v
                         .parse()
-                        .map_err(|_| err(format!("bad seq on flow {fname:?}")))?,
+                        .map_err(|_| value_err(format!("bad seq on flow {fname:?}")))?,
                     None => doc_order,
                 };
                 doc_order += 1;
@@ -118,8 +113,7 @@ pub fn import_psdf(doc: &XmlDocument) -> Result<Application, ImportError> {
     }
     flows.sort_by_key(|(seq, _)| *seq);
     for (_, f) in flows {
-        app.add_flow(f)
-            .map_err(|e| err(format!("invalid flow: {e}")))?;
+        app.add_flow(f).map_err(SegbusError::from)?;
     }
     Ok(app)
 }
@@ -129,7 +123,7 @@ pub fn import_psdf(doc: &XmlDocument) -> Result<Application, ImportError> {
 pub fn import_psm(
     doc: &XmlDocument,
     app: &Application,
-) -> Result<(Platform, Allocation), ImportError> {
+) -> Result<(Platform, Allocation), SegbusError> {
     let schema = &doc.root;
     if schema.name != "xs:schema" {
         return Err(err("root element must be xs:schema"));
@@ -172,21 +166,23 @@ pub fn import_psm(
         Some("ring") => Topology::Ring,
         Some(other) => return Err(err(format!("unknown topology {other:?}"))),
     };
+    let ca_clock = ClockDomain::try_from_period_ps(ca_period)
+        .ok_or_else(|| value_err("CA periodPs must be non-zero"))?;
     let mut builder = Platform::builder(name)
         .package_size(package_size)
         .topology(topology)
-        .ca_clock(ClockDomain::from_period_ps(ca_period));
+        .ca_clock(ca_clock);
     for (i, ct) in &segments {
         let period: u64 = parse_num(ct, "periodPs")?;
+        let clock = ClockDomain::try_from_period_ps(period)
+            .ok_or_else(|| value_err(format!("Segment{i} periodPs must be non-zero")))?;
         let seg_name = ct
             .attribute("segmentName")
             .map(str::to_owned)
             .unwrap_or_else(|| format!("Segment{i}"));
-        builder = builder.segment(seg_name, ClockDomain::from_period_ps(period));
+        builder = builder.segment(seg_name, clock);
     }
-    let platform = builder
-        .build()
-        .map_err(|e| err(format!("invalid platform: {e}")))?;
+    let platform = builder.build().map_err(SegbusError::from)?;
 
     // Allocation: every FU element of every segment.
     let mut alloc = Allocation::new(platform.segment_count());
@@ -210,10 +206,10 @@ pub fn import_psm(
 }
 
 /// Import both schemes and assemble a validated [`Psm`].
-pub fn import_system(psdf: &XmlDocument, psm: &XmlDocument) -> Result<Psm, ImportError> {
+pub fn import_system(psdf: &XmlDocument, psm: &XmlDocument) -> Result<Psm, SegbusError> {
     let app = import_psdf(psdf)?;
     let (platform, alloc) = import_psm(psm, &app)?;
-    Psm::new(platform, app, alloc).map_err(|e| err(format!("validation failed: {e}")))
+    Psm::new(platform, app, alloc).map_err(SegbusError::from)
 }
 
 #[cfg(test)]

@@ -39,5 +39,5 @@ pub mod parser;
 pub mod writer;
 
 pub use doc::{XmlDocument, XmlElement, XmlNode};
-pub use import::ImportError;
-pub use parser::{parse, XmlError};
+pub use parser::parse;
+pub use segbus_model::diag::{SegbusError, SourceSpan};

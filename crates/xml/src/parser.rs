@@ -2,37 +2,15 @@
 //!
 //! Supports the subset the SegBus schemes need: the XML declaration,
 //! comments, elements with quoted attributes, self-closing tags, character
-//! data and the five predefined entities. Errors carry line/column.
+//! data and the five predefined entities. Failures surface as
+//! [`SegbusError`]s with code `X001` and a line/column span.
 
-use std::fmt;
+use segbus_model::diag::SegbusError;
 
 use crate::doc::{XmlDocument, XmlElement, XmlNode};
 
-/// A parse failure with its position.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct XmlError {
-    /// 1-based line.
-    pub line: usize,
-    /// 1-based column.
-    pub col: usize,
-    /// What went wrong.
-    pub message: String,
-}
-
-impl fmt::Display for XmlError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "XML error at {}:{}: {}",
-            self.line, self.col, self.message
-        )
-    }
-}
-
-impl std::error::Error for XmlError {}
-
 /// Parse a complete document.
-pub fn parse(input: &str) -> Result<XmlDocument, XmlError> {
+pub fn parse(input: &str) -> Result<XmlDocument, SegbusError> {
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
@@ -58,12 +36,11 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
-    fn err(&self, msg: impl Into<String>) -> XmlError {
-        XmlError {
-            line: self.line,
-            col: self.col,
-            message: msg.into(),
-        }
+    fn err(&self, msg: impl Into<String>) -> SegbusError {
+        SegbusError::new("X001", msg).with_span(
+            u32::try_from(self.line).unwrap_or(u32::MAX),
+            u32::try_from(self.col).unwrap_or(u32::MAX),
+        )
     }
 
     fn peek(&self) -> Option<u8> {
@@ -97,7 +74,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, s: &str) -> Result<(), XmlError> {
+    fn expect(&mut self, s: &str) -> Result<(), SegbusError> {
         if self.eat(s) {
             Ok(())
         } else {
@@ -128,7 +105,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn try_declaration(&mut self) -> Result<bool, XmlError> {
+    fn try_declaration(&mut self) -> Result<bool, SegbusError> {
         if !self.eat("<?xml") {
             return Ok(false);
         }
@@ -141,7 +118,7 @@ impl<'a> Parser<'a> {
         Ok(true)
     }
 
-    fn name(&mut self) -> Result<String, XmlError> {
+    fn name(&mut self) -> Result<String, SegbusError> {
         let start = self.pos;
         while let Some(c) = self.peek() {
             let ok = c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':');
@@ -156,7 +133,7 @@ impl<'a> Parser<'a> {
         Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
     }
 
-    fn attribute_value(&mut self) -> Result<String, XmlError> {
+    fn attribute_value(&mut self) -> Result<String, SegbusError> {
         let quote = match self.peek() {
             Some(q @ (b'"' | b'\'')) => q,
             _ => return Err(self.err("expected a quoted attribute value")),
@@ -180,7 +157,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn entity(&mut self) -> Result<char, XmlError> {
+    fn entity(&mut self) -> Result<char, SegbusError> {
         self.expect("&")?;
         for (name, ch) in [
             ("lt;", '<'),
@@ -196,7 +173,7 @@ impl<'a> Parser<'a> {
         Err(self.err("unknown entity (only lt/gt/amp/quot/apos are supported)"))
     }
 
-    fn element(&mut self) -> Result<XmlElement, XmlError> {
+    fn element(&mut self) -> Result<XmlElement, SegbusError> {
         self.expect("<")?;
         let name = self.name()?;
         let mut el = XmlElement::new(name);
@@ -330,7 +307,8 @@ mod tests {
     #[test]
     fn error_positions_are_reported() {
         let err = parse("<a>\n  <b>\n</a>").unwrap_err();
-        assert_eq!(err.line, 3, "{err}");
+        assert_eq!(err.code, "X001");
+        assert_eq!(err.span.unwrap().line, 3, "{err}");
         assert!(err.message.contains("mismatched end tag"));
     }
 
@@ -349,6 +327,6 @@ mod tests {
     fn display_formats_position() {
         let err = parse("<a></b>").unwrap_err();
         let s = err.to_string();
-        assert!(s.starts_with("XML error at 1:"), "{s}");
+        assert!(s.starts_with("error[X001] at 1:"), "{s}");
     }
 }

@@ -17,4 +17,7 @@ cargo build --release
 echo "== cargo test --workspace =="
 cargo test --workspace -q
 
+echo "== fuzz smoke (10k inputs) =="
+cargo test --release -q --test fuzz_differential -- --ignored
+
 echo "verify: OK"

@@ -116,6 +116,14 @@ fn load_psm(path: &str) -> Result<Psm, CliError> {
     dsl::parse_system(&text).map_err(|e| fail(format!("{path}: {e}")))
 }
 
+/// Engine pre-flight ([`segbus_core::strict_validate`]) with the CLI's
+/// `path: error` formatting. Guards the commands that hand the PSM to a
+/// consumer without a `try_` entry point of its own.
+fn precheck(psm: &Psm, frames: u64, path: &str) -> Result<(), CliError> {
+    segbus_core::strict_validate(psm, frames, &EmulatorConfig::default())
+        .map_err(|e| fail(format!("{path}: {e}")))
+}
+
 /// Flags that take a value; every other `--flag` is boolean, so a
 /// following positional is never swallowed.
 const VALUE_FLAGS: &[&str] = &[
@@ -193,7 +201,7 @@ fn cmd_validate(args: &[String]) -> Result<String, CliError> {
     // Full diagnostic listing (warnings included) before the hard verdict.
     if let (Some(app), Some(spec)) = (source.applications.first(), source.platforms.first()) {
         let mut alloc = segbus_model::mapping::Allocation::new(spec.platform.segment_count());
-        for (name, seg) in &spec.hosts {
+        for (name, seg, _span) in &spec.hosts {
             if let Some(p) = app.process_by_name(name) {
                 alloc.assign(p, *seg);
             }
@@ -252,7 +260,9 @@ fn cmd_emulate(args: &[String]) -> Result<String, CliError> {
     if frames == 0 {
         return Err(fail("--frames must be at least 1"));
     }
-    let report = Emulator::new(config).run_frames(&psm, frames);
+    let report = Emulator::new(config)
+        .try_run_frames(&psm, frames)
+        .map_err(|e| fail(format!("{path}: {e}")))?;
     let mut out = report.paper_style();
     if let Some(trace) = &report.trace {
         let _ = writeln!(out, "\ntrace: {} events recorded", trace.len());
@@ -268,6 +278,7 @@ fn cmd_reference(args: &[String]) -> Result<String, CliError> {
         ));
     };
     let psm = apply_package_size(load_psm(path)?, &opts)?;
+    precheck(&psm, 1, path)?;
     let report = RtlSimulator::default()
         .run(&psm)
         .map_err(|e| fail(e.to_string()))?;
@@ -282,7 +293,10 @@ fn cmd_accuracy(args: &[String]) -> Result<String, CliError> {
         ));
     };
     let psm = apply_package_size(load_psm(path)?, &opts)?;
-    let est = Emulator::default().run(&psm).execution_time();
+    let est = Emulator::default()
+        .try_run(&psm)
+        .map_err(|e| fail(format!("{path}: {e}")))?
+        .execution_time();
     let act = RtlSimulator::default()
         .run(&psm)
         .map_err(|e| fail(e.to_string()))?
@@ -328,7 +342,9 @@ fn cmd_import(args: &[String]) -> Result<String, CliError> {
     let psm_doc =
         segbus_xml::parse(&read_file(psm_path)?).map_err(|e| fail(format!("{psm_path}: {e}")))?;
     let psm = import::import_system(&psdf, &psm_doc).map_err(|e| fail(e.to_string()))?;
-    let report = Emulator::default().run(&psm);
+    let report = Emulator::default()
+        .try_run(&psm)
+        .map_err(|e| fail(format!("{psm_path}: {e}")))?;
     Ok(format!(
         "imported '{}' on '{}'\nestimated execution time: {:.2} us\n",
         psm.application().name(),
@@ -399,6 +415,9 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
         .iter()
         .map(|&s| base.with_package_size(s).map_err(|e| fail(e.to_string())))
         .collect::<Result<_, _>>()?;
+    for psm in &psms {
+        precheck(psm, 1, path)?;
+    }
     let reports = segbus_core::run_many(&psms);
     let mut out = format!("{:>8} {:>12}\n", "size", "est_us");
     for (s, r) in sizes.iter().zip(&reports) {
@@ -413,7 +432,9 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
         return Err(fail("usage: segbus analyze <model.sbd> [--package-size N]"));
     };
     let psm = apply_package_size(load_psm(path)?, &opts)?;
-    let report = Emulator::new(EmulatorConfig::traced()).run(&psm);
+    let report = Emulator::new(EmulatorConfig::traced())
+        .try_run(&psm)
+        .map_err(|e| fail(format!("{path}: {e}")))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -475,7 +496,9 @@ fn cmd_gantt(args: &[String]) -> Result<String, CliError> {
     if width == 0 {
         return Err(fail("--width must be positive"));
     }
-    let report = Emulator::new(EmulatorConfig::traced()).run(&psm);
+    let report = Emulator::new(EmulatorConfig::traced())
+        .try_run(&psm)
+        .map_err(|e| fail(format!("{path}: {e}")))?;
     Ok(segbus_core::ascii_gantt(&report, width))
 }
 
@@ -485,7 +508,9 @@ fn cmd_vcd(args: &[String]) -> Result<String, CliError> {
         return Err(fail("usage: segbus vcd <model.sbd> [--package-size N]"));
     };
     let psm = apply_package_size(load_psm(path)?, &opts)?;
-    let report = Emulator::new(EmulatorConfig::traced()).run(&psm);
+    let report = Emulator::new(EmulatorConfig::traced())
+        .try_run(&psm)
+        .map_err(|e| fail(format!("{path}: {e}")))?;
     Ok(segbus_core::to_vcd(&report))
 }
 
@@ -497,6 +522,7 @@ fn cmd_codegen(args: &[String]) -> Result<String, CliError> {
         ));
     };
     let psm = load_psm(path)?;
+    precheck(&psm, 1, path)?;
     let sched = segbus_codegen::SystemSchedule::derive(&psm);
     match opt(&opts, "format") {
         None | Some(Some("vhdl")) => Ok(segbus_codegen::vhdl::to_vhdl(&psm, &sched)),
