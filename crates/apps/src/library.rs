@@ -22,10 +22,8 @@ use segbus_model::prelude::*;
 /// stage compresses ~3:1. All item counts are multiples of 36 so the
 /// paper's package size divides them exactly.
 pub fn jpeg_encoder() -> Application {
-    let mut app = Application::new("jpeg-encoder").with_cost_model(CostModel::Affine {
-        base_ticks: 40,
-        reference_package_size: 36,
-    });
+    let mut app =
+        Application::new("jpeg-encoder").with_cost_model(CostModel::affine(40, 36).unwrap());
     let rgb2ycc = app.add_process(Process::initial("RGB2YCC"));
     let dct_y = app.add_process(Process::new("DCT_Y"));
     let dct_cb = app.add_process(Process::new("DCT_CB"));
@@ -68,10 +66,8 @@ pub fn jpeg_encoder() -> Application {
 ///              └──────────┴────┘ (reflection coefficients / residual)
 /// ```
 pub fn gsm_encoder() -> Application {
-    let mut app = Application::new("gsm-encoder").with_cost_model(CostModel::Affine {
-        base_ticks: 40,
-        reference_package_size: 36,
-    });
+    let mut app =
+        Application::new("gsm-encoder").with_cost_model(CostModel::affine(40, 36).unwrap());
     let pre = app.add_process(Process::initial("PREPROC"));
     let lpc = app.add_process(Process::new("LPC"));
     let stf = app.add_process(Process::new("STF"));
@@ -107,10 +103,8 @@ pub fn gsm_encoder() -> Application {
 ///       └─ DDC_Q ── FIR_Q ──┴── DEMOD ── FEC ── SINK
 /// ```
 pub fn sdr_receiver() -> Application {
-    let mut app = Application::new("sdr-receiver").with_cost_model(CostModel::Affine {
-        base_ticks: 40,
-        reference_package_size: 36,
-    });
+    let mut app =
+        Application::new("sdr-receiver").with_cost_model(CostModel::affine(40, 36).unwrap());
     let adc = app.add_process(Process::initial("ADC"));
     let ddc_i = app.add_process(Process::new("DDC_I"));
     let ddc_q = app.add_process(Process::new("DDC_Q"));
@@ -151,10 +145,8 @@ pub fn sdr_receiver() -> Application {
 /// Three DCT+quantise workers operate on interleaved macroblocks in
 /// parallel — the fork-join shape that profits from segmentation.
 pub fn video_encoder() -> Application {
-    let mut app = Application::new("video-encoder").with_cost_model(CostModel::Affine {
-        base_ticks: 40,
-        reference_package_size: 36,
-    });
+    let mut app =
+        Application::new("video-encoder").with_cost_model(CostModel::affine(40, 36).unwrap());
     let capture = app.add_process(Process::initial("CAPTURE"));
     let split = app.add_process(Process::new("MB_SPLIT"));
     let workers: Vec<ProcessId> = (0..3)

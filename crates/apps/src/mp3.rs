@@ -57,10 +57,8 @@ pub fn mp3_decoder_with(cfg: Mp3Config) -> Application {
     // This reproduces the paper's ~14 % slowdown at package size 18
     // (pure per-item cost would be repackaging-invariant, pure
     // per-package cost would double — see EXPERIMENTS.md).
-    let mut app = Application::new("mp3-decoder").with_cost_model(CostModel::Affine {
-        base_ticks: 40,
-        reference_package_size: 36,
-    });
+    let mut app =
+        Application::new("mp3-decoder").with_cost_model(CostModel::affine(40, 36).unwrap());
 
     // P0..P14, in index order.
     let p: Vec<ProcessId> = (0..15)

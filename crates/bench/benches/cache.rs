@@ -1,0 +1,70 @@
+//! Content-addressed report cache: `CachedPool` batches versus the raw
+//! `SweepPool`, on workloads with and without duplicate jobs.
+//!
+//! Compiled only with the `criterion` feature (which additionally needs
+//! the `criterion` crate restored on a networked machine); the cache's
+//! correctness (hits bit-identical, digest sensitivity) is covered by the
+//! always-on test suite in `segbus-core::cache`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use segbus_apps::generators::{self, GeneratorConfig};
+use segbus_core::{BatchJob, CachedPool, EmulatorConfig, SweepPool};
+use segbus_model::mapping::Psm;
+use segbus_model::platform::Platform;
+use segbus_model::time::ClockDomain;
+
+/// 16 distinct systems (a package-size × clock grid over one chain app).
+fn distinct_psms() -> Vec<Psm> {
+    let cfg = GeneratorConfig::default();
+    let app = generators::chain(12, cfg);
+    let alloc = generators::block_allocation(&app, 4);
+    let mut psms = Vec::new();
+    for &s in &[9u32, 18, 36, 72] {
+        for &f in &[0.75f64, 1.0, 1.25, 1.5] {
+            let platform = Platform::builder(format!("cache-{s}-{f}"))
+                .package_size(s)
+                .ca_clock(ClockDomain::from_mhz(111.0 * f))
+                .uniform_segments(4, ClockDomain::from_mhz(100.0 * f))
+                .build()
+                .unwrap();
+            psms.push(Psm::new(platform, app.clone(), alloc.clone()).unwrap());
+        }
+    }
+    psms
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let config = EmulatorConfig::default();
+    let distinct = distinct_psms();
+    // A service-shaped batch: every distinct job submitted eight times.
+    let batch: Vec<BatchJob> = (0..8)
+        .flat_map(|_| {
+            distinct
+                .iter()
+                .map(|p| BatchJob::new(p.clone(), config))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let raw: Vec<Psm> = (0..8).flat_map(|_| distinct.iter().cloned()).collect();
+
+    let mut g = c.benchmark_group("cache/16x8");
+    g.sample_size(20);
+    g.bench_function("sweep_pool_uncached", |b| {
+        let pool = SweepPool::new(config);
+        b.iter(|| pool.sweep(&raw))
+    });
+    g.bench_function("cached_pool_cold", |b| {
+        // A fresh cache per iteration: in-batch dedupe still collapses
+        // the eight copies of each job onto one emulation.
+        b.iter(|| CachedPool::new(config, 64).run_batch(&batch))
+    });
+    g.bench_function("cached_pool_warm", |b| {
+        let mut pool = CachedPool::new(config, 64);
+        let _ = pool.run_batch(&batch); // warm the cache
+        b.iter(|| pool.run_batch(&batch))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

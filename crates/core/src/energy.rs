@@ -156,9 +156,7 @@ mod tests {
         // With a per-item cost model, FU compute ticks (and hence compute
         // energy) are package-size independent; protocol energy is not.
         let mut app = segbus_apps::mp3::mp3_decoder();
-        app.set_cost_model(segbus_model::psdf::CostModel::PerItem {
-            reference_package_size: 36,
-        });
+        app.set_cost_model(segbus_model::psdf::CostModel::per_item(36).unwrap());
         let platform = segbus_model::platform::paper_three_segment_platform();
         let alloc = segbus_apps::mp3::three_segment_allocation();
         let p36 = segbus_model::mapping::Psm::new(platform, app, alloc).unwrap();

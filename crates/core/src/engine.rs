@@ -34,7 +34,6 @@ use std::collections::VecDeque;
 use segbus_model::diag::SegbusError;
 use segbus_model::ids::{FlowId, ProcessId, SegmentId};
 use segbus_model::mapping::Psm;
-use segbus_model::psdf::CostModel;
 use segbus_model::time::{ClockDomain, Picos};
 
 use crate::config::{ArbitrationPolicy, EmulatorConfig, ProducerRelease};
@@ -275,22 +274,6 @@ impl<'a> EnginePlan<'a> {
         let nseg = platform.segment_count();
         let nproc = app.process_count();
         let nflow = app.flows().len();
-
-        match app.cost_model() {
-            CostModel::PerItem {
-                reference_package_size,
-            }
-            | CostModel::Affine {
-                reference_package_size,
-                ..
-            } if reference_package_size == 0 => {
-                return Err(SegbusError::new(
-                    "C007",
-                    "cost model reference package size is zero",
-                ));
-            }
-            _ => {}
-        }
 
         let flow_src: Vec<ProcessId> = app.flows().iter().map(|f| f.src).collect();
         let flow_dst: Vec<ProcessId> = app.flows().iter().map(|f| f.dst).collect();

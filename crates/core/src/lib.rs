@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod config;
 pub mod counters;
 pub mod energy;
@@ -52,6 +53,7 @@ pub use analysis::{
     bus_utilisation, gantt_csv, latency_stats, package_latencies, wave_boundaries, wave_durations,
     BusUtilisation, LatencyStats,
 };
+pub use cache::{job_digest, BatchJob, CacheStats, CachedPool, ReportCache};
 pub use config::{ArbitrationPolicy, EmulatorConfig, ProducerRelease, TimingParams};
 pub use counters::{BuCounters, CaCounters, FuTimes, SaCounters};
 pub use energy::{estimate_energy, EnergyBreakdown, EnergyModel};

@@ -14,8 +14,11 @@
 //!   of adjacent segments an inter-segment flow crosses;
 //! * `C006` — the wave ordering must be acyclic and respect data
 //!   dependencies;
-//! * `C007` — the cost model's reference package size must be non-zero
-//!   (it is a divisor);
+//! * `C007` — retired: the cost model's reference package size is a
+//!   divisor and used to be checked for zero here; it is now stored as a
+//!   [`std::num::NonZeroU32`], so the invariant holds by construction and
+//!   the front ends reject zero at parse/import time (`P003` / value
+//!   errors);
 //! * `C008` — the run must fit the engine's 64-bit picosecond timeline
 //!   and its scratch tables (a conservative horizon/resource bound).
 //!
@@ -102,22 +105,9 @@ pub fn strict_validate(psm: &Psm, frames: u64, cfg: &EmulatorConfig) -> Result<(
         }
     }
 
-    // C007 — the cost model divides by its reference package size.
-    match app.cost_model() {
-        CostModel::PerItem {
-            reference_package_size,
-        }
-        | CostModel::Affine {
-            reference_package_size,
-            ..
-        } if reference_package_size == 0 => {
-            return Err(err(
-                "C007",
-                "cost model reference package size is zero".into(),
-            ));
-        }
-        _ => {}
-    }
+    // C007 (retired) — a zero cost-model reference is now unrepresentable:
+    // `reference_package_size` is a `NonZeroU32` and the front ends reject
+    // zero at parse/import time (P003 / X003), so no runtime check remains.
 
     // C005 — topology / border-unit consistency: every hop of every route
     // an inter-segment flow takes must have a border unit.
@@ -241,7 +231,7 @@ fn compute_ticks_u128(cm: CostModel, c: u64, package_size: u32) -> u128 {
         CostModel::PerItem {
             reference_package_size,
         } => {
-            let r = (reference_package_size as u128).max(1);
+            let r = reference_package_size.get() as u128;
             (c * s + r / 2) / r
         }
         CostModel::PerPackage => c,
@@ -249,7 +239,7 @@ fn compute_ticks_u128(cm: CostModel, c: u64, package_size: u32) -> u128 {
             base_ticks,
             reference_package_size,
         } => {
-            let r = (reference_package_size as u128).max(1);
+            let r = reference_package_size.get() as u128;
             let base = base_ticks as u128;
             base + ((c.saturating_sub(base)) * s + r / 2) / r
         }

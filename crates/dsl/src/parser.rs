@@ -298,19 +298,24 @@ impl Parser {
             "per_item" => {
                 self.keyword("reference")?;
                 let r = self.int_u32("reference")?;
-                CostModel::PerItem {
-                    reference_package_size: r,
-                }
+                CostModel::per_item(r).ok_or_else(|| {
+                    self.err_code(
+                        "P003",
+                        "cost reference must be at least 1 (it is a divisor)",
+                    )
+                })?
             }
             "affine" => {
                 self.keyword("base")?;
                 let base_ticks = self.int()?;
                 self.keyword("reference")?;
                 let r = self.int_u32("reference")?;
-                CostModel::Affine {
-                    base_ticks,
-                    reference_package_size: r,
-                }
+                CostModel::affine(base_ticks, r).ok_or_else(|| {
+                    self.err_code(
+                        "P003",
+                        "cost reference must be at least 1 (it is a divisor)",
+                    )
+                })?
             }
             other => {
                 return Err(self.err(format!(
@@ -500,18 +505,18 @@ mod tests {
         let p2 = crate::parse_system(&src("per_item reference 18")).unwrap();
         assert_eq!(
             p2.application().cost_model(),
-            CostModel::PerItem {
-                reference_package_size: 18
-            }
+            CostModel::per_item(18).unwrap()
         );
         let p3 = crate::parse_system(&src("affine base 40 reference 36")).unwrap();
         assert_eq!(
             p3.application().cost_model(),
-            CostModel::Affine {
-                base_ticks: 40,
-                reference_package_size: 36
-            }
+            CostModel::affine(40, 36).unwrap()
         );
+        // A zero reference is a divisor-by-zero: rejected at parse time.
+        let e = crate::parse_system(&src("per_item reference 0")).unwrap_err();
+        assert_eq!(e.code, "P003");
+        let e = crate::parse_system(&src("affine base 40 reference 0")).unwrap_err();
+        assert_eq!(e.code, "P003");
     }
 
     #[test]

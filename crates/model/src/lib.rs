@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod digest;
 pub mod error;
 pub mod ids;
 pub mod mapping;
@@ -64,6 +65,7 @@ pub mod time;
 pub mod validate;
 
 pub use diag::{SegbusError, SourceSpan};
+pub use digest::Fnv64;
 pub use error::ModelError;
 pub use ids::{FlowId, ProcessId, SegmentId};
 pub use mapping::{Allocation, Psm};

@@ -21,6 +21,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::num::NonZeroU32;
 
 use crate::error::ModelError;
 use crate::ids::{FlowId, ProcessId};
@@ -129,7 +130,8 @@ pub enum CostModel {
     /// the behaviour the paper's 18-vs-36 experiment exhibits.
     PerItem {
         /// Package size at which the PSDF's `C` values were specified.
-        reference_package_size: u32,
+        /// Non-zero by construction — the value is a divisor.
+        reference_package_size: NonZeroU32,
     },
     /// `C` is a fixed per-package cost regardless of package size.
     PerPackage,
@@ -146,21 +148,49 @@ pub enum CostModel {
         /// Fixed ticks per package, independent of its size.
         base_ticks: u64,
         /// Package size at which the PSDF's `C` values were specified.
-        reference_package_size: u32,
+        /// Non-zero by construction — the value is a divisor.
+        reference_package_size: NonZeroU32,
     },
 }
 
 impl CostModel {
+    /// The paper's reference package size (36 items), as the non-zero
+    /// type the cost models carry.
+    pub const REFERENCE_36: NonZeroU32 = match NonZeroU32::new(36) {
+        Some(n) => n,
+        None => unreachable!(),
+    };
+
+    /// A [`CostModel::PerItem`] at `reference`, or `None` when the
+    /// reference is zero (it is a divisor).
+    pub fn per_item(reference: u32) -> Option<CostModel> {
+        Some(CostModel::PerItem {
+            reference_package_size: NonZeroU32::new(reference)?,
+        })
+    }
+
+    /// A [`CostModel::Affine`] at `reference`, or `None` when the
+    /// reference is zero (it is a divisor).
+    pub fn affine(base_ticks: u64, reference: u32) -> Option<CostModel> {
+        Some(CostModel::Affine {
+            base_ticks,
+            reference_package_size: NonZeroU32::new(reference)?,
+        })
+    }
+
     /// Processing ticks the producer spends on one package of size
     /// `package_size`, for a flow annotated with `c` ticks.
+    ///
+    /// Total-function by construction: the reference package size is a
+    /// [`NonZeroU32`], so the division cannot trap on any value of the
+    /// type (ROADMAP item C007).
     #[inline]
     pub fn ticks_per_package(&self, c: u64, package_size: u32) -> u64 {
         match *self {
             CostModel::PerItem {
                 reference_package_size,
             } => {
-                let r = reference_package_size as u64;
-                debug_assert!(r > 0);
+                let r = reference_package_size.get() as u64;
                 // round(c * s / r) in integer arithmetic
                 (c * package_size as u64 + r / 2) / r
             }
@@ -169,8 +199,7 @@ impl CostModel {
                 base_ticks,
                 reference_package_size,
             } => {
-                let r = reference_package_size as u64;
-                debug_assert!(r > 0);
+                let r = reference_package_size.get() as u64;
                 let variable = c.saturating_sub(base_ticks);
                 base_ticks + (variable * package_size as u64 + r / 2) / r
             }
@@ -182,7 +211,7 @@ impl Default for CostModel {
     /// The paper's MP3 PSDF uses 36-item packages as its reference.
     fn default() -> Self {
         CostModel::PerItem {
-            reference_package_size: 36,
+            reference_package_size: CostModel::REFERENCE_36,
         }
     }
 }
@@ -561,9 +590,7 @@ mod tests {
 
     #[test]
     fn cost_model_per_item_scales() {
-        let cm = CostModel::PerItem {
-            reference_package_size: 36,
-        };
+        let cm = CostModel::per_item(36).unwrap();
         assert_eq!(cm.ticks_per_package(250, 36), 250);
         assert_eq!(cm.ticks_per_package(250, 18), 125);
         assert_eq!(cm.ticks_per_package(250, 72), 500);
@@ -575,10 +602,7 @@ mod tests {
 
     #[test]
     fn cost_model_affine_interpolates() {
-        let cm = CostModel::Affine {
-            base_ticks: 40,
-            reference_package_size: 36,
-        };
+        let cm = CostModel::affine(40, 36).unwrap();
         // At the reference size the annotated cost is returned verbatim.
         assert_eq!(cm.ticks_per_package(250, 36), 250);
         // Halving the size halves only the variable part: 40 + 105 = 145.
@@ -591,11 +615,9 @@ mod tests {
 
     #[test]
     fn default_cost_model_is_per_item_at_36() {
-        assert_eq!(
-            CostModel::default(),
-            CostModel::PerItem {
-                reference_package_size: 36
-            }
-        );
+        assert_eq!(CostModel::default(), CostModel::per_item(36).unwrap());
+        // Zero references are unrepresentable (C007 moved into the type).
+        assert_eq!(CostModel::per_item(0), None);
+        assert_eq!(CostModel::affine(5, 0), None);
     }
 }

@@ -215,13 +215,23 @@ impl<'a> PlaceTool<'a> {
     }
 
     /// Emulated makespan of the candidate, in picoseconds.
+    ///
+    /// Candidates that fail PSM construction or the engine pre-flight
+    /// (possible when the search is driven from imported, adversarial
+    /// models) cost `u64::MAX` — they can never win, and the search stays
+    /// panic-free instead of unwinding out of `Engine::run`.
     fn emulate(&self, engine: &mut Engine, alloc: &Allocation) -> u64 {
         let platform = self
             .platform
             .expect("Objective::Makespan is only set together with a platform");
-        let psm = Psm::new(platform.clone(), self.app.clone(), alloc.clone())
-            .expect("feasible candidate validates as a PSM");
-        engine.run(&psm).makespan.0
+        let psm = match Psm::new(platform.clone(), self.app.clone(), alloc.clone()) {
+            Ok(psm) => psm,
+            Err(_) => return u64::MAX,
+        };
+        match engine.try_run(&psm) {
+            Ok(report) => report.makespan.0,
+            Err(_) => u64::MAX,
+        }
     }
 
     /// The allocation as a dense segment-index vector (memoisation key).

@@ -305,20 +305,9 @@ pub const SWEEP_SIZES: [u32; 7] = [6, 9, 12, 18, 36, 72, 144];
 /// A3 — cost-model ablation at package sizes 18 and 36.
 pub fn cost_model_ablation() -> Table {
     let models: [(&str, CostModel); 3] = [
-        (
-            "per_item(36)",
-            CostModel::PerItem {
-                reference_package_size: 36,
-            },
-        ),
+        ("per_item(36)", CostModel::per_item(36).unwrap()),
         ("per_package", CostModel::PerPackage),
-        (
-            "affine(base=40;ref=36)",
-            CostModel::Affine {
-                base_ticks: 40,
-                reference_package_size: 36,
-            },
-        ),
+        ("affine(base=40;ref=36)", CostModel::affine(40, 36).unwrap()),
     ];
     let mut t = Table::new(["cost_model", "est_us_s36", "est_us_s18", "ratio"]);
     for (name, cm) in models {

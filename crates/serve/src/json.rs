@@ -1,0 +1,431 @@
+//! A minimal JSON reader/writer for the serve protocol.
+//!
+//! The workspace builds fully offline with no external crates, so the
+//! newline-delimited JSON protocol is parsed by hand. The subset is
+//! exactly what the protocol needs: objects, arrays, strings (with the
+//! standard escapes including `\uXXXX`), booleans, null and numbers.
+//! Integers up to `u64::MAX` round-trip exactly — they are kept in a
+//! dedicated variant rather than forced through `f64`, because report
+//! fields are picosecond counts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer that fits `u64` (the protocol's counters and tick values).
+    UInt(u64),
+    /// Any other number (negative or fractional).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. `BTreeMap` keeps encoding deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member `key` of an object, if present and non-null.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => match m.get(key) {
+                Some(Json::Null) | None => None,
+                Some(v) => Some(v),
+            },
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer content, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(v) => Some(v),
+            Json::Num(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document from `src` (trailing whitespace allowed).
+pub fn parse(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected {:?} at offset {}", c as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(combined).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(cp).ok_or("invalid \\u escape")?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // bytes are valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Four hex digits (cursor just past the `u`); advances past them.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|_| "bad \\u escape")?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Json::UInt(v));
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?} at offset {start}"))
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An incremental JSON-object writer (field order = call order).
+pub struct ObjWriter {
+    out: String,
+    first: bool,
+}
+
+impl ObjWriter {
+    /// Start a new `{`.
+    pub fn new() -> ObjWriter {
+        ObjWriter {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        write_str(&mut self.out, key);
+        self.out.push(':');
+    }
+
+    /// Add an unsigned-integer field.
+    pub fn uint(&mut self, key: &str, v: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.key(key);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.key(key);
+        write_str(&mut self.out, v);
+        self
+    }
+
+    /// Add a float field (for derived figures like microseconds).
+    pub fn float(&mut self, key: &str, v: f64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Close the object and return the text.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+impl Default for ObjWriter {
+    fn default() -> Self {
+        ObjWriter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_protocol_shapes() {
+        let v = parse(r#"{"id": 7, "cmd": "emulate", "frames": 2, "trace": false}"#).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("cmd").and_then(Json::as_str), Some("emulate"));
+        assert_eq!(v.get("trace").and_then(Json::as_bool), Some(false));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn u64_round_trips_exactly() {
+        let big = u64::MAX - 1;
+        let v = parse(&format!(r#"{{"x": {big}}}"#)).unwrap();
+        assert_eq!(v.get("x").and_then(Json::as_u64), Some(big));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let src = "line1\nline2\t\"quoted\" \\slash ünïcode \u{1F600}";
+        let mut enc = String::new();
+        write_str(&mut enc, src);
+        let v = parse(&enc).unwrap();
+        assert_eq!(v.as_str(), Some(src));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v = parse(r#""Aé😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("Aé\u{1F600}"));
+        // \u escapes, including a surrogate pair.
+        let v = parse("\"\\u0041\\u00e9 \\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("Aé \u{1F600}"));
+        assert!(parse(r#""\ud83d alone""#).is_err(), "lone high surrogate");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            r#"{"a" 1}"#,
+            r#"{"a": }"#,
+            "tru",
+            r#""unterminated"#,
+            "{} extra",
+            r#""\q""#,
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn obj_writer_emits_valid_json() {
+        let mut w = ObjWriter::new();
+        w.uint("id", 3)
+            .bool("ok", true)
+            .str("text", "a\nb")
+            .float("us", 1.5);
+        let line = w.finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("text").and_then(Json::as_str), Some("a\nb"));
+    }
+}

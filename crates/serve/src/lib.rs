@@ -1,0 +1,41 @@
+//! # segbus-serve
+//!
+//! A std-only, multi-client batch front end over the SegBus sweep pool —
+//! the first service-shaped layer on the estimator (DESIGN.md §10).
+//!
+//! Clients speak newline-delimited JSON over TCP (loopback): each line is
+//! an `emulate`, `stats` or `shutdown` request, each answer one response
+//! line correlated by `id`. Every model travels the same typed pipeline
+//! as the CLI — parse (DSL or XML), validate, engine pre-flight
+//! ([`segbus_core::Engine::try_run_frames`], never the panicking path) —
+//! so a service client sees exactly the `P/X/M/V/C` diagnostics `segbus
+//! emulate` prints, plus the `S0xx` protocol codes.
+//!
+//! Three layers, usable independently:
+//!
+//! * [`json`] — the minimal hand-rolled JSON reader/writer (the workspace
+//!   has no external dependencies);
+//! * [`protocol`] — request/response encode/decode over [`json`];
+//! * [`service`] — [`service::BatchService`], the coalescing batcher over
+//!   [`segbus_core::CachedPool`]: concurrently arriving jobs merge into
+//!   one sweep batch and share the content-addressed report cache;
+//! * [`server`] — the TCP accept loop wiring connections to the service.
+//!
+//! ```no_run
+//! use segbus_serve::{ServeOptions, Server};
+//!
+//! let server = Server::start(ServeOptions::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! server.join(); // until a client sends {"cmd": "shutdown"}
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use protocol::Request;
+pub use server::{ServeOptions, Server};
+pub use service::{BatchService, JobOutcome, ServiceStats};

@@ -1,0 +1,304 @@
+//! The newline-delimited JSON request/response protocol.
+//!
+//! One request per line, one response per line, correlated by the
+//! client-chosen `id`. Three commands:
+//!
+//! * `emulate` — a model (DSL source, or an XML PSDF + PSM pair) plus
+//!   optional config overrides; answered with the report summary.
+//! * `stats` — the service's cache and batch counters.
+//! * `shutdown` — stop accepting connections; answered before the
+//!   listener closes.
+//!
+//! Protocol-level failures use the `S0xx` code family, continuing the
+//! taxonomy of DESIGN.md §9: `S001` malformed request line (bad JSON),
+//! `S002` invalid request shape (unknown command, missing or ill-typed
+//! field). Model-level failures pass the underlying `P/X/M/V/C` codes
+//! through untouched, so a service client sees exactly the diagnostics the
+//! CLI would print.
+
+use segbus_core::{
+    ArbitrationPolicy, BatchJob, CacheStats, EmulationReport, EmulatorConfig, ProducerRelease,
+};
+use segbus_model::SegbusError;
+
+use crate::json::{self, Json, ObjWriter};
+
+/// A decoded request line.
+#[derive(Debug)]
+pub enum Request {
+    /// Run one model and report the result.
+    Emulate {
+        /// Echoed correlation id (0 when the client sent none).
+        id: u64,
+        /// The decoded, ready-to-run job (boxed: a [`BatchJob`] is two
+        /// orders of magnitude larger than the other variants).
+        job: Box<BatchJob>,
+    },
+    /// Report cache/batch counters.
+    Stats {
+        /// Echoed correlation id.
+        id: u64,
+    },
+    /// Stop the server.
+    Shutdown {
+        /// Echoed correlation id.
+        id: u64,
+    },
+}
+
+fn shape_err(msg: impl Into<String>) -> SegbusError {
+    SegbusError::new("S002", msg)
+}
+
+/// Decode one request line. On failure the caller still gets the `id` (if
+/// one could be read) so the error response can be correlated.
+pub fn parse_request(line: &str) -> Result<Request, (u64, SegbusError)> {
+    let v = json::parse(line).map_err(|e| {
+        (
+            0,
+            SegbusError::new("S001", format!("malformed request: {e}")),
+        )
+    })?;
+    let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let with_id = |e: SegbusError| (id, e);
+    let cmd = v
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| with_id(shape_err("request lacks a \"cmd\" string")))?;
+    match cmd {
+        "stats" => Ok(Request::Stats { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "emulate" => {
+            let job = decode_job(&v).map_err(with_id)?;
+            Ok(Request::Emulate {
+                id,
+                job: Box::new(job),
+            })
+        }
+        other => Err(with_id(shape_err(format!(
+            "unknown cmd {other:?} (emulate | stats | shutdown)"
+        )))),
+    }
+}
+
+/// Build the [`BatchJob`] described by an `emulate` request object.
+pub fn decode_job(v: &Json) -> Result<BatchJob, SegbusError> {
+    let mut psm = match v.get("format").and_then(Json::as_str).unwrap_or("dsl") {
+        "dsl" => {
+            let source = v
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or_else(|| shape_err("emulate (dsl) lacks a \"source\" string"))?;
+            segbus_dsl::parse_system(source)?
+        }
+        "xml" => {
+            let psdf = v
+                .get("psdf")
+                .and_then(Json::as_str)
+                .ok_or_else(|| shape_err("emulate (xml) lacks a \"psdf\" string"))?;
+            let psm_doc = v
+                .get("psm")
+                .and_then(Json::as_str)
+                .ok_or_else(|| shape_err("emulate (xml) lacks a \"psm\" string"))?;
+            let pd = segbus_xml::parse(psdf)?;
+            let pm = segbus_xml::parse(psm_doc)?;
+            segbus_xml::import::import_system(&pd, &pm)?
+        }
+        other => {
+            return Err(shape_err(format!("unknown format {other:?} (dsl | xml)")));
+        }
+    };
+    if let Some(s) = v.get("package_size") {
+        let s = s
+            .as_u64()
+            .filter(|&s| s <= u32::MAX as u64)
+            .ok_or_else(|| shape_err("\"package_size\" must be a u32"))?;
+        psm = psm.with_package_size(s as u32)?;
+    }
+    let frames = match v.get("frames") {
+        None => 1,
+        Some(f) => f
+            .as_u64()
+            .ok_or_else(|| shape_err("\"frames\" must be an unsigned integer"))?,
+    };
+    let config = decode_config(v)?;
+    Ok(BatchJob {
+        psm,
+        config,
+        frames,
+    })
+}
+
+/// The [`EmulatorConfig`] overrides of an `emulate` request.
+fn decode_config(v: &Json) -> Result<EmulatorConfig, SegbusError> {
+    let mut config = if v.get("detailed").and_then(Json::as_bool).unwrap_or(false) {
+        EmulatorConfig::detailed()
+    } else {
+        EmulatorConfig::default()
+    };
+    if let Some(t) = v.get("trace").and_then(Json::as_bool) {
+        config.trace = t;
+    }
+    if let Some(a) = v.get("arbitration") {
+        config.arbitration = match a.as_str() {
+            Some("fifo") => ArbitrationPolicy::Fifo,
+            Some("fixed_priority") => ArbitrationPolicy::FixedPriority,
+            Some("fair_round_robin") => ArbitrationPolicy::FairRoundRobin,
+            _ => {
+                return Err(shape_err(
+                    "\"arbitration\" must be fifo | fixed_priority | fair_round_robin",
+                ))
+            }
+        };
+    }
+    if let Some(r) = v.get("release") {
+        config.producer_release = match r.as_str() {
+            Some("after_delivery") => ProducerRelease::AfterDelivery,
+            Some("after_local_phase") => ProducerRelease::AfterLocalPhase,
+            _ => {
+                return Err(shape_err(
+                    "\"release\" must be after_delivery | after_local_phase",
+                ))
+            }
+        };
+    }
+    Ok(config)
+}
+
+/// Encode a successful `emulate` response.
+///
+/// `report` carries the full paper-style print-out, so a service client
+/// sees byte-for-byte what `segbus emulate` prints (the batch/emulate
+/// bit-identity contract).
+pub fn encode_report(id: u64, cached: bool, digest: u64, report: &EmulationReport) -> String {
+    let mut w = ObjWriter::new();
+    w.uint("id", id)
+        .bool("ok", true)
+        .bool("cached", cached)
+        .str("digest", &format!("{digest:016x}"))
+        .uint("makespan_ps", report.makespan.0)
+        .uint("execution_time_ps", report.execution_time().0)
+        .float("execution_time_us", report.execution_time().as_micros_f64())
+        .uint("ca_tct", report.ca.tct)
+        .str("report", &report.paper_style());
+    w.finish()
+}
+
+/// Encode a failure response carrying a typed [`SegbusError`].
+pub fn encode_error(id: u64, e: &SegbusError) -> String {
+    let mut w = ObjWriter::new();
+    w.uint("id", id)
+        .bool("ok", false)
+        .str("code", e.code)
+        .str("error", &e.to_string());
+    w.finish()
+}
+
+/// Encode a `stats` response.
+pub fn encode_stats(id: u64, stats: CacheStats, batches: u64, jobs: u64, threads: usize) -> String {
+    let mut w = ObjWriter::new();
+    w.uint("id", id)
+        .bool("ok", true)
+        .uint("hits", stats.hits)
+        .uint("misses", stats.misses)
+        .uint("evictions", stats.evictions)
+        .uint("len", stats.len as u64)
+        .uint("capacity", stats.capacity as u64)
+        .uint("batches", batches)
+        .uint("jobs", jobs)
+        .uint("threads", threads as u64);
+    w.finish()
+}
+
+/// Encode the `shutdown` acknowledgement.
+pub fn encode_shutdown(id: u64) -> String {
+    let mut w = ObjWriter::new();
+    w.uint("id", id)
+        .bool("ok", true)
+        .bool("shutting_down", true);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::write_str;
+
+    const DEMO: &str = "application a {\n  process X initial;\n  process Y final;\n  flow X -> Y { items 72; order 1; ticks 100; }\n}\nplatform p {\n  segment S0 { freq_mhz 100; hosts X; }\n  segment S1 { freq_mhz 100; hosts Y; }\n}\n";
+
+    fn emulate_line(extra: &str) -> String {
+        let mut src = String::new();
+        write_str(&mut src, DEMO);
+        format!(r#"{{"id": 5, "cmd": "emulate", "source": {src}{extra}}}"#)
+    }
+
+    #[test]
+    fn decodes_a_dsl_emulate_request() {
+        let req = parse_request(&emulate_line("")).unwrap();
+        match req {
+            Request::Emulate { id, job } => {
+                assert_eq!(id, 5);
+                assert_eq!(job.frames, 1);
+                assert_eq!(job.config, EmulatorConfig::default());
+                assert_eq!(job.psm.application().process_count(), 2);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overrides_reach_the_job() {
+        let req = parse_request(&emulate_line(
+            r#", "frames": 3, "package_size": 18, "detailed": true, "trace": true, "arbitration": "fair_round_robin", "release": "after_local_phase""#,
+        ))
+        .unwrap();
+        match req {
+            Request::Emulate { job, .. } => {
+                assert_eq!(job.frames, 3);
+                assert_eq!(job.psm.platform().package_size(), 18);
+                assert!(job.config.trace);
+                assert_eq!(job.config.arbitration, ArbitrationPolicy::FairRoundRobin);
+                assert_eq!(
+                    job.config.producer_release,
+                    ProducerRelease::AfterLocalPhase
+                );
+                assert_eq!(job.config.timing, segbus_core::TimingParams::detailed());
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_errors_are_typed() {
+        // Bad JSON: S001, id unknown.
+        let (id, e) = parse_request("{nope").unwrap_err();
+        assert_eq!((id, e.code), (0, "S001"));
+        // Unknown cmd: S002, id preserved.
+        let (id, e) = parse_request(r#"{"id": 9, "cmd": "explode"}"#).unwrap_err();
+        assert_eq!((id, e.code), (9, "S002"));
+        // Missing source.
+        let (_, e) = parse_request(r#"{"id": 1, "cmd": "emulate"}"#).unwrap_err();
+        assert_eq!(e.code, "S002");
+        // Model-level errors keep their own codes (P004: no platform).
+        let (_, e) = parse_request(r#"{"id": 1, "cmd": "emulate", "source": "application a { }"}"#)
+            .unwrap_err();
+        assert_eq!(e.code, "P004");
+    }
+
+    #[test]
+    fn responses_parse_back() {
+        let line = encode_stats(2, CacheStats::default(), 3, 10, 4);
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(crate::json::Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("batches").and_then(crate::json::Json::as_u64),
+            Some(3)
+        );
+        let e = SegbusError::new("C001", "frame count is zero");
+        let v = crate::json::parse(&encode_error(4, &e)).unwrap();
+        assert_eq!(
+            v.get("code").and_then(crate::json::Json::as_str),
+            Some("C001")
+        );
+    }
+}

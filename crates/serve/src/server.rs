@@ -1,0 +1,161 @@
+//! The TCP front end: newline-delimited JSON over `127.0.0.1`.
+//!
+//! One handler thread per connection; every handler submits into the
+//! shared [`BatchService`], so jobs from different clients coalesce into
+//! common sweep batches and share the report cache. The listener binds
+//! loopback only — the service trusts its input no more than the CLI does
+//! (every model goes through the same typed-validation pipeline), but it
+//! is a local tool, not an internet-facing daemon.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use segbus_core::EmulatorConfig;
+
+use crate::protocol::{self, Request};
+use crate::service::BatchService;
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOptions {
+    /// TCP port on `127.0.0.1` (`0` = ephemeral, reported by [`Server::addr`]).
+    pub port: u16,
+    /// Worker threads of the sweep pool (`0` = all hardware threads).
+    pub threads: usize,
+    /// Report-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Default emulator configuration for the pool workers (per-job
+    /// overrides still apply).
+    pub config: EmulatorConfig,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            port: 7878,
+            threads: 0,
+            cache_capacity: 256,
+            config: EmulatorConfig::default(),
+        }
+    }
+}
+
+/// A running server: an accept loop plus the shared batch service.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `127.0.0.1:port` and start accepting clients.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
+        let addr = listener.local_addr()?;
+        let service = BatchService::start(opts.config, opts.threads, opts.cache_capacity);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = service.clone();
+                let shutdown = Arc::clone(&accept_shutdown);
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, service, shutdown, addr);
+                });
+            }
+        });
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to stop and wait for it. Connections already
+    /// being served drain on their own threads.
+    pub fn shutdown(&mut self) {
+        trigger_shutdown(&self.shutdown, self.addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the server shuts down (via a client `shutdown` command).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+/// Flag the accept loop down and poke it with a no-op connection so the
+/// blocking `accept` returns.
+fn trigger_shutdown(shutdown: &AtomicBool, addr: SocketAddr) {
+    if shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    let _ = TcpStream::connect(addr);
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: BatchService,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::parse_request(&line) {
+            Err((id, e)) => protocol::encode_error(id, &e),
+            Ok(Request::Emulate { id, job }) => {
+                let outcome = service.run(*job);
+                match outcome.result {
+                    Ok(report) => {
+                        protocol::encode_report(id, outcome.cached, outcome.digest, &report)
+                    }
+                    Err(e) => protocol::encode_error(id, &e),
+                }
+            }
+            Ok(Request::Stats { id }) => {
+                let s = service.stats();
+                protocol::encode_stats(id, s.cache, s.batches, s.jobs, service.threads())
+            }
+            Ok(Request::Shutdown { id }) => {
+                writer.write_all(protocol::encode_shutdown(id).as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                trigger_shutdown(&shutdown, addr);
+                return Ok(());
+            }
+        };
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! The coalescing batch service: many submitters, one cached pool.
+//!
+//! Jobs arriving from any number of threads funnel into one mpsc channel.
+//! A single batcher thread blocks for the first job, then drains whatever
+//! else has queued up behind it and runs the whole set as one
+//! [`CachedPool::run_batch`] — so concurrently arriving jobs coalesce into
+//! sweep batches and share both the worker pool and the report cache,
+//! while a lone job still starts immediately (no batching delay window).
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use segbus_core::{BatchJob, CacheStats, CachedPool, EmulationReport, EmulatorConfig, SweepPool};
+use segbus_model::SegbusError;
+
+/// What the service returns for one submitted job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The report, or the typed rejection.
+    pub result: Result<EmulationReport, SegbusError>,
+    /// `true` if the report was resident in the cache when the job's
+    /// batch started (an answered-without-emulation hit).
+    pub cached: bool,
+    /// The job's content digest (cache key), for client-side correlation.
+    pub digest: u64,
+}
+
+/// Service-wide counters: the cache's, plus batch shape.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Batches executed (each covering ≥ 1 job).
+    pub batches: u64,
+    /// Jobs executed across all batches.
+    pub jobs: u64,
+}
+
+enum Msg {
+    Run(Box<BatchJob>, Sender<JobOutcome>),
+    Stats(Sender<ServiceStats>),
+}
+
+/// Handle to a running batch service. Cloning is cheap; every clone
+/// submits into the same batcher. The batcher thread exits when the last
+/// handle is dropped.
+#[derive(Clone)]
+pub struct BatchService {
+    tx: Sender<Msg>,
+    threads: usize,
+}
+
+impl BatchService {
+    /// Start a service over a [`CachedPool`] with the given worker-pool
+    /// default config, worker count (`0` = all hardware threads) and
+    /// cache capacity.
+    pub fn start(config: EmulatorConfig, threads: usize, cache_capacity: usize) -> BatchService {
+        let pool = if threads == 0 {
+            SweepPool::new(config)
+        } else {
+            SweepPool::with_threads(config, threads)
+        };
+        let effective = pool.threads();
+        let (tx, rx) = channel();
+        let pool = CachedPool::with_pool(pool, cache_capacity);
+        // The batcher owns the pool; it ends when every sender is gone.
+        let _batcher: JoinHandle<()> = std::thread::spawn(move || batcher(rx, pool));
+        BatchService {
+            tx,
+            threads: effective,
+        }
+    }
+
+    /// The worker count of the underlying pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Submit a job; the returned receiver yields its outcome once the
+    /// batch it lands in completes.
+    pub fn submit(&self, job: BatchJob) -> Receiver<JobOutcome> {
+        let (reply_tx, reply_rx) = channel();
+        self.tx
+            .send(Msg::Run(Box::new(job), reply_tx))
+            .expect("batcher thread lives as long as any handle");
+        reply_rx
+    }
+
+    /// Submit a job and block for its outcome.
+    pub fn run(&self, job: BatchJob) -> JobOutcome {
+        self.submit(job)
+            .recv()
+            .expect("batcher always answers a submitted job")
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let (reply_tx, reply_rx) = channel();
+        self.tx
+            .send(Msg::Stats(reply_tx))
+            .expect("batcher thread lives as long as any handle");
+        reply_rx
+            .recv()
+            .expect("batcher always answers a stats request")
+    }
+}
+
+fn batcher(rx: Receiver<Msg>, mut pool: CachedPool) {
+    let mut batches = 0u64;
+    let mut total_jobs = 0u64;
+    while let Ok(first) = rx.recv() {
+        // Coalesce: take everything already queued behind the first
+        // message without blocking.
+        let mut msgs = vec![first];
+        while let Ok(m) = rx.try_recv() {
+            msgs.push(m);
+        }
+        let mut jobs: Vec<BatchJob> = Vec::new();
+        let mut replies: Vec<Sender<JobOutcome>> = Vec::new();
+        for m in msgs {
+            match m {
+                Msg::Run(job, reply) => {
+                    jobs.push(*job);
+                    replies.push(reply);
+                }
+                Msg::Stats(reply) => {
+                    let _ = reply.send(ServiceStats {
+                        cache: pool.stats(),
+                        batches,
+                        jobs: total_jobs,
+                    });
+                }
+            }
+        }
+        if jobs.is_empty() {
+            continue;
+        }
+        batches += 1;
+        total_jobs += jobs.len() as u64;
+        let cached: Vec<bool> = jobs.iter().map(|j| pool.is_cached(j)).collect();
+        let digests: Vec<u64> = jobs.iter().map(|j| j.digest()).collect();
+        let results = pool.run_batch(&jobs);
+        for ((result, reply), (was_cached, digest)) in results
+            .into_iter()
+            .zip(replies)
+            .zip(cached.into_iter().zip(digests))
+        {
+            // A dead receiver (client hung up) is not an error.
+            let _ = reply.send(JobOutcome {
+                result,
+                cached: was_cached,
+                digest,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "application a {\n  process X initial;\n  process Y final;\n  flow X -> Y { items 72; order 1; ticks 100; }\n}\nplatform p {\n  segment S0 { freq_mhz 100; hosts X; }\n  segment S1 { freq_mhz 100; hosts Y; }\n}\n";
+
+    fn job() -> BatchJob {
+        BatchJob::new(
+            segbus_dsl::parse_system(DEMO).unwrap(),
+            EmulatorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn run_and_cache_flags() {
+        let svc = BatchService::start(EmulatorConfig::default(), 2, 16);
+        let first = svc.run(job());
+        assert!(first.result.is_ok());
+        assert!(!first.cached);
+        let second = svc.run(job());
+        assert!(second.cached, "second identical job is a cache hit");
+        assert_eq!(first.digest, second.digest);
+        assert_eq!(
+            first.result.unwrap().makespan,
+            second.result.unwrap().makespan
+        );
+        let stats = svc.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.jobs, 2);
+        assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn concurrent_submitters_coalesce_and_all_get_answers() {
+        let svc = BatchService::start(EmulatorConfig::default(), 2, 64);
+        let receivers: Vec<_> = (0..24).map(|_| svc.submit(job())).collect();
+        let mut makespans = Vec::new();
+        for rx in receivers {
+            let outcome = rx.recv().unwrap();
+            makespans.push(outcome.result.unwrap().makespan);
+        }
+        assert!(makespans.windows(2).all(|w| w[0] == w[1]));
+        let stats = svc.stats();
+        // 24 identical jobs: exactly one emulation, 23 answered as hits.
+        assert_eq!(stats.cache.misses, 1);
+        assert_eq!(stats.cache.hits, 23);
+        assert_eq!(stats.jobs, 24);
+        assert!(
+            stats.batches <= 24,
+            "batches never exceed jobs; coalescing usually makes them fewer"
+        );
+    }
+}

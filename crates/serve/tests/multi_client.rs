@@ -1,0 +1,113 @@
+//! Multi-client smoke test over localhost: several clients connect
+//! concurrently, submit overlapping jobs, and every one gets a correct,
+//! correlated answer; duplicates show up as cache hits in the stats.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use segbus_serve::json::{self, Json};
+use segbus_serve::{ServeOptions, Server};
+
+const DEMO: &str = "application a {\n  process X initial;\n  process Y final;\n  flow X -> Y { items 72; order 1; ticks 100; }\n}\nplatform p {\n  segment S0 { freq_mhz 100; hosts X; }\n  segment S1 { freq_mhz 100; hosts Y; }\n}\n";
+
+fn emulate_line(id: u64, extra: &str) -> String {
+    let mut src = String::new();
+    json::write_str(&mut src, DEMO);
+    format!("{{\"id\": {id}, \"cmd\": \"emulate\", \"source\": {src}{extra}}}\n")
+}
+
+fn request(stream: &mut TcpStream, line: &str) -> Json {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    json::parse(response.trim()).unwrap()
+}
+
+#[test]
+fn concurrent_clients_share_the_cache() {
+    let mut server = Server::start(ServeOptions {
+        port: 0, // ephemeral
+        threads: 2,
+        cache_capacity: 64,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Warm the cache from one client, so later duplicates must hit.
+    let mut warm = TcpStream::connect(addr).unwrap();
+    let v = request(&mut warm, &emulate_line(1, ""));
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(false));
+    let makespan = v.get("makespan_ps").and_then(Json::as_u64).unwrap();
+    assert!(makespan > 0);
+
+    // Eight clients in parallel: all duplicates of the warm job plus one
+    // distinct variant each (a different package size per client id).
+    let handles: Vec<_> = (0..8u64)
+        .map(|client| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let dup = request(&mut stream, &emulate_line(100 + client, ""));
+                assert_eq!(
+                    dup.get("id").and_then(Json::as_u64),
+                    Some(100 + client),
+                    "responses stay correlated"
+                );
+                assert_eq!(dup.get("ok").and_then(Json::as_bool), Some(true));
+                let dup_makespan = dup.get("makespan_ps").and_then(Json::as_u64).unwrap();
+                let distinct = request(&mut stream, &emulate_line(200 + client, ", \"frames\": 2"));
+                assert_eq!(distinct.get("ok").and_then(Json::as_bool), Some(true));
+                let framed = distinct.get("makespan_ps").and_then(Json::as_u64).unwrap();
+                assert!(framed > dup_makespan, "two frames take longer than one");
+                dup_makespan
+            })
+        })
+        .collect();
+    let makespans: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(makespans.iter().all(|&m| m == makespan));
+
+    // Stats: 17 jobs total; the 8 duplicates of the warm job hit, and the
+    // 8 frames-2 jobs collapse onto at most... each is identical to the
+    // others, so at least 7 of them are also answered without emulation.
+    let mut stats_client = TcpStream::connect(addr).unwrap();
+    let v = request(&mut stats_client, "{\"id\": 9, \"cmd\": \"stats\"}\n");
+    let hits = v.get("hits").and_then(Json::as_u64).unwrap();
+    let misses = v.get("misses").and_then(Json::as_u64).unwrap();
+    let jobs = v.get("jobs").and_then(Json::as_u64).unwrap();
+    assert_eq!(jobs, 17);
+    assert_eq!(
+        misses, 2,
+        "one distinct single-frame + one distinct framed job"
+    );
+    assert_eq!(hits, 15);
+
+    // Typed errors pass through with their codes.
+    let v = request(
+        &mut stats_client,
+        "{\"id\": 10, \"cmd\": \"emulate\", \"source\": \"application broken {\"}\n",
+    );
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(v.get("code").and_then(Json::as_str).is_some());
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_command_stops_the_server() {
+    let server = Server::start(ServeOptions {
+        port: 0,
+        threads: 1,
+        cache_capacity: 4,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let v = request(&mut stream, "{\"id\": 1, \"cmd\": \"shutdown\"}\n");
+    assert_eq!(v.get("shutting_down").and_then(Json::as_bool), Some(true));
+    // join() returns because the accept loop exits.
+    server.join();
+}

@@ -52,12 +52,14 @@ pub fn import_psdf(doc: &XmlDocument) -> Result<Application, SegbusError> {
     let mut app = Application::new(name);
 
     let cost_model = match schema.attribute("costModel") {
+        // `NonZeroU32::from_str` rejects zero, so a `costReference="0"`
+        // surfaces as the same typed value error as any other bad number.
         None | Some("perItem") => CostModel::PerItem {
             reference_package_size: schema
                 .attribute("costReference")
                 .map(|v| v.parse().map_err(|_| value_err("bad costReference")))
                 .transpose()?
-                .unwrap_or(36),
+                .unwrap_or(CostModel::REFERENCE_36),
         },
         Some("perPackage") => CostModel::PerPackage,
         Some("affine") => CostModel::Affine {

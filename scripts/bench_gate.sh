@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# CI performance gate: re-run the P1 engine-throughput benchmark and
+# compare its `runs_per_sec` against the committed `BENCH_engine.json`
+# baseline. Fails if throughput regressed by more than the threshold
+# (default 20%, i.e. new < 0.80 × committed).
+#
+#   scripts/bench_gate.sh                 # gate against BENCH_engine.json
+#   BENCH_GATE_THRESHOLD=0.5 scripts/bench_gate.sh   # looser gate
+#
+# The committed baseline is restored afterwards, so the gate never dirties
+# the working tree — machine-to-machine absolute numbers vary; the file is
+# only refreshed deliberately, together with engine changes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_engine.json
+THRESHOLD="${BENCH_GATE_THRESHOLD:-0.80}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench gate: no committed $BASELINE baseline" >&2
+    exit 1
+fi
+
+json_field() {
+    # json_field <file> <key> — exp_perf writes one "key": value per line.
+    awk -F: -v key="\"$2\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print $2 }' "$1"
+}
+
+old_rps=$(json_field "$BASELINE" runs_per_sec)
+if [[ -z "$old_rps" ]]; then
+    echo "bench gate: cannot read runs_per_sec from $BASELINE" >&2
+    exit 1
+fi
+
+# exp_perf overwrites BENCH_engine.json in the cwd; park the committed
+# baseline and restore it on every exit path.
+saved=$(mktemp)
+cp "$BASELINE" "$saved"
+restore() { cp "$saved" "$BASELINE"; rm -f "$saved"; }
+trap restore EXIT
+
+echo "== bench gate: cargo run --release -p segbus-report --bin exp_perf =="
+cargo run --release -q -p segbus-report --bin exp_perf
+
+new_rps=$(json_field "$BASELINE" runs_per_sec)
+if [[ -z "$new_rps" ]]; then
+    echo "bench gate: benchmark produced no runs_per_sec" >&2
+    exit 1
+fi
+
+verdict=$(awk -v new="$new_rps" -v old="$old_rps" -v thr="$THRESHOLD" 'BEGIN {
+    ratio = new / old
+    printf "ratio %.3f (threshold %.2f)\n", ratio, thr
+    exit (ratio < thr) ? 1 : 0
+}') && ok=1 || ok=0
+
+summary="bench gate: committed ${old_rps} runs/s, this run ${new_rps} runs/s — ${verdict}"
+echo "$summary"
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+    {
+        echo "### Engine throughput gate"
+        echo ""
+        echo "| | runs/s |"
+        echo "|---|---|"
+        echo "| committed baseline | ${old_rps} |"
+        echo "| this run | ${new_rps} |"
+        echo ""
+        echo "${verdict}"
+    } >>"$GITHUB_STEP_SUMMARY"
+fi
+
+if [[ "$ok" -ne 1 ]]; then
+    echo "bench gate: FAIL — throughput regressed more than $(awk -v t="$THRESHOLD" 'BEGIN { printf "%.0f%%", (1-t)*100 }')" >&2
+    exit 1
+fi
+echo "bench gate: OK"

@@ -20,12 +20,13 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
-use segbus_core::{Emulator, EmulatorConfig};
+use segbus_core::{BatchJob, CachedPool, Emulator, EmulatorConfig, SweepPool};
 use segbus_dsl as dsl;
 use segbus_model::mapping::Psm;
 use segbus_model::validate::{validate, Severity};
 use segbus_place::{Objective, PlaceTool};
 use segbus_rtl::RtlSimulator;
+use segbus_serve::{ServeOptions, Server};
 use segbus_xml::{import, m2t};
 
 /// A CLI failure: message plus suggested exit code.
@@ -64,6 +65,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "import" => cmd_import(rest),
         "place" => cmd_place(rest),
         "sweep" => cmd_sweep(rest),
+        "batch" => cmd_batch(rest),
+        "serve" => cmd_serve(rest),
         "codegen" => cmd_codegen(rest),
         "analyze" => cmd_analyze(rest),
         "gantt" => cmd_gantt(rest),
@@ -96,6 +99,12 @@ COMMANDS:
                                           propose an allocation with PlaceTool
     sweep     <model.sbd> --sizes 18,36,72
                                           emulate at several package sizes
+    batch     <paths...> [--package-size N] [--frames N] [--detailed] [--trace]
+              [--threads N] [--cache N]   emulate many models (files or directories
+                                          of .sbd) through the report cache
+    serve     [--port N] [--threads N] [--cache N]
+                                          batched NDJSON-over-TCP emulation service
+                                          on 127.0.0.1 (see segbus-serve docs)
     codegen   <model.sbd> [--format vhdl|rust|c]
                                           generate arbiter schedule code
     analyze   <model.sbd>                 bus utilisation, wave timing, latency, energy
@@ -134,6 +143,9 @@ const VALUE_FLAGS: &[&str] = &[
     "sizes",
     "format",
     "width",
+    "port",
+    "threads",
+    "cache",
 ];
 
 /// Parse `--key value` style options out of an argument list; returns
@@ -424,6 +436,135 @@ fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(out, "{s:>8} {:>12.2}", r.execution_time().as_micros_f64());
     }
     Ok(out)
+}
+
+/// Collect the model files named by `paths`: each positional is either a
+/// `.sbd` file or a directory scanned (non-recursively, sorted) for them.
+fn gather_models(paths: &[&str]) -> Result<Vec<String>, CliError> {
+    let mut files = Vec::new();
+    for p in paths {
+        let meta = std::fs::metadata(p).map_err(|e| fail(format!("cannot read {p}: {e}")))?;
+        if meta.is_dir() {
+            let mut in_dir = Vec::new();
+            let entries =
+                std::fs::read_dir(p).map_err(|e| fail(format!("cannot read {p}: {e}")))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| fail(format!("cannot read {p}: {e}")))?;
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) == Some("sbd") {
+                    in_dir.push(path.to_string_lossy().into_owned());
+                }
+            }
+            in_dir.sort();
+            files.extend(in_dir);
+        } else {
+            files.push((*p).to_string());
+        }
+    }
+    if files.is_empty() {
+        return Err(fail("no .sbd models found"));
+    }
+    Ok(files)
+}
+
+fn cmd_batch(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    if pos.is_empty() {
+        return Err(fail(
+            "usage: segbus batch <paths...> [--package-size N] [--frames N] [--detailed] [--trace] [--threads N] [--cache N]",
+        ));
+    }
+    let files = gather_models(&pos)?;
+    let mut config = EmulatorConfig::default();
+    if opt(&opts, "trace").is_some() {
+        config.trace = true;
+    }
+    if opt(&opts, "detailed").is_some() {
+        config.timing = segbus_core::TimingParams::detailed();
+    }
+    let frames = opt_u32(&opts, "frames")?.unwrap_or(1) as u64;
+    if frames == 0 {
+        return Err(fail("--frames must be at least 1"));
+    }
+    let capacity = opt_u32(&opts, "cache")?.unwrap_or(256) as usize;
+    let threads = opt_u32(&opts, "threads")?.unwrap_or(0) as usize;
+    let pool = if threads == 0 {
+        SweepPool::new(config)
+    } else {
+        SweepPool::with_threads(config, threads)
+    };
+    let mut pool = CachedPool::with_pool(pool, capacity);
+    let mut jobs = Vec::with_capacity(files.len());
+    for path in &files {
+        let psm = apply_package_size(load_psm(path)?, &opts)?;
+        jobs.push(BatchJob {
+            psm,
+            config,
+            frames,
+        });
+    }
+    // "cached" below means answered without emulation: resident before the
+    // batch, or a duplicate of an earlier job in the same batch.
+    let mut seen = std::collections::HashSet::new();
+    let reused: Vec<bool> = jobs
+        .iter()
+        .map(|j| pool.is_cached(j) | !seen.insert(j.digest()))
+        .collect();
+    let results = pool.run_batch(&jobs);
+    let mut out = String::new();
+    let mut failures = 0usize;
+    for ((path, result), was_reused) in files.iter().zip(results).zip(reused) {
+        let tag = if was_reused { "cached" } else { "emulated" };
+        match result {
+            Ok(report) => {
+                let _ = writeln!(out, "== {path} ({tag})");
+                out.push_str(&report.paper_style());
+            }
+            Err(e) => {
+                failures += 1;
+                let _ = writeln!(out, "== {path} (error)");
+                let _ = writeln!(out, "{e}");
+            }
+        }
+        out.push('\n');
+    }
+    let stats = pool.stats();
+    let _ = writeln!(
+        out,
+        "batch: {} model(s), {} failure(s); cache: {} hits, {} misses, {} evictions",
+        files.len(),
+        failures,
+        stats.hits,
+        stats.misses,
+        stats.evictions
+    );
+    Ok(out)
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    if !pos.is_empty() {
+        return Err(fail(
+            "usage: segbus serve [--port N] [--threads N] [--cache N]",
+        ));
+    }
+    let port = opt_u32(&opts, "port")?.unwrap_or(7878);
+    let port = u16::try_from(port).map_err(|_| fail(format!("--port: {port} is not a port")))?;
+    let threads = opt_u32(&opts, "threads")?.unwrap_or(0) as usize;
+    let cache_capacity = opt_u32(&opts, "cache")?.unwrap_or(256) as usize;
+    let server = Server::start(ServeOptions {
+        port,
+        threads,
+        cache_capacity,
+        config: EmulatorConfig::default(),
+    })
+    .map_err(|e| fail(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
+    let addr = server.addr();
+    // The accept loop blocks this command until a client sends
+    // {"cmd": "shutdown"}; announce the address on stderr first.
+    eprintln!("segbus-serve listening on {addr} (newline-delimited JSON)");
+    server.join();
+    Ok(format!("segbus-serve on {addr} stopped\n"))
 }
 
 fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
@@ -729,5 +870,61 @@ mod tests {
         .unwrap();
         let err = run(&args(&["validate", &path.to_string_lossy()])).unwrap_err();
         assert!(err.message.contains("V003"), "{}", err.message);
+    }
+
+    #[test]
+    fn batch_over_directory_hits_cache_and_matches_emulate() {
+        let dir = tmpdir("batch");
+        let f = demo_file(&dir);
+        // Two byte-identical duplicates plus the original: three jobs,
+        // one distinct digest.
+        let demo = std::fs::read_to_string(&f).unwrap();
+        std::fs::write(dir.join("dup1.sbd"), &demo).unwrap();
+        std::fs::write(dir.join("dup2.sbd"), &demo).unwrap();
+        std::fs::write(dir.join("not-a-model.txt"), "ignored").unwrap();
+        let out = run(&args(&["batch", &dir.to_string_lossy()])).unwrap();
+
+        // Duplicates are answered from the cache…
+        let stats = out.lines().last().unwrap();
+        assert!(stats.contains("3 model(s), 0 failure(s)"), "{stats}");
+        let hits: u64 = stats
+            .split("cache: ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(hits >= 2, "duplicates must hit the cache: {stats}");
+        assert_eq!(out.matches("(cached)").count(), 2, "{out}");
+        assert_eq!(out.matches("(emulated)").count(), 1, "{out}");
+
+        // …and every report is bit-identical to a lone `segbus emulate`.
+        let emulated = run(&args(&["emulate", &f])).unwrap();
+        assert_eq!(out.matches(emulated.as_str()).count(), 3, "{out}");
+    }
+
+    #[test]
+    fn batch_reports_per_model_errors_and_keeps_going() {
+        let dir = tmpdir("batch-err");
+        let f = demo_file(&dir);
+        let broken = dir.join("broken.sbd");
+        std::fs::write(&broken, "application broken {").unwrap();
+        // Parse failures abort with the path, like every other command.
+        let err = run(&args(&["batch", &broken.to_string_lossy(), &f])).unwrap_err();
+        assert!(err.message.contains("broken.sbd"), "{}", err.message);
+        assert!(run(&args(&["batch"])).is_err());
+        assert!(run(&args(&["batch", "/nonexistent"])).is_err());
+        // Flags thread through to the engine: 0 frames is rejected.
+        assert!(run(&args(&["batch", &f, "--frames", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_bad_arguments() {
+        assert!(run(&args(&["serve", "stray-positional"])).is_err());
+        assert!(run(&args(&["serve", "--port", "notaport"])).is_err());
+        let err = run(&args(&["serve", "--port", "99999"])).unwrap_err();
+        assert!(err.message.contains("99999"), "{}", err.message);
     }
 }

@@ -204,6 +204,29 @@ fn emulate_and_compare(psm: &Psm, label: &str) {
     assert_eq!(a.ca, r.ca, "{label}: CA stats");
     assert_eq!(a.bus, r.bus, "{label}: bus counters");
     assert_eq!(a.fus, r.fus, "{label}: FU counters");
+
+    // Frame pipelining arm: the streaming (`--frames 2`) path exercises
+    // frame-boundary bookkeeping the single-shot run never touches.
+    let a2 = match Emulator::new(indexed).try_run_frames(psm, 2) {
+        Ok(report) => report,
+        Err(e) => {
+            assert!(
+                !e.code.is_empty(),
+                "{label}: frames-2 rejection without a code"
+            );
+            return;
+        }
+    };
+    let r2 = ReferenceEmulator::new(heap).run_frames(psm, 2);
+    assert_eq!(a2.makespan, r2.makespan, "{label}: frames-2 makespan");
+    assert_eq!(a2.sas, r2.sas, "{label}: frames-2 SA stats");
+    assert_eq!(a2.ca, r2.ca, "{label}: frames-2 CA stats");
+    assert_eq!(a2.bus, r2.bus, "{label}: frames-2 bus counters");
+    assert_eq!(a2.fus, r2.fus, "{label}: frames-2 FU counters");
+    assert!(
+        a2.makespan >= a.makespan,
+        "{label}: a second frame cannot finish earlier than the first"
+    );
 }
 
 /// The repo's model corpus, as (name, source) pairs.
@@ -227,6 +250,13 @@ fn corpus() -> Vec<(String, String)> {
 /// One fuzz campaign of `budget` inputs, mixing generated DSL, mutated
 /// corpus DSL and mutated exported XML.
 fn campaign(seed: u64, budget: usize) {
+    campaign_to(seed, budget, None);
+}
+
+/// Like [`campaign`], but a failing input is also written to
+/// `artifacts/failing-case-<n>.txt` (for CI artifact upload) before the
+/// harness panics.
+fn campaign_to(seed: u64, budget: usize, artifacts: Option<&std::path::Path>) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let corpus = corpus();
     // Exported XML pairs for the XML mutation arm, built from the models
@@ -294,7 +324,16 @@ fn campaign(seed: u64, budget: usize) {
         match result {
             Ok(true) => accepted += 1,
             Ok(false) => {}
-            Err(src) => panic!("seed {seed} case {case} panicked on input:\n{src}"),
+            Err(src) => {
+                if let Some(dir) = artifacts {
+                    let _ = std::fs::create_dir_all(dir);
+                    let _ = std::fs::write(
+                        dir.join(format!("failing-case-{case}.txt")),
+                        format!("seed: {seed}\ncase: {case}\n----\n{src}"),
+                    );
+                }
+                panic!("seed {seed} case {case} panicked on input:\n{src}");
+            }
         }
     }
     // The campaign must exercise the accept path, not just bounce inputs.
@@ -321,6 +360,22 @@ fn fuzz_differential_smoke_10k() {
     campaign(0xF0222, 10_000);
 }
 
+/// The nightly campaign (CI `nightly.yml`): budget comes from
+/// `SEGBUS_FUZZ_BUDGET` (default 100 000); failing inputs are written to
+/// `SEGBUS_FUZZ_ARTIFACT_DIR` (default `target/fuzz-artifacts`) so the
+/// workflow can upload them.
+#[test]
+#[ignore = "nightly 100k-input campaign; run via .github/workflows/nightly.yml"]
+fn fuzz_differential_nightly() {
+    let budget = std::env::var("SEGBUS_FUZZ_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000usize);
+    let artifacts = std::env::var("SEGBUS_FUZZ_ARTIFACT_DIR")
+        .unwrap_or_else(|_| "target/fuzz-artifacts".to_string());
+    campaign_to(0xF0223, budget, Some(std::path::Path::new(&artifacts)));
+}
+
 /// Valid corpus models must stay accepted end to end: parse, pre-flight,
 /// emulate, and agree with the reference engine.
 #[test]
@@ -330,4 +385,54 @@ fn corpus_models_accepted_and_queue_invariant() {
             .unwrap_or_else(|e| panic!("{name} must stay valid: {e}"));
         emulate_and_compare(&psm, &name);
     }
+}
+
+/// Digest collision sanity over the fuzz generator's accepted output:
+/// whenever two accepted models share a digest, they must also share
+/// their canonical M2T export (i.e. they really are the same system).
+/// A few thousand structurally varied models give decent birthday-bound
+/// confidence that the FNV canonicalisation does not collapse distinct
+/// systems.
+#[test]
+fn digest_collisions_only_for_identical_systems() {
+    use std::collections::HashMap;
+
+    let mut rng = SmallRng::seed_from_u64(0xD16E57);
+    let mut by_digest: HashMap<u64, String> = HashMap::new();
+    let mut accepted = 0usize;
+    for _ in 0..4_000 {
+        let Some(psm) = segbus_dsl::parse_system(&gen_dsl(&mut rng)).ok() else {
+            continue;
+        };
+        accepted += 1;
+        let digest = psm.digest();
+        // The generator names deterministically (P0.., S0..), so the XML
+        // export is a faithful structural fingerprint.
+        let canon = format!(
+            "{}\n{}",
+            m2t::export_psdf(psm.application()).to_xml_string(),
+            m2t::export_psm(&psm).to_xml_string()
+        );
+        match by_digest.entry(digest) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(canon);
+            }
+            std::collections::hash_map::Entry::Occupied(o) => {
+                assert_eq!(
+                    o.get(),
+                    &canon,
+                    "digest {digest:#018x} collided across distinct systems"
+                );
+            }
+        }
+    }
+    assert!(
+        accepted > 300,
+        "generator degenerated: only {accepted} accepted"
+    );
+    assert!(
+        by_digest.len() > 100,
+        "generator produced too few distinct systems: {}",
+        by_digest.len()
+    );
 }
