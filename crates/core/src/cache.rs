@@ -13,8 +13,16 @@
 //! the key covers every input the engine reads, so a hit is bit-identical
 //! to a fresh run by construction. Hit/miss/eviction counters are kept for
 //! the service's stats endpoint and surface in [`CacheStats`].
+//!
+//! A [`CachedPool`] can additionally be backed by a [`DiskStore`]
+//! ([`CachedPool::attach_disk`]): fresh reports are written through to
+//! disk, LRU evictions spill there, and a memory miss consults the store
+//! before emulating — so the cache warm-starts across process restarts.
+//! Disk hits promote back into memory and are counted separately
+//! ([`CacheStats::disk_hits`]).
 
 use std::collections::HashMap;
+use std::path::Path;
 
 use segbus_model::diag::SegbusError;
 use segbus_model::digest::Fnv64;
@@ -23,6 +31,7 @@ use segbus_model::mapping::Psm;
 use crate::config::{ArbitrationPolicy, EmulatorConfig, ProducerRelease};
 use crate::engine::Engine;
 use crate::parallel::SweepPool;
+use crate::persist::DiskStore;
 use crate::report::EmulationReport;
 
 /// Absorb every semantic field of an [`EmulatorConfig`] into `h`.
@@ -91,6 +100,11 @@ pub struct CacheStats {
     pub len: usize,
     /// Maximum resident entries.
     pub capacity: usize,
+    /// Hits answered from the persistent store (a subset of `hits`;
+    /// always `0` without an attached [`DiskStore`]).
+    pub disk_hits: u64,
+    /// Reports resident on disk (`0` without an attached store).
+    pub disk_len: usize,
 }
 
 const NIL: usize = usize::MAX;
@@ -146,6 +160,10 @@ impl ReportCache {
             evictions: self.evictions,
             len: self.map.len(),
             capacity: self.capacity,
+            // The persistent tier lives in [`CachedPool`], which overlays
+            // these two fields in its own `stats`.
+            disk_hits: 0,
+            disk_len: 0,
         }
     }
 
@@ -172,21 +190,36 @@ impl ReportCache {
     }
 
     /// Insert (or refresh) `key`, evicting the least recently used entry
-    /// when full.
-    pub fn insert(&mut self, key: u64, report: EmulationReport) {
+    /// when full. The evicted entry, if any, is returned so a caller with
+    /// a persistent tier can spill it instead of dropping it.
+    pub fn insert(&mut self, key: u64, report: EmulationReport) -> Option<(u64, EmulationReport)> {
         if let Some(&i) = self.map.get(&key) {
             self.slab[i].report = report;
             self.detach(i);
             self.push_front(i);
-            return;
+            return None;
         }
+        let mut evicted = None;
         if self.map.len() >= self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
             self.detach(lru);
-            self.map.remove(&self.slab[lru].key);
-            self.free.push(lru);
+            let old_key = self.slab[lru].key;
+            self.map.remove(&old_key);
             self.evictions += 1;
+            let old = std::mem::replace(
+                &mut self.slab[lru],
+                Entry {
+                    key,
+                    report,
+                    prev: NIL,
+                    next: NIL,
+                },
+            );
+            evicted = Some((old_key, old.report));
+            self.map.insert(key, lru);
+            self.push_front(lru);
+            return evicted;
         }
         let entry = Entry {
             key,
@@ -206,6 +239,7 @@ impl ReportCache {
         };
         self.map.insert(key, i);
         self.push_front(i);
+        evicted
     }
 
     fn detach(&mut self, i: usize) {
@@ -271,9 +305,17 @@ impl BatchJob {
 /// fans the distinct misses out over the pool through the fallible
 /// pre-flight path ([`Engine::try_run_frames`], never the panicking one),
 /// and returns per-job results in input order.
+///
+/// With an attached [`DiskStore`] the lookup order is memory → disk →
+/// emulate: fresh reports are written through to disk (best-effort — an
+/// I/O failure degrades to a memory-only cache rather than failing the
+/// job), and memory evictions spill to disk, so nothing computed is ever
+/// lost to capacity pressure.
 pub struct CachedPool {
     pool: SweepPool,
     cache: ReportCache,
+    disk: Option<DiskStore>,
+    disk_hits: u64,
 }
 
 impl CachedPool {
@@ -288,7 +330,22 @@ impl CachedPool {
         CachedPool {
             pool,
             cache: ReportCache::new(capacity),
+            disk: None,
+            disk_hits: 0,
         }
+    }
+
+    /// Attach (opening or creating) a persistent [`DiskStore`] under
+    /// `dir`. Reports already on disk become warm-start hits; everything
+    /// emulated from now on is written through.
+    pub fn attach_disk(&mut self, dir: &Path) -> std::io::Result<()> {
+        self.disk = Some(DiskStore::open(dir)?);
+        Ok(())
+    }
+
+    /// The attached persistent store, if any.
+    pub fn disk(&self) -> Option<&DiskStore> {
+        self.disk.as_ref()
     }
 
     /// The underlying pool.
@@ -296,14 +353,19 @@ impl CachedPool {
         &self.pool
     }
 
-    /// Current cache counters.
+    /// Current cache counters (memory and disk tiers combined).
     pub fn stats(&self) -> CacheStats {
-        self.cache.stats()
+        let mut s = self.cache.stats();
+        s.disk_hits = self.disk_hits;
+        s.disk_len = self.disk.as_ref().map_or(0, DiskStore::len);
+        s
     }
 
-    /// `true` if `job` would be answered from the cache right now.
+    /// `true` if `job` would be answered from the cache (either tier)
+    /// right now.
     pub fn is_cached(&self, job: &BatchJob) -> bool {
-        self.cache.contains(job.digest())
+        let key = job.digest();
+        self.cache.contains(key) || self.disk.as_ref().is_some_and(|d| d.contains(key))
     }
 
     /// Run one job through the cache (a batch of one).
@@ -328,6 +390,13 @@ impl CachedPool {
             let key = job.digest();
             if self.cache.contains(key) {
                 let report = self.cache.get(key).expect("resident entry");
+                results[i] = Some(Ok(report));
+            } else if let Some(report) = self.disk.as_mut().and_then(|d| d.get(key)) {
+                // Warm-start hit from the persistent tier: promote into
+                // memory so repeats stay off the disk path.
+                self.cache.hits += 1;
+                self.disk_hits += 1;
+                self.insert_and_spill(key, report.clone());
                 results[i] = Some(Ok(report));
             } else if let Some(&m) = miss_index.get(&key) {
                 // In-batch duplicate: shares the first occurrence's run.
@@ -354,10 +423,14 @@ impl CachedPool {
                 }
             });
 
-        // Phase 3: fill successes into the cache and assemble the output.
+        // Phase 3: fill successes into the cache (writing through to the
+        // persistent tier) and assemble the output.
         for ((key, _), result) in misses.iter().zip(&computed) {
             if let Ok(report) = result {
-                self.cache.insert(*key, report.clone());
+                if let Some(disk) = self.disk.as_mut() {
+                    let _ = disk.append(*key, report);
+                }
+                self.insert_and_spill(*key, report.clone());
             }
         }
         for (i, m) in pending {
@@ -367,6 +440,17 @@ impl CachedPool {
             .into_iter()
             .map(|r| r.expect("every job is a hit or a pending miss"))
             .collect()
+    }
+
+    /// Insert into the memory tier; an LRU evictee spills to disk so
+    /// capacity pressure never discards a computed report (a no-op when
+    /// the report is already stored or carries a trace).
+    fn insert_and_spill(&mut self, key: u64, report: EmulationReport) {
+        if let Some((old_key, old_report)) = self.cache.insert(key, report) {
+            if let Some(disk) = self.disk.as_mut() {
+                let _ = disk.append(old_key, &old_report);
+            }
+        }
     }
 }
 
@@ -535,5 +619,65 @@ mod tests {
         assert_eq!(out[2].as_ref().unwrap_err().code, "C001");
         // Errors are never cached; only the good report is resident.
         assert_eq!(pool.stats().len, 1);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "segbus-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn disk_tier_warm_starts_a_fresh_pool() {
+        let dir = tmpdir("warm");
+        let config = EmulatorConfig::default();
+        let job = BatchJob::new(psm(72), config);
+        let first = {
+            let mut pool = CachedPool::with_pool(SweepPool::with_threads(config, 2), 16);
+            pool.attach_disk(&dir).unwrap();
+            assert!(!pool.is_cached(&job));
+            let report = pool.run_one(&job).unwrap();
+            let s = pool.stats();
+            assert_eq!((s.misses, s.disk_hits, s.disk_len), (1, 0, 1));
+            report
+        };
+        // A brand-new pool (fresh process, conceptually) over the same dir
+        // answers from disk without emulating.
+        let mut pool = CachedPool::with_pool(SweepPool::with_threads(config, 2), 16);
+        pool.attach_disk(&dir).unwrap();
+        assert!(pool.is_cached(&job), "disk contents count as cached");
+        let warm = pool.run_one(&job).unwrap();
+        assert_same_report(&first, &warm);
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.disk_hits), (1, 0, 1));
+        // The promotion means a repeat is a pure memory hit.
+        pool.run_one(&job).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.hits, s.disk_hits), (2, 1));
+    }
+
+    #[test]
+    fn eviction_spills_to_disk_instead_of_discarding() {
+        let dir = tmpdir("spill");
+        let config = EmulatorConfig::default();
+        // Memory capacity 1: the second distinct job evicts the first.
+        let mut pool = CachedPool::with_pool(SweepPool::with_threads(config, 2), 1);
+        pool.attach_disk(&dir).unwrap();
+        let a = BatchJob::new(psm(36), config);
+        let b = BatchJob::new(psm(72), config);
+        pool.run_one(&a).unwrap();
+        pool.run_one(&b).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.disk_len, 2, "both reports reached disk");
+        // The evicted job comes back as a disk hit, not a re-emulation.
+        assert!(pool.is_cached(&a));
+        pool.run_one(&a).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.misses, s.disk_hits), (2, 1));
     }
 }

@@ -42,6 +42,7 @@ pub mod energy;
 pub mod engine;
 pub mod gantt;
 pub mod parallel;
+pub mod persist;
 pub mod precheck;
 pub mod queue;
 pub mod reference;
@@ -60,6 +61,7 @@ pub use energy::{estimate_energy, EnergyBreakdown, EnergyModel};
 pub use engine::{Emulator, Engine, EnginePlan};
 pub use gantt::ascii_gantt;
 pub use parallel::{run_many, run_many_with, SweepPool};
+pub use persist::DiskStore;
 pub use precheck::{is_emulable, strict_validate};
 pub use queue::QueueKind;
 pub use reference::ReferenceEmulator;

@@ -10,8 +10,10 @@
 //! * **performance baseline** — the `exp_perf` harness times it to anchor
 //!   the speedup figures in `BENCH_engine.json`.
 //!
-//! Apart from the type rename (`Emulator` → [`ReferenceEmulator`]) and this
-//! header, the code is untouched; keep it that way so the baseline stays
+//! Apart from the type rename (`Emulator` → [`ReferenceEmulator`]), this
+//! header and the additive `try_run`/`try_run_frames` wrappers (which run
+//! the shared pre-flight validation and then call the verbatim engine),
+//! the code is untouched; keep it that way so the baseline stays
 //! meaningful.
 
 use std::cmp::Ordering;
@@ -20,6 +22,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use segbus_model::ids::{FlowId, ProcessId, SegmentId};
 use segbus_model::mapping::Psm;
 use segbus_model::time::{ClockDomain, Picos};
+use segbus_model::SegbusError;
 
 use crate::config::{ArbitrationPolicy, EmulatorConfig, ProducerRelease};
 use crate::counters::{BuCounters, CaCounters, FuTimes, SaCounters};
@@ -65,6 +68,21 @@ impl ReferenceEmulator {
     pub fn run_frames(&self, psm: &Psm, frames: u64) -> EmulationReport {
         assert!(frames > 0, "at least one frame");
         Sim::new(psm, self.config, frames).run()
+    }
+
+    /// Like [`ReferenceEmulator::run`], but runs the strict pre-flight
+    /// validation first and returns a typed error instead of panicking —
+    /// mirrors [`crate::engine::Emulator::try_run`], so the differential
+    /// harness can feed both engines un-prechecked inputs.
+    pub fn try_run(&self, psm: &Psm) -> Result<EmulationReport, SegbusError> {
+        self.try_run_frames(psm, 1)
+    }
+
+    /// Fallible counterpart of [`ReferenceEmulator::run_frames`]; see
+    /// [`ReferenceEmulator::try_run`].
+    pub fn try_run_frames(&self, psm: &Psm, frames: u64) -> Result<EmulationReport, SegbusError> {
+        crate::precheck::strict_validate(psm, frames, &self.config)?;
+        Ok(Sim::new(psm, self.config, frames).run())
     }
 }
 

@@ -4,12 +4,18 @@
 //! the first service-shaped layer on the estimator (DESIGN.md §10).
 //!
 //! Clients speak newline-delimited JSON over TCP (loopback): each line is
-//! an `emulate`, `stats` or `shutdown` request, each answer one response
-//! line correlated by `id`. Every model travels the same typed pipeline
-//! as the CLI — parse (DSL or XML), validate, engine pre-flight
+//! an `emulate`, `hello`, `stats` or `shutdown` request, each answer one
+//! response line correlated by `id`. Requests pipeline: up to
+//! [`ServeOptions::window`] may be in flight per connection, with
+//! responses delivered in completion order by default (or in request
+//! order after a `hello {"in_order": true}` handshake — see [`server`]
+//! for the full ordering contract). Every model travels the same typed
+//! pipeline as the CLI — parse (DSL or XML), validate, engine pre-flight
 //! ([`segbus_core::Engine::try_run_frames`], never the panicking path) —
 //! so a service client sees exactly the `P/X/M/V/C` diagnostics `segbus
-//! emulate` prints, plus the `S0xx` protocol codes.
+//! emulate` prints, plus the `S0xx` protocol codes. With
+//! [`ServeOptions::cache_dir`] set, the report cache is backed by the
+//! persistent [`segbus_core::DiskStore`] and warm-starts across restarts.
 //!
 //! Three layers, usable independently:
 //!
@@ -36,6 +42,6 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 
-pub use protocol::Request;
+pub use protocol::{Limits, Request};
 pub use server::{ServeOptions, Server};
-pub use service::{BatchService, JobOutcome, ServiceStats};
+pub use service::{BatchService, JobOutcome, ServiceOptions, ServiceStats};

@@ -1,10 +1,13 @@
 //! The newline-delimited JSON request/response protocol.
 //!
 //! One request per line, one response per line, correlated by the
-//! client-chosen `id`. Three commands:
+//! client-chosen `id`. Four commands:
 //!
 //! * `emulate` — a model (DSL source, or an XML PSDF + PSM pair) plus
 //!   optional config overrides; answered with the report summary.
+//! * `hello` — optional handshake; `{"in_order": true}` switches the
+//!   connection to in-order response delivery (must be the first request
+//!   on the connection — see `crate::server` for the ordering contract).
 //! * `stats` — the service's cache and batch counters.
 //! * `shutdown` — stop accepting connections; answered before the
 //!   listener closes.
@@ -12,9 +15,11 @@
 //! Protocol-level failures use the `S0xx` code family, continuing the
 //! taxonomy of DESIGN.md §9: `S001` malformed request line (bad JSON),
 //! `S002` invalid request shape (unknown command, missing or ill-typed
-//! field). Model-level failures pass the underlying `P/X/M/V/C` codes
-//! through untouched, so a service client sees exactly the diagnostics the
-//! CLI would print.
+//! field), `S003` request line longer than the server's cap (the line is
+//! discarded, not buffered), `S004` `frames` out of range (zero, or above
+//! the server's `--max-frames` bound). Model-level failures pass the
+//! underlying `P/X/M/V/C` codes through untouched, so a service client
+//! sees exactly the diagnostics the CLI would print.
 
 use segbus_core::{
     ArbitrationPolicy, BatchJob, CacheStats, EmulationReport, EmulatorConfig, ProducerRelease,
@@ -34,6 +39,13 @@ pub enum Request {
         /// orders of magnitude larger than the other variants).
         job: Box<BatchJob>,
     },
+    /// Connection handshake (optionally requesting in-order responses).
+    Hello {
+        /// Echoed correlation id.
+        id: u64,
+        /// `true` to request in-order response delivery.
+        in_order: bool,
+    },
     /// Report cache/batch counters.
     Stats {
         /// Echoed correlation id.
@@ -46,13 +58,47 @@ pub enum Request {
     },
 }
 
+/// Server-side bounds applied while decoding requests.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Upper bound on an `emulate` request's `frames` (inclusive); jobs
+    /// beyond it are rejected with `S004` so one request cannot pin a
+    /// worker indefinitely.
+    pub max_frames: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits { max_frames: 4096 }
+    }
+}
+
 fn shape_err(msg: impl Into<String>) -> SegbusError {
     SegbusError::new("S002", msg)
 }
 
+/// The `S003` error for a request line exceeding the server's byte cap.
+/// Built here (not in the server) so the code lives with the taxonomy.
+pub fn oversize_error(max_line_bytes: usize) -> SegbusError {
+    SegbusError::new(
+        "S003",
+        format!("request line exceeds {max_line_bytes} bytes and was discarded"),
+    )
+}
+
+fn frames_err(frames: u64, limits: &Limits) -> SegbusError {
+    SegbusError::new(
+        "S004",
+        format!(
+            "\"frames\" is {frames}, outside the accepted range 1..={}",
+            limits.max_frames
+        ),
+    )
+}
+
 /// Decode one request line. On failure the caller still gets the `id` (if
 /// one could be read) so the error response can be correlated.
-pub fn parse_request(line: &str) -> Result<Request, (u64, SegbusError)> {
+pub fn parse_request(line: &str, limits: &Limits) -> Result<Request, (u64, SegbusError)> {
     let v = json::parse(line).map_err(|e| {
         (
             0,
@@ -68,21 +114,25 @@ pub fn parse_request(line: &str) -> Result<Request, (u64, SegbusError)> {
     match cmd {
         "stats" => Ok(Request::Stats { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
+        "hello" => Ok(Request::Hello {
+            id,
+            in_order: v.get("in_order").and_then(Json::as_bool).unwrap_or(false),
+        }),
         "emulate" => {
-            let job = decode_job(&v).map_err(with_id)?;
+            let job = decode_job(&v, limits).map_err(with_id)?;
             Ok(Request::Emulate {
                 id,
                 job: Box::new(job),
             })
         }
         other => Err(with_id(shape_err(format!(
-            "unknown cmd {other:?} (emulate | stats | shutdown)"
+            "unknown cmd {other:?} (emulate | hello | stats | shutdown)"
         )))),
     }
 }
 
 /// Build the [`BatchJob`] described by an `emulate` request object.
-pub fn decode_job(v: &Json) -> Result<BatchJob, SegbusError> {
+pub fn decode_job(v: &Json, limits: &Limits) -> Result<BatchJob, SegbusError> {
     let mut psm = match v.get("format").and_then(Json::as_str).unwrap_or("dsl") {
         "dsl" => {
             let source = v
@@ -121,6 +171,9 @@ pub fn decode_job(v: &Json) -> Result<BatchJob, SegbusError> {
             .as_u64()
             .ok_or_else(|| shape_err("\"frames\" must be an unsigned integer"))?,
     };
+    if frames == 0 || frames > limits.max_frames {
+        return Err(frames_err(frames, limits));
+    }
     let config = decode_config(v)?;
     Ok(BatchJob {
         psm,
@@ -194,6 +247,17 @@ pub fn encode_error(id: u64, e: &SegbusError) -> String {
     w.finish()
 }
 
+/// Encode the `hello` acknowledgement: the ordering mode now in effect
+/// and the server's pipelining window.
+pub fn encode_hello(id: u64, in_order: bool, window: usize) -> String {
+    let mut w = ObjWriter::new();
+    w.uint("id", id)
+        .bool("ok", true)
+        .bool("in_order", in_order)
+        .uint("window", window as u64);
+    w.finish()
+}
+
 /// Encode a `stats` response.
 pub fn encode_stats(id: u64, stats: CacheStats, batches: u64, jobs: u64, threads: usize) -> String {
     let mut w = ObjWriter::new();
@@ -204,6 +268,8 @@ pub fn encode_stats(id: u64, stats: CacheStats, batches: u64, jobs: u64, threads
         .uint("evictions", stats.evictions)
         .uint("len", stats.len as u64)
         .uint("capacity", stats.capacity as u64)
+        .uint("disk_hits", stats.disk_hits)
+        .uint("disk_len", stats.disk_len as u64)
         .uint("batches", batches)
         .uint("jobs", jobs)
         .uint("threads", threads as u64);
@@ -232,9 +298,13 @@ mod tests {
         format!(r#"{{"id": 5, "cmd": "emulate", "source": {src}{extra}}}"#)
     }
 
+    fn parse(line: &str) -> Result<Request, (u64, SegbusError)> {
+        parse_request(line, &Limits::default())
+    }
+
     #[test]
     fn decodes_a_dsl_emulate_request() {
-        let req = parse_request(&emulate_line("")).unwrap();
+        let req = parse(&emulate_line("")).unwrap();
         match req {
             Request::Emulate { id, job } => {
                 assert_eq!(id, 5);
@@ -248,7 +318,7 @@ mod tests {
 
     #[test]
     fn overrides_reach_the_job() {
-        let req = parse_request(&emulate_line(
+        let req = parse(&emulate_line(
             r#", "frames": 3, "package_size": 18, "detailed": true, "trace": true, "arbitration": "fair_round_robin", "release": "after_local_phase""#,
         ))
         .unwrap();
@@ -271,18 +341,55 @@ mod tests {
     #[test]
     fn protocol_errors_are_typed() {
         // Bad JSON: S001, id unknown.
-        let (id, e) = parse_request("{nope").unwrap_err();
+        let (id, e) = parse("{nope").unwrap_err();
         assert_eq!((id, e.code), (0, "S001"));
         // Unknown cmd: S002, id preserved.
-        let (id, e) = parse_request(r#"{"id": 9, "cmd": "explode"}"#).unwrap_err();
+        let (id, e) = parse(r#"{"id": 9, "cmd": "explode"}"#).unwrap_err();
         assert_eq!((id, e.code), (9, "S002"));
         // Missing source.
-        let (_, e) = parse_request(r#"{"id": 1, "cmd": "emulate"}"#).unwrap_err();
+        let (_, e) = parse(r#"{"id": 1, "cmd": "emulate"}"#).unwrap_err();
         assert_eq!(e.code, "S002");
         // Model-level errors keep their own codes (P004: no platform).
-        let (_, e) = parse_request(r#"{"id": 1, "cmd": "emulate", "source": "application a { }"}"#)
-            .unwrap_err();
+        let (_, e) =
+            parse(r#"{"id": 1, "cmd": "emulate", "source": "application a { }"}"#).unwrap_err();
         assert_eq!(e.code, "P004");
+    }
+
+    #[test]
+    fn frames_are_validated_at_the_boundary() {
+        // Zero frames: rejected before the job is ever built.
+        let (id, e) = parse(&emulate_line(r#", "frames": 0"#)).unwrap_err();
+        assert_eq!((id, e.code), (5, "S004"));
+        // Above the configured cap: rejected with the same code.
+        let (_, e) = parse(&emulate_line(r#", "frames": 4097"#)).unwrap_err();
+        assert_eq!(e.code, "S004");
+        let huge = format!(r#", "frames": {}"#, u64::MAX);
+        let (_, e) = parse(&emulate_line(&huge)).unwrap_err();
+        assert_eq!(e.code, "S004");
+        // The cap is inclusive and configurable.
+        let tight = Limits { max_frames: 2 };
+        assert!(parse_request(&emulate_line(r#", "frames": 2"#), &tight).is_ok());
+        let (_, e) = parse_request(&emulate_line(r#", "frames": 3"#), &tight).unwrap_err();
+        assert_eq!(e.code, "S004");
+        // A non-integer is still a shape error, not a range error.
+        let (_, e) = parse(&emulate_line(r#", "frames": "many""#)).unwrap_err();
+        assert_eq!(e.code, "S002");
+    }
+
+    #[test]
+    fn hello_decodes_and_oversize_is_s003() {
+        match parse(r#"{"id": 3, "cmd": "hello", "in_order": true}"#).unwrap() {
+            Request::Hello { id, in_order } => assert_eq!((id, in_order), (3, true)),
+            other => panic!("wrong request: {other:?}"),
+        }
+        match parse(r#"{"cmd": "hello"}"#).unwrap() {
+            Request::Hello { id, in_order } => assert_eq!((id, in_order), (0, false)),
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert_eq!(oversize_error(4096).code, "S003");
+        let v = crate::json::parse(&encode_hello(3, true, 8)).unwrap();
+        assert_eq!(v.get("in_order").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("window").and_then(Json::as_u64), Some(8));
     }
 
     #[test]

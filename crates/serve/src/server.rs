@@ -6,20 +6,48 @@
 //! loopback only — the service trusts its input no more than the CLI does
 //! (every model goes through the same typed-validation pipeline), but it
 //! is a local tool, not an internet-facing daemon.
+//!
+//! # Pipelining window and response ordering
+//!
+//! A connection may have up to [`ServeOptions::window`] requests in
+//! flight: the handler decodes lines eagerly and submits each job to the
+//! batch service *without* waiting for the previous outcome, so requests
+//! streamed down one connection coalesce into shared batches exactly like
+//! requests from separate clients. A per-connection writer thread emits
+//! responses as their batches complete.
+//!
+//! **Default ordering is completion order.** Every response carries the
+//! request's `id`, so clients correlate by id, not position. A client
+//! that wants positional responses sends `{"cmd": "hello", "in_order":
+//! true}` as the *first* request on the connection; the writer then
+//! buffers out-of-order completions and releases responses strictly in
+//! request order (the handshake is rejected with `S002` once any other
+//! request has been seen). Either way every accepted request gets exactly
+//! one response line, and a `shutdown` acknowledgement never overtakes
+//! the draining of responses already in flight on that connection.
+//!
+//! Request lines are read through a bounded reader: a line longer than
+//! [`ServeOptions::max_line_bytes`] is discarded (never buffered whole)
+//! and answered with `S003`.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use segbus_core::EmulatorConfig;
+use segbus_model::SegbusError;
 
 use crate::protocol::{self, Request};
-use crate::service::BatchService;
+use crate::service::{BatchService, ServiceOptions};
 
 /// Server configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeOptions {
     /// TCP port on `127.0.0.1` (`0` = ephemeral, reported by [`Server::addr`]).
     pub port: u16,
@@ -27,6 +55,15 @@ pub struct ServeOptions {
     pub threads: usize,
     /// Report-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Directory of the persistent report store (`None` = memory only).
+    pub cache_dir: Option<PathBuf>,
+    /// Maximum requests in flight per connection (clamped to ≥ 1).
+    pub window: usize,
+    /// Maximum accepted request-line length in bytes; longer lines are
+    /// discarded and answered with `S003`.
+    pub max_line_bytes: usize,
+    /// Upper bound on an `emulate` request's `frames` (`S004` beyond it).
+    pub max_frames: u64,
     /// Default emulator configuration for the pool workers (per-job
     /// overrides still apply).
     pub config: EmulatorConfig,
@@ -38,9 +75,21 @@ impl Default for ServeOptions {
             port: 7878,
             threads: 0,
             cache_capacity: 256,
+            cache_dir: None,
+            window: 8,
+            max_line_bytes: 4 * 1024 * 1024,
+            max_frames: 4096,
             config: EmulatorConfig::default(),
         }
     }
+}
+
+/// Per-connection limits, derived from [`ServeOptions`].
+#[derive(Clone, Copy, Debug)]
+struct ConnLimits {
+    window: usize,
+    max_line_bytes: usize,
+    proto: protocol::Limits,
 }
 
 /// A running server: an accept loop plus the shared batch service.
@@ -51,14 +100,28 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind `127.0.0.1:port` and start accepting clients.
+    /// Bind `127.0.0.1:port` and start accepting clients. Fails when the
+    /// socket cannot be bound or a requested `cache_dir` cannot be opened.
     pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
         let addr = listener.local_addr()?;
-        let service = BatchService::start(opts.config, opts.threads, opts.cache_capacity);
+        let service = BatchService::start(ServiceOptions {
+            config: opts.config,
+            threads: opts.threads,
+            cache_capacity: opts.cache_capacity,
+            cache_dir: opts.cache_dir.clone(),
+        })?;
+        let limits = ConnLimits {
+            window: opts.window.max(1),
+            max_line_bytes: opts.max_line_bytes.max(1),
+            proto: protocol::Limits {
+                max_frames: opts.max_frames.max(1),
+            },
+        };
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_handle = std::thread::spawn(move || {
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
                     break;
@@ -66,9 +129,19 @@ impl Server {
                 let Ok(stream) = stream else { continue };
                 let service = service.clone();
                 let shutdown = Arc::clone(&accept_shutdown);
-                std::thread::spawn(move || {
-                    let _ = handle_connection(stream, service, shutdown, addr);
-                });
+                handlers.push(std::thread::spawn(move || {
+                    let _ = handle_connection(stream, service, shutdown, addr, limits);
+                }));
+                // Reap handlers that have already finished so a long-lived
+                // server does not accumulate one join handle per past
+                // connection.
+                handlers.retain(|h| !h.is_finished());
+            }
+            // The listener is closed; wait for every live connection so
+            // in-flight responses are written before the server reports
+            // itself down.
+            for h in handlers {
+                let _ = h.join();
             }
         });
         Ok(Server {
@@ -83,8 +156,9 @@ impl Server {
         self.addr
     }
 
-    /// Ask the accept loop to stop and wait for it. Connections already
-    /// being served drain on their own threads.
+    /// Ask the accept loop to stop, then wait for it *and* every
+    /// connection handler — in-flight responses drain before this
+    /// returns.
     pub fn shutdown(&mut self) {
         trigger_shutdown(&self.shutdown, self.addr);
         if let Some(h) = self.accept_handle.take() {
@@ -117,45 +191,322 @@ fn trigger_shutdown(shutdown: &AtomicBool, addr: SocketAddr) {
     let _ = TcpStream::connect(addr);
 }
 
+// ---------------------------------------------------------------------------
+// the in-flight window
+
+/// Counting semaphore bounding requests in flight on one connection.
+/// `close` (writer gone) unblocks every waiter with `false`.
+struct Window {
+    max: usize,
+    state: Mutex<(usize, bool)>, // (in_flight, closed)
+    cv: Condvar,
+}
+
+impl Window {
+    fn new(max: usize) -> Window {
+        Window {
+            max,
+            state: Mutex::new((0, false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Take one in-flight slot, blocking while the window is full.
+    /// Returns `false` once the window is closed (stop reading).
+    fn acquire(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.1 {
+                return false;
+            }
+            if st.0 < self.max {
+                st.0 += 1;
+                return true;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Return a slot (one response line written).
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.0 = st.0.saturating_sub(1);
+        self.cv.notify_all();
+    }
+
+    /// Mark the window dead and wake all waiters.
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.1 = true;
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the writer thread
+
+/// What the reader (and job callbacks) feed the writer. Every accepted
+/// request becomes exactly one `Line` carrying the request's sequence
+/// number on the connection.
+enum OutMsg {
+    /// Switch to in-order delivery (sent before any `Line`).
+    InOrder,
+    Line(u64, String),
+}
+
+/// Drain `rx`, writing one line per message. In default mode lines go out
+/// in completion order; after `InOrder` they are buffered and released in
+/// sequence order. The window is released per line *written*, so in-order
+/// buffering keeps counting against the window (bounded memory).
+fn writer_loop(mut stream: TcpStream, rx: Receiver<OutMsg>, window: Arc<Window>) {
+    let result: std::io::Result<()> = (|| {
+        let mut in_order = false;
+        let mut next_seq = 0u64;
+        let mut buffered: BTreeMap<u64, String> = BTreeMap::new();
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                OutMsg::InOrder => in_order = true,
+                OutMsg::Line(_, line) if !in_order => {
+                    write_line(&mut stream, &line)?;
+                    window.release();
+                }
+                OutMsg::Line(seq, line) => {
+                    buffered.insert(seq, line);
+                    while let Some(ready) = buffered.remove(&next_seq) {
+                        write_line(&mut stream, &ready)?;
+                        window.release();
+                        next_seq += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    })();
+    // Whether the reader hung up (normal) or the socket died (error),
+    // unblock any reader waiting on a window slot.
+    let _ = result;
+    window.close();
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------------
+// the bounded line reader
+
+/// One event from the connection's byte stream.
+enum ReadEvent {
+    /// A complete request line (without the terminator).
+    Line(String),
+    /// A line exceeded the byte cap and was discarded up to its newline.
+    Overflow,
+    /// Read timeout: no data, a chance to poll the shutdown flag.
+    Idle,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Newline-delimited reader with a hard per-line byte cap. Over-limit
+/// lines are *discarded as they stream in* (never accumulated), so a
+/// client sending an endless line costs one fixed buffer, not memory
+/// proportional to the line.
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+    max_line_bytes: usize,
+    discarding: bool,
+    eof: bool,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream, max_line_bytes: usize) -> LineReader {
+        LineReader {
+            stream,
+            pending: Vec::new(),
+            max_line_bytes,
+            discarding: false,
+            eof: false,
+        }
+    }
+
+    fn read_event(&mut self) -> std::io::Result<ReadEvent> {
+        let mut buf = [0u8; 8 * 1024];
+        loop {
+            // A complete line already buffered?
+            if !self.discarding {
+                if let Some(i) = self.pending.iter().position(|&b| b == b'\n') {
+                    let mut line: Vec<u8> = self.pending.drain(..=i).collect();
+                    line.pop(); // the \n
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return Ok(ReadEvent::Line(String::from_utf8_lossy(&line).into_owned()));
+                }
+                if self.pending.len() > self.max_line_bytes {
+                    self.pending.clear();
+                    self.pending.shrink_to_fit();
+                    self.discarding = true;
+                }
+            }
+            if self.eof {
+                if self.discarding {
+                    self.discarding = false;
+                    return Ok(ReadEvent::Overflow);
+                }
+                if !self.pending.is_empty() {
+                    // Final unterminated line.
+                    let line = std::mem::take(&mut self.pending);
+                    return Ok(ReadEvent::Line(String::from_utf8_lossy(&line).into_owned()));
+                }
+                return Ok(ReadEvent::Eof);
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                }
+                Ok(n) if self.discarding => {
+                    // Resynchronise at the next newline without buffering.
+                    if let Some(i) = buf[..n].iter().position(|&b| b == b'\n') {
+                        self.pending.extend_from_slice(&buf[i + 1..n]);
+                        self.discarding = false;
+                        return Ok(ReadEvent::Overflow);
+                    }
+                }
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    return Ok(ReadEvent::Idle);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the connection handler
+
 fn handle_connection(
     stream: TcpStream,
     service: BatchService,
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
+    limits: ConnLimits,
 ) -> std::io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    // Short read timeouts let the reader poll the shutdown flag; the
+    // writer thread owns its own clone of the stream.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let writer_stream = stream.try_clone()?;
+    let (out_tx, out_rx) = channel::<OutMsg>();
+    let window = Arc::new(Window::new(limits.window));
+    let writer_window = Arc::clone(&window);
+    let writer = std::thread::spawn(move || writer_loop(writer_stream, out_rx, writer_window));
+
+    let result = reader_loop(stream, &service, &shutdown, addr, limits, &out_tx, &window);
+
+    // Dropping our sender lets the writer drain: job callbacks hold their
+    // own clones, so every in-flight response is still written before the
+    // writer exits and we join it.
+    drop(out_tx);
+    let _ = writer.join();
+    result
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    service: &BatchService,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+    limits: ConnLimits,
+    out_tx: &Sender<OutMsg>,
+    window: &Arc<Window>,
+) -> std::io::Result<()> {
+    let mut reader = LineReader::new(stream, limits.max_line_bytes);
+    let mut seq = 0u64;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
         }
-        let response = match protocol::parse_request(&line) {
-            Err((id, e)) => protocol::encode_error(id, &e),
+        let event = reader.read_event()?;
+        let line = match event {
+            ReadEvent::Eof => return Ok(()),
+            ReadEvent::Idle => continue,
+            ReadEvent::Overflow => {
+                let this_seq = next_slot(&mut seq, window)?;
+                let e = protocol::oversize_error(limits.max_line_bytes);
+                // The line was discarded before parsing, so no id exists.
+                let _ = out_tx.send(OutMsg::Line(this_seq, protocol::encode_error(0, &e)));
+                continue;
+            }
+            ReadEvent::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue; // blank keep-alive lines get no response and no seq
+        }
+        let this_seq = next_slot(&mut seq, window)?;
+        match protocol::parse_request(&line, &limits.proto) {
+            Err((id, e)) => {
+                let _ = out_tx.send(OutMsg::Line(this_seq, protocol::encode_error(id, &e)));
+            }
             Ok(Request::Emulate { id, job }) => {
-                let outcome = service.run(*job);
-                match outcome.result {
-                    Ok(report) => {
-                        protocol::encode_report(id, outcome.cached, outcome.digest, &report)
+                let tx = out_tx.clone();
+                service.submit_with(*job, move |outcome| {
+                    let line = match outcome.result {
+                        Ok(report) => {
+                            protocol::encode_report(id, outcome.cached, outcome.digest, &report)
+                        }
+                        Err(e) => protocol::encode_error(id, &e),
+                    };
+                    let _ = tx.send(OutMsg::Line(this_seq, line));
+                });
+            }
+            Ok(Request::Hello { id, in_order }) => {
+                let line = if in_order && this_seq != 0 {
+                    let e = SegbusError::new(
+                        "S002",
+                        "the in_order handshake must be the first request on the connection",
+                    );
+                    protocol::encode_error(id, &e)
+                } else {
+                    if in_order {
+                        let _ = out_tx.send(OutMsg::InOrder);
                     }
-                    Err(e) => protocol::encode_error(id, &e),
-                }
+                    protocol::encode_hello(id, in_order, limits.window)
+                };
+                let _ = out_tx.send(OutMsg::Line(this_seq, line));
             }
             Ok(Request::Stats { id }) => {
                 let s = service.stats();
-                protocol::encode_stats(id, s.cache, s.batches, s.jobs, service.threads())
+                let line =
+                    protocol::encode_stats(id, s.cache, s.batches, s.jobs, service.threads());
+                let _ = out_tx.send(OutMsg::Line(this_seq, line));
             }
             Ok(Request::Shutdown { id }) => {
-                writer.write_all(protocol::encode_shutdown(id).as_bytes())?;
-                writer.write_all(b"\n")?;
-                writer.flush()?;
-                trigger_shutdown(&shutdown, addr);
+                let _ = out_tx.send(OutMsg::Line(this_seq, protocol::encode_shutdown(id)));
+                trigger_shutdown(shutdown, addr);
                 return Ok(());
             }
-        };
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        }
     }
-    Ok(())
+}
+
+/// Allocate the next sequence number after taking a window slot. An
+/// unacquirable slot means the writer (and so the client) is gone.
+fn next_slot(seq: &mut u64, window: &Window) -> std::io::Result<u64> {
+    if !window.acquire() {
+        return Err(std::io::Error::new(
+            ErrorKind::BrokenPipe,
+            "response writer is gone",
+        ));
+    }
+    let s = *seq;
+    *seq += 1;
+    Ok(s)
 }

@@ -7,6 +7,7 @@
 //! sweep batches and share both the worker pool and the report cache,
 //! while a lone job still starts immediately (no batching delay window).
 
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -36,8 +37,38 @@ pub struct ServiceStats {
     pub jobs: u64,
 }
 
+/// How the service is constructed (the server's knobs minus the socket).
+#[derive(Clone, Debug)]
+pub struct ServiceOptions {
+    /// Default emulator configuration for the pool workers (per-job
+    /// overrides still apply).
+    pub config: EmulatorConfig,
+    /// Worker threads of the sweep pool (`0` = all hardware threads).
+    pub threads: usize,
+    /// In-memory report-cache capacity in entries.
+    pub cache_capacity: usize,
+    /// Directory of the persistent report store; `None` = memory only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> ServiceOptions {
+        ServiceOptions {
+            config: EmulatorConfig::default(),
+            threads: 0,
+            cache_capacity: 256,
+            cache_dir: None,
+        }
+    }
+}
+
+/// What a submitted job's outcome is handed to: a one-shot callback run
+/// on the batcher thread (keep it cheap — encode and enqueue, no I/O that
+/// can block the next batch).
+type Reply = Box<dyn FnOnce(JobOutcome) + Send>;
+
 enum Msg {
-    Run(Box<BatchJob>, Sender<JobOutcome>),
+    Run(Box<BatchJob>, Reply),
     Stats(Sender<ServiceStats>),
 }
 
@@ -51,24 +82,26 @@ pub struct BatchService {
 }
 
 impl BatchService {
-    /// Start a service over a [`CachedPool`] with the given worker-pool
-    /// default config, worker count (`0` = all hardware threads) and
-    /// cache capacity.
-    pub fn start(config: EmulatorConfig, threads: usize, cache_capacity: usize) -> BatchService {
-        let pool = if threads == 0 {
-            SweepPool::new(config)
+    /// Start a service over a [`CachedPool`]. Fails only when a
+    /// `cache_dir` is given and the persistent store cannot be opened.
+    pub fn start(opts: ServiceOptions) -> std::io::Result<BatchService> {
+        let pool = if opts.threads == 0 {
+            SweepPool::new(opts.config)
         } else {
-            SweepPool::with_threads(config, threads)
+            SweepPool::with_threads(opts.config, opts.threads)
         };
         let effective = pool.threads();
         let (tx, rx) = channel();
-        let pool = CachedPool::with_pool(pool, cache_capacity);
+        let mut pool = CachedPool::with_pool(pool, opts.cache_capacity);
+        if let Some(dir) = &opts.cache_dir {
+            pool.attach_disk(dir)?;
+        }
         // The batcher owns the pool; it ends when every sender is gone.
         let _batcher: JoinHandle<()> = std::thread::spawn(move || batcher(rx, pool));
-        BatchService {
+        Ok(BatchService {
             tx,
             threads: effective,
-        }
+        })
     }
 
     /// The worker count of the underlying pool.
@@ -76,13 +109,24 @@ impl BatchService {
         self.threads
     }
 
+    /// Submit a job with a completion callback, without blocking. The
+    /// callback runs on the batcher thread once the job's batch completes
+    /// — this is the pipelining primitive: a connection handler can keep
+    /// any number of jobs in flight and let the callbacks feed its writer.
+    pub fn submit_with(&self, job: BatchJob, reply: impl FnOnce(JobOutcome) + Send + 'static) {
+        self.tx
+            .send(Msg::Run(Box::new(job), Box::new(reply)))
+            .expect("batcher thread lives as long as any handle");
+    }
+
     /// Submit a job; the returned receiver yields its outcome once the
     /// batch it lands in completes.
     pub fn submit(&self, job: BatchJob) -> Receiver<JobOutcome> {
         let (reply_tx, reply_rx) = channel();
-        self.tx
-            .send(Msg::Run(Box::new(job), reply_tx))
-            .expect("batcher thread lives as long as any handle");
+        self.submit_with(job, move |outcome| {
+            // A dead receiver (client hung up) is not an error.
+            let _ = reply_tx.send(outcome);
+        });
         reply_rx
     }
 
@@ -116,7 +160,7 @@ fn batcher(rx: Receiver<Msg>, mut pool: CachedPool) {
             msgs.push(m);
         }
         let mut jobs: Vec<BatchJob> = Vec::new();
-        let mut replies: Vec<Sender<JobOutcome>> = Vec::new();
+        let mut replies: Vec<Reply> = Vec::new();
         for m in msgs {
             match m {
                 Msg::Run(job, reply) => {
@@ -145,8 +189,7 @@ fn batcher(rx: Receiver<Msg>, mut pool: CachedPool) {
             .zip(replies)
             .zip(cached.into_iter().zip(digests))
         {
-            // A dead receiver (client hung up) is not an error.
-            let _ = reply.send(JobOutcome {
+            reply(JobOutcome {
                 result,
                 cached: was_cached,
                 digest,
@@ -168,9 +211,18 @@ mod tests {
         )
     }
 
+    fn svc(threads: usize, cache_capacity: usize) -> BatchService {
+        BatchService::start(ServiceOptions {
+            threads,
+            cache_capacity,
+            ..ServiceOptions::default()
+        })
+        .unwrap()
+    }
+
     #[test]
     fn run_and_cache_flags() {
-        let svc = BatchService::start(EmulatorConfig::default(), 2, 16);
+        let svc = svc(2, 16);
         let first = svc.run(job());
         assert!(first.result.is_ok());
         assert!(!first.cached);
@@ -190,7 +242,7 @@ mod tests {
 
     #[test]
     fn concurrent_submitters_coalesce_and_all_get_answers() {
-        let svc = BatchService::start(EmulatorConfig::default(), 2, 64);
+        let svc = svc(2, 64);
         let receivers: Vec<_> = (0..24).map(|_| svc.submit(job())).collect();
         let mut makespans = Vec::new();
         for rx in receivers {
@@ -207,5 +259,28 @@ mod tests {
             stats.batches <= 24,
             "batches never exceed jobs; coalescing usually makes them fewer"
         );
+    }
+
+    #[test]
+    fn submit_with_runs_every_callback() {
+        use std::sync::mpsc::channel;
+        let svc = svc(2, 64);
+        let (tx, rx) = channel();
+        for i in 0u64..12 {
+            let tx = tx.clone();
+            svc.submit_with(job(), move |outcome| {
+                let _ = tx.send((i, outcome.result.is_ok()));
+            });
+        }
+        drop(tx);
+        let mut seen: Vec<u64> = rx
+            .iter()
+            .map(|(i, ok)| {
+                assert!(ok);
+                i
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
     }
 }

@@ -100,11 +100,15 @@ COMMANDS:
     sweep     <model.sbd> --sizes 18,36,72
                                           emulate at several package sizes
     batch     <paths...> [--package-size N] [--frames N] [--detailed] [--trace]
-              [--threads N] [--cache N]   emulate many models (files or directories
-                                          of .sbd) through the report cache
-    serve     [--port N] [--threads N] [--cache N]
+              [--threads N] [--cache N] [--cache-dir DIR]
+                                          emulate many models (files or directories
+                                          of .sbd) through the report cache;
+                                          --cache-dir persists reports across runs
+    serve     [--port N] [--threads N] [--cache N] [--cache-dir DIR]
+              [--window N] [--max-frames N]
                                           batched NDJSON-over-TCP emulation service
-                                          on 127.0.0.1 (see segbus-serve docs)
+                                          on 127.0.0.1 with per-connection request
+                                          pipelining (see segbus-serve docs)
     codegen   <model.sbd> [--format vhdl|rust|c]
                                           generate arbiter schedule code
     analyze   <model.sbd>                 bus utilisation, wave timing, latency, energy
@@ -146,6 +150,9 @@ const VALUE_FLAGS: &[&str] = &[
     "port",
     "threads",
     "cache",
+    "cache-dir",
+    "window",
+    "max-frames",
 ];
 
 /// Parse `--key value` style options out of an argument list; returns
@@ -471,7 +478,7 @@ fn cmd_batch(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     if pos.is_empty() {
         return Err(fail(
-            "usage: segbus batch <paths...> [--package-size N] [--frames N] [--detailed] [--trace] [--threads N] [--cache N]",
+            "usage: segbus batch <paths...> [--package-size N] [--frames N] [--detailed] [--trace] [--threads N] [--cache N] [--cache-dir DIR]",
         ));
     }
     let files = gather_models(&pos)?;
@@ -494,6 +501,11 @@ fn cmd_batch(args: &[String]) -> Result<String, CliError> {
         SweepPool::with_threads(config, threads)
     };
     let mut pool = CachedPool::with_pool(pool, capacity);
+    if let Some(dir) = opt(&opts, "cache-dir") {
+        let dir = dir.ok_or_else(|| fail("--cache-dir needs a directory"))?;
+        pool.attach_disk(std::path::Path::new(dir))
+            .map_err(|e| fail(format!("--cache-dir {dir}: {e}")))?;
+    }
     let mut jobs = Vec::with_capacity(files.len());
     for path in &files {
         let psm = apply_package_size(load_psm(path)?, &opts)?;
@@ -531,12 +543,14 @@ fn cmd_batch(args: &[String]) -> Result<String, CliError> {
     let stats = pool.stats();
     let _ = writeln!(
         out,
-        "batch: {} model(s), {} failure(s); cache: {} hits, {} misses, {} evictions",
+        "batch: {} model(s), {} failure(s); cache: {} hits, {} misses, {} evictions, {} disk hits; {} emulated",
         files.len(),
         failures,
         stats.hits,
         stats.misses,
-        stats.evictions
+        stats.evictions,
+        stats.disk_hits,
+        stats.misses
     );
     Ok(out)
 }
@@ -545,20 +559,37 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     if !pos.is_empty() {
         return Err(fail(
-            "usage: segbus serve [--port N] [--threads N] [--cache N]",
+            "usage: segbus serve [--port N] [--threads N] [--cache N] [--cache-dir DIR] [--window N] [--max-frames N]",
         ));
     }
     let port = opt_u32(&opts, "port")?.unwrap_or(7878);
     let port = u16::try_from(port).map_err(|_| fail(format!("--port: {port} is not a port")))?;
     let threads = opt_u32(&opts, "threads")?.unwrap_or(0) as usize;
     let cache_capacity = opt_u32(&opts, "cache")?.unwrap_or(256) as usize;
+    let defaults = ServeOptions::default();
+    let window = opt_u32(&opts, "window")?.map_or(defaults.window, |w| w as usize);
+    if window == 0 {
+        return Err(fail("--window must be at least 1"));
+    }
+    let max_frames = opt_u32(&opts, "max-frames")?.map_or(defaults.max_frames, u64::from);
+    if max_frames == 0 {
+        return Err(fail("--max-frames must be at least 1"));
+    }
+    let cache_dir = match opt(&opts, "cache-dir") {
+        None => None,
+        Some(None) => return Err(fail("--cache-dir needs a directory")),
+        Some(Some(dir)) => Some(std::path::PathBuf::from(dir)),
+    };
     let server = Server::start(ServeOptions {
         port,
         threads,
         cache_capacity,
-        config: EmulatorConfig::default(),
+        cache_dir,
+        window,
+        max_frames,
+        ..defaults
     })
-    .map_err(|e| fail(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
+    .map_err(|e| fail(format!("cannot start on 127.0.0.1:{port}: {e}")))?;
     let addr = server.addr();
     // The accept loop blocks this command until a client sends
     // {"cmd": "shutdown"}; announce the address on stderr first.
@@ -903,6 +934,28 @@ mod tests {
         // …and every report is bit-identical to a lone `segbus emulate`.
         let emulated = run(&args(&["emulate", &f])).unwrap();
         assert_eq!(out.matches(emulated.as_str()).count(), 3, "{out}");
+    }
+
+    #[test]
+    fn batch_cache_dir_warm_starts_across_runs() {
+        let dir = tmpdir("batch-disk");
+        let f = demo_file(&dir);
+        let cache = dir.join("cache");
+        let _ = std::fs::remove_dir_all(&cache);
+        let cache = cache.to_string_lossy().to_string();
+        let cold = run(&args(&["batch", &f, "--cache-dir", &cache])).unwrap();
+        assert_eq!(cold.matches("(emulated)").count(), 1, "{cold}");
+        assert!(cold.lines().last().unwrap().contains("1 misses"), "{cold}");
+        // A second run — a separate pool, as a fresh process would be —
+        // answers entirely from the persistent store: 100% cache hits,
+        // zero emulations, and the same bytes in the report.
+        let warm = run(&args(&["batch", &f, "--cache-dir", &cache])).unwrap();
+        assert_eq!(warm.matches("(cached)").count(), 1, "{warm}");
+        let stats = warm.lines().last().unwrap();
+        assert!(stats.contains("0 misses"), "{stats}");
+        assert!(stats.contains("1 disk hits; 0 emulated"), "{stats}");
+        let emulated = run(&args(&["emulate", &f])).unwrap();
+        assert!(warm.contains(emulated.as_str()), "{warm}");
     }
 
     #[test]

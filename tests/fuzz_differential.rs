@@ -171,16 +171,29 @@ fn drive_xml(psdf: &str, psm: &str) -> Option<Psm> {
 
 /// Emulate an accepted PSM through the fallible entry point; if the
 /// pre-flight accepts it and the run is small, the indexed engine and the
-/// vendored reference engine must agree bit for bit.
+/// vendored reference engine must agree bit for bit. Both engines take
+/// the un-prechecked input through their `try_` surfaces, so accept /
+/// reject decisions (and rejection codes) must agree too.
 fn emulate_and_compare(psm: &Psm, label: &str) {
     let indexed = EmulatorConfig {
         queue: QueueKind::Indexed,
+        ..EmulatorConfig::default()
+    };
+    let heap = EmulatorConfig {
+        queue: QueueKind::BinaryHeap,
         ..EmulatorConfig::default()
     };
     let a = match Emulator::new(indexed).try_run(psm) {
         Ok(report) => report,
         Err(e) => {
             assert!(!e.code.is_empty(), "{label}: rejection without a code");
+            // The reference `try_` surface must reject the same input with
+            // the same typed code — and must not panic on it.
+            let r = match ReferenceEmulator::new(heap).try_run(psm) {
+                Err(r) => r,
+                Ok(_) => panic!("{label}: reference accepted what the indexed engine rejected"),
+            };
+            assert_eq!(e.code, r.code, "{label}: rejection codes diverge");
             return;
         }
     };
@@ -194,11 +207,9 @@ fn emulate_and_compare(psm: &Psm, label: &str) {
     if total_pkgs > DIFF_PACKAGE_BUDGET {
         return;
     }
-    let heap = EmulatorConfig {
-        queue: QueueKind::BinaryHeap,
-        ..EmulatorConfig::default()
-    };
-    let r = ReferenceEmulator::new(heap).run(psm);
+    let r = ReferenceEmulator::new(heap)
+        .try_run(psm)
+        .unwrap_or_else(|e| panic!("{label}: reference rejected an accepted input: {e}"));
     assert_eq!(a.makespan, r.makespan, "{label}: makespan");
     assert_eq!(a.sas, r.sas, "{label}: SA stats");
     assert_eq!(a.ca, r.ca, "{label}: CA stats");
@@ -214,10 +225,17 @@ fn emulate_and_compare(psm: &Psm, label: &str) {
                 !e.code.is_empty(),
                 "{label}: frames-2 rejection without a code"
             );
+            let r = match ReferenceEmulator::new(heap).try_run_frames(psm, 2) {
+                Err(r) => r,
+                Ok(_) => panic!("{label}: reference accepted a rejected frames-2 job"),
+            };
+            assert_eq!(e.code, r.code, "{label}: frames-2 rejection codes diverge");
             return;
         }
     };
-    let r2 = ReferenceEmulator::new(heap).run_frames(psm, 2);
+    let r2 = ReferenceEmulator::new(heap)
+        .try_run_frames(psm, 2)
+        .unwrap_or_else(|e| panic!("{label}: reference rejected an accepted frames-2 job: {e}"));
     assert_eq!(a2.makespan, r2.makespan, "{label}: frames-2 makespan");
     assert_eq!(a2.sas, r2.sas, "{label}: frames-2 SA stats");
     assert_eq!(a2.ca, r2.ca, "{label}: frames-2 CA stats");
