@@ -373,6 +373,37 @@ impl CachedPool {
         self.run_batch(std::slice::from_ref(job)).pop().unwrap()
     }
 
+    /// Look one digest up in the memory → disk tiers without emulating on
+    /// a miss. Counts a hit or a miss, and a disk hit is promoted into
+    /// memory (and counted in `disk_hits`), exactly as `run_batch` would.
+    ///
+    /// This is the tier front-end used by callers that own their own
+    /// emulation loop (the parallel placement search): they consult the
+    /// shared tiers first and [`CachedPool::insert`] what they compute.
+    pub fn lookup(&mut self, key: u64) -> Option<EmulationReport> {
+        if self.cache.contains(key) {
+            return self.cache.get(key);
+        }
+        if let Some(report) = self.disk.as_mut().and_then(|d| d.get(key)) {
+            self.cache.hits += 1;
+            self.disk_hits += 1;
+            self.insert_and_spill(key, report.clone());
+            return Some(report);
+        }
+        self.cache.misses += 1;
+        None
+    }
+
+    /// Record a freshly computed report under `key`: write-through to the
+    /// persistent tier (best-effort) and insert into memory, spilling the
+    /// LRU evictee to disk. The counterpart of [`CachedPool::lookup`].
+    pub fn insert(&mut self, key: u64, report: &EmulationReport) {
+        if let Some(disk) = self.disk.as_mut() {
+            let _ = disk.append(key, report);
+        }
+        self.insert_and_spill(key, report.clone());
+    }
+
     /// Run a batch, answering duplicates from the cache. Results are in
     /// input order; each failed job carries its typed [`SegbusError`].
     ///
@@ -388,22 +419,15 @@ impl CachedPool {
         let mut pending: Vec<(usize, usize)> = Vec::new(); // (job idx, miss idx)
         for (i, job) in jobs.iter().enumerate() {
             let key = job.digest();
-            if self.cache.contains(key) {
-                let report = self.cache.get(key).expect("resident entry");
-                results[i] = Some(Ok(report));
-            } else if let Some(report) = self.disk.as_mut().and_then(|d| d.get(key)) {
-                // Warm-start hit from the persistent tier: promote into
-                // memory so repeats stay off the disk path.
-                self.cache.hits += 1;
-                self.disk_hits += 1;
-                self.insert_and_spill(key, report.clone());
-                results[i] = Some(Ok(report));
-            } else if let Some(&m) = miss_index.get(&key) {
+            if let Some(&m) = miss_index.get(&key) {
                 // In-batch duplicate: shares the first occurrence's run.
+                // (A key can only be here if it missed both tiers, so this
+                // never shadows a cache hit.)
                 self.cache.hits += 1;
                 pending.push((i, m));
+            } else if let Some(report) = self.lookup(key) {
+                results[i] = Some(Ok(report));
             } else {
-                self.cache.misses += 1;
                 miss_index.insert(key, misses.len());
                 misses.push((key, i));
                 pending.push((i, misses.len() - 1));
@@ -427,10 +451,7 @@ impl CachedPool {
         // persistent tier) and assemble the output.
         for ((key, _), result) in misses.iter().zip(&computed) {
             if let Ok(report) = result {
-                if let Some(disk) = self.disk.as_mut() {
-                    let _ = disk.append(*key, report);
-                }
-                self.insert_and_spill(*key, report.clone());
+                self.insert(*key, report);
             }
         }
         for (i, m) in pending {

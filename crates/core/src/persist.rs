@@ -61,6 +61,11 @@ pub struct DiskStore {
     end: u64,
     /// Records dropped by corrupt-tail truncation at open.
     truncated: u64,
+    /// Dead records (corrupt-in-place or superseded) found at open and
+    /// removed by the compact-on-open pass.
+    dead_on_load: u64,
+    /// Bytes reclaimed by the compact-on-open pass.
+    reclaimed_on_load: u64,
 }
 
 impl std::fmt::Debug for DiskStore {
@@ -93,6 +98,8 @@ impl DiskStore {
             index: HashMap::new(),
             end: HEADER_LEN,
             truncated: 0,
+            dead_on_load: 0,
+            reclaimed_on_load: 0,
         };
         store.load()?;
         Ok(store)
@@ -112,6 +119,23 @@ impl DiskStore {
     /// opened (0 for a clean file).
     pub fn truncated_on_load(&self) -> u64 {
         self.truncated
+    }
+
+    /// Dead records (corrupt-in-place or superseded by a later record for
+    /// the same digest) found when the store was opened and rewritten away
+    /// by the compact-on-open pass (0 for a clean file).
+    pub fn dead_on_load(&self) -> u64 {
+        self.dead_on_load
+    }
+
+    /// Bytes reclaimed by the compact-on-open pass (0 for a clean file).
+    pub fn reclaimed_on_load(&self) -> u64 {
+        self.reclaimed_on_load
+    }
+
+    /// Size of the backing file in bytes (header plus live records).
+    pub fn file_bytes(&self) -> u64 {
+        self.end
     }
 
     /// The backing file's path.
@@ -163,8 +187,17 @@ impl DiskStore {
 
     // -- internals ---------------------------------------------------------
 
-    /// Scan the file into the index, truncating at the first corrupt or
-    /// partial record. An empty or foreign file is reinitialised.
+    /// Scan the file into the index. A record whose *frame* is plausible
+    /// (length within bounds, record fully inside the file) but whose
+    /// payload fails the checksum or decode is a *dead* record: it is
+    /// skipped and the scan continues, so one record rotting in place no
+    /// longer takes every record after it down with the tail. A record
+    /// whose frame itself is implausible (short header, overlong length)
+    /// ends the scan and the file is truncated there, exactly as before —
+    /// that is the crash-mid-append case, where nothing after the tear can
+    /// be framed. When the scan found dead records (or superseded
+    /// duplicates), a compact pass rewrites the file keeping only live
+    /// records. An empty or foreign file is reinitialised.
     fn load(&mut self) -> io::Result<()> {
         let file_len = self.file.seek(SeekFrom::End(0))?;
         let mut header = [0u8; HEADER_LEN as usize];
@@ -183,6 +216,7 @@ impl DiskStore {
             return Ok(());
         }
         let mut at = HEADER_LEN;
+        let mut dead = 0u64;
         let mut rec_header = [0u8; RECORD_HEADER_LEN as usize];
         while at + RECORD_HEADER_LEN <= file_len {
             self.file.seek(SeekFrom::Start(at))?;
@@ -197,9 +231,18 @@ impl DiskStore {
             let mut payload = vec![0u8; len as usize];
             self.file.read_exact(&mut payload)?;
             if fnv_of(&payload) != checksum || decode_report(&payload).is_none() {
-                break;
+                // Dead in place: framing is intact, content is not. Skip
+                // it — the compact pass below reclaims the bytes.
+                dead += 1;
+                at = next;
+                continue;
             }
-            self.index.insert(digest, (at, len));
+            if self.index.insert(digest, (at, len)).is_some() {
+                // Superseded duplicate (a foreign or hand-merged file —
+                // append itself dedupes): the later record wins, the
+                // earlier one is dead space.
+                dead += 1;
+            }
             at = next;
         }
         if at < file_len {
@@ -209,7 +252,68 @@ impl DiskStore {
             self.file.set_len(at)?;
         }
         self.end = at;
+        if dead > 0 {
+            self.dead_on_load = dead;
+            self.reclaimed_on_load = self.compact()?;
+        }
         Ok(())
+    }
+
+    /// Rewrite the backing file keeping only the live (indexed) records,
+    /// reclaiming the space of dead or superseded ones. Returns the number
+    /// of bytes reclaimed (0 when the store was already compact).
+    ///
+    /// The rewrite happens in place on the open handle (portable across
+    /// the CI OS matrix, where rename-over-open-file is not): live
+    /// payloads are staged in memory first, so a crash mid-compact can
+    /// lose records — the same corrupt-tail contract as a crash
+    /// mid-append, and the records are by definition reproducible cache
+    /// entries.
+    pub fn compact(&mut self) -> io::Result<u64> {
+        let live_bytes: u64 = self
+            .index
+            .values()
+            .map(|&(_, len)| RECORD_HEADER_LEN + len as u64)
+            .sum();
+        let compact_end = HEADER_LEN + live_bytes;
+        if compact_end == self.end {
+            return Ok(0);
+        }
+        // Stage the live records in file order, then rewrite from scratch.
+        let mut entries: Vec<(u64, u64, u32)> = self
+            .index
+            .iter()
+            .map(|(&digest, &(offset, len))| (digest, offset, len))
+            .collect();
+        entries.sort_by_key(|&(_, offset, _)| offset);
+        let mut staged = Vec::with_capacity(entries.len());
+        for &(digest, offset, len) in &entries {
+            self.file
+                .seek(SeekFrom::Start(offset + RECORD_HEADER_LEN))?;
+            let mut payload = vec![0u8; len as usize];
+            self.file.read_exact(&mut payload)?;
+            staged.push((digest, payload));
+        }
+        let reclaimed = self.end - compact_end;
+        self.file.set_len(HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&MAGIC)?;
+        self.file.write_all(&VERSION.to_le_bytes())?;
+        self.index.clear();
+        self.end = HEADER_LEN;
+        for (digest, payload) in staged {
+            let mut record = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
+            record.extend_from_slice(&digest.to_le_bytes());
+            record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            record.extend_from_slice(&fnv_of(&payload).to_le_bytes());
+            record.extend_from_slice(&payload);
+            self.file.write_all(&record)?;
+            self.index.insert(digest, (self.end, payload.len() as u32));
+            self.end += record.len() as u64;
+        }
+        self.file.flush()?;
+        debug_assert_eq!(self.end, compact_end);
+        Ok(reclaimed)
     }
 
     fn read_record(&mut self, offset: u64, len: u32, digest: u64) -> Option<EmulationReport> {
@@ -580,6 +684,70 @@ mod tests {
         drop(store);
         let store = DiskStore::open(&dir).unwrap();
         assert_eq!(store.len(), 1);
+    }
+
+    /// Offset of record `i`'s payload (0-based), parsed from the file's
+    /// own framing.
+    fn payload_offset(bytes: &[u8], i: usize) -> usize {
+        let mut at = HEADER_LEN as usize;
+        for _ in 0..i {
+            let len = u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap()) as usize;
+            at += RECORD_HEADER_LEN as usize + len;
+        }
+        at + RECORD_HEADER_LEN as usize
+    }
+
+    #[test]
+    fn dead_middle_record_is_compacted_away_and_survivors_kept() {
+        let dir = tmpdir("compact");
+        let (r36, r72, r108) = (report(36), report(72), report(108));
+        {
+            let mut store = DiskStore::open(&dir).unwrap();
+            store.append(1, &r36).unwrap();
+            store.append(2, &r72).unwrap();
+            store.append(3, &r108).unwrap();
+        }
+        // Rot the middle record's payload in place.
+        let path = dir.join("reports.sbc");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let bloated = bytes.len() as u64;
+        let at = payload_offset(&bytes, 1);
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        {
+            // The records on either side survive (the pre-compaction store
+            // would have truncated record 3 away with the tail), the dead
+            // one is rewritten out, and the file shrinks.
+            let mut store = DiskStore::open(&dir).unwrap();
+            assert_eq!(store.len(), 2);
+            assert_eq!(store.dead_on_load(), 1);
+            assert!(store.reclaimed_on_load() > 0);
+            assert!(store.file_bytes() < bloated, "bloated store must shrink");
+            assert_same(&store.get(1).unwrap(), &r36);
+            assert!(store.get(2).is_none());
+            assert_same(&store.get(3).unwrap(), &r108);
+            // The freed digest can be re-appended onto the compact file.
+            assert!(store.append(2, &r72).unwrap());
+        }
+        // …and the compacted store survives reopen, clean.
+        let mut store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.dead_on_load(), 0);
+        assert_eq!(store.truncated_on_load(), 0);
+        assert_same(&store.get(2).unwrap(), &r72);
+    }
+
+    #[test]
+    fn compact_is_a_noop_on_a_clean_store() {
+        let dir = tmpdir("compact-noop");
+        let mut store = DiskStore::open(&dir).unwrap();
+        store.append(1, &report(36)).unwrap();
+        store.append(2, &report(72)).unwrap();
+        let before = store.file_bytes();
+        assert_eq!(store.compact().unwrap(), 0);
+        assert_eq!(store.file_bytes(), before);
+        assert_eq!(store.len(), 2);
+        assert_same(&store.get(1).unwrap(), &report(36));
     }
 
     #[test]

@@ -45,8 +45,10 @@
 #![warn(missing_docs)]
 
 pub mod kl;
+pub mod parallel;
 
 pub use kl::kernighan_lin;
+pub use parallel::{allocation_digest, ParallelSearch, SearchStats};
 
 use std::collections::HashMap;
 
@@ -411,7 +413,7 @@ impl<'a> PlaceTool<'a> {
         self.refine_in(&mut Evaluator::new(self), start)
     }
 
-    fn refine_in(&self, eval: &mut Evaluator, start: Allocation) -> Placement {
+    fn refine_in<E: CostEval>(&self, eval: &mut E, start: Allocation) -> Placement {
         assert!(self.feasible(&start), "refine needs a feasible start");
         let n = self.app.process_count();
         let mut alloc = start;
@@ -487,7 +489,7 @@ impl<'a> PlaceTool<'a> {
         self.anneal_in(&mut Evaluator::new(self), seed, iterations)
     }
 
-    fn anneal_in(&self, eval: &mut Evaluator, seed: u64, iterations: usize) -> Placement {
+    fn anneal_in<E: CostEval>(&self, eval: &mut E, seed: u64, iterations: usize) -> Placement {
         let n = self.app.process_count();
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut alloc = self.greedy_allocation();
@@ -559,25 +561,13 @@ impl<'a> PlaceTool<'a> {
         // across greedy/KL/annealing restarts hit the memo.
         let mut eval = Evaluator::new(self);
         let mut winner = self.refine_in(&mut eval, self.greedy_allocation());
-        if self.segments == 2 && self.capacity.is_none() && n >= 2 {
-            // KL optimises the surrogate cut weight; the refine pass after
-            // it judges with the real objective.
-            let kl_objective = match self.objective {
-                Objective::Makespan => Objective::Items,
-                o => o,
-            };
-            let kl = crate::kl::kernighan_lin(self.app, kl_objective, 8);
-            let kl = self.refine_in(&mut eval, kl.allocation);
+        if self.kl_applicable() {
+            let kl = self.refine_in(&mut eval, self.kl_allocation());
             if kl.cost < winner.cost {
                 winner = kl;
             }
         }
-        let iterations = match self.objective {
-            // Emulated evaluations are ~1000× a hop count; memoisation
-            // soaks up revisits but fresh candidates stay expensive.
-            Objective::Makespan => (20 * n * self.segments).min(600),
-            _ => 200 * n * self.segments,
-        };
+        let iterations = self.best_iterations();
         for restart in 0..3u64 {
             let a = self.anneal_in(
                 &mut eval,
@@ -591,6 +581,55 @@ impl<'a> PlaceTool<'a> {
         }
         winner
     }
+
+    /// Annealing iteration budget used by `best` (and the parallel
+    /// search, which must match it to stay comparable).
+    fn best_iterations(&self) -> usize {
+        let n = self.app.process_count();
+        match self.objective {
+            // Emulated evaluations are ~1000× a hop count; memoisation
+            // soaks up revisits but fresh candidates stay expensive.
+            Objective::Makespan => (20 * n * self.segments).min(600),
+            _ => 200 * n * self.segments,
+        }
+    }
+
+    /// `true` when `best` runs the Kernighan–Lin start (two segments, no
+    /// capacity limit, at least two processes).
+    fn kl_applicable(&self) -> bool {
+        self.segments == 2 && self.capacity.is_none() && self.app.process_count() >= 2
+    }
+
+    /// The Kernighan–Lin start used by `best`: KL optimises the surrogate
+    /// cut weight; the refine pass after it judges with the real
+    /// objective.
+    fn kl_allocation(&self) -> Allocation {
+        let kl_objective = match self.objective {
+            Objective::Makespan => Objective::Items,
+            o => o,
+        };
+        crate::kl::kernighan_lin(self.app, kl_objective, 8).allocation
+    }
+
+    /// A parallel search over this solver: candidate evaluation sharded
+    /// across `threads` [`segbus_core::SweepPool`] workers with a shared
+    /// allocation-digest memo and cache-tiered makespan evaluation. See
+    /// [`ParallelSearch`]. `threads == 0` picks the machine parallelism.
+    pub fn parallel(self, threads: usize) -> ParallelSearch<'a> {
+        ParallelSearch::new(self, threads)
+    }
+}
+
+/// Objective evaluation seen by the local-search solvers.
+///
+/// The sequential solvers use the single-threaded [`Evaluator`]; the
+/// parallel search substitutes a worker-local view of a shared,
+/// thread-safe memo (see [`parallel`]). Implementations must be pure
+/// caches of the same deterministic cost function — the solvers' search
+/// trajectories must not depend on which evaluator backs them.
+trait CostEval {
+    /// Objective value of a feasible candidate.
+    fn cost(&mut self, alloc: &Allocation) -> u64;
 }
 
 /// Objective evaluator shared across the solver phases of one `best` run.
@@ -617,8 +656,9 @@ impl<'t, 'a> Evaluator<'t, 'a> {
             misses: 0,
         }
     }
+}
 
-    /// Objective value of a feasible candidate.
+impl CostEval for Evaluator<'_, '_> {
     fn cost(&mut self, alloc: &Allocation) -> u64 {
         if self.tool.objective != Objective::Makespan {
             return self.tool.hop_cost(alloc);

@@ -1,0 +1,477 @@
+//! Parallel placement search: the PlaceTool sharded over the
+//! [`SweepPool`].
+//!
+//! The sequential solvers in the crate root evaluate one candidate at a
+//! time against a private memo; once the engine itself is fast, the
+//! search is the wall-clock bottleneck. [`ParallelSearch`] keeps the
+//! solvers' *trajectories* bit-identical — every strategy is still the
+//! deterministic sequential algorithm — but shards the independent units
+//! of work across [`SweepPool`] workers:
+//!
+//! * **exhaustive** enumeration splits into prefix-partitioned
+//!   sub-ranges: each shard fixes the segments of the first `depth`
+//!   processes and walks the suffix odometer;
+//! * **`best`** fans its independent starts (greedy → refine, KL →
+//!   refine, `restarts` annealing chains → refine) out one-per-worker;
+//! * **`anneal`** runs `restarts` seeded chains concurrently.
+//!
+//! All workers share one thread-safe **allocation-digest memo**: the
+//! canonical allocation hash ([`allocation_digest`], mirroring the
+//! `TAG_ALLOCATION` section of the name-insensitive `Psm::digest`) maps
+//! to the emulated makespan, and an in-flight marker plus condvar makes a
+//! worker *wait* for a candidate another worker is already emulating
+//! instead of duplicating the run — no two workers ever emulate the same
+//! candidate (the tests assert `duplicate_emulations == 0`).
+//!
+//! Misses fall through to the same memory → disk → emulate tier as
+//! `segbus batch`/`serve`: evaluations are routed through a
+//! [`CachedPool`] keyed by [`job_digest`], so with
+//! [`ParallelSearch::with_cache_dir`] a repeated placement search warm-
+//! starts from the `reports.sbc` produced by any of the three front ends.
+//!
+//! Results are deterministic for any thread count: the memo is a pure
+//! cache of the deterministic cost function (sharing it cannot steer a
+//! chain), every task is seeded, and winners are merged under a total
+//! order — lower cost first, ties broken by the lexicographically
+//! smallest dense segment vector (canonical allocation order).
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use segbus_core::{job_digest, CacheStats, CachedPool, Engine, SweepPool};
+use segbus_model::digest::Fnv64;
+use segbus_model::ids::{ProcessId, SegmentId};
+use segbus_model::mapping::{Allocation, Psm};
+
+use crate::{CostEval, Objective, PlaceTool, Placement};
+
+/// In-memory LRU capacity of the search's report cache. Placement
+/// neighbourhoods revisit at most a few thousand distinct candidates per
+/// run, so this comfortably holds a whole search; overflow spills to the
+/// attached [`DiskStore`](segbus_core::DiskStore) when one is present.
+const CACHE_CAPACITY: usize = 8192;
+
+/// Canonical digest of a complete allocation: the `TAG_ALLOCATION`
+/// section of the name-insensitive `Psm::digest` encoding (section tag,
+/// process count, then each process's segment index), hashed with the
+/// same [`Fnv64`]. `slots` is the dense segment-index vector in
+/// `ProcessId` order. Two allocations collide only if they place every
+/// process identically (up to FNV collision), independent of names.
+pub fn allocation_digest(slots: &[u16]) -> u64 {
+    // Keep in sync with TAG_ALLOCATION in segbus_model::digest.
+    const TAG_ALLOCATION: u8 = 0x05;
+    let mut h = Fnv64::new();
+    h.write_u8(TAG_ALLOCATION);
+    h.write_u64(slots.len() as u64);
+    for &s in slots {
+        h.write_u16(s);
+    }
+    h.finish()
+}
+
+/// Counters of one [`ParallelSearch`] (cumulative across runs).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SearchStats {
+    /// Makespan evaluations requested by the solvers.
+    pub evaluations: u64,
+    /// Evaluations answered by the shared allocation-digest memo.
+    pub memo_hits: u64,
+    /// Candidates actually emulated (memo and cache tiers all missed).
+    pub emulations: u64,
+    /// Emulation runs whose job digest had already been emulated — the
+    /// shared memo's no-duplicate guarantee holds iff this stays `0`.
+    pub duplicate_emulations: u64,
+    /// Distinct allocations recorded in the memo.
+    pub memo_len: usize,
+    /// Counters of the underlying report cache (memory + disk tiers).
+    pub cache: CacheStats,
+}
+
+/// Shared memo state: allocation digest → cost, with `None` marking a
+/// candidate some worker is emulating right now.
+#[derive(Default)]
+struct MemoState {
+    map: HashMap<u64, Option<u64>>,
+    /// Job digests that went to the engine, for duplicate accounting.
+    emulated: HashSet<u64>,
+    duplicates: u64,
+}
+
+/// A parallel placement search over one [`PlaceTool`].
+///
+/// Construct with [`PlaceTool::parallel`]; the search owns a copy of the
+/// tool, a [`SweepPool`], the shared memo, and the report cache, so it
+/// can be reused across runs — a second `best` over the same instance
+/// answers every candidate from the memo without emulating.
+///
+/// ```
+/// use segbus_apps::generators::{chain, GeneratorConfig};
+/// use segbus_place::PlaceTool;
+///
+/// let app = chain(6, GeneratorConfig::default());
+/// let tool = PlaceTool::new(&app, 3);
+/// let search = tool.parallel(4);
+/// assert_eq!(search.best(42), tool.parallel(1).best(42)); // thread-count invariant
+/// ```
+pub struct ParallelSearch<'a> {
+    tool: PlaceTool<'a>,
+    pool: SweepPool,
+    restarts: usize,
+    memo: Mutex<MemoState>,
+    done: Condvar,
+    cache: Mutex<CachedPool>,
+    evaluations: AtomicU64,
+    memo_hits: AtomicU64,
+    emulations: AtomicU64,
+}
+
+impl<'a> ParallelSearch<'a> {
+    /// A search over `tool` on `threads` workers (`0` picks the machine
+    /// parallelism), with the default three annealing restarts.
+    pub fn new(tool: PlaceTool<'a>, threads: usize) -> ParallelSearch<'a> {
+        let pool = if threads == 0 {
+            SweepPool::new(tool.emu_config)
+        } else {
+            SweepPool::with_threads(tool.emu_config, threads)
+        };
+        ParallelSearch {
+            tool,
+            pool,
+            restarts: 3,
+            memo: Mutex::new(MemoState::default()),
+            done: Condvar::new(),
+            // The cache's own pool is unused here (workers emulate on
+            // their sweep engines); one thread keeps it inert.
+            cache: Mutex::new(CachedPool::with_pool(
+                SweepPool::with_threads(tool.emu_config, 1),
+                CACHE_CAPACITY,
+            )),
+            evaluations: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            emulations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of annealing restarts fanned out by [`best`](Self::best)
+    /// and [`anneal`](Self::anneal) (clamped to at least one; the
+    /// sequential `best` uses three).
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Attach the persistent report store under `dir` (shared with
+    /// `segbus batch`/`serve` via `--cache-dir`): cached makespans
+    /// survive the process, and a warm directory answers repeated
+    /// searches from disk instead of the emulator.
+    pub fn with_cache_dir(self, dir: &Path) -> io::Result<Self> {
+        self.cache.lock().unwrap().attach_disk(dir)?;
+        Ok(self)
+    }
+
+    /// The worker cap.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The configured annealing restarts.
+    pub fn restarts(&self) -> usize {
+        self.restarts
+    }
+
+    /// The solver this search runs.
+    pub fn tool(&self) -> &PlaceTool<'a> {
+        &self.tool
+    }
+
+    /// Snapshot of the search counters (cumulative across runs).
+    pub fn stats(&self) -> SearchStats {
+        let memo = self.memo.lock().unwrap();
+        SearchStats {
+            evaluations: self.evaluations.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            emulations: self.emulations.load(Ordering::Relaxed),
+            duplicate_emulations: memo.duplicates,
+            memo_len: memo.map.len(),
+            cache: self.cache.lock().unwrap().stats(),
+        }
+    }
+
+    // -- solvers ------------------------------------------------------------
+
+    /// Sharded exhaustive search; same contract as
+    /// [`PlaceTool::exhaustive`] (`None` beyond ~20 million assignments
+    /// or when no feasible allocation exists), ties broken by canonical
+    /// allocation order regardless of which shard found the winner.
+    pub fn exhaustive(&self) -> Option<Placement> {
+        let n = self.tool.app.process_count();
+        let k = self.tool.segments;
+        let mut size: u64 = 1;
+        for _ in 0..n {
+            size = size.checked_mul(k as u64)?;
+            if size > 20_000_000 {
+                return None;
+            }
+        }
+        // Prefix partitioning: fix the segments of the first `depth`
+        // processes per shard, enough shards to keep every worker busy.
+        // The candidate set is the full odometer regardless of `depth`,
+        // so the thread count cannot change the result.
+        let target = (self.pool.threads() * 8) as u64;
+        let mut depth = 0usize;
+        let mut shards = 1u64;
+        while depth < n && shards < target {
+            shards *= k as u64;
+            depth += 1;
+        }
+        let prefixes: Vec<u64> = (0..shards).collect();
+        let results = self.pool.sweep_with(&prefixes, |engine, &prefix| {
+            self.exhaustive_shard(engine, prefix, depth)
+        });
+        let mut best: Option<(u64, Vec<u16>)> = None;
+        for cand in results.into_iter().flatten() {
+            if better(&cand, &best) {
+                best = Some(cand);
+            }
+        }
+        let (cost, slots) = best?;
+        let mut alloc = Allocation::new(k);
+        for (p, &s) in slots.iter().enumerate() {
+            alloc.assign(ProcessId(p as u32), SegmentId(s));
+        }
+        Some(Placement {
+            allocation: alloc,
+            cost,
+        })
+    }
+
+    /// One shard of the exhaustive odometer: processes `0..depth` pinned
+    /// to the base-`k` digits of `prefix`, suffix enumerated in full.
+    fn exhaustive_shard(
+        &self,
+        engine: &mut Engine,
+        prefix: u64,
+        depth: usize,
+    ) -> Option<(u64, Vec<u16>)> {
+        let n = self.tool.app.process_count();
+        let k = self.tool.segments;
+        let mut assign = vec![0u16; n];
+        let mut rest = prefix;
+        for slot in assign.iter_mut().take(depth) {
+            *slot = (rest % k as u64) as u16;
+            rest /= k as u64;
+        }
+        let mut best: Option<(u64, Vec<u16>)> = None;
+        'outer: loop {
+            let mut alloc = Allocation::new(k);
+            for (i, &s) in assign.iter().enumerate() {
+                alloc.assign(ProcessId(i as u32), SegmentId(s));
+            }
+            if self.tool.feasible(&alloc) {
+                let cand = (self.shared_cost(engine, &alloc), assign.clone());
+                if better(&cand, &best) {
+                    best = Some(cand);
+                }
+            }
+            // Advance the suffix odometer (positions depth..n).
+            let mut i = depth;
+            loop {
+                if i == n {
+                    break 'outer;
+                }
+                assign[i] += 1;
+                if assign[i] as usize == k {
+                    assign[i] = 0;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// `restarts` seeded annealing chains fanned out over the pool; the
+    /// chain seeds match the sequential `best` schedule
+    /// (`seed + r·0x9e37_79b9`). Returns the canonical winner.
+    pub fn anneal(&self, seed: u64, iterations: usize) -> Placement {
+        let seeds: Vec<u64> = (0..self.restarts as u64)
+            .map(|r| seed.wrapping_add(r.wrapping_mul(0x9e37_79b9)))
+            .collect();
+        let results = self.pool.sweep_with(&seeds, |engine, &s| {
+            let mut eval = SharedEval {
+                search: self,
+                engine,
+            };
+            self.tool.anneal_in(&mut eval, s, iterations)
+        });
+        self.merge(results).expect("restarts >= 1")
+    }
+
+    /// The parallel analogue of [`PlaceTool::best`]: exact search when
+    /// the instance is small enough (hop objectives only), otherwise
+    /// greedy → refine, KL → refine (when applicable), and `restarts`
+    /// annealing chains → refine, all fanned out over the pool. The
+    /// winner is the canonical minimum, so the result is identical for
+    /// any thread count.
+    pub fn best(&self, seed: u64) -> Placement {
+        let n = self.tool.app.process_count();
+        if self.tool.objective != Objective::Makespan
+            && (self.tool.segments as f64).powi(n as i32) <= 250_000.0
+        {
+            if let Some(p) = self.exhaustive() {
+                return p;
+            }
+        }
+        let iterations = self.tool.best_iterations();
+        let mut tasks = vec![Task::Greedy];
+        if self.tool.kl_applicable() {
+            tasks.push(Task::Kl);
+        }
+        for r in 0..self.restarts as u64 {
+            tasks.push(Task::Anneal(seed.wrapping_add(r.wrapping_mul(0x9e37_79b9))));
+        }
+        let results = self.pool.sweep_with(&tasks, |engine, task| {
+            let mut eval = SharedEval {
+                search: self,
+                engine,
+            };
+            match *task {
+                Task::Greedy => self
+                    .tool
+                    .refine_in(&mut eval, self.tool.greedy_allocation()),
+                Task::Kl => self.tool.refine_in(&mut eval, self.tool.kl_allocation()),
+                Task::Anneal(s) => {
+                    let a = self.tool.anneal_in(&mut eval, s, iterations);
+                    self.tool.refine_in(&mut eval, a.allocation)
+                }
+            }
+        });
+        self.merge(results).expect("the greedy task always runs")
+    }
+
+    /// Canonical winner of a set of finished placements: lowest cost,
+    /// ties broken by the lexicographically smallest segment vector.
+    fn merge(&self, candidates: Vec<Placement>) -> Option<Placement> {
+        let mut best: Option<(u64, Vec<u16>)> = None;
+        for p in candidates {
+            let cand = (p.cost, self.tool.slots(&p.allocation));
+            if better(&cand, &best) {
+                best = Some(cand);
+            }
+        }
+        let (cost, slots) = best?;
+        let mut alloc = Allocation::new(self.tool.segments);
+        for (p, &s) in slots.iter().enumerate() {
+            alloc.assign(ProcessId(p as u32), SegmentId(s));
+        }
+        Some(Placement {
+            allocation: alloc,
+            cost,
+        })
+    }
+
+    // -- shared evaluation --------------------------------------------------
+
+    /// Objective value of a feasible candidate, through the shared memo
+    /// and the cache tiers. Pure: the answer never depends on which
+    /// worker asks, or when.
+    fn shared_cost(&self, engine: &mut Engine, alloc: &Allocation) -> u64 {
+        if self.tool.objective != Objective::Makespan {
+            return self.tool.hop_cost(alloc);
+        }
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let key = allocation_digest(&self.tool.slots(alloc));
+        {
+            let mut memo = self.memo.lock().unwrap();
+            loop {
+                match memo.map.get(&key) {
+                    Some(Some(c)) => {
+                        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                        return *c;
+                    }
+                    // Another worker is emulating this exact candidate:
+                    // wait for its answer instead of duplicating the run.
+                    Some(None) => memo = self.done.wait(memo).unwrap(),
+                    None => {
+                        memo.map.insert(key, None);
+                        break;
+                    }
+                }
+            }
+        }
+        let c = self.compute(engine, alloc);
+        self.memo.lock().unwrap().map.insert(key, Some(c));
+        self.done.notify_all();
+        c
+    }
+
+    /// Memo-miss path: memory → disk → emulate, holding the cache lock
+    /// only around the tier lookup and the write-back — never across the
+    /// emulation itself.
+    fn compute(&self, engine: &mut Engine, alloc: &Allocation) -> u64 {
+        let platform = self
+            .tool
+            .platform
+            .expect("Objective::Makespan is only set together with a platform");
+        let psm = match Psm::new(platform.clone(), self.tool.app.clone(), alloc.clone()) {
+            Ok(psm) => psm,
+            Err(_) => return u64::MAX,
+        };
+        let digest = job_digest(&psm, &self.tool.emu_config, 1);
+        if let Some(report) = self.cache.lock().unwrap().lookup(digest) {
+            return report.makespan.0;
+        }
+        {
+            let mut memo = self.memo.lock().unwrap();
+            if !memo.emulated.insert(digest) {
+                memo.duplicates += 1;
+            }
+        }
+        self.emulations.fetch_add(1, Ordering::Relaxed);
+        match engine.try_run(&psm) {
+            Ok(report) => {
+                let makespan = report.makespan.0;
+                self.cache.lock().unwrap().insert(digest, &report);
+                makespan
+            }
+            Err(_) => u64::MAX,
+        }
+    }
+}
+
+/// One independent start of the composed `best` search.
+#[derive(Clone, Copy, Debug)]
+enum Task {
+    /// Greedy constructive start, then refine.
+    Greedy,
+    /// Kernighan–Lin bipartition start, then refine.
+    Kl,
+    /// A seeded annealing chain, then refine.
+    Anneal(u64),
+}
+
+/// `true` if `cand` beats `best` under the canonical total order.
+fn better(cand: &(u64, Vec<u16>), best: &Option<(u64, Vec<u16>)>) -> bool {
+    match best {
+        None => true,
+        Some((c, s)) => cand.0 < *c || (cand.0 == *c && cand.1 < *s),
+    }
+}
+
+/// Worker-local view of the shared evaluation state: the solvers see a
+/// plain [`CostEval`], the engine stays worker-private, everything else
+/// goes through [`ParallelSearch::shared_cost`].
+struct SharedEval<'x, 'a> {
+    search: &'x ParallelSearch<'a>,
+    engine: &'x mut Engine,
+}
+
+impl CostEval for SharedEval<'_, '_> {
+    fn cost(&mut self, alloc: &Allocation) -> u64 {
+        self.search.shared_cost(self.engine, alloc)
+    }
+}

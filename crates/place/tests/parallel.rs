@@ -1,0 +1,187 @@
+//! Determinism and no-duplicate-work properties of the parallel
+//! placement search: for any thread count the search must return the
+//! identical `(cost, allocation)`, and the shared allocation-digest memo
+//! must keep any candidate from being emulated twice.
+
+use segbus_apps::generators::{chain, random_layered, GeneratorConfig};
+use segbus_model::platform::Platform;
+use segbus_model::rng::SmallRng;
+use segbus_model::time::ClockDomain;
+use segbus_place::{allocation_digest, Objective, PlaceTool};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn uniform_platform(segments: usize) -> Platform {
+    Platform::builder("t")
+        .uniform_segments(segments, ClockDomain::from_mhz(100.0))
+        .build()
+        .unwrap()
+}
+
+/// `best` over the parallel path is thread-count invariant on the hop
+/// objectives, across a handful of seeded random PSDF apps.
+#[test]
+fn best_is_thread_count_invariant_on_hop_objectives() {
+    let mut rng = SmallRng::seed_from_u64(0xA_0001);
+    for case in 0..12 {
+        let layers = rng.range_usize(2, 4);
+        let width = rng.range_usize(1, 3);
+        let seed = rng.below(500);
+        let segments = rng.range_usize(2, 3).min(layers * width);
+        let app = random_layered(layers, width, seed, GeneratorConfig::default());
+        let mut tool = PlaceTool::new(&app, segments);
+        if rng.gen_bool(0.5) {
+            tool = tool.with_objective(Objective::Packages(36));
+        }
+        let reference = tool.parallel(1).best(seed);
+        assert!(tool.feasible(&reference.allocation));
+        for threads in THREADS {
+            let got = tool.parallel(threads).best(seed);
+            assert_eq!(
+                got, reference,
+                "case {case}: threads {threads} diverged from the 1-thread result"
+            );
+        }
+    }
+}
+
+/// `best` with emulation in the loop is thread-count invariant, and the
+/// parallel result never loses to the sequential composed solver.
+#[test]
+fn best_is_thread_count_invariant_on_makespan() {
+    for (n, segments, seed) in [(5, 2, 3u64), (6, 2, 7), (6, 3, 11)] {
+        let app = chain(n, GeneratorConfig::default());
+        let platform = uniform_platform(segments);
+        let tool = PlaceTool::new(&app, segments).with_makespan(&platform);
+        let reference = tool.parallel(1).best(seed);
+        assert!(tool.feasible(&reference.allocation));
+        assert_eq!(reference.cost, tool.cost(&reference.allocation));
+        assert!(
+            reference.cost <= tool.best(seed).cost,
+            "parallel best must not lose to the sequential composition"
+        );
+        for threads in THREADS {
+            assert_eq!(
+                tool.parallel(threads).best(seed),
+                reference,
+                "n {n} segments {segments}: threads {threads} diverged"
+            );
+        }
+    }
+}
+
+/// The sharded exhaustive search finds the sequential optimum cost for
+/// every thread count, with the canonical tie-break making the
+/// allocation itself thread-count invariant.
+#[test]
+fn parallel_exhaustive_matches_sequential_optimum() {
+    let mut rng = SmallRng::seed_from_u64(0xA_0002);
+    for _ in 0..8 {
+        let layers = rng.range_usize(2, 3);
+        let width = rng.range_usize(1, 2);
+        let seed = rng.below(500);
+        let segments = rng.range_usize(2, 3).min(layers * width);
+        let app = random_layered(layers, width, seed, GeneratorConfig::default());
+        let tool = PlaceTool::new(&app, segments);
+        let sequential = tool.exhaustive().unwrap();
+        let reference = tool.parallel(1).exhaustive().unwrap();
+        assert_eq!(reference.cost, sequential.cost);
+        for threads in THREADS {
+            assert_eq!(tool.parallel(threads).exhaustive().unwrap(), reference);
+        }
+    }
+}
+
+/// A single-restart parallel anneal is the sequential anneal.
+#[test]
+fn anneal_with_one_restart_matches_sequential_anneal() {
+    let app = chain(6, GeneratorConfig::default());
+    let platform = uniform_platform(2);
+    let tool = PlaceTool::new(&app, 2).with_makespan(&platform);
+    let sequential = tool.anneal(17, 200);
+    for threads in THREADS {
+        let parallel = tool.parallel(threads).with_restarts(1).anneal(17, 200);
+        assert_eq!(parallel, sequential, "threads {threads}");
+    }
+}
+
+/// The shared memo's central guarantee: across all workers of a full
+/// `best` run, no candidate allocation is ever emulated twice.
+#[test]
+fn shared_memo_records_zero_duplicate_emulations() {
+    let app = chain(6, GeneratorConfig::default());
+    let platform = uniform_platform(2);
+    let tool = PlaceTool::new(&app, 2).with_makespan(&platform);
+    for threads in THREADS {
+        let search = tool.parallel(threads);
+        let _ = search.best(42);
+        let stats = search.stats();
+        assert!(stats.emulations > 0, "the search must emulate something");
+        assert_eq!(
+            stats.duplicate_emulations, 0,
+            "threads {threads}: a candidate was emulated twice"
+        );
+        assert_eq!(stats.memo_len as u64, stats.evaluations - stats.memo_hits);
+    }
+}
+
+/// A reused search answers a repeated run entirely from the shared memo.
+#[test]
+fn repeated_search_is_answered_by_the_memo() {
+    let app = chain(6, GeneratorConfig::default());
+    let platform = uniform_platform(2);
+    let tool = PlaceTool::new(&app, 2).with_makespan(&platform);
+    let search = tool.parallel(4);
+    let first = search.best(42);
+    let emulated = search.stats().emulations;
+    let second = search.best(42);
+    assert_eq!(first, second);
+    assert_eq!(
+        search.stats().emulations,
+        emulated,
+        "the repeat run must not emulate anything new"
+    );
+}
+
+/// A warm `--cache-dir` answers a fresh search from disk: the second
+/// search (new memo, new in-memory cache) emulates nothing.
+#[test]
+fn warm_cache_dir_answers_a_fresh_search_from_disk() {
+    let dir = tempdir("place-warm");
+    let app = chain(6, GeneratorConfig::default());
+    let platform = uniform_platform(2);
+    let tool = PlaceTool::new(&app, 2).with_makespan(&platform);
+
+    let cold = tool.parallel(2).with_cache_dir(&dir).unwrap();
+    let first = cold.best(42);
+    assert!(cold.stats().emulations > 0);
+    drop(cold);
+
+    let warm = tool.parallel(2).with_cache_dir(&dir).unwrap();
+    let second = warm.best(42);
+    let stats = warm.stats();
+    assert_eq!(first, second);
+    assert_eq!(stats.emulations, 0, "warm dir must answer every candidate");
+    assert!(stats.cache.disk_hits > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The canonical allocation digest separates placements and ignores
+/// everything but the dense segment vector.
+#[test]
+fn allocation_digest_is_injective_on_small_slots() {
+    let a = allocation_digest(&[0, 0, 1, 1]);
+    assert_eq!(a, allocation_digest(&[0, 0, 1, 1]));
+    assert_ne!(a, allocation_digest(&[0, 1, 0, 1]));
+    assert_ne!(a, allocation_digest(&[0, 0, 1]));
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "segbus-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}

@@ -1,84 +1,109 @@
 #!/usr/bin/env bash
-# CI performance gate: re-run the P1 engine-throughput benchmark and
-# compare its `runs_per_sec` against the committed `BENCH_engine.json`
-# baseline. Fails if throughput regressed by more than the threshold
-# (default 20%, i.e. new < 0.80 × committed).
+# CI performance gate: re-run the committed throughput benchmarks and
+# compare each `runs_per_sec` against its committed baseline. Fails if
+# throughput regressed by more than the threshold (default 20%, i.e.
+# new < 0.80 × committed).
 #
-#   scripts/bench_gate.sh                 # gate against BENCH_engine.json
+#   scripts/bench_gate.sh                 # gate P1 (engine) + P5 (placement)
 #   BENCH_GATE_THRESHOLD=0.5 scripts/bench_gate.sh   # looser gate
 #
-# The committed baseline is restored afterwards, so the gate never dirties
-# the working tree — machine-to-machine absolute numbers vary; the file is
-# only refreshed deliberately, together with engine changes.
+# Gated benchmarks:
+#   exp_perf       -> BENCH_engine.json   P1 engine throughput
+#   exp_place_perf -> BENCH_place.json    P5 parallel placement search
+#
+# The committed baselines are restored afterwards, so the gate never
+# dirties the working tree — machine-to-machine absolute numbers vary;
+# the files are only refreshed deliberately, together with engine or
+# search changes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE=BENCH_engine.json
 THRESHOLD="${BENCH_GATE_THRESHOLD:-0.80}"
-
-if [[ ! -f "$BASELINE" ]]; then
-    echo "bench gate: no committed $BASELINE baseline" >&2
-    exit 1
-fi
+fails=0
 
 json_field() {
-    # json_field <file> <key> — exp_perf writes one "key": value per line.
+    # json_field <file> <key> — the benches write one "key": value per line.
     awk -F: -v key="\"$2\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print $2 }' "$1"
 }
 
-old_rps=$(json_field "$BASELINE" runs_per_sec)
-if [[ -z "$old_rps" ]]; then
-    echo "bench gate: cannot read runs_per_sec from $BASELINE" >&2
-    exit 1
-fi
+# gate <baseline.json> <bin> <title>
+gate() {
+    local baseline="$1" bin="$2" title="$3"
 
-# exp_perf overwrites BENCH_engine.json in the cwd; park the committed
-# baseline and restore it on every exit path.
-saved=$(mktemp)
-cp "$BASELINE" "$saved"
-restore() { cp "$saved" "$BASELINE"; rm -f "$saved"; }
-trap restore EXIT
-
-# Run the benchmark three times and gate on the median, so a single noisy
-# scheduler hiccup (either direction) cannot flip the verdict near the
-# threshold.
-echo "== bench gate: cargo run --release -p segbus-report --bin exp_perf (median of 3) =="
-runs=()
-for i in 1 2 3; do
-    cargo run --release -q -p segbus-report --bin exp_perf
-    rps=$(json_field "$BASELINE" runs_per_sec)
-    if [[ -z "$rps" ]]; then
-        echo "bench gate: benchmark run $i produced no runs_per_sec" >&2
-        exit 1
+    if [[ ! -f "$baseline" ]]; then
+        echo "bench gate: no committed $baseline baseline" >&2
+        return 1
     fi
-    echo "bench gate: run $i -> ${rps} runs/s"
-    runs+=("$rps")
-done
-new_rps=$(printf '%s\n' "${runs[@]}" | sort -g | sed -n 2p)
+    local old_rps
+    old_rps=$(json_field "$baseline" runs_per_sec)
+    if [[ -z "$old_rps" ]]; then
+        echo "bench gate: cannot read runs_per_sec from $baseline" >&2
+        return 1
+    fi
 
-verdict=$(awk -v new="$new_rps" -v old="$old_rps" -v thr="$THRESHOLD" 'BEGIN {
-    ratio = new / old
-    printf "ratio %.3f (threshold %.2f)\n", ratio, thr
-    exit (ratio < thr) ? 1 : 0
-}') && ok=1 || ok=0
+    # The bench overwrites its baseline in the cwd; park the committed
+    # copy and restore it on every exit path.
+    local saved
+    saved=$(mktemp)
+    cp "$baseline" "$saved"
 
-summary="bench gate: committed ${old_rps} runs/s, median of 3 runs ${new_rps} runs/s — ${verdict}"
-echo "$summary"
-if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
-    {
-        echo "### Engine throughput gate"
-        echo ""
-        echo "| | runs/s |"
-        echo "|---|---|"
-        echo "| committed baseline | ${old_rps} |"
-        echo "| median of 3 runs | ${new_rps} |"
-        echo ""
-        echo "${verdict}"
-    } >>"$GITHUB_STEP_SUMMARY"
-fi
+    # Run the benchmark three times and gate on the median, so a single
+    # noisy scheduler hiccup (either direction) cannot flip the verdict
+    # near the threshold.
+    echo "== bench gate: cargo run --release -p segbus-report --bin $bin (median of 3) =="
+    local runs=() rps i
+    for i in 1 2 3; do
+        if ! cargo run --release -q -p segbus-report --bin "$bin"; then
+            cp "$saved" "$baseline"; rm -f "$saved"
+            echo "bench gate: $bin run $i failed" >&2
+            return 1
+        fi
+        rps=$(json_field "$baseline" runs_per_sec)
+        if [[ -z "$rps" ]]; then
+            cp "$saved" "$baseline"; rm -f "$saved"
+            echo "bench gate: $bin run $i produced no runs_per_sec" >&2
+            return 1
+        fi
+        echo "bench gate: run $i -> ${rps} runs/s"
+        runs+=("$rps")
+    done
+    cp "$saved" "$baseline"; rm -f "$saved"
+    local new_rps
+    new_rps=$(printf '%s\n' "${runs[@]}" | sort -g | sed -n 2p)
 
-if [[ "$ok" -ne 1 ]]; then
-    echo "bench gate: FAIL — throughput regressed more than $(awk -v t="$THRESHOLD" 'BEGIN { printf "%.0f%%", (1-t)*100 }')" >&2
+    local verdict ok
+    verdict=$(awk -v new="$new_rps" -v old="$old_rps" -v thr="$THRESHOLD" 'BEGIN {
+        ratio = new / old
+        printf "ratio %.3f (threshold %.2f)\n", ratio, thr
+        exit (ratio < thr) ? 1 : 0
+    }') && ok=1 || ok=0
+
+    echo "bench gate [$title]: committed ${old_rps} runs/s, median of 3 runs ${new_rps} runs/s — ${verdict}"
+    if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+        {
+            echo "### $title gate"
+            echo ""
+            echo "| | runs/s |"
+            echo "|---|---|"
+            echo "| committed baseline | ${old_rps} |"
+            echo "| median of 3 runs | ${new_rps} |"
+            echo ""
+            echo "${verdict}"
+        } >>"$GITHUB_STEP_SUMMARY"
+    fi
+
+    if [[ "$ok" -ne 1 ]]; then
+        echo "bench gate [$title]: FAIL — throughput regressed more than $(awk -v t="$THRESHOLD" 'BEGIN { printf "%.0f%%", (1-t)*100 }')" >&2
+        return 1
+    fi
+    echo "bench gate [$title]: OK"
+}
+
+gate BENCH_engine.json exp_perf "Engine throughput" || fails=1
+gate BENCH_place.json exp_place_perf "Placement search throughput" || fails=1
+
+if [[ "$fails" -ne 0 ]]; then
+    echo "bench gate: FAIL" >&2
     exit 1
 fi
-echo "bench gate: OK"
+echo "bench gate: all OK"

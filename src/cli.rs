@@ -67,6 +67,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "sweep" => cmd_sweep(rest),
         "batch" => cmd_batch(rest),
         "serve" => cmd_serve(rest),
+        "cache" => cmd_cache(rest),
         "codegen" => cmd_codegen(rest),
         "analyze" => cmd_analyze(rest),
         "gantt" => cmd_gantt(rest),
@@ -96,7 +97,13 @@ COMMANDS:
     export    <model.sbd> <out-dir>       M2T transformation to psdf.xml / psm.xml
     import    <psdf.xml> <psm.xml>        rebuild the system from schemes and emulate
     place     <model.sbd> --segments N [--seed S]
-                                          propose an allocation with PlaceTool
+              [--objective items|packages|makespan] [--capacity C]
+              [--threads N] [--restarts R] [--cache-dir DIR]
+                                          propose an allocation with PlaceTool;
+                                          makespan searches with emulation in
+                                          the loop, sharded over --threads
+                                          workers and warm-started from
+                                          --cache-dir
     sweep     <model.sbd> --sizes 18,36,72
                                           emulate at several package sizes
     batch     <paths...> [--package-size N] [--frames N] [--detailed] [--trace]
@@ -109,6 +116,8 @@ COMMANDS:
                                           batched NDJSON-over-TCP emulation service
                                           on 127.0.0.1 with per-connection request
                                           pipelining (see segbus-serve docs)
+    cache     gc <dir>                    compact a --cache-dir report store,
+                                          dropping dead records
     codegen   <model.sbd> [--format vhdl|rust|c]
                                           generate arbiter schedule code
     analyze   <model.sbd>                 bus utilisation, wave timing, latency, energy
@@ -144,6 +153,9 @@ const VALUE_FLAGS: &[&str] = &[
     "frames",
     "segments",
     "seed",
+    "objective",
+    "capacity",
+    "restarts",
     "sizes",
     "format",
     "width",
@@ -376,7 +388,9 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     let [path] = pos.as_slice() else {
         return Err(fail(
-            "usage: segbus place <model.sbd> --segments N [--seed S]",
+            "usage: segbus place <model.sbd> --segments N [--seed S] \
+             [--objective items|packages|makespan] [--capacity C] \
+             [--threads N] [--restarts R] [--cache-dir DIR]",
         ));
     };
     let segments =
@@ -384,19 +398,76 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
     let seed = opt_u32(&opts, "seed")?.unwrap_or(42) as u64;
     let psm = load_psm(path)?;
     let app = psm.application();
-    if segments == 0 || segments > app.process_count() {
-        return Err(fail(format!(
-            "--segments must be in 1..={}",
-            app.process_count()
-        )));
+    let n = app.process_count();
+    if segments == 0 || segments > n {
+        return Err(fail(format!("--segments must be in 1..={n}")));
     }
     let s = psm.platform().package_size();
-    let placement = PlaceTool::new(app, segments)
-        .with_objective(Objective::Packages(s))
-        .best(seed);
+    let objective = match opt(&opts, "objective") {
+        None => "packages",
+        Some(None) => {
+            return Err(fail(
+                "--objective needs a value: items, packages or makespan",
+            ))
+        }
+        Some(Some(v)) => v,
+    };
+    let mut tool = PlaceTool::new(app, segments);
+    let label = match objective {
+        "items" => {
+            tool = tool.with_objective(Objective::Items);
+            "item cut"
+        }
+        "packages" => {
+            tool = tool.with_objective(Objective::Packages(s));
+            "package cut"
+        }
+        "makespan" => {
+            // Emulation in the loop judges candidates on the model's own
+            // platform, so the target segment count is not free.
+            if psm.platform().segment_count() != segments {
+                return Err(fail(format!(
+                    "--objective makespan emulates on the model's platform: \
+                     --segments must equal its {} segment(s)",
+                    psm.platform().segment_count()
+                )));
+            }
+            tool = tool.with_makespan(psm.platform());
+            "makespan_ps"
+        }
+        other => {
+            return Err(fail(format!(
+                "--objective: unknown objective {other:?} (items, packages or makespan)"
+            )))
+        }
+    };
+    if let Some(cap) = opt_u32(&opts, "capacity")? {
+        let cap = cap as usize;
+        if cap == 0 || cap * segments < n {
+            return Err(fail(format!(
+                "--capacity {cap} cannot host {n} process(es) on {segments} segment(s)"
+            )));
+        }
+        tool = tool.with_capacity(cap);
+    }
+    let threads = opt_u32(&opts, "threads")?.unwrap_or(0) as usize;
+    let restarts = opt_u32(&opts, "restarts")?.unwrap_or(3) as usize;
+    if restarts == 0 {
+        return Err(fail("--restarts must be at least 1"));
+    }
+    let mut search = tool.parallel(threads).with_restarts(restarts);
+    if let Some(dir) = opt(&opts, "cache-dir") {
+        let dir = dir.ok_or_else(|| fail("--cache-dir needs a directory"))?;
+        search = search
+            .with_cache_dir(Path::new(dir))
+            .map_err(|e| fail(format!("--cache-dir {dir}: {e}")))?;
+    }
+    let placement = search.best(seed);
     let mut out = format!(
-        "PlaceTool: {} segments, package cut {}\n",
-        segments, placement.cost
+        "PlaceTool: {} segments, {} thread(s), {label} {}\n",
+        segments,
+        search.threads(),
+        placement.cost
     );
     for i in 0..segments {
         let seg = segbus_model::ids::SegmentId(i as u16);
@@ -408,9 +479,50 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
             .collect();
         let _ = writeln!(out, "  {seg}: {}", names.join(" "));
     }
-    let baseline = psm.allocation().package_cut(app, s);
-    let _ = writeln!(out, "model file's allocation cut: {baseline}");
+    if objective == "packages" {
+        let baseline = psm.allocation().package_cut(app, s);
+        let _ = writeln!(out, "model file's allocation cut: {baseline}");
+    }
+    if objective == "makespan" {
+        let st = search.stats();
+        let _ = writeln!(
+            out,
+            "search: {} evaluation(s), {} memo hit(s), {} disk hit(s), {} emulated",
+            st.evaluations, st.memo_hits, st.cache.disk_hits, st.emulations
+        );
+    }
     Ok(out)
+}
+
+fn cmd_cache(args: &[String]) -> Result<String, CliError> {
+    let (pos, _) = split_opts(args);
+    match pos.as_slice() {
+        ["gc", dir] => {
+            // A gc must never create a store; `open` would.
+            if !Path::new(dir).is_dir() {
+                return Err(fail(format!("no cache directory at {dir}")));
+            }
+            // `open` already drops dead records and compacts when the scan
+            // finds any; the explicit pass also reclaims stores whose live
+            // records merely sit at stale offsets.
+            let mut store = segbus_core::DiskStore::open(Path::new(dir))
+                .map_err(|e| fail(format!("cannot open cache {dir}: {e}")))?;
+            let dead = store.dead_on_load();
+            let truncated = store.truncated_on_load();
+            let reclaimed = store.reclaimed_on_load()
+                + store
+                    .compact()
+                    .map_err(|e| fail(format!("compact {dir}: {e}")))?;
+            Ok(format!(
+                "cache gc: {} live report(s), {} byte(s) on disk; \
+                 {dead} dead record(s) dropped, {reclaimed} byte(s) reclaimed, \
+                 {truncated} byte(s) of corrupt tail truncated\n",
+                store.len(),
+                store.file_bytes(),
+            ))
+        }
+        _ => Err(fail("usage: segbus cache gc <dir>")),
+    }
 }
 
 fn cmd_sweep(args: &[String]) -> Result<String, CliError> {
@@ -837,6 +949,92 @@ mod tests {
         assert!(run(&args(&["place", &f])).is_err());
         let out = run(&args(&["place", &f, "--segments", "2"])).unwrap();
         assert!(out.contains("package cut"), "{out}");
+    }
+
+    #[test]
+    fn place_objectives_and_error_paths() {
+        let dir = tmpdir("plo");
+        let f = demo_file(&dir);
+        let items = run(&args(&[
+            "place",
+            &f,
+            "--segments",
+            "2",
+            "--objective",
+            "items",
+        ]))
+        .unwrap();
+        assert!(items.contains("item cut"), "{items}");
+        let mk = run(&args(&[
+            "place",
+            &f,
+            "--segments",
+            "2",
+            "--objective",
+            "makespan",
+            "--threads",
+            "2",
+            "--restarts",
+            "2",
+        ]))
+        .unwrap();
+        assert!(mk.contains("makespan_ps"), "{mk}");
+        assert!(mk.contains("search:"), "{mk}");
+        let cap = run(&args(&["place", &f, "--segments", "2", "--capacity", "1"])).unwrap();
+        assert!(cap.contains("package cut"), "{cap}");
+        // Error paths: unknown objective, makespan segment mismatch,
+        // impossible capacity, zero restarts.
+        let bad = run(&args(&["place", &f, "--segments", "2", "--objective", "x"])).unwrap_err();
+        assert!(bad.message.contains("unknown objective"), "{bad}");
+        let mismatch = run(&args(&[
+            "place",
+            &f,
+            "--segments",
+            "1",
+            "--objective",
+            "makespan",
+        ]))
+        .unwrap_err();
+        assert!(mismatch.message.contains("segment"), "{mismatch}");
+        assert!(run(&args(&["place", &f, "--segments", "2", "--capacity", "0"])).is_err());
+        assert!(run(&args(&["place", &f, "--segments", "2", "--restarts", "0"])).is_err());
+    }
+
+    #[test]
+    fn place_warm_cache_dir_emulates_nothing() {
+        let dir = tmpdir("plc");
+        let f = demo_file(&dir);
+        let cache = dir.join("place-cache").to_string_lossy().into_owned();
+        let cmd = [
+            "place",
+            &f,
+            "--segments",
+            "2",
+            "--objective",
+            "makespan",
+            "--cache-dir",
+            &cache,
+        ];
+        let cold = run(&args(&cmd)).unwrap();
+        let warm = run(&args(&cmd)).unwrap();
+        assert_eq!(cold.lines().next(), warm.lines().next(), "same placement");
+        assert!(warm.contains("0 emulated"), "{warm}");
+    }
+
+    #[test]
+    fn cache_gc_compacts_a_store() {
+        let dir = tmpdir("gc");
+        let f = demo_file(&dir);
+        let cache = dir.join("gc-store").to_string_lossy().into_owned();
+        run(&args(&["batch", &f, "--cache-dir", &cache])).unwrap();
+        let out = run(&args(&["cache", "gc", &cache])).unwrap();
+        assert!(out.contains("live report(s)"), "{out}");
+        assert!(run(&args(&["cache"])).is_err());
+        // A path that cannot become a store directory (it is a file).
+        assert!(run(&args(&["cache", "gc", &f])).is_err());
+        // A gc must not conjure a store out of a missing directory.
+        let missing = dir.join("no-such-store").to_string_lossy().into_owned();
+        assert!(run(&args(&["cache", "gc", &missing])).is_err());
     }
 
     #[test]
