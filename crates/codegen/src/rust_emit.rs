@@ -5,6 +5,14 @@
 //! table, each entry carrying the wave, the job kind and its operands.
 //! Firmware, another simulator, or the arbiters themselves can link the
 //! tables directly.
+//!
+//! Alongside the tables the module carries a standalone stepper,
+//! `SaStepper`, that replays one arbiter's table a single bus grant at a
+//! time — the same wave-major order the in-process fast core walks its
+//! precomputed schedule slices in — so the firmware-export story stays
+//! in lock-step with the engine. CI compile-checks the emitted module
+//! (`rustc --edition 2021 --crate-type lib`) so generated code cannot
+//! silently rot.
 
 use std::fmt::Write as _;
 
@@ -38,7 +46,50 @@ pub fn to_rust(psm: &Psm, sched: &SystemSchedule) -> String {
          \x20   BuDeliver(u16, u32),\n\
          }\n\n\
          /// A scheduled entry: (wave, job, packages).\n\
-         pub type Entry = (u32, SaJob, u64);\n\n",
+         pub type Entry = (u32, SaJob, u64);\n\n\
+         /// Replays one arbiter's schedule a single bus grant at a time.\n\
+         ///\n\
+         /// Each [`Entry`] covers `packages` grants; the stepper yields them\n\
+         /// one by one in table order — the wave-major order the emulator's\n\
+         /// arbitration produces dynamically. Drive firmware or a\n\
+         /// co-simulation by calling [`SaStepper::next_grant`] once per\n\
+         /// granted bus transfer.\n\
+         pub struct SaStepper {\n\
+         \x20   entries: &'static [Entry],\n\
+         \x20   pos: usize,\n\
+         \x20   left: u64,\n\
+         }\n\n\
+         impl SaStepper {\n\
+         \x20   /// A stepper positioned at the first grant of `entries`.\n\
+         \x20   pub const fn new(entries: &'static [Entry]) -> SaStepper {\n\
+         \x20       let left = if entries.is_empty() { 0 } else { entries[0].2 };\n\
+         \x20       SaStepper { entries, pos: 0, left }\n\
+         \x20   }\n\n\
+         \x20   /// The next bus grant as `(wave, job)`, or `None` once the\n\
+         \x20   /// schedule is exhausted.\n\
+         \x20   pub fn next_grant(&mut self) -> Option<(u32, SaJob)> {\n\
+         \x20       while self.left == 0 {\n\
+         \x20           self.pos += 1;\n\
+         \x20           if self.pos >= self.entries.len() {\n\
+         \x20               return None;\n\
+         \x20           }\n\
+         \x20           self.left = self.entries[self.pos].2;\n\
+         \x20       }\n\
+         \x20       self.left -= 1;\n\
+         \x20       let (wave, job, _) = self.entries[self.pos];\n\
+         \x20       Some((wave, job))\n\
+         \x20   }\n\n\
+         \x20   /// Grants not yet yielded.\n\
+         \x20   pub const fn remaining(&self) -> u64 {\n\
+         \x20       let mut n = self.left;\n\
+         \x20       let mut i = self.pos + 1;\n\
+         \x20       while i < self.entries.len() {\n\
+         \x20           n += self.entries[i].2;\n\
+         \x20           i += 1;\n\
+         \x20       }\n\
+         \x20       n\n\
+         \x20   }\n\
+         }\n\n",
     );
     for (i, jobs) in sched.sa.iter().enumerate() {
         let _ = writeln!(
@@ -107,7 +158,35 @@ pub fn to_rust(psm: &Psm, sched: &SystemSchedule) -> String {
             j.wave, j.from.0, j.to.0, j.packages
         );
     }
-    out.push_str("];\n");
+    out.push_str("];\n\n");
+    let refs: Vec<String> = (1..=sched.sa.len())
+        .map(|i| format!("&SA_SCHEDULE_{i}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "/// Every segment-arbiter schedule, SA1 first.\n\
+         pub const SA_SCHEDULES: [&[Entry]; {}] = [{}];\n",
+        sched.sa.len(),
+        refs.join(", ")
+    );
+    out.push_str(
+        "/// Total bus grants across every arbiter schedule — one grant per\n\
+         /// package of every job, the sum a full [`SaStepper`] walk yields.\n\
+         pub const fn total_grants() -> u64 {\n\
+         \x20   let mut n = 0;\n\
+         \x20   let mut s = 0;\n\
+         \x20   while s < SA_SCHEDULES.len() {\n\
+         \x20       let t = SA_SCHEDULES[s];\n\
+         \x20       let mut i = 0;\n\
+         \x20       while i < t.len() {\n\
+         \x20           n += t[i].2;\n\
+         \x20           i += 1;\n\
+         \x20       }\n\
+         \x20       s += 1;\n\
+         \x20   }\n\
+         \x20   n\n\
+         }\n",
+    );
     out
 }
 
@@ -141,6 +220,50 @@ mod tests {
             assert!(src.contains(&header), "missing {header}");
         }
         assert!(src.contains(&format!("[(u32, u16, u16, u64); {}]", sched.ca.len())));
+    }
+
+    #[test]
+    fn stepper_and_totals_are_emitted() {
+        let psm = mp3::three_segment_psm();
+        let sched = SystemSchedule::derive(&psm);
+        let src = to_rust(&psm, &sched);
+        assert!(src.contains("pub struct SaStepper"));
+        assert!(src.contains("pub fn next_grant(&mut self) -> Option<(u32, SaJob)>"));
+        assert!(src.contains(&format!(
+            "pub const SA_SCHEDULES: [&[Entry]; {}]",
+            sched.sa.len()
+        )));
+        assert!(src.contains("pub const fn total_grants() -> u64"));
+    }
+
+    #[test]
+    fn emitted_module_compiles_standalone() {
+        // The real guard is the CI codegen check (`rustc --edition 2021
+        // --crate-type lib` on the mp3 model); this mirrors it wherever a
+        // rustc happens to be on PATH and skips quietly otherwise.
+        let psm = mp3::three_segment_psm();
+        let sched = SystemSchedule::derive(&psm);
+        let src = to_rust(&psm, &sched);
+        let dir = std::env::temp_dir().join(format!("segbus-rust-emit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src_path = dir.join("schedule.rs");
+        std::fs::write(&src_path, &src).unwrap();
+        let out = std::process::Command::new("rustc")
+            .args(["--edition", "2021", "--crate-type", "lib", "-D", "warnings"])
+            .arg("--out-dir")
+            .arg(&dir)
+            .arg(&src_path)
+            .output();
+        let out = match out {
+            Ok(o) => o,
+            Err(_) => return,
+        };
+        assert!(
+            out.status.success(),
+            "emitted module failed to compile:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

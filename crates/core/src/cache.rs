@@ -68,9 +68,11 @@ fn absorb_config(h: &mut Fnv64, config: &EmulatorConfig) {
         ArbitrationPolicy::FairRoundRobin => 2,
     });
     h.write_u8(config.trace as u8);
-    // The queue kind is deliberately *excluded*: both implementations are
-    // differential-tested bit-identical, so reports may be shared across
-    // them. (DESIGN.md §10 documents this as part of the cache contract.)
+    // The queue kind and the engine kind are deliberately *excluded*:
+    // every implementation pair is differential-tested bit-identical, so
+    // reports may be shared across them — an entry written by the
+    // interpreter answers for the fast core and vice versa. (DESIGN.md
+    // §10 and §12 document this as part of the cache contract.)
 }
 
 /// The cache key of one emulation job: `Psm::digest` + config + frames.
@@ -581,6 +583,13 @@ mod tests {
             ..base
         };
         assert_eq!(d, job_digest(&m, &heap, 1), "queue kind shares entries");
+        // Neither is the engine kind: the fast core and the interpreter
+        // produce the same report, so their cache entries interchange.
+        let interp = EmulatorConfig {
+            engine: crate::EngineKind::Interpreter,
+            ..base
+        };
+        assert_eq!(d, job_digest(&m, &interp, 1), "engine kind shares entries");
     }
 
     #[test]

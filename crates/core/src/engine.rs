@@ -121,20 +121,20 @@ enum Ev {
 // compiled plan
 
 /// Sentinel in `flow_path` for intra-segment flows (no CA involvement).
-const NO_PATH: u32 = u32::MAX;
+pub(crate) const NO_PATH: u32 = u32::MAX;
 
 /// An inter-segment route with its per-hop border units, compiled once.
 #[derive(Clone, Debug)]
-struct PathInfo {
+pub(crate) struct PathInfo {
     /// Segments on the path, source first, destination last.
-    segs: Vec<SegmentId>,
+    pub(crate) segs: Vec<SegmentId>,
     /// `bu[h]` is the dense index of the BU between `segs[h]` and
     /// `segs[h+1]`.
-    bu: Vec<u32>,
+    pub(crate) bu: Vec<u32>,
     /// `segs[h]` is the *left* side of `bu[h]` (load direction).
-    load_left: Vec<bool>,
+    pub(crate) load_left: Vec<bool>,
     /// `segs[h+1]` is the *right* side of `bu[h]` (unload direction).
-    unload_right: Vec<bool>,
+    pub(crate) unload_right: Vec<bool>,
 }
 
 /// Division by a run-invariant divisor, strength-reduced to a 128-bit
@@ -143,8 +143,8 @@ struct PathInfo {
 /// [`FastDiv::max_exact`]; larger operands fall back to the hardware
 /// divider, so every result equals plain `x / d` everywhere.
 #[derive(Clone, Copy, Debug)]
-struct FastDiv {
-    d: u64,
+pub(crate) struct FastDiv {
+    pub(crate) d: u64,
     /// `ceil(2^70 / d)`.
     inv: u128,
     /// Strict upper bound on `x` for the multiply to be exact:
@@ -155,7 +155,7 @@ struct FastDiv {
 }
 
 impl FastDiv {
-    fn new(d: u64) -> FastDiv {
+    pub(crate) fn new(d: u64) -> FastDiv {
         assert!(d > 0, "divisor must be non-zero");
         let d128 = d as u128;
         FastDiv {
@@ -170,7 +170,7 @@ impl FastDiv {
     /// `x < 2^70 / d` the error term is below `1/d`, smaller than the
     /// distance from `x/d` to the next integer, so the floor is exact.
     #[inline]
-    fn floor_div(&self, x: u64) -> u64 {
+    pub(crate) fn floor_div(&self, x: u64) -> u64 {
         if x < self.max_exact {
             ((x as u128 * self.inv) >> 70) as u64
         } else {
@@ -182,12 +182,12 @@ impl FastDiv {
 /// Clock-edge arithmetic over a [`FastDiv`] of the clock period — the hot
 /// loop's mirror of [`ClockDomain`], bit-identical everywhere.
 #[derive(Clone, Copy, Debug)]
-struct FastClock {
-    period: FastDiv,
+pub(crate) struct FastClock {
+    pub(crate) period: FastDiv,
 }
 
 impl FastClock {
-    fn new(c: ClockDomain) -> FastClock {
+    pub(crate) fn new(c: ClockDomain) -> FastClock {
         FastClock {
             period: FastDiv::new(c.period_ps()),
         }
@@ -195,19 +195,19 @@ impl FastClock {
 
     /// See [`ClockDomain::next_edge`].
     #[inline]
-    fn next_edge(&self, t: Picos) -> Picos {
+    pub(crate) fn next_edge(&self, t: Picos) -> Picos {
         Picos(self.period.floor_div(t.0 + self.period.d - 1) * self.period.d)
     }
 
     /// See [`ClockDomain::ticks_to_picos`].
     #[inline]
-    fn ticks_to_picos(&self, ticks: u64) -> Picos {
+    pub(crate) fn ticks_to_picos(&self, ticks: u64) -> Picos {
         Picos(ticks * self.period.d)
     }
 
     /// See [`ClockDomain::ticks_at`].
     #[inline]
-    fn ticks_at(&self, t: Picos) -> u64 {
+    pub(crate) fn ticks_at(&self, t: Picos) -> u64 {
         self.period.floor_div(t.0)
     }
 }
@@ -217,31 +217,31 @@ impl FastClock {
 /// model crate's object graph; the event loop reads these arrays only.
 #[derive(Debug)]
 pub struct EnginePlan<'a> {
-    psm: &'a Psm,
-    s: u32,
-    nseg: usize,
-    nproc: usize,
-    n_bu: usize,
-    flow_src: Vec<ProcessId>,
-    flow_dst: Vec<ProcessId>,
-    flow_pkgs: Vec<u64>,
+    pub(crate) psm: &'a Psm,
+    pub(crate) s: u32,
+    pub(crate) nseg: usize,
+    pub(crate) nproc: usize,
+    pub(crate) n_bu: usize,
+    pub(crate) flow_src: Vec<ProcessId>,
+    pub(crate) flow_dst: Vec<ProcessId>,
+    pub(crate) flow_pkgs: Vec<u64>,
     /// Strength-reduced divisions by `flow_pkgs` (frame recovery on
     /// delivery happens once per package).
-    flow_pkg_div: Vec<FastDiv>,
-    flow_compute: Vec<u64>,
+    pub(crate) flow_pkg_div: Vec<FastDiv>,
+    pub(crate) flow_compute: Vec<u64>,
     /// Wave index of each flow (parallel to the flow table).
-    flow_wave: Vec<usize>,
+    pub(crate) flow_wave: Vec<usize>,
     /// Index into `paths`, or [`NO_PATH`] for intra-segment flows.
-    flow_path: Vec<u32>,
-    proc_seg: Vec<SegmentId>,
-    seg_clock: Vec<ClockDomain>,
-    ca_clock: ClockDomain,
+    pub(crate) flow_path: Vec<u32>,
+    pub(crate) proc_seg: Vec<SegmentId>,
+    pub(crate) seg_clock: Vec<ClockDomain>,
+    pub(crate) ca_clock: ClockDomain,
     /// Strength-reduced mirrors of `seg_clock` / `ca_clock` for the event
     /// loop (report assembly keeps the plain domains).
-    fast_seg: Vec<FastClock>,
-    fast_ca: FastClock,
-    waves: Vec<Vec<FlowId>>,
-    paths: Vec<PathInfo>,
+    pub(crate) fast_seg: Vec<FastClock>,
+    pub(crate) fast_ca: FastClock,
+    pub(crate) waves: Vec<Vec<FlowId>>,
+    pub(crate) paths: Vec<PathInfo>,
     /// Calendar-queue bucket-width hint. A bucket of a few dozen clock
     /// ticks keeps the ring sparse — consecutive events are typically
     /// many ticks apart — without letting any single bucket collect a
@@ -540,6 +540,7 @@ impl EngineScratch {
 pub struct Engine {
     config: EmulatorConfig,
     scratch: EngineScratch,
+    fast: crate::fast::FastScratch,
 }
 
 impl Engine {
@@ -548,6 +549,7 @@ impl Engine {
         Engine {
             config,
             scratch: EngineScratch::default(),
+            fast: crate::fast::FastScratch::default(),
         }
     }
 
@@ -596,6 +598,12 @@ impl Engine {
     /// Panics if `frames` is zero.
     pub fn run_plan(&mut self, plan: &EnginePlan, frames: u64) -> EmulationReport {
         assert!(frames > 0, "at least one frame");
+        // The fast core compiles trace hooks out entirely, so traced runs
+        // stay on the interpreter; everything else takes the specialised
+        // path (bit-identical by the differential suite).
+        if self.config.engine == crate::config::EngineKind::Fast && !self.config.trace {
+            return crate::fast::run_fast(plan, &mut self.fast, &self.config, frames);
+        }
         self.scratch.reset(plan, frames, &self.config);
         Run {
             plan,

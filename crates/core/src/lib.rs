@@ -40,6 +40,7 @@ pub mod config;
 pub mod counters;
 pub mod energy;
 pub mod engine;
+pub mod fast;
 pub mod gantt;
 pub mod parallel;
 pub mod persist;
@@ -55,7 +56,7 @@ pub use analysis::{
     BusUtilisation, LatencyStats,
 };
 pub use cache::{job_digest, BatchJob, CacheStats, CachedPool, ReportCache};
-pub use config::{ArbitrationPolicy, EmulatorConfig, ProducerRelease, TimingParams};
+pub use config::{ArbitrationPolicy, EmulatorConfig, EngineKind, ProducerRelease, TimingParams};
 pub use counters::{BuCounters, CaCounters, FuTimes, SaCounters};
 pub use energy::{estimate_energy, EnergyBreakdown, EnergyModel};
 pub use engine::{Emulator, Engine, EnginePlan};

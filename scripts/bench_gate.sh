@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
 # CI performance gate: re-run the committed throughput benchmarks and
-# compare each `runs_per_sec` against its committed baseline. Fails if
-# throughput regressed by more than the threshold (default 20%, i.e.
+# compare each gated field against its committed baseline. Fails if
+# throughput regressed by more than the tolerance (default 20%, i.e.
 # new < 0.80 × committed).
 #
 #   scripts/bench_gate.sh                 # gate P1 (engine) + P5 (placement)
-#   BENCH_GATE_THRESHOLD=0.5 scripts/bench_gate.sh   # looser gate
+#   BENCH_GATE_TOLERANCE=0.5 scripts/bench_gate.sh   # looser gate
 #
 # Gated benchmarks:
 #   exp_perf       -> BENCH_engine.json   P1 engine throughput
+#                     (interpreter `runs_per_sec` + fast-core
+#                      `fast_runs_per_sec`)
 #   exp_place_perf -> BENCH_place.json    P5 parallel placement search
+#
+# Each benchmark runs five times and every field is gated on its
+# best-of-5: the gate asks "can this machine still reach the committed
+# throughput", and scheduler hiccups only ever subtract — the best
+# observation is the least noisy estimate of the machine's capability,
+# so a single slow run (or three) cannot flip the verdict.
 #
 # The committed baselines are restored afterwards, so the gate never
 # dirties the working tree — machine-to-machine absolute numbers vary;
@@ -18,7 +26,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-THRESHOLD="${BENCH_GATE_THRESHOLD:-0.80}"
+# BENCH_GATE_THRESHOLD is the historical name, kept as a fallback.
+TOLERANCE="${BENCH_GATE_TOLERANCE:-${BENCH_GATE_THRESHOLD:-0.80}}"
+ROUNDS=5
 fails=0
 
 json_field() {
@@ -26,20 +36,26 @@ json_field() {
     awk -F: -v key="\"$2\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print $2 }' "$1"
 }
 
-# gate <baseline.json> <bin> <title>
+# gate <baseline.json> <bin> <title> <key> [<key>...]
 gate() {
     local baseline="$1" bin="$2" title="$3"
+    shift 3
+    local keys=("$@")
 
     if [[ ! -f "$baseline" ]]; then
         echo "bench gate: no committed $baseline baseline" >&2
         return 1
     fi
-    local old_rps
-    old_rps=$(json_field "$baseline" runs_per_sec)
-    if [[ -z "$old_rps" ]]; then
-        echo "bench gate: cannot read runs_per_sec from $baseline" >&2
-        return 1
-    fi
+    local old=() key
+    for key in "${keys[@]}"; do
+        local v
+        v=$(json_field "$baseline" "$key")
+        if [[ -z "$v" ]]; then
+            echo "bench gate: cannot read $key from $baseline" >&2
+            return 1
+        fi
+        old+=("$v")
+    done
 
     # The bench overwrites its baseline in the cwd; park the committed
     # copy and restore it on every exit path.
@@ -47,60 +63,69 @@ gate() {
     saved=$(mktemp)
     cp "$baseline" "$saved"
 
-    # Run the benchmark three times and gate on the median, so a single
-    # noisy scheduler hiccup (either direction) cannot flip the verdict
-    # near the threshold.
-    echo "== bench gate: cargo run --release -p segbus-report --bin $bin (median of 3) =="
-    local runs=() rps i
-    for i in 1 2 3; do
+    echo "== bench gate: cargo run --release -p segbus-report --bin $bin (best of $ROUNDS) =="
+    local best=() i k v
+    for ((k = 0; k < ${#keys[@]}; k++)); do
+        best+=("")
+    done
+    for ((i = 1; i <= ROUNDS; i++)); do
         if ! cargo run --release -q -p segbus-report --bin "$bin"; then
             cp "$saved" "$baseline"; rm -f "$saved"
             echo "bench gate: $bin run $i failed" >&2
             return 1
         fi
-        rps=$(json_field "$baseline" runs_per_sec)
-        if [[ -z "$rps" ]]; then
-            cp "$saved" "$baseline"; rm -f "$saved"
-            echo "bench gate: $bin run $i produced no runs_per_sec" >&2
-            return 1
-        fi
-        echo "bench gate: run $i -> ${rps} runs/s"
-        runs+=("$rps")
+        local line="bench gate: run $i ->"
+        for ((k = 0; k < ${#keys[@]}; k++)); do
+            v=$(json_field "$baseline" "${keys[$k]}")
+            if [[ -z "$v" ]]; then
+                cp "$saved" "$baseline"; rm -f "$saved"
+                echo "bench gate: $bin run $i produced no ${keys[$k]}" >&2
+                return 1
+            fi
+            line+=" ${keys[$k]} ${v}"
+            if [[ -z "${best[$k]}" ]] ||
+                awk -v a="$v" -v b="${best[$k]}" 'BEGIN { exit !(a > b) }'; then
+                best[$k]="$v"
+            fi
+        done
+        echo "$line"
     done
     cp "$saved" "$baseline"; rm -f "$saved"
-    local new_rps
-    new_rps=$(printf '%s\n' "${runs[@]}" | sort -g | sed -n 2p)
 
-    local verdict ok
-    verdict=$(awk -v new="$new_rps" -v old="$old_rps" -v thr="$THRESHOLD" 'BEGIN {
-        ratio = new / old
-        printf "ratio %.3f (threshold %.2f)\n", ratio, thr
-        exit (ratio < thr) ? 1 : 0
-    }') && ok=1 || ok=0
-
-    echo "bench gate [$title]: committed ${old_rps} runs/s, median of 3 runs ${new_rps} runs/s — ${verdict}"
+    local ok=1 summary=""
+    for ((k = 0; k < ${#keys[@]}; k++)); do
+        local verdict field_ok
+        verdict=$(awk -v new="${best[$k]}" -v old="${old[$k]}" -v tol="$TOLERANCE" 'BEGIN {
+            ratio = new / old
+            printf "ratio %.3f (tolerance %.2f)\n", ratio, tol
+            exit (ratio < tol) ? 1 : 0
+        }') && field_ok=1 || field_ok=0
+        echo "bench gate [$title/${keys[$k]}]: committed ${old[$k]} runs/s, best of $ROUNDS ${best[$k]} runs/s — ${verdict}"
+        summary+="| ${keys[$k]} | ${old[$k]} | ${best[$k]} | ${verdict%$'\n'} |"$'\n'
+        if [[ "$field_ok" -ne 1 ]]; then
+            ok=0
+        fi
+    done
     if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
         {
             echo "### $title gate"
             echo ""
-            echo "| | runs/s |"
-            echo "|---|---|"
-            echo "| committed baseline | ${old_rps} |"
-            echo "| median of 3 runs | ${new_rps} |"
+            echo "| field | committed | best of $ROUNDS | verdict |"
+            echo "|---|---|---|---|"
+            printf '%s' "$summary"
             echo ""
-            echo "${verdict}"
         } >>"$GITHUB_STEP_SUMMARY"
     fi
 
     if [[ "$ok" -ne 1 ]]; then
-        echo "bench gate [$title]: FAIL — throughput regressed more than $(awk -v t="$THRESHOLD" 'BEGIN { printf "%.0f%%", (1-t)*100 }')" >&2
+        echo "bench gate [$title]: FAIL — throughput regressed more than $(awk -v t="$TOLERANCE" 'BEGIN { printf "%.0f%%", (1-t)*100 }')" >&2
         return 1
     fi
     echo "bench gate [$title]: OK"
 }
 
-gate BENCH_engine.json exp_perf "Engine throughput" || fails=1
-gate BENCH_place.json exp_place_perf "Placement search throughput" || fails=1
+gate BENCH_engine.json exp_perf "Engine throughput" runs_per_sec fast_runs_per_sec || fails=1
+gate BENCH_place.json exp_place_perf "Placement search throughput" runs_per_sec || fails=1
 
 if [[ "$fails" -ne 0 ]]; then
     echo "bench gate: FAIL" >&2

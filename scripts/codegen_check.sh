@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Emitted-code rot guard: run the Rust schedule emitter on the committed
+# mp3 example model and compile-check the result as a standalone,
+# dependency-free library. The emitted module ships const tables plus the
+# SaStepper replay function; if either stops being valid Rust this fails.
+#
+#   scripts/codegen_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== codegen check: emit models/mp3_three_segments.sbd as Rust =="
+cargo run --release -q -p segbus -- codegen models/mp3_three_segments.sbd \
+    --format rust >"$tmp/schedule.rs"
+
+echo "== codegen check: rustc --edition 2021 --crate-type lib =="
+rustc --edition 2021 --crate-type lib -D warnings \
+    --out-dir "$tmp" "$tmp/schedule.rs"
+
+echo "codegen check: OK"

@@ -89,7 +89,10 @@ COMMANDS:
     validate  <model.sbd>                 parse and run the structural constraints
     matrix    <model.sbd>                 print the communication matrix (Fig. 8 style)
     emulate   <model.sbd> [--trace] [--package-size N] [--detailed] [--frames N]
+              [--engine fast|interpreter]
                                           run the performance estimator
+                                          (--engine interpreter falls back to
+                                          the general event-loop core)
     reference <model.sbd> [--package-size N]
                                           run the cycle-accurate reference simulator
     accuracy  <model.sbd> [--package-size N]
@@ -99,6 +102,7 @@ COMMANDS:
     place     <model.sbd> --segments N [--seed S]
               [--objective items|packages|makespan] [--capacity C]
               [--threads N] [--restarts R] [--cache-dir DIR]
+              [--engine fast|interpreter]
                                           propose an allocation with PlaceTool;
                                           makespan searches with emulation in
                                           the loop, sharded over --threads
@@ -108,11 +112,12 @@ COMMANDS:
                                           emulate at several package sizes
     batch     <paths...> [--package-size N] [--frames N] [--detailed] [--trace]
               [--threads N] [--cache N] [--cache-dir DIR]
+              [--engine fast|interpreter]
                                           emulate many models (files or directories
                                           of .sbd) through the report cache;
                                           --cache-dir persists reports across runs
     serve     [--port N] [--threads N] [--cache N] [--cache-dir DIR]
-              [--window N] [--max-frames N]
+              [--window N] [--max-frames N] [--engine fast|interpreter]
                                           batched NDJSON-over-TCP emulation service
                                           on 127.0.0.1 with per-connection request
                                           pipelining (see segbus-serve docs)
@@ -150,6 +155,7 @@ fn precheck(psm: &Psm, frames: u64, path: &str) -> Result<(), CliError> {
 /// following positional is never swallowed.
 const VALUE_FLAGS: &[&str] = &[
     "package-size",
+    "engine",
     "frames",
     "segments",
     "seed",
@@ -207,6 +213,22 @@ fn opt_u32(opts: &[(&str, Option<&str>)], key: &str) -> Result<Option<u32>, CliE
             .parse()
             .map(Some)
             .map_err(|_| fail(format!("--{key}: {v:?} is not a number"))),
+    }
+}
+
+/// `--engine fast|interpreter` — which emulator core runs the schedule.
+/// The specialised fast core is the default; `interpreter` is the escape
+/// hatch back to the general event-loop engine (bit-identical reports,
+/// so this only ever matters for triage).
+fn opt_engine(opts: &[(&str, Option<&str>)]) -> Result<segbus_core::EngineKind, CliError> {
+    match opt(opts, "engine") {
+        None => Ok(segbus_core::EngineKind::Fast),
+        Some(None) => Err(fail("--engine needs a value: fast or interpreter")),
+        Some(Some("fast")) => Ok(segbus_core::EngineKind::Fast),
+        Some(Some("interpreter")) => Ok(segbus_core::EngineKind::Interpreter),
+        Some(Some(other)) => Err(fail(format!(
+            "--engine: unknown engine {other:?} (fast or interpreter)"
+        ))),
     }
 }
 
@@ -277,10 +299,13 @@ fn cmd_matrix(args: &[String]) -> Result<String, CliError> {
 fn cmd_emulate(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     let [path] = pos.as_slice() else {
-        return Err(fail("usage: segbus emulate <model.sbd> [--trace] [--package-size N] [--detailed] [--frames N]"));
+        return Err(fail("usage: segbus emulate <model.sbd> [--trace] [--package-size N] [--detailed] [--frames N] [--engine fast|interpreter]"));
     };
     let psm = apply_package_size(load_psm(path)?, &opts)?;
-    let mut config = EmulatorConfig::default();
+    let mut config = EmulatorConfig {
+        engine: opt_engine(&opts)?,
+        ..EmulatorConfig::default()
+    };
     if opt(&opts, "trace").is_some() {
         config.trace = true;
     }
@@ -390,7 +415,8 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
         return Err(fail(
             "usage: segbus place <model.sbd> --segments N [--seed S] \
              [--objective items|packages|makespan] [--capacity C] \
-             [--threads N] [--restarts R] [--cache-dir DIR]",
+             [--threads N] [--restarts R] [--cache-dir DIR] \
+             [--engine fast|interpreter]",
         ));
     };
     let segments =
@@ -412,7 +438,10 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
         }
         Some(Some(v)) => v,
     };
-    let mut tool = PlaceTool::new(app, segments);
+    let mut tool = PlaceTool::new(app, segments).with_emulator_config(EmulatorConfig {
+        engine: opt_engine(&opts)?,
+        ..EmulatorConfig::default()
+    });
     let label = match objective {
         "items" => {
             tool = tool.with_objective(Objective::Items);
@@ -590,11 +619,14 @@ fn cmd_batch(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     if pos.is_empty() {
         return Err(fail(
-            "usage: segbus batch <paths...> [--package-size N] [--frames N] [--detailed] [--trace] [--threads N] [--cache N] [--cache-dir DIR]",
+            "usage: segbus batch <paths...> [--package-size N] [--frames N] [--detailed] [--trace] [--threads N] [--cache N] [--cache-dir DIR] [--engine fast|interpreter]",
         ));
     }
     let files = gather_models(&pos)?;
-    let mut config = EmulatorConfig::default();
+    let mut config = EmulatorConfig {
+        engine: opt_engine(&opts)?,
+        ..EmulatorConfig::default()
+    };
     if opt(&opts, "trace").is_some() {
         config.trace = true;
     }
@@ -671,7 +703,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     if !pos.is_empty() {
         return Err(fail(
-            "usage: segbus serve [--port N] [--threads N] [--cache N] [--cache-dir DIR] [--window N] [--max-frames N]",
+            "usage: segbus serve [--port N] [--threads N] [--cache N] [--cache-dir DIR] [--window N] [--max-frames N] [--engine fast|interpreter]",
         ));
     }
     let port = opt_u32(&opts, "port")?.unwrap_or(7878);
@@ -699,6 +731,10 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         cache_dir,
         window,
         max_frames,
+        config: EmulatorConfig {
+            engine: opt_engine(&opts)?,
+            ..EmulatorConfig::default()
+        },
         ..defaults
     })
     .map_err(|e| fail(format!("cannot start on 127.0.0.1:{port}: {e}")))?;
@@ -1060,6 +1096,27 @@ mod tests {
         let g = run(&args(&["gantt", &f, "--width", "40"])).unwrap();
         assert!(g.contains("Segment 1 |"), "{g}");
         assert!(run(&args(&["gantt", &f, "--width", "0"])).is_err());
+    }
+
+    #[test]
+    fn emulate_engine_flag() {
+        let dir = tmpdir("eng");
+        let f = demo_file(&dir);
+        // Bit-identity contract: the default fast core and the explicit
+        // interpreter print the very same report.
+        let fast = run(&args(&["emulate", &f, "--engine", "fast"])).unwrap();
+        let default = run(&args(&["emulate", &f])).unwrap();
+        let interp = run(&args(&["emulate", &f, "--engine", "interpreter"])).unwrap();
+        assert_eq!(fast, default);
+        assert_eq!(fast, interp);
+        let err = run(&args(&["emulate", &f, "--engine", "cobol"])).unwrap_err();
+        assert!(err.message.contains("unknown engine"), "{}", err.message);
+        let err = run(&args(&["emulate", &f, "--engine"])).unwrap_err();
+        assert!(err.message.contains("needs a value"), "{}", err.message);
+        // The escape hatch rides along on batch too.
+        let b = run(&args(&["batch", &f, "--engine", "interpreter"])).unwrap();
+        assert!(b.contains("1 model(s), 0 failure(s)"), "{b}");
+        assert!(run(&args(&["batch", &f, "--engine", "x"])).is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use segbus_core::{Emulator, EmulatorConfig, QueueKind, ReferenceEmulator};
+use segbus_core::{Emulator, EmulatorConfig, EngineKind, QueueKind, ReferenceEmulator};
 use segbus_model::mapping::Psm;
 use segbus_model::rng::SmallRng;
 use segbus_xml::m2t;
@@ -170,17 +170,23 @@ fn drive_xml(psdf: &str, psm: &str) -> Option<Psm> {
 }
 
 /// Emulate an accepted PSM through the fallible entry point; if the
-/// pre-flight accepts it and the run is small, the indexed engine and the
-/// vendored reference engine must agree bit for bit. Both engines take
-/// the un-prechecked input through their `try_` surfaces, so accept /
-/// reject decisions (and rejection codes) must agree too.
+/// pre-flight accepts it and the run is small, the interpreter, the fast
+/// core and the vendored reference engine must agree bit for bit. All
+/// engines take the un-prechecked input through their `try_` surfaces,
+/// so accept / reject decisions (and rejection codes) must agree too.
 fn emulate_and_compare(psm: &Psm, label: &str) {
     let indexed = EmulatorConfig {
         queue: QueueKind::Indexed,
+        engine: EngineKind::Interpreter,
+        ..EmulatorConfig::default()
+    };
+    let fast = EmulatorConfig {
+        engine: EngineKind::Fast,
         ..EmulatorConfig::default()
     };
     let heap = EmulatorConfig {
         queue: QueueKind::BinaryHeap,
+        engine: EngineKind::Interpreter,
         ..EmulatorConfig::default()
     };
     let a = match Emulator::new(indexed).try_run(psm) {
@@ -194,9 +200,26 @@ fn emulate_and_compare(psm: &Psm, label: &str) {
                 Ok(_) => panic!("{label}: reference accepted what the indexed engine rejected"),
             };
             assert_eq!(e.code, r.code, "{label}: rejection codes diverge");
+            // The fast core shares the pre-flight, so it must bounce the
+            // input with the same code — and must not panic on it.
+            let f = match Emulator::new(fast).try_run(psm) {
+                Err(f) => f,
+                Ok(_) => panic!("{label}: fast core accepted what the interpreter rejected"),
+            };
+            assert_eq!(e.code, f.code, "{label}: fast-core rejection codes diverge");
             return;
         }
     };
+    // Fast-core arm: the specialised core must accept exactly the same
+    // inputs and reproduce the interpreter's report bit for bit.
+    let f = Emulator::new(fast)
+        .try_run(psm)
+        .unwrap_or_else(|e| panic!("{label}: fast core rejected an accepted input: {e}"));
+    assert_eq!(a.makespan, f.makespan, "{label}: fast makespan");
+    assert_eq!(a.sas, f.sas, "{label}: fast SA stats");
+    assert_eq!(a.ca, f.ca, "{label}: fast CA stats");
+    assert_eq!(a.bus, f.bus, "{label}: fast bus counters");
+    assert_eq!(a.fus, f.fus, "{label}: fast FU counters");
     let s = psm.platform().package_size();
     let total_pkgs: u64 = psm
         .application()
@@ -230,9 +253,25 @@ fn emulate_and_compare(psm: &Psm, label: &str) {
                 Ok(_) => panic!("{label}: reference accepted a rejected frames-2 job"),
             };
             assert_eq!(e.code, r.code, "{label}: frames-2 rejection codes diverge");
+            let f = match Emulator::new(fast).try_run_frames(psm, 2) {
+                Err(f) => f,
+                Ok(_) => panic!("{label}: fast core accepted a rejected frames-2 job"),
+            };
+            assert_eq!(
+                e.code, f.code,
+                "{label}: fast frames-2 rejection codes diverge"
+            );
             return;
         }
     };
+    let f2 = Emulator::new(fast)
+        .try_run_frames(psm, 2)
+        .unwrap_or_else(|e| panic!("{label}: fast core rejected an accepted frames-2 job: {e}"));
+    assert_eq!(a2.makespan, f2.makespan, "{label}: fast frames-2 makespan");
+    assert_eq!(a2.sas, f2.sas, "{label}: fast frames-2 SA stats");
+    assert_eq!(a2.ca, f2.ca, "{label}: fast frames-2 CA stats");
+    assert_eq!(a2.bus, f2.bus, "{label}: fast frames-2 bus counters");
+    assert_eq!(a2.fus, f2.fus, "{label}: fast frames-2 FU counters");
     let r2 = ReferenceEmulator::new(heap)
         .try_run_frames(psm, 2)
         .unwrap_or_else(|e| panic!("{label}: reference rejected an accepted frames-2 job: {e}"));
