@@ -109,6 +109,15 @@ pub struct CacheStats {
     pub disk_len: usize,
 }
 
+impl CacheStats {
+    /// Hits answered from resident memory — the fastest tier. Together
+    /// with [`disk_hits`](CacheStats::disk_hits) and `misses` (the
+    /// emulate tier) this splits every lookup across the three tiers.
+    pub fn memory_hits(&self) -> u64 {
+        self.hits.saturating_sub(self.disk_hits)
+    }
+}
+
 const NIL: usize = usize::MAX;
 
 struct Entry {

@@ -10,7 +10,8 @@
 //! each run is itself deterministic — which the tests below assert.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use segbus_model::mapping::Psm;
 
@@ -97,22 +98,33 @@ impl SweepPool {
         let chunk = (jobs.len() / (threads * 8)).clamp(1, 32);
         let cursor = AtomicUsize::new(0);
         let slots = ResultSlots((0..jobs.len()).map(|_| UnsafeCell::new(None)).collect());
+        // Fail fast on a panicking job: the first panic flags the sweep so
+        // the other workers stop claiming chunks, then re-raises. The
+        // caller still sees the original panic (propagated through
+        // `thread::scope`), it just sees it without the pool grinding
+        // through the rest of the batch first.
+        let poisoned = AtomicBool::new(false);
 
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
                     let mut engine = Engine::new(self.config);
-                    loop {
+                    while !poisoned.load(Ordering::Relaxed) {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= jobs.len() {
                             break;
                         }
                         let end = (start + chunk).min(jobs.len());
                         for (i, job) in jobs.iter().enumerate().take(end).skip(start) {
-                            let r = f(&mut engine, job);
-                            // Safety: index `i` belongs to this worker's
-                            // chunk only (see ResultSlots).
-                            unsafe { slots.set(i, r) };
+                            match catch_unwind(AssertUnwindSafe(|| f(&mut engine, job))) {
+                                // Safety: index `i` belongs to this
+                                // worker's chunk only (see ResultSlots).
+                                Ok(r) => unsafe { slots.set(i, r) },
+                                Err(payload) => {
+                                    poisoned.store(true, Ordering::Relaxed);
+                                    resume_unwind(payload);
+                                }
+                            }
                         }
                     }
                 });
@@ -231,5 +243,32 @@ mod tests {
         assert!(run_many(&[]).is_empty());
         let one = run_many(&[psm(36)]);
         assert_eq!(one.len(), 1);
+    }
+
+    /// A panicking job propagates out of the sweep (no hang, no silent
+    /// loss) and flags the other workers to stop claiming chunks.
+    #[test]
+    fn panicking_job_propagates_and_fails_fast() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let jobs: Vec<u64> = (0..1000).collect();
+        let ran = AtomicUsize::new(0);
+        let pool = SweepPool::with_threads(EmulatorConfig::default(), 4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.sweep_with(&jobs, |_, &n| {
+                if n == 0 {
+                    panic!("injected job fault");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+                n
+            })
+        }));
+        assert!(result.is_err(), "the job's panic must reach the caller");
+        assert!(
+            ran.load(Ordering::Relaxed) < jobs.len(),
+            "fail-fast: the sweep must not run the whole batch"
+        );
+        // The pool is plain config — reusable after a poisoned sweep.
+        let out = pool.sweep_with(&jobs[1..], |_, &n| n);
+        assert_eq!(out.len(), jobs.len() - 1);
     }
 }

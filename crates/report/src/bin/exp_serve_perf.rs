@@ -1,0 +1,175 @@
+//! P6 — serve-tier throughput: the sharded non-blocking event core under
+//! ≥1k concurrent loopback connections.
+//!
+//! `DRIVERS` client threads each hold `CONNS_PER_DRIVER` open sockets
+//! (1024 connections total) against one in-process [`Server`] running the
+//! event-loop core. Every connection pipelines `ROUNDS` windows of
+//! `WINDOW` emulate requests drawn from a small distinct-job set, so
+//! after the first pass over the set the server answers from the
+//! in-memory report cache — the bench measures the serve tier (decode,
+//! admission, batching, cache lookup, response write), not the emulator.
+//!
+//! All drivers connect first and rendezvous on a barrier; the timed
+//! region covers only the request traffic. Throughput is wall-clock
+//! requests/second over the measured pass; p50/p99 service latency comes
+//! from the server's own fixed-bucket histogram via a final `stats`
+//! request. The result lands in `BENCH_serve.json` (gated by
+//! `scripts/bench_gate.sh`) next to a human-readable summary.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use segbus_serve::json::{self, Json};
+use segbus_serve::{ServeOptions, Server};
+
+const DRIVERS: usize = 16;
+const CONNS_PER_DRIVER: usize = 64;
+const CONNECTIONS: usize = DRIVERS * CONNS_PER_DRIVER;
+/// Requests pipelined per connection per round (= the server window).
+const WINDOW: usize = 8;
+const ROUNDS: usize = 2;
+/// Distinct jobs; every request beyond the first `DISTINCT_JOBS` is a
+/// cache hit.
+const DISTINCT_JOBS: u64 = 32;
+
+const DEMO: &str = "application a {\n  process X initial;\n  process Y final;\n  flow X -> Y { items 72; order 1; ticks 100; }\n}\nplatform p {\n  segment S0 { freq_mhz 100; hosts X; }\n  segment S1 { freq_mhz 100; hosts Y; }\n}\n";
+
+fn emulate_line(id: u64, frames: u64) -> String {
+    let mut src = String::new();
+    json::write_str(&mut src, DEMO);
+    format!("{{\"id\": {id}, \"cmd\": \"emulate\", \"source\": {src}, \"frames\": {frames}}}\n")
+}
+
+fn read_ok(reader: &mut BufReader<TcpStream>) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("response read");
+    assert!(!line.is_empty(), "server closed a bench connection");
+    let v = json::parse(&line).expect("response parses");
+    assert_eq!(
+        v.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "bench request failed: {line}"
+    );
+}
+
+/// Drive `conns` connections through one full pass; returns the number
+/// of responses read. Panics on any non-ok response.
+fn drive(conns: &mut [(TcpStream, BufReader<TcpStream>)], driver: u64) -> u64 {
+    let mut answered = 0u64;
+    for round in 0..ROUNDS as u64 {
+        for (c, (stream, _)) in conns.iter_mut().enumerate() {
+            let mut burst = String::new();
+            for w in 0..WINDOW as u64 {
+                // Per-connection request counter; `c * 16 % 32` alternates
+                // by connection parity, so the ids sweep the whole
+                // distinct-job set.
+                let idx = c as u64 * (ROUNDS * WINDOW) as u64 + round * WINDOW as u64 + w;
+                let id = (driver << 32) | idx;
+                burst.push_str(&emulate_line(id, 1 + idx % DISTINCT_JOBS));
+            }
+            stream.write_all(burst.as_bytes()).expect("request write");
+        }
+        for (_, reader) in conns.iter_mut() {
+            for _ in 0..WINDOW {
+                read_ok(reader);
+                answered += 1;
+            }
+        }
+    }
+    answered
+}
+
+fn stat(v: &Json, key: &str) -> u64 {
+    v.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn main() {
+    let mut server = Server::start(ServeOptions {
+        port: 0,
+        threads: 2,
+        cache_capacity: 4 * DISTINCT_JOBS as usize,
+        window: WINDOW,
+        // Room for every connection's full window: the bench measures
+        // throughput, not the shed path.
+        max_in_flight: CONNECTIONS * WINDOW,
+        ..ServeOptions::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Warm-up: run every distinct job once so the measured pass is all
+    // cache hits, and fault in the whole serve path.
+    {
+        let mut stream = TcpStream::connect(addr).expect("warm-up connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut burst = String::new();
+        for frames in 1..=DISTINCT_JOBS {
+            burst.push_str(&emulate_line(u64::MAX - frames, frames));
+        }
+        stream.write_all(burst.as_bytes()).expect("warm-up write");
+        for _ in 0..DISTINCT_JOBS {
+            read_ok(&mut reader);
+        }
+    }
+
+    let barrier = Barrier::new(DRIVERS + 1);
+    let (answered, elapsed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..DRIVERS as u64)
+            .map(|driver| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut conns: Vec<_> = (0..CONNS_PER_DRIVER)
+                        .map(|_| {
+                            let s = TcpStream::connect(addr).expect("bench connect");
+                            s.set_nodelay(true).expect("nodelay");
+                            let r = BufReader::new(s.try_clone().expect("clone"));
+                            (s, r)
+                        })
+                        .collect();
+                    barrier.wait(); // all 1024 connections open
+                    drive(&mut conns, driver)
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        let answered: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        (answered, t0.elapsed())
+    });
+
+    let mut stats_conn = TcpStream::connect(addr).expect("stats connect");
+    stats_conn
+        .write_all(b"{\"id\": 1, \"cmd\": \"stats\"}\n")
+        .expect("stats write");
+    let mut line = String::new();
+    BufReader::new(&stats_conn)
+        .read_line(&mut line)
+        .expect("stats read");
+    let stats = json::parse(&line).expect("stats parses");
+    server.shutdown();
+
+    let expected = (CONNECTIONS * ROUNDS * WINDOW) as u64;
+    assert_eq!(answered, expected, "lost responses");
+    assert_eq!(stat(&stats, "sheds"), 0, "bench traffic was shed");
+
+    let reqs_per_sec = answered as f64 / elapsed.as_secs_f64();
+    let total_ms = elapsed.as_secs_f64() * 1e3;
+    let p50_us = stat(&stats, "p50_us");
+    let p99_us = stat(&stats, "p99_us");
+    let hits = stat(&stats, "hits");
+
+    println!(
+        "P6 — serve tier ({CONNECTIONS} connections over {DRIVERS} drivers, \
+         window {WINDOW}, {DISTINCT_JOBS} distinct jobs)\n"
+    );
+    println!("  {answered} requests in {total_ms:.1} ms = {reqs_per_sec:.0} reqs/s");
+    println!("  service latency: p50 {p50_us} us, p99 {p99_us} us ({hits} cache hits)");
+
+    let json = format!(
+        "{{\n  \"serve_connections\": {CONNECTIONS},\n  \"serve_requests\": {answered},\n  \"serve_total_ms\": {total_ms:.3},\n  \"serve_reqs_per_sec\": {reqs_per_sec:.1},\n  \"serve_p50_us\": {p50_us},\n  \"serve_p99_us\": {p99_us},\n  \"serve_cache_hits\": {hits}\n}}\n",
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+}

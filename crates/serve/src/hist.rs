@@ -1,0 +1,158 @@
+//! Fixed-bucket log-linear latency histogram with lock-free recording.
+//!
+//! Service latency (submit → completion callback) is recorded into a
+//! fixed array of atomic counters, so the hot path is one relaxed
+//! `fetch_add` and quantile queries never block recorders. Buckets are
+//! **log-linear**: values 0–3 µs get exact buckets, and every power-of-two
+//! octave above that is split into 4 linear sub-buckets, giving ≤ 25%
+//! relative error on reported quantiles across a 0 µs … ~67 s range.
+//! Values beyond the range clamp into the last bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two octave.
+const SUBS: usize = 4;
+/// Highest octave tracked: values up to `2^26 − 1` µs (~67 s).
+const OCTAVES: usize = 25;
+/// 4 exact buckets (0–3 µs) + 4 sub-buckets per octave ≥ 2.
+const BUCKETS: usize = SUBS + (OCTAVES - 1) * SUBS;
+
+/// Lock-free fixed-memory latency histogram (microsecond samples).
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (~800 bytes, fixed).
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Bucket index for a microsecond sample.
+    fn index(us: u64) -> usize {
+        if us < SUBS as u64 {
+            return us as usize;
+        }
+        // Octave o = floor(log2(us)) ≥ 2; 4 linear sub-buckets per octave.
+        let o = 63 - us.leading_zeros() as usize;
+        let o = o.min(OCTAVES);
+        let sub = ((us >> (o - 2)) as usize)
+            .saturating_sub(SUBS)
+            .min(SUBS - 1);
+        (o - 1) * SUBS + sub
+    }
+
+    /// Inclusive upper bound (µs) of the values mapped to `bucket`.
+    fn upper_bound(bucket: usize) -> u64 {
+        if bucket < SUBS {
+            return bucket as u64;
+        }
+        let o = bucket / SUBS + 1;
+        let sub = (bucket % SUBS) as u64;
+        ((sub + SUBS as u64 + 1) << (o - 2)) - 1
+    }
+
+    /// Record one latency sample.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[Self::index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`) as the upper bound of the
+    /// bucket containing it; 0 when the histogram is empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::upper_bound(i);
+            }
+        }
+        Self::upper_bound(BUCKETS - 1)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_bound_agree() {
+        // Every sample must land in a bucket whose upper bound is >= the
+        // sample and within 25% relative error.
+        for us in (0..4096u64).chain([10_000, 1_000_000, 50_000_000]) {
+            let b = LatencyHistogram::index(us);
+            let hi = LatencyHistogram::upper_bound(b);
+            assert!(hi >= us, "us={us} bucket={b} hi={hi}");
+            if us >= SUBS as u64 {
+                assert!(
+                    (hi - us) as f64 <= 0.25 * us as f64 + 1.0,
+                    "us={us} hi={hi}: bucket too coarse"
+                );
+            }
+            if b > 0 {
+                assert!(
+                    LatencyHistogram::upper_bound(b - 1) < us,
+                    "us={us} also fits bucket {}",
+                    b - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_samples_clamp_to_last_bucket() {
+        let h = LatencyHistogram::new();
+        h.record_us(u64::MAX);
+        h.record_us(1u64 << 40);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_us(1.0) > 0);
+    }
+
+    #[test]
+    fn quantiles_walk_the_distribution() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples at 10µs, 10 slow at 10ms.
+        for _ in 0..90 {
+            h.record_us(10);
+        }
+        for _ in 0..10 {
+            h.record_us(10_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        assert!((10..=12).contains(&p50), "p50={p50}");
+        assert!((10_000..=12_500).contains(&p99), "p99={p99}");
+        assert!(h.quantile_us(0.90) <= 12, "p90 should still be fast");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.99), 0);
+    }
+}

@@ -346,6 +346,20 @@ impl ObjWriter {
         self
     }
 
+    /// Add an array of unsigned integers (per-shard counter vectors).
+    pub fn uints(&mut self, key: &str, vs: &[u64]) -> &mut Self {
+        self.key(key);
+        self.out.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{v}");
+        }
+        self.out.push(']');
+        self
+    }
+
     /// Close the object and return the text.
     pub fn finish(mut self) -> String {
         self.out.push('}');
@@ -421,11 +435,22 @@ mod tests {
         w.uint("id", 3)
             .bool("ok", true)
             .str("text", "a\nb")
-            .float("us", 1.5);
+            .float("us", 1.5)
+            .uints("per_shard", &[4, 0, 9])
+            .uints("empty", &[]);
         let line = w.finish();
         let v = parse(&line).unwrap();
         assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("text").and_then(Json::as_str), Some("a\nb"));
+        assert_eq!(
+            v.get("per_shard"),
+            Some(&Json::Arr(vec![
+                Json::UInt(4),
+                Json::UInt(0),
+                Json::UInt(9)
+            ]))
+        );
+        assert_eq!(v.get("empty"), Some(&Json::Arr(vec![])));
     }
 }

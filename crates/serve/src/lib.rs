@@ -1,7 +1,7 @@
 //! # segbus-serve
 //!
 //! A std-only, multi-client batch front end over the SegBus sweep pool —
-//! the first service-shaped layer on the estimator (DESIGN.md §10).
+//! the service tier on the estimator (DESIGN.md §10, §13).
 //!
 //! Clients speak newline-delimited JSON over TCP (loopback): each line is
 //! an `emulate`, `hello`, `stats` or `shutdown` request, each answer one
@@ -17,15 +17,27 @@
 //! [`ServeOptions::cache_dir`] set, the report cache is backed by the
 //! persistent [`segbus_core::DiskStore`] and warm-starts across restarts.
 //!
-//! Three layers, usable independently:
+//! Two interchangeable connection-handling cores sit behind the
+//! [`Server`] facade (selected by [`ServeOptions::core`]): the default
+//! **sharded non-blocking event loop** ([`shard`], DESIGN.md §13) with
+//! admission control, `S005` load-shed and per-shard/latency stats, and
+//! the legacy **thread-per-connection** core ([`server`]) kept as the
+//! differential-testing reference. Both produce identical response
+//! bodies for identical request streams.
+//!
+//! The layers, usable independently:
 //!
 //! * [`json`] — the minimal hand-rolled JSON reader/writer (the workspace
 //!   has no external dependencies);
 //! * [`protocol`] — request/response encode/decode over [`json`];
+//! * [`decode`] — push-based bounded line decoding shared by both cores;
+//! * [`reorder`] — the bounded in-order delivery buffer;
+//! * [`hist`] — the lock-free fixed-bucket latency histogram;
 //! * [`service`] — [`service::BatchService`], the coalescing batcher over
 //!   [`segbus_core::CachedPool`]: concurrently arriving jobs merge into
 //!   one sweep batch and share the content-addressed report cache;
-//! * [`server`] — the TCP accept loop wiring connections to the service.
+//! * [`server`] + [`shard`] — the two TCP cores wiring connections to
+//!   the service.
 //!
 //! ```no_run
 //! use segbus_serve::{ServeOptions, Server};
@@ -37,11 +49,15 @@
 
 #![warn(missing_docs)]
 
+pub mod decode;
+pub mod hist;
 pub mod json;
 pub mod protocol;
+pub mod reorder;
 pub mod server;
 pub mod service;
+pub mod shard;
 
-pub use protocol::{Limits, Request};
-pub use server::{ServeOptions, Server};
+pub use protocol::{Limits, Request, ServeStats, ShardStats};
+pub use server::{ServeCore, ServeOptions, Server};
 pub use service::{BatchService, JobOutcome, ServiceOptions, ServiceStats};

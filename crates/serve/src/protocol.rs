@@ -17,9 +17,13 @@
 //! `S002` invalid request shape (unknown command, missing or ill-typed
 //! field), `S003` request line longer than the server's cap (the line is
 //! discarded, not buffered), `S004` `frames` out of range (zero, or above
-//! the server's `--max-frames` bound). Model-level failures pass the
-//! underlying `P/X/M/V/C` codes through untouched, so a service client
-//! sees exactly the diagnostics the CLI would print.
+//! the server's `--max-frames` bound), `S005` load shed — the server
+//! refused or abandoned the request to protect itself (global in-flight
+//! cap reached, reorder buffer over its bound, or a worker fault
+//! abandoned the batch); the request was *not* executed and can be
+//! retried. Model-level failures pass the underlying `P/X/M/V/C` codes
+//! through untouched, so a service client sees exactly the diagnostics
+//! the CLI would print.
 
 use segbus_core::{
     ArbitrationPolicy, BatchJob, CacheStats, EmulationReport, EmulatorConfig, ProducerRelease,
@@ -83,6 +87,22 @@ pub fn oversize_error(max_line_bytes: usize) -> SegbusError {
     SegbusError::new(
         "S003",
         format!("request line exceeds {max_line_bytes} bytes and was discarded"),
+    )
+}
+
+/// The `S005` load-shed error: the request was refused or abandoned to
+/// keep the server bounded (never silently stalled). Safe to retry.
+pub fn shed_error(reason: &str) -> SegbusError {
+    SegbusError::new("S005", format!("load shed: {reason}; retry later"))
+}
+
+/// The `S002` error for an `in_order` handshake that is not the first
+/// request on its connection. Shared by both serve cores so the
+/// differential contract covers the exact bytes.
+pub fn handshake_order_error() -> SegbusError {
+    SegbusError::new(
+        "S002",
+        "the in_order handshake must be the first request on the connection",
     )
 }
 
@@ -273,6 +293,80 @@ pub fn encode_stats(id: u64, stats: CacheStats, batches: u64, jobs: u64, threads
         .uint("batches", batches)
         .uint("jobs", jobs)
         .uint("threads", threads as u64);
+    w.finish()
+}
+
+/// Per-shard figures of the event-loop core's `stats` response.
+#[derive(Clone, Debug, Default)]
+pub struct ShardStats {
+    /// Connections currently registered on the shard.
+    pub connections: u64,
+    /// Depth of the shard's ready-ring (completions + registrations
+    /// waiting for the shard thread).
+    pub queue_depth: u64,
+    /// `S005` responses this shard has issued.
+    pub sheds: u64,
+}
+
+/// The event-loop core's `stats` snapshot: service counters plus
+/// shard/admission/latency figures.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Batches executed.
+    pub batches: u64,
+    /// Jobs executed across all batches.
+    pub jobs: u64,
+    /// Worker threads of the sweep pool.
+    pub threads: usize,
+    /// Emulation jobs submitted and not yet completed.
+    pub in_flight: u64,
+    /// Global in-flight cap (admission control bound).
+    pub max_in_flight: u64,
+    /// One entry per IO shard.
+    pub shards: Vec<ShardStats>,
+    /// p50 service latency (submit → completion), microseconds.
+    pub p50_us: u64,
+    /// p99 service latency (submit → completion), microseconds.
+    pub p99_us: u64,
+    /// Latency samples behind the quantiles.
+    pub latency_samples: u64,
+}
+
+/// Encode the event-loop core's `stats` response: a superset of
+/// [`encode_stats`] (same base fields, so clients of the threads core
+/// keep working) plus cache hit tiers, admission counters and latency
+/// quantiles.
+pub fn encode_stats_full(id: u64, s: &ServeStats) -> String {
+    let total_sheds: u64 = s.shards.iter().map(|sh| sh.sheds).sum();
+    let conns: Vec<u64> = s.shards.iter().map(|sh| sh.connections).collect();
+    let depths: Vec<u64> = s.shards.iter().map(|sh| sh.queue_depth).collect();
+    let sheds: Vec<u64> = s.shards.iter().map(|sh| sh.sheds).collect();
+    let mut w = ObjWriter::new();
+    w.uint("id", id)
+        .bool("ok", true)
+        .uint("hits", s.cache.hits)
+        .uint("misses", s.cache.misses)
+        .uint("evictions", s.cache.evictions)
+        .uint("len", s.cache.len as u64)
+        .uint("capacity", s.cache.capacity as u64)
+        .uint("disk_hits", s.cache.disk_hits)
+        .uint("disk_len", s.cache.disk_len as u64)
+        .uint("batches", s.batches)
+        .uint("jobs", s.jobs)
+        .uint("threads", s.threads as u64)
+        .uint("memory_hits", s.cache.memory_hits())
+        .uint("in_flight", s.in_flight)
+        .uint("max_in_flight", s.max_in_flight)
+        .uint("sheds", total_sheds)
+        .uint("shards", s.shards.len() as u64)
+        .uints("shard_connections", &conns)
+        .uints("shard_queue_depth", &depths)
+        .uints("shard_sheds", &sheds)
+        .uint("p50_us", s.p50_us)
+        .uint("p99_us", s.p99_us)
+        .uint("latency_samples", s.latency_samples);
     w.finish()
 }
 

@@ -1,0 +1,150 @@
+//! Bounded sequence-reorder buffer for the `in_order` response mode.
+//!
+//! Responses complete in batch order, not request order; when a client
+//! negotiates `in_order` via the `hello` handshake the server buffers
+//! out-of-sequence responses until the missing predecessors arrive.
+//! The buffer is **capped at `2 × window` entries**: the windowed
+//! pipelining protocol releases a request slot only when its response is
+//! delivered, so a well-behaved stream can never buffer more than
+//! `window − 1` responses — the cap is defense in depth against
+//! accounting bugs or a hostile completion order, and overflowing it is
+//! reported as [`Push::Overflow`] so the caller can shed with `S005`
+//! instead of growing without bound.
+
+use std::collections::BTreeMap;
+
+/// Result of offering one completed response to the buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Push {
+    /// The pushed response (and any buffered successors it unblocked)
+    /// are deliverable now, in sequence order.
+    Ready(Vec<String>),
+    /// The response arrived ahead of a missing predecessor and was
+    /// buffered.
+    Buffered,
+    /// The buffer is at capacity; the response was **not** stored. The
+    /// caller must shed (`S005`) — in-order delivery can no longer be
+    /// honoured without unbounded memory.
+    Overflow,
+}
+
+/// Reorders completion-order responses into request (sequence) order,
+/// holding at most `2 × window` out-of-sequence entries.
+pub struct Reorder {
+    next: u64,
+    cap: usize,
+    buffered: BTreeMap<u64, String>,
+}
+
+impl Reorder {
+    /// A buffer for a connection negotiated with the given pipeline
+    /// window (cap clamped to ≥ 2 entries).
+    pub fn new(window: usize) -> Reorder {
+        Reorder {
+            next: 0,
+            cap: (2 * window).max(2),
+            buffered: BTreeMap::new(),
+        }
+    }
+
+    /// Offer the response for sequence number `seq`.
+    pub fn push(&mut self, seq: u64, line: String) -> Push {
+        if seq != self.next {
+            if self.buffered.len() >= self.cap {
+                return Push::Overflow;
+            }
+            self.buffered.insert(seq, line);
+            return Push::Buffered;
+        }
+        let mut ready = vec![line];
+        self.next += 1;
+        while let Some(line) = self.buffered.remove(&self.next) {
+            ready.push(line);
+            self.next += 1;
+        }
+        Push::Ready(ready)
+    }
+
+    /// Number of responses currently held out of sequence.
+    pub fn buffered_len(&self) -> usize {
+        self.buffered.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_sequence_passes_straight_through() {
+        let mut r = Reorder::new(4);
+        for seq in 0..16u64 {
+            assert_eq!(
+                r.push(seq, format!("r{seq}")),
+                Push::Ready(vec![format!("r{seq}")])
+            );
+        }
+        assert_eq!(r.buffered_len(), 0);
+    }
+
+    #[test]
+    fn reversed_completion_order_flushes_in_sequence() {
+        let mut r = Reorder::new(4);
+        assert_eq!(r.push(3, "r3".into()), Push::Buffered);
+        assert_eq!(r.push(2, "r2".into()), Push::Buffered);
+        assert_eq!(r.push(1, "r1".into()), Push::Buffered);
+        assert_eq!(
+            r.push(0, "r0".into()),
+            Push::Ready(vec!["r0".into(), "r1".into(), "r2".into(), "r3".into()])
+        );
+        assert_eq!(r.buffered_len(), 0);
+    }
+
+    /// Adversarial completion order: evens complete first, then odds —
+    /// every odd arrival unblocks itself plus one buffered even.
+    #[test]
+    fn interleaved_adversarial_order_delivers_sequentially() {
+        let mut r = Reorder::new(8);
+        let mut delivered = Vec::new();
+        for seq in (0..16u64).step_by(2).skip(1) {
+            assert_eq!(r.push(seq, format!("r{seq}")), Push::Buffered);
+        }
+        for seq in std::iter::once(0).chain((1..16u64).step_by(2)) {
+            match r.push(seq, format!("r{seq}")) {
+                Push::Ready(lines) => delivered.extend(lines),
+                other => panic!("seq {seq}: expected Ready, got {other:?}"),
+            }
+        }
+        let want: Vec<String> = (0..16u64).map(|s| format!("r{s}")).collect();
+        assert_eq!(delivered, want);
+    }
+
+    #[test]
+    fn overflow_beyond_twice_window_is_refused() {
+        let mut r = Reorder::new(2); // cap = 4
+        for seq in 1..=4u64 {
+            assert_eq!(r.push(seq, format!("r{seq}")), Push::Buffered);
+        }
+        assert_eq!(r.push(5, "r5".into()), Push::Overflow);
+        assert_eq!(r.buffered_len(), 4, "refused push must not be stored");
+        // The head still drains everything that was accepted.
+        assert_eq!(
+            r.push(0, "r0".into()),
+            Push::Ready(vec![
+                "r0".into(),
+                "r1".into(),
+                "r2".into(),
+                "r3".into(),
+                "r4".into()
+            ])
+        );
+    }
+
+    #[test]
+    fn cap_is_clamped_for_degenerate_windows() {
+        let mut r = Reorder::new(0);
+        assert_eq!(r.push(1, "r1".into()), Push::Buffered);
+        assert_eq!(r.push(2, "r2".into()), Push::Buffered);
+        assert_eq!(r.push(3, "r3".into()), Push::Overflow);
+    }
+}

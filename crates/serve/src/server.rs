@@ -1,50 +1,81 @@
 //! The TCP front end: newline-delimited JSON over `127.0.0.1`.
 //!
-//! One handler thread per connection; every handler submits into the
-//! shared [`BatchService`], so jobs from different clients coalesce into
-//! common sweep batches and share the report cache. The listener binds
-//! loopback only — the service trusts its input no more than the CLI does
-//! (every model goes through the same typed-validation pipeline), but it
-//! is a local tool, not an internet-facing daemon.
+//! Two interchangeable cores answer the same protocol:
+//!
+//! * **`event-loop`** (default, [`crate::shard`]) — N IO shards of
+//!   nonblocking sockets; no per-connection threads, bounded queues,
+//!   admission control with `S005` load-shed, and a rich `stats`
+//!   endpoint. This is the production core.
+//! * **`threads`** (this module) — the original thread-per-connection
+//!   core, kept for one release behind `--serve-core threads` as a
+//!   fallback and as the differential-testing reference.
+//!
+//! Both submit into the shared [`BatchService`], so jobs from different
+//! clients coalesce into common sweep batches and share the report
+//! cache, and both are driven through the same [`Server`] facade. The
+//! listener binds loopback only — the service trusts its input no more
+//! than the CLI does (every model goes through the same typed-validation
+//! pipeline), but it is a local tool, not an internet-facing daemon.
 //!
 //! # Pipelining window and response ordering
 //!
 //! A connection may have up to [`ServeOptions::window`] requests in
-//! flight: the handler decodes lines eagerly and submits each job to the
+//! flight: requests are decoded eagerly and each job is submitted to the
 //! batch service *without* waiting for the previous outcome, so requests
 //! streamed down one connection coalesce into shared batches exactly like
-//! requests from separate clients. A per-connection writer thread emits
-//! responses as their batches complete.
+//! requests from separate clients.
 //!
 //! **Default ordering is completion order.** Every response carries the
 //! request's `id`, so clients correlate by id, not position. A client
 //! that wants positional responses sends `{"cmd": "hello", "in_order":
-//! true}` as the *first* request on the connection; the writer then
-//! buffers out-of-order completions and releases responses strictly in
-//! request order (the handshake is rejected with `S002` once any other
-//! request has been seen). Either way every accepted request gets exactly
-//! one response line, and a `shutdown` acknowledgement never overtakes
-//! the draining of responses already in flight on that connection.
+//! true}` as the *first* request on the connection; out-of-order
+//! completions are then buffered (bounded — see [`crate::reorder`]) and
+//! released strictly in request order (the handshake is rejected with
+//! `S002` once any other request has been seen). Either way every
+//! accepted request gets exactly one response line, and a `shutdown`
+//! acknowledgement never overtakes the draining of responses already in
+//! flight on that connection.
 //!
-//! Request lines are read through a bounded reader: a line longer than
-//! [`ServeOptions::max_line_bytes`] is discarded (never buffered whole)
-//! and answered with `S003`.
+//! Request lines are read through the bounded [`crate::decode`] layer: a
+//! line longer than [`ServeOptions::max_line_bytes`] is discarded (never
+//! buffered whole) and answered with `S003`.
 
-use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use segbus_core::EmulatorConfig;
-use segbus_model::SegbusError;
 
+use crate::decode::{is_idle_read_error, DecodedLine, LineDecoder};
 use crate::protocol::{self, Request};
-use crate::service::{BatchService, ServiceOptions};
+use crate::reorder::{Push, Reorder};
+use crate::service::{lock_recover, BatchService, ServiceOptions};
+
+/// Which connection-handling core a [`Server`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeCore {
+    /// Sharded nonblocking event loop (the default, production core).
+    #[default]
+    EventLoop,
+    /// Legacy thread-per-connection core (`--serve-core threads`).
+    Threads,
+}
+
+impl ServeCore {
+    /// Parse a CLI flag value (`event-loop` | `threads`).
+    pub fn parse(s: &str) -> Option<ServeCore> {
+        match s {
+            "event-loop" | "event_loop" | "event" => Some(ServeCore::EventLoop),
+            "threads" | "thread" => Some(ServeCore::Threads),
+            _ => None,
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Clone, Debug)]
@@ -67,6 +98,20 @@ pub struct ServeOptions {
     /// Default emulator configuration for the pool workers (per-job
     /// overrides still apply).
     pub config: EmulatorConfig,
+    /// Which connection-handling core to run.
+    pub core: ServeCore,
+    /// IO shards of the event-loop core (`0` = one per hardware thread,
+    /// capped at 8; ignored by the threads core).
+    pub shards: usize,
+    /// Global cap on emulation jobs in flight across all connections;
+    /// admission beyond it is answered with `S005` instead of queued
+    /// (`0` = default 4096; ignored by the threads core).
+    pub max_in_flight: usize,
+    /// Test instrumentation: forwarded to
+    /// [`ServiceOptions::fault_frames`] to exercise the worker-fault shed
+    /// path. `None` in production.
+    #[doc(hidden)]
+    pub fault_frames: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -80,75 +125,76 @@ impl Default for ServeOptions {
             max_line_bytes: 4 * 1024 * 1024,
             max_frames: 4096,
             config: EmulatorConfig::default(),
+            core: ServeCore::EventLoop,
+            shards: 0,
+            max_in_flight: 0,
+            fault_frames: None,
         }
     }
 }
 
-/// Per-connection limits, derived from [`ServeOptions`].
+/// Per-connection limits, derived from [`ServeOptions`]. Shared by both
+/// cores so they enforce identical protocol bounds.
 #[derive(Clone, Copy, Debug)]
-struct ConnLimits {
-    window: usize,
-    max_line_bytes: usize,
-    proto: protocol::Limits,
+pub(crate) struct ConnLimits {
+    pub(crate) window: usize,
+    pub(crate) max_line_bytes: usize,
+    pub(crate) proto: protocol::Limits,
 }
 
-/// A running server: an accept loop plus the shared batch service.
-pub struct Server {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
-}
-
-impl Server {
-    /// Bind `127.0.0.1:port` and start accepting clients. Fails when the
-    /// socket cannot be bound or a requested `cache_dir` cannot be opened.
-    pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
-        let addr = listener.local_addr()?;
-        let service = BatchService::start(ServiceOptions {
-            config: opts.config,
-            threads: opts.threads,
-            cache_capacity: opts.cache_capacity,
-            cache_dir: opts.cache_dir.clone(),
-        })?;
-        let limits = ConnLimits {
+impl ConnLimits {
+    pub(crate) fn from_options(opts: &ServeOptions) -> ConnLimits {
+        ConnLimits {
             window: opts.window.max(1),
             max_line_bytes: opts.max_line_bytes.max(1),
             proto: protocol::Limits {
                 max_frames: opts.max_frames.max(1),
             },
-        };
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_handle = std::thread::spawn(move || {
-            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-            for stream in listener.incoming() {
-                if accept_shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let service = service.clone();
-                let shutdown = Arc::clone(&accept_shutdown);
-                handlers.push(std::thread::spawn(move || {
-                    let _ = handle_connection(stream, service, shutdown, addr, limits);
-                }));
-                // Reap handlers that have already finished so a long-lived
-                // server does not accumulate one join handle per past
-                // connection.
-                handlers.retain(|h| !h.is_finished());
-            }
-            // The listener is closed; wait for every live connection so
-            // in-flight responses are written before the server reports
-            // itself down.
-            for h in handlers {
-                let _ = h.join();
-            }
-        });
-        Ok(Server {
+        }
+    }
+}
+
+/// A running server (either core) plus the shared batch service.
+pub struct Server {
+    addr: SocketAddr,
+    inner: Inner,
+}
+
+enum Inner {
+    Threads {
+        shutdown: Arc<AtomicBool>,
+        accept: Option<JoinHandle<()>>,
+    },
+    Event {
+        shared: Arc<crate::shard::EventShared>,
+        handles: Option<Vec<JoinHandle<()>>>,
+    },
+}
+
+impl Server {
+    /// Bind `127.0.0.1:port` and start accepting clients with the
+    /// configured core. Fails when the socket cannot be bound or a
+    /// requested `cache_dir` cannot be opened.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
+        match opts.core {
+            ServeCore::EventLoop => crate::shard::start_event_core(opts),
+            ServeCore::Threads => start_threads_core(opts),
+        }
+    }
+
+    /// Assemble the facade over a started event-loop core.
+    pub(crate) fn from_event(
+        addr: SocketAddr,
+        shared: Arc<crate::shard::EventShared>,
+        handles: Vec<JoinHandle<()>>,
+    ) -> Server {
+        Server {
             addr,
-            shutdown,
-            accept_handle: Some(accept_handle),
-        })
+            inner: Inner::Event {
+                shared,
+                handles: Some(handles),
+            },
+        }
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -156,30 +202,106 @@ impl Server {
         self.addr
     }
 
-    /// Ask the accept loop to stop, then wait for it *and* every
-    /// connection handler — in-flight responses drain before this
-    /// returns.
+    /// Ask the core to stop, then wait for every connection — in-flight
+    /// responses drain before this returns (the event-loop core bounds
+    /// the drain with a deadline so a stuck client cannot wedge it).
     pub fn shutdown(&mut self) {
-        trigger_shutdown(&self.shutdown, self.addr);
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
+        match &mut self.inner {
+            Inner::Threads { shutdown, accept } => {
+                trigger_shutdown(shutdown, self.addr);
+                if let Some(h) = accept.take() {
+                    let _ = h.join();
+                }
+            }
+            Inner::Event { shared, handles } => {
+                shared.begin_shutdown(self.addr);
+                if let Some(hs) = handles.take() {
+                    for h in hs {
+                        let _ = h.join();
+                    }
+                }
+            }
         }
     }
 
     /// Block until the server shuts down (via a client `shutdown` command).
     pub fn join(mut self) {
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
+        match &mut self.inner {
+            Inner::Threads { accept, .. } => {
+                if let Some(h) = accept.take() {
+                    let _ = h.join();
+                }
+            }
+            Inner::Event { handles, .. } => {
+                if let Some(hs) = handles.take() {
+                    for h in hs {
+                        let _ = h.join();
+                    }
+                }
+            }
         }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept_handle.is_some() {
+        let live = match &self.inner {
+            Inner::Threads { accept, .. } => accept.is_some(),
+            Inner::Event { handles, .. } => handles.is_some(),
+        };
+        if live {
             self.shutdown();
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// the legacy thread-per-connection core
+
+fn start_threads_core(opts: ServeOptions) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(("127.0.0.1", opts.port))?;
+    let addr = listener.local_addr()?;
+    let service = BatchService::start(ServiceOptions {
+        config: opts.config,
+        threads: opts.threads,
+        cache_capacity: opts.cache_capacity,
+        cache_dir: opts.cache_dir.clone(),
+        fault_frames: opts.fault_frames,
+    })?;
+    let limits = ConnLimits::from_options(&opts);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept_shutdown = Arc::clone(&shutdown);
+    let accept = std::thread::spawn(move || {
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if accept_shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let service = service.clone();
+            let shutdown = Arc::clone(&accept_shutdown);
+            handlers.push(std::thread::spawn(move || {
+                let _ = handle_connection(stream, service, shutdown, addr, limits);
+            }));
+            // Reap handlers that have already finished so a long-lived
+            // server does not accumulate one join handle per past
+            // connection.
+            handlers.retain(|h| !h.is_finished());
+        }
+        // The listener is closed; wait for every live connection so
+        // in-flight responses are written before the server reports
+        // itself down.
+        for h in handlers {
+            let _ = h.join();
+        }
+    });
+    Ok(Server {
+        addr,
+        inner: Inner::Threads {
+            shutdown,
+            accept: Some(accept),
+        },
+    })
 }
 
 /// Flag the accept loop down and poke it with a no-op connection so the
@@ -196,6 +318,13 @@ fn trigger_shutdown(shutdown: &AtomicBool, addr: SocketAddr) {
 
 /// Counting semaphore bounding requests in flight on one connection.
 /// `close` (writer gone) unblocks every waiter with `false`.
+///
+/// Every lock acquisition recovers from a poisoned mutex: the state is a
+/// pair of plain integers that are never left half-updated, so a panic in
+/// some other holder (e.g. a callback unwinding through `release`) must
+/// degrade into nothing worse than that panic — historically it poisoned
+/// the mutex and every subsequent `acquire` on the connection panicked
+/// too, cascading one fault across the whole connection.
 struct Window {
     max: usize,
     state: Mutex<(usize, bool)>, // (in_flight, closed)
@@ -214,7 +343,7 @@ impl Window {
     /// Take one in-flight slot, blocking while the window is full.
     /// Returns `false` once the window is closed (stop reading).
     fn acquire(&self) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         loop {
             if st.1 {
                 return false;
@@ -223,20 +352,20 @@ impl Window {
                 st.0 += 1;
                 return true;
             }
-            st = self.cv.wait(st).unwrap();
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Return a slot (one response line written).
     fn release(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         st.0 = st.0.saturating_sub(1);
         self.cv.notify_all();
     }
 
     /// Mark the window dead and wake all waiters.
     fn close(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_recover(&self.state);
         st.1 = true;
         self.cv.notify_all();
     }
@@ -255,29 +384,45 @@ enum OutMsg {
 }
 
 /// Drain `rx`, writing one line per message. In default mode lines go out
-/// in completion order; after `InOrder` they are buffered and released in
-/// sequence order. The window is released per line *written*, so in-order
-/// buffering keeps counting against the window (bounded memory).
-fn writer_loop(mut stream: TcpStream, rx: Receiver<OutMsg>, window: Arc<Window>) {
+/// in completion order; after `InOrder` they run through a bounded
+/// [`Reorder`] and are released in sequence order. The window is released
+/// per line *written*, so in-order buffering keeps counting against the
+/// window (bounded memory); if the reorder bound is ever exceeded anyway
+/// the connection is shed with `S005` and closed rather than buffering
+/// without bound.
+fn writer_loop(
+    mut stream: TcpStream,
+    rx: Receiver<OutMsg>,
+    window: Arc<Window>,
+    window_size: usize,
+) {
     let result: std::io::Result<()> = (|| {
-        let mut in_order = false;
-        let mut next_seq = 0u64;
-        let mut buffered: BTreeMap<u64, String> = BTreeMap::new();
+        let mut reorder: Option<Reorder> = None;
         while let Ok(msg) = rx.recv() {
             match msg {
-                OutMsg::InOrder => in_order = true,
-                OutMsg::Line(_, line) if !in_order => {
-                    write_line(&mut stream, &line)?;
-                    window.release();
-                }
-                OutMsg::Line(seq, line) => {
-                    buffered.insert(seq, line);
-                    while let Some(ready) = buffered.remove(&next_seq) {
-                        write_line(&mut stream, &ready)?;
+                OutMsg::InOrder => reorder = Some(Reorder::new(window_size)),
+                OutMsg::Line(seq, line) => match &mut reorder {
+                    None => {
+                        write_line(&mut stream, &line)?;
                         window.release();
-                        next_seq += 1;
                     }
-                }
+                    Some(r) => match r.push(seq, line) {
+                        Push::Ready(lines) => {
+                            for ready in lines {
+                                write_line(&mut stream, &ready)?;
+                                window.release();
+                            }
+                        }
+                        Push::Buffered => {}
+                        Push::Overflow => {
+                            let e = protocol::shed_error(
+                                "in-order reorder buffer exceeded its 2x-window bound",
+                            );
+                            write_line(&mut stream, &protocol::encode_error(0, &e))?;
+                            break;
+                        }
+                    },
+                },
             }
         }
         Ok(())
@@ -309,15 +454,13 @@ enum ReadEvent {
     Eof,
 }
 
-/// Newline-delimited reader with a hard per-line byte cap. Over-limit
-/// lines are *discarded as they stream in* (never accumulated), so a
-/// client sending an endless line costs one fixed buffer, not memory
-/// proportional to the line.
+/// Blocking adapter over [`LineDecoder`] for the threads core: reads with
+/// a short timeout and classifies errors through `is_idle_read_error`,
+/// so `WouldBlock` and `TimedOut` both mean "poll again" on every
+/// platform and only real errors tear the connection down.
 struct LineReader {
     stream: TcpStream,
-    pending: Vec<u8>,
-    max_line_bytes: usize,
-    discarding: bool,
+    decoder: LineDecoder,
     eof: bool,
 }
 
@@ -325,9 +468,7 @@ impl LineReader {
     fn new(stream: TcpStream, max_line_bytes: usize) -> LineReader {
         LineReader {
             stream,
-            pending: Vec::new(),
-            max_line_bytes,
-            discarding: false,
+            decoder: LineDecoder::new(max_line_bytes),
             eof: false,
         }
     }
@@ -335,55 +476,23 @@ impl LineReader {
     fn read_event(&mut self) -> std::io::Result<ReadEvent> {
         let mut buf = [0u8; 8 * 1024];
         loop {
-            // A complete line already buffered?
-            if !self.discarding {
-                if let Some(i) = self.pending.iter().position(|&b| b == b'\n') {
-                    let mut line: Vec<u8> = self.pending.drain(..=i).collect();
-                    line.pop(); // the \n
-                    if line.last() == Some(&b'\r') {
-                        line.pop();
-                    }
-                    return Ok(ReadEvent::Line(String::from_utf8_lossy(&line).into_owned()));
-                }
-                if self.pending.len() > self.max_line_bytes {
-                    self.pending.clear();
-                    self.pending.shrink_to_fit();
-                    self.discarding = true;
-                }
+            if let Some(ev) = self.decoder.pop() {
+                return Ok(match ev {
+                    DecodedLine::Line(l) => ReadEvent::Line(l),
+                    DecodedLine::Overflow => ReadEvent::Overflow,
+                });
             }
             if self.eof {
-                if self.discarding {
-                    self.discarding = false;
-                    return Ok(ReadEvent::Overflow);
-                }
-                if !self.pending.is_empty() {
-                    // Final unterminated line.
-                    let line = std::mem::take(&mut self.pending);
-                    return Ok(ReadEvent::Line(String::from_utf8_lossy(&line).into_owned()));
-                }
-                return Ok(ReadEvent::Eof);
+                return Ok(match self.decoder.finish() {
+                    Some(DecodedLine::Line(l)) => ReadEvent::Line(l),
+                    Some(DecodedLine::Overflow) => ReadEvent::Overflow,
+                    None => ReadEvent::Eof,
+                });
             }
             match self.stream.read(&mut buf) {
-                Ok(0) => {
-                    self.eof = true;
-                }
-                Ok(n) if self.discarding => {
-                    // Resynchronise at the next newline without buffering.
-                    if let Some(i) = buf[..n].iter().position(|&b| b == b'\n') {
-                        self.pending.extend_from_slice(&buf[i + 1..n]);
-                        self.discarding = false;
-                        return Ok(ReadEvent::Overflow);
-                    }
-                }
-                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
-                    ) =>
-                {
-                    return Ok(ReadEvent::Idle);
-                }
+                Ok(0) => self.eof = true,
+                Ok(n) => self.decoder.feed(&buf[..n]),
+                Err(ref e) if is_idle_read_error(e) => return Ok(ReadEvent::Idle),
                 Err(e) => return Err(e),
             }
         }
@@ -407,7 +516,9 @@ fn handle_connection(
     let (out_tx, out_rx) = channel::<OutMsg>();
     let window = Arc::new(Window::new(limits.window));
     let writer_window = Arc::clone(&window);
-    let writer = std::thread::spawn(move || writer_loop(writer_stream, out_rx, writer_window));
+    let writer = std::thread::spawn(move || {
+        writer_loop(writer_stream, out_rx, writer_window, limits.window)
+    });
 
     let result = reader_loop(stream, &service, &shutdown, addr, limits, &out_tx, &window);
 
@@ -469,11 +580,7 @@ fn reader_loop(
             }
             Ok(Request::Hello { id, in_order }) => {
                 let line = if in_order && this_seq != 0 {
-                    let e = SegbusError::new(
-                        "S002",
-                        "the in_order handshake must be the first request on the connection",
-                    );
-                    protocol::encode_error(id, &e)
+                    protocol::encode_error(id, &protocol::handshake_order_error())
                 } else {
                     if in_order {
                         let _ = out_tx.send(OutMsg::InOrder);
@@ -509,4 +616,41 @@ fn next_slot(seq: &mut u64, window: &Window) -> std::io::Result<u64> {
     let s = *seq;
     *seq += 1;
     Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the poison cascade: a panic while holding the
+    /// window mutex used to make every later `acquire` on the connection
+    /// panic too. The window must keep functioning on a poisoned mutex.
+    #[test]
+    fn window_survives_a_poisoned_mutex() {
+        let w = Arc::new(Window::new(2));
+        let w2 = Arc::clone(&w);
+        let _ = std::thread::spawn(move || {
+            let _guard = w2.state.lock().unwrap();
+            panic!("injected panic while holding the window lock");
+        })
+        .join();
+        assert!(
+            w.state.lock().is_err(),
+            "the mutex must actually be poisoned"
+        );
+        assert!(w.acquire());
+        assert!(w.acquire());
+        w.release();
+        assert!(w.acquire(), "released slot is acquirable after poisoning");
+        w.close();
+        assert!(!w.acquire(), "closed window still reports closed");
+    }
+
+    #[test]
+    fn serve_core_parses_flag_values() {
+        assert_eq!(ServeCore::parse("event-loop"), Some(ServeCore::EventLoop));
+        assert_eq!(ServeCore::parse("threads"), Some(ServeCore::Threads));
+        assert_eq!(ServeCore::parse("green-threads"), None);
+        assert_eq!(ServeCore::default(), ServeCore::EventLoop);
+    }
 }

@@ -7,12 +7,16 @@
 //! sweep batches and share both the worker pool and the report cache,
 //! while a lone job still starts immediately (no batching delay window).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 use segbus_core::{BatchJob, CacheStats, CachedPool, EmulationReport, EmulatorConfig, SweepPool};
 use segbus_model::SegbusError;
+
+use crate::protocol;
 
 /// What the service returns for one submitted job.
 #[derive(Debug)]
@@ -49,6 +53,11 @@ pub struct ServiceOptions {
     pub cache_capacity: usize,
     /// Directory of the persistent report store; `None` = memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Test instrumentation: panic inside the batcher when a batch
+    /// contains a job with exactly this `frames` value, exercising the
+    /// worker-fault shed path. `None` (the default) in production.
+    #[doc(hidden)]
+    pub fault_frames: Option<u64>,
 }
 
 impl Default for ServiceOptions {
@@ -58,6 +67,7 @@ impl Default for ServiceOptions {
             threads: 0,
             cache_capacity: 256,
             cache_dir: None,
+            fault_frames: None,
         }
     }
 }
@@ -79,6 +89,7 @@ enum Msg {
 pub struct BatchService {
     tx: Sender<Msg>,
     threads: usize,
+    published: Arc<Mutex<ServiceStats>>,
 }
 
 impl BatchService {
@@ -96,11 +107,19 @@ impl BatchService {
         if let Some(dir) = &opts.cache_dir {
             pool.attach_disk(dir)?;
         }
+        let published = Arc::new(Mutex::new(ServiceStats {
+            cache: pool.stats(),
+            ..ServiceStats::default()
+        }));
+        let snapshot = Arc::clone(&published);
+        let fault = opts.fault_frames;
         // The batcher owns the pool; it ends when every sender is gone.
-        let _batcher: JoinHandle<()> = std::thread::spawn(move || batcher(rx, pool));
+        let _batcher: JoinHandle<()> =
+            std::thread::spawn(move || batcher(rx, pool, snapshot, fault));
         Ok(BatchService {
             tx,
             threads: effective,
+            published,
         })
     }
 
@@ -137,7 +156,8 @@ impl BatchService {
             .expect("batcher always answers a submitted job")
     }
 
-    /// Current service counters.
+    /// Current service counters, serialized through the batcher (exact,
+    /// but waits for any batch in progress).
     pub fn stats(&self) -> ServiceStats {
         let (reply_tx, reply_rx) = channel();
         self.tx
@@ -147,9 +167,32 @@ impl BatchService {
             .recv()
             .expect("batcher always answers a stats request")
     }
+
+    /// The counters as of the last completed batch, without waiting on
+    /// the batcher. The snapshot is published *before* that batch's reply
+    /// callbacks run, so once a client has seen a job's response the
+    /// published counters already include its batch. This is what the
+    /// event-loop core serves from — an IO shard must never block behind
+    /// an emulation batch.
+    pub fn stats_published(&self) -> ServiceStats {
+        *lock_recover(&self.published)
+    }
 }
 
-fn batcher(rx: Receiver<Msg>, mut pool: CachedPool) {
+/// Lock a mutex, recovering the guard from a poisoned lock: the protected
+/// state stays valid even if a holder panicked mid-update. Shared by the
+/// serve crate's synchronisation points so one panicking thread can never
+/// cascade into panics on every later lock.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn batcher(
+    rx: Receiver<Msg>,
+    mut pool: CachedPool,
+    published: Arc<Mutex<ServiceStats>>,
+    fault_frames: Option<u64>,
+) {
     let mut batches = 0u64;
     let mut total_jobs = 0u64;
     while let Ok(first) = rx.recv() {
@@ -183,17 +226,53 @@ fn batcher(rx: Receiver<Msg>, mut pool: CachedPool) {
         total_jobs += jobs.len() as u64;
         let cached: Vec<bool> = jobs.iter().map(|j| pool.is_cached(j)).collect();
         let digests: Vec<u64> = jobs.iter().map(|j| j.digest()).collect();
-        let results = pool.run_batch(&jobs);
-        for ((result, reply), (was_cached, digest)) in results
-            .into_iter()
-            .zip(replies)
-            .zip(cached.into_iter().zip(digests))
+        // A panicking worker must not kill the batcher (every connected
+        // client would lose its service): contain it, shed the batch with
+        // S005 — the jobs were not executed and are safe to retry.
+        let results = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(ff) = fault_frames {
+                if jobs.iter().any(|j| j.frames == ff) {
+                    panic!("injected worker fault (fault_frames = {ff})");
+                }
+            }
+            pool.run_batch(&jobs)
+        }));
         {
-            reply(JobOutcome {
-                result,
-                cached: was_cached,
-                digest,
-            });
+            let mut s = lock_recover(&published);
+            s.cache = pool.stats();
+            s.batches = batches;
+            s.jobs = total_jobs;
+        }
+        match results {
+            Ok(results) => {
+                for ((result, reply), (was_cached, digest)) in results
+                    .into_iter()
+                    .zip(replies)
+                    .zip(cached.into_iter().zip(digests))
+                {
+                    // A reply that panics (dead client structures, bugs in
+                    // an encoder) must not take the other replies with it.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        reply(JobOutcome {
+                            result,
+                            cached: was_cached,
+                            digest,
+                        })
+                    }));
+                }
+            }
+            Err(_) => {
+                for (reply, digest) in replies.into_iter().zip(digests) {
+                    let e = protocol::shed_error("a worker fault abandoned this batch");
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        reply(JobOutcome {
+                            result: Err(e),
+                            cached: false,
+                            digest,
+                        })
+                    }));
+                }
+            }
         }
     }
 }
@@ -259,6 +338,40 @@ mod tests {
             stats.batches <= 24,
             "batches never exceed jobs; coalescing usually makes them fewer"
         );
+    }
+
+    #[test]
+    fn worker_fault_sheds_batch_and_batcher_survives() {
+        let svc = BatchService::start(ServiceOptions {
+            threads: 2,
+            cache_capacity: 16,
+            fault_frames: Some(3),
+            ..ServiceOptions::default()
+        })
+        .unwrap();
+        let mut bad = job();
+        bad.frames = 3;
+        let outcome = svc.run(bad);
+        assert_eq!(outcome.result.unwrap_err().code, "S005");
+        assert!(!outcome.cached);
+        // The batcher survived the contained panic: later jobs still run,
+        // and the published snapshot keeps advancing.
+        let ok = svc.run(job());
+        assert!(ok.result.is_ok());
+        assert!(svc.stats_published().batches >= 2);
+        assert_eq!(svc.stats_published().jobs, 2);
+    }
+
+    #[test]
+    fn published_stats_cover_answered_batches() {
+        let svc = svc(2, 16);
+        assert_eq!(svc.stats_published().jobs, 0);
+        let first = svc.run(job());
+        assert!(first.result.is_ok());
+        // `run` returned, so the batch's snapshot is already published.
+        let s = svc.stats_published();
+        assert_eq!(s.jobs, 1);
+        assert_eq!(s.cache.misses, 1);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Differential contract between the two serve cores: for identical
+//! request streams, the event-loop core and the thread-per-connection
+//! core must produce **byte-identical response bodies** — in both
+//! completion-order mode (compared as sorted sets, since completion
+//! order is timing-dependent) and in-order mode (compared as exact
+//! sequences).
+//!
+//! Every emulate request in a stream uses a globally distinct `frames`
+//! value: duplicate jobs would make the `cached` response field depend
+//! on batch-coalescing timing, which is outside the contract.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+
+use segbus_serve::json;
+use segbus_serve::{ServeCore, ServeOptions, Server};
+
+const DEMO: &str = "application a {\n  process X initial;\n  process Y final;\n  flow X -> Y { items 72; order 1; ticks 100; }\n}\nplatform p {\n  segment S0 { freq_mhz 100; hosts X; }\n  segment S1 { freq_mhz 100; hosts Y; }\n}\n";
+
+fn emulate_line(id: u64, frames: u64) -> String {
+    let mut src = String::new();
+    json::write_str(&mut src, DEMO);
+    format!("{{\"id\": {id}, \"cmd\": \"emulate\", \"source\": {src}, \"frames\": {frames}}}")
+}
+
+/// Run every stream as a concurrent client against a fresh server of the
+/// given core; returns each client's raw response lines in arrival order.
+fn run_streams(core: ServeCore, streams: &[Vec<String>]) -> Vec<Vec<String>> {
+    let mut server = Server::start(ServeOptions {
+        port: 0,
+        threads: 2,
+        cache_capacity: 512,
+        window: 8,
+        max_line_bytes: 1024,
+        core,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let handles: Vec<_> = streams
+        .iter()
+        .cloned()
+        .map(|lines| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                for line in &lines {
+                    stream.write_all(line.as_bytes()).unwrap();
+                    stream.write_all(b"\n").unwrap();
+                }
+                stream.flush().unwrap();
+                // Half-close: the server sees EOF, answers everything
+                // pending, then closes its side.
+                stream.shutdown(Shutdown::Write).unwrap();
+                BufReader::new(stream)
+                    .lines()
+                    .map(|l| l.unwrap())
+                    .collect::<Vec<String>>()
+            })
+        })
+        .collect();
+    let out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    server.shutdown();
+    out
+}
+
+fn sorted(mut lines: Vec<String>) -> Vec<String> {
+    lines.sort();
+    lines
+}
+
+/// One client, a mixed stream touching every response shape: reports,
+/// S001/S002/S003/S004 errors, a blank keep-alive. Completion-order mode,
+/// so the response *sets* must match byte-for-byte.
+#[test]
+fn cores_agree_on_a_mixed_stream() {
+    let mut stream = vec![
+        emulate_line(1, 1),
+        emulate_line(2, 2),
+        "{nope".to_string(),                             // S001
+        "{\"id\": 4, \"cmd\": \"explode\"}".to_string(), // S002
+        "x".repeat(2048),                                // S003 (cap 1024)
+        emulate_line(6, 0),                              // S004 (frames 0)
+        String::new(),                                   // blank: no response
+        emulate_line(8, 3),
+    ];
+    let a = run_streams(ServeCore::EventLoop, &[stream.clone()]);
+    let b = run_streams(ServeCore::Threads, &[stream.clone()]);
+    assert_eq!(a[0].len(), 7, "every non-blank line gets one response");
+    assert_eq!(sorted(a[0].clone()), sorted(b[0].clone()));
+
+    // Same stream in in-order mode: exact sequences must match.
+    stream.insert(
+        0,
+        "{\"id\": 0, \"cmd\": \"hello\", \"in_order\": true}".to_string(),
+    );
+    let a = run_streams(ServeCore::EventLoop, &[stream.clone()]);
+    let b = run_streams(ServeCore::Threads, &[stream]);
+    assert_eq!(a[0].len(), 8);
+    assert_eq!(a[0], b[0], "in-order responses must match positionally");
+}
+
+/// Adversarial completion order through the reorder buffer: the heaviest
+/// job is requested first, so every successor completes ahead of it and
+/// must wait. Both cores must still deliver in request order, and the
+/// ordered sequences must be byte-identical.
+#[test]
+fn cores_agree_under_adversarial_completion_order() {
+    let mut lines = vec!["{\"id\": 0, \"cmd\": \"hello\", \"in_order\": true}".to_string()];
+    // Strictly decreasing weight: frames 40, 34, 28, ... 4.
+    for (i, frames) in (1..=7u64).map(|k| 46 - 6 * k).enumerate() {
+        lines.push(emulate_line(10 + i as u64, frames));
+    }
+    let a = run_streams(ServeCore::EventLoop, &[lines.clone()]);
+    let b = run_streams(ServeCore::Threads, &[lines]);
+    assert_eq!(a[0], b[0]);
+    // Responses are positional: ids come back in request order.
+    for (i, line) in a[0].iter().skip(1).enumerate() {
+        let v = json::parse(line).unwrap();
+        assert_eq!(
+            v.get("id").and_then(json::Json::as_u64),
+            Some(10 + i as u64)
+        );
+    }
+}
+
+/// The CI serve-smoke case: 64 concurrent clients, a mix of in-order and
+/// completion-order connections, every emulate distinct. Per-client
+/// response sets (ordered sequences for the in-order half) must be
+/// byte-identical across the cores.
+#[test]
+fn cores_agree_under_64_concurrent_clients() {
+    const CLIENTS: u64 = 64;
+    const PER_CLIENT: u64 = 4;
+    let streams: Vec<Vec<String>> = (0..CLIENTS)
+        .map(|client| {
+            let in_order = client % 2 == 0;
+            let mut lines = Vec::new();
+            if in_order {
+                lines.push(format!(
+                    "{{\"id\": {client}, \"cmd\": \"hello\", \"in_order\": true}}"
+                ));
+            }
+            for k in 0..PER_CLIENT {
+                // frames globally unique: 1 + client*PER_CLIENT + k.
+                lines.push(emulate_line(1000 * client + k, 1 + client * PER_CLIENT + k));
+            }
+            // One protocol error per client, alternating shape.
+            if client % 2 == 0 {
+                lines.push(format!(
+                    "{{\"id\": {}, \"cmd\": \"warp\"}}",
+                    1000 * client + 99
+                ));
+            } else {
+                lines.push("not json".to_string());
+            }
+            lines
+        })
+        .collect();
+    let a = run_streams(ServeCore::EventLoop, &streams);
+    let b = run_streams(ServeCore::Threads, &streams);
+    assert_eq!(a.len(), b.len());
+    for (client, (ra, rb)) in a.into_iter().zip(b).enumerate() {
+        let in_order = client % 2 == 0;
+        let expect = PER_CLIENT as usize + 1 + usize::from(in_order);
+        assert_eq!(ra.len(), expect, "client {client} response count");
+        if in_order {
+            assert_eq!(ra, rb, "client {client}: ordered sequences differ");
+        } else {
+            assert_eq!(
+                sorted(ra),
+                sorted(rb),
+                "client {client}: response sets differ"
+            );
+        }
+    }
+}

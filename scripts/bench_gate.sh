@@ -12,12 +12,18 @@
 #                     (interpreter `runs_per_sec` + fast-core
 #                      `fast_runs_per_sec`)
 #   exp_place_perf -> BENCH_place.json    P5 parallel placement search
+#   exp_serve_perf -> BENCH_serve.json    P6 serve-tier throughput + p99
 #
 # Each benchmark runs five times and every field is gated on its
 # best-of-5: the gate asks "can this machine still reach the committed
 # throughput", and scheduler hiccups only ever subtract — the best
 # observation is the least noisy estimate of the machine's capability,
 # so a single slow run (or three) cannot flip the verdict.
+#
+# Keys are higher-is-better by default; a "max:" prefix (e.g.
+# max:serve_p99_us) marks a lower-is-better field: the best observation
+# is the *minimum* across rounds, and the gate fails when it exceeds
+# committed / tolerance.
 #
 # The committed baselines are restored afterwards, so the gate never
 # dirties the working tree — machine-to-machine absolute numbers vary;
@@ -46,8 +52,21 @@ gate() {
         echo "bench gate: no committed $baseline baseline" >&2
         return 1
     fi
-    local old=() key
+    # Strip the direction prefix: fields[k] is the JSON key, lower[k]=1
+    # marks a lower-is-better ("max:") gate.
+    local fields=() lower=() key
     for key in "${keys[@]}"; do
+        if [[ "$key" == max:* ]]; then
+            fields+=("${key#max:}")
+            lower+=(1)
+        else
+            fields+=("$key")
+            lower+=(0)
+        fi
+    done
+
+    local old=()
+    for key in "${fields[@]}"; do
         local v
         v=$(json_field "$baseline" "$key")
         if [[ -z "$v" ]]; then
@@ -76,15 +95,17 @@ gate() {
         fi
         local line="bench gate: run $i ->"
         for ((k = 0; k < ${#keys[@]}; k++)); do
-            v=$(json_field "$baseline" "${keys[$k]}")
+            v=$(json_field "$baseline" "${fields[$k]}")
             if [[ -z "$v" ]]; then
                 cp "$saved" "$baseline"; rm -f "$saved"
-                echo "bench gate: $bin run $i produced no ${keys[$k]}" >&2
+                echo "bench gate: $bin run $i produced no ${fields[$k]}" >&2
                 return 1
             fi
-            line+=" ${keys[$k]} ${v}"
+            line+=" ${fields[$k]} ${v}"
+            # Best across rounds: max normally, min for "max:" fields.
             if [[ -z "${best[$k]}" ]] ||
-                awk -v a="$v" -v b="${best[$k]}" 'BEGIN { exit !(a > b) }'; then
+                awk -v a="$v" -v b="${best[$k]}" -v lo="${lower[$k]}" \
+                    'BEGIN { exit !(lo ? (a < b) : (a > b)) }'; then
                 best[$k]="$v"
             fi
         done
@@ -95,13 +116,16 @@ gate() {
     local ok=1 summary=""
     for ((k = 0; k < ${#keys[@]}; k++)); do
         local verdict field_ok
-        verdict=$(awk -v new="${best[$k]}" -v old="${old[$k]}" -v tol="$TOLERANCE" 'BEGIN {
-            ratio = new / old
+        # Higher-is-better gates on new/old; lower-is-better ("max:")
+        # inverts the ratio so the same tolerance applies.
+        verdict=$(awk -v new="${best[$k]}" -v old="${old[$k]}" \
+                      -v tol="$TOLERANCE" -v lo="${lower[$k]}" 'BEGIN {
+            ratio = lo ? old / new : new / old
             printf "ratio %.3f (tolerance %.2f)\n", ratio, tol
             exit (ratio < tol) ? 1 : 0
         }') && field_ok=1 || field_ok=0
-        echo "bench gate [$title/${keys[$k]}]: committed ${old[$k]} runs/s, best of $ROUNDS ${best[$k]} runs/s — ${verdict}"
-        summary+="| ${keys[$k]} | ${old[$k]} | ${best[$k]} | ${verdict%$'\n'} |"$'\n'
+        echo "bench gate [$title/${fields[$k]}]: committed ${old[$k]}, best of $ROUNDS ${best[$k]} — ${verdict}"
+        summary+="| ${fields[$k]} | ${old[$k]} | ${best[$k]} | ${verdict%$'\n'} |"$'\n'
         if [[ "$field_ok" -ne 1 ]]; then
             ok=0
         fi
@@ -126,6 +150,7 @@ gate() {
 
 gate BENCH_engine.json exp_perf "Engine throughput" runs_per_sec fast_runs_per_sec || fails=1
 gate BENCH_place.json exp_place_perf "Placement search throughput" runs_per_sec || fails=1
+gate BENCH_serve.json exp_serve_perf "Serve tier throughput" serve_reqs_per_sec max:serve_p99_us || fails=1
 
 if [[ "$fails" -ne 0 ]]; then
     echo "bench gate: FAIL" >&2

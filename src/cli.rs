@@ -118,9 +118,14 @@ COMMANDS:
                                           --cache-dir persists reports across runs
     serve     [--port N] [--threads N] [--cache N] [--cache-dir DIR]
               [--window N] [--max-frames N] [--engine fast|interpreter]
+              [--serve-core event-loop|threads] [--shards N]
+              [--max-in-flight N]
                                           batched NDJSON-over-TCP emulation service
                                           on 127.0.0.1 with per-connection request
-                                          pipelining (see segbus-serve docs)
+                                          pipelining; the default sharded
+                                          event-loop core sheds load over
+                                          --max-in-flight with S005
+                                          (see segbus-serve docs)
     cache     gc <dir>                    compact a --cache-dir report store,
                                           dropping dead records
     codegen   <model.sbd> [--format vhdl|rust|c]
@@ -171,6 +176,9 @@ const VALUE_FLAGS: &[&str] = &[
     "cache-dir",
     "window",
     "max-frames",
+    "serve-core",
+    "shards",
+    "max-in-flight",
 ];
 
 /// Parse `--key value` style options out of an argument list; returns
@@ -703,7 +711,7 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     if !pos.is_empty() {
         return Err(fail(
-            "usage: segbus serve [--port N] [--threads N] [--cache N] [--cache-dir DIR] [--window N] [--max-frames N] [--engine fast|interpreter]",
+            "usage: segbus serve [--port N] [--threads N] [--cache N] [--cache-dir DIR] [--window N] [--max-frames N] [--engine fast|interpreter] [--serve-core event-loop|threads] [--shards N] [--max-in-flight N]",
         ));
     }
     let port = opt_u32(&opts, "port")?.unwrap_or(7878);
@@ -724,6 +732,14 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         Some(None) => return Err(fail("--cache-dir needs a directory")),
         Some(Some(dir)) => Some(std::path::PathBuf::from(dir)),
     };
+    let core = match opt(&opts, "serve-core") {
+        None => defaults.core,
+        Some(Some(s)) => segbus_serve::ServeCore::parse(s)
+            .ok_or_else(|| fail(format!("--serve-core: {s:?} is not event-loop | threads")))?,
+        Some(None) => return Err(fail("--serve-core needs a value (event-loop | threads)")),
+    };
+    let shards = opt_u32(&opts, "shards")?.unwrap_or(0) as usize;
+    let max_in_flight = opt_u32(&opts, "max-in-flight")?.unwrap_or(0) as usize;
     let server = Server::start(ServeOptions {
         port,
         threads,
@@ -731,6 +747,9 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
         cache_dir,
         window,
         max_frames,
+        core,
+        shards,
+        max_in_flight,
         config: EmulatorConfig {
             engine: opt_engine(&opts)?,
             ..EmulatorConfig::default()
@@ -1234,5 +1253,9 @@ mod tests {
         assert!(run(&args(&["serve", "--port", "notaport"])).is_err());
         let err = run(&args(&["serve", "--port", "99999"])).unwrap_err();
         assert!(err.message.contains("99999"), "{}", err.message);
+        let err = run(&args(&["serve", "--serve-core", "green-threads"])).unwrap_err();
+        assert!(err.message.contains("green-threads"), "{}", err.message);
+        assert!(run(&args(&["serve", "--serve-core"])).is_err());
+        assert!(run(&args(&["serve", "--max-in-flight", "lots"])).is_err());
     }
 }
