@@ -42,6 +42,7 @@ pub mod energy;
 pub mod engine;
 pub mod fast;
 pub mod gantt;
+pub mod montecarlo;
 pub mod parallel;
 pub mod persist;
 pub mod precheck;
@@ -61,6 +62,7 @@ pub use counters::{BuCounters, CaCounters, FuTimes, SaCounters};
 pub use energy::{estimate_energy, EnergyBreakdown, EnergyModel};
 pub use engine::{Emulator, Engine, EnginePlan};
 pub use gantt::ascii_gantt;
+pub use montecarlo::{run_monte_carlo, McOptions, McReport, McStats, UtilisationSpread};
 pub use parallel::{run_many, run_many_with, SweepPool};
 pub use persist::DiskStore;
 pub use precheck::{is_emulable, strict_validate};

@@ -12,6 +12,9 @@
 //! * `P004` — source lacks an `application` or `platform` block;
 //! * `P005` — a name references an undeclared process;
 //! * `P006` — duplicate declaration;
+//! * `P007` — a stochastic annotation (`items_dist`, `ticks_dist`,
+//!   `jitter`) has unusable parameters (inverted range, empty choice,
+//!   items distribution able to produce zero, …);
 //! * `M0xx`/`V0xx` — model construction/validation failures, spanned to
 //!   the block that produced them.
 
@@ -20,6 +23,7 @@ use segbus_model::ids::SegmentId;
 use segbus_model::mapping::{Allocation, Psm};
 use segbus_model::platform::{Platform, Topology};
 use segbus_model::psdf::{Application, CostModel, Flow, Process};
+use segbus_model::stochastic::{Dist, FlowNoise};
 use segbus_model::time::ClockDomain;
 
 use crate::lexer::{Lexer, Span, Token, TokenKind};
@@ -268,12 +272,27 @@ impl Parser {
         })?;
         self.expect_kind(&TokenKind::LBrace)?;
         let (mut items, mut order, mut ticks) = (None, None, None);
+        let mut noise = FlowNoise::default();
+        let mut noise_span: Option<Span> = None;
         while self.peek().kind != TokenKind::RBrace {
+            let key_span = self.peek().span;
             let key = self.ident()?;
             match key.as_str() {
                 "items" => items = Some(self.int()?),
                 "order" => order = Some(self.int_u32("order")?),
                 "ticks" => ticks = Some(self.int()?),
+                "items_dist" => {
+                    noise_span.get_or_insert(key_span);
+                    noise.items = Some(self.dist()?);
+                }
+                "ticks_dist" => {
+                    noise_span.get_or_insert(key_span);
+                    noise.ticks = Some(self.dist()?);
+                }
+                "jitter" => {
+                    noise_span.get_or_insert(key_span);
+                    noise.jitter = Some(self.dist()?);
+                }
                 other => return Err(self.err(format!("unknown flow property {other:?}"))),
             }
             self.expect_kind(&TokenKind::Semi)?;
@@ -282,12 +301,55 @@ impl Parser {
         let items = items.ok_or_else(|| self.err("flow lacks 'items'"))?;
         let order = order.ok_or_else(|| self.err("flow lacks 'order'"))?;
         let ticks = ticks.ok_or_else(|| self.err("flow lacks 'ticks'"))?;
-        app.add_flow(Flow::new(src, dst, items, order, ticks))
+        let id = app
+            .add_flow(Flow::new(src, dst, items, order, ticks))
             .map_err(|e| {
                 let span = self.peek().span;
                 SegbusError::from(e).with_span(span.line, span.col)
             })?;
+        if !noise.is_empty() {
+            let span = noise_span.unwrap_or(src_span);
+            noise.validate().map_err(|reason| {
+                SegbusError::new("P007", format!("invalid distribution: {reason}"))
+                    .with_span(span.line, span.col)
+            })?;
+            app.set_flow_noise(id, noise).map_err(|e| {
+                SegbusError::new("P007", e.to_string()).with_span(span.line, span.col)
+            })?;
+        }
         Ok(())
+    }
+
+    /// A distribution literal, keyword-prefixed so no new lexer tokens are
+    /// needed: `constant 5`, `uniform 300 400`, `normal 100 15 60 140`,
+    /// `choice 0 3 10 1` (alternating value/weight pairs).
+    fn dist(&mut self) -> Result<Dist, SegbusError> {
+        let kind = self.ident()?;
+        Ok(match kind.as_str() {
+            "constant" => Dist::Constant(self.int()?),
+            "uniform" => Dist::Uniform {
+                lo: self.int()?,
+                hi: self.int()?,
+            },
+            "normal" => Dist::Normal {
+                mean: self.int()?,
+                std: self.int()?,
+                lo: self.int()?,
+                hi: self.int()?,
+            },
+            "choice" => {
+                let mut pairs = Vec::new();
+                while matches!(self.peek().kind, TokenKind::Int(_)) {
+                    pairs.push((self.int()?, self.int()?));
+                }
+                Dist::Choice(pairs)
+            }
+            other => {
+                return Err(self.err(format!(
+                    "unknown distribution {other:?} (constant | uniform | normal | choice)"
+                )))
+            }
+        })
     }
 
     fn cost(&mut self, app: &mut Application) -> Result<(), SegbusError> {
@@ -598,6 +660,58 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(e.code, "P003");
+    }
+
+    #[test]
+    fn stochastic_annotations_parse() {
+        let src = "application a { process X initial; process Y final;
+            flow X -> Y { items 360; order 1; ticks 100;
+                items_dist uniform 300 400;
+                ticks_dist normal 100 15 60 140;
+                jitter choice 0 3 10 1; } }
+           platform p { segment S { freq_mhz 100; hosts X Y; } }";
+        let psm = crate::parse_system(src).unwrap();
+        let app = psm.application();
+        assert!(app.is_stochastic());
+        let n = app.flow_noise(segbus_model::ids::FlowId(0)).unwrap();
+        assert_eq!(n.items, Some(Dist::Uniform { lo: 300, hi: 400 }));
+        assert_eq!(
+            n.ticks,
+            Some(Dist::Normal {
+                mean: 100,
+                std: 15,
+                lo: 60,
+                hi: 140
+            })
+        );
+        assert_eq!(n.jitter, Some(Dist::Choice(vec![(0, 3), (10, 1)])));
+        // The base values still parse: the model is usable deterministically.
+        assert_eq!(app.flows()[0].items, 360);
+    }
+
+    #[test]
+    fn invalid_distributions_are_p007() {
+        let flow = |props: &str| {
+            format!(
+                "application a {{ process X initial; process Y final;
+                  flow X -> Y {{ items 36; order 1; ticks 10; {props} }} }}"
+            )
+        };
+        let e = parse_source(&flow("ticks_dist uniform 5 4;")).unwrap_err();
+        assert_eq!(e.code, "P007");
+        assert!(e.message.contains("inverted"), "{e}");
+        let e = parse_source(&flow("jitter choice;")).unwrap_err();
+        assert_eq!(e.code, "P007");
+        // An items distribution must not be able to produce an empty flow.
+        let e = parse_source(&flow("items_dist uniform 0 9;")).unwrap_err();
+        assert_eq!(e.code, "P007");
+        assert_eq!(e.span.unwrap().line, 2, "span points at the annotation");
+        // Unknown distribution kinds are plain syntax errors.
+        let e = parse_source(&flow("ticks_dist poisson 4;")).unwrap_err();
+        assert_eq!(e.code, "P002");
+        // An odd choice list is a syntax error at the missing weight.
+        let e = parse_source(&flow("jitter choice 1 2 3;")).unwrap_err();
+        assert_eq!(e.code, "P002");
     }
 
     #[test]

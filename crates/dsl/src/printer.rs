@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use segbus_model::ids::SegmentId;
+use segbus_model::ids::{FlowId, SegmentId};
 use segbus_model::mapping::Psm;
 use segbus_model::psdf::{Application, CostModel, ProcessKind};
 
@@ -41,15 +41,24 @@ pub fn application_to_dsl(app: &Application) -> String {
         };
         let _ = writeln!(out, "    process {}{suffix};", p.name);
     }
-    for f in app.flows() {
+    for (i, f) in app.flows().iter().enumerate() {
+        let mut props = format!("items {}; order {}; ticks {};", f.items, f.order, f.ticks);
+        if let Some(noise) = app.flow_noise(FlowId(i as u32)) {
+            if let Some(d) = &noise.items {
+                let _ = write!(props, " items_dist {d};");
+            }
+            if let Some(d) = &noise.ticks {
+                let _ = write!(props, " ticks_dist {d};");
+            }
+            if let Some(d) = &noise.jitter {
+                let _ = write!(props, " jitter {d};");
+            }
+        }
         let _ = writeln!(
             out,
-            "    flow {} -> {} {{ items {}; order {}; ticks {}; }}",
+            "    flow {} -> {} {{ {props} }}",
             app.process(f.src).name,
             app.process(f.dst).name,
-            f.items,
-            f.order,
-            f.ticks
         );
     }
     out.push_str("}\n");
@@ -103,6 +112,24 @@ mod tests {
         assert_eq!(back.application(), psm.application());
         assert_eq!(back.platform(), psm.platform());
         assert_eq!(back.allocation(), psm.allocation());
+    }
+
+    #[test]
+    fn stochastic_round_trip_is_lossless() {
+        let src = "application a { process X initial; process Y final;
+            flow X -> Y { items 360; order 1; ticks 100;
+                items_dist uniform 300 400;
+                ticks_dist normal 100 15 60 140;
+                jitter choice 0 3 10 1; } }
+           platform p { segment S { freq_mhz 100; hosts X Y; } }";
+        let psm = parse_system(src).unwrap();
+        let text = to_dsl(&psm);
+        assert!(text.contains("items_dist uniform 300 400;"), "{text}");
+        assert!(text.contains("ticks_dist normal 100 15 60 140;"), "{text}");
+        assert!(text.contains("jitter choice 0 3 10 1;"), "{text}");
+        let back = parse_system(&text).unwrap();
+        // Application equality includes the noise sidecar.
+        assert_eq!(back.application(), psm.application());
     }
 
     #[test]

@@ -100,6 +100,7 @@ impl ModelError {
             ModelError::RingTooSmall(_) => "M007",
             ModelError::ZeroPackageSize => "M008",
             ModelError::Unplaced(_) => "M009",
+            ModelError::InvalidNoise { .. } => "M010",
             ModelError::Invalid { first_code, .. } => first_code,
         }
     }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::ids::{ProcessId, SegmentId};
+use crate::ids::{FlowId, ProcessId, SegmentId};
 
 /// Errors raised while building or combining model entities.
 ///
@@ -34,6 +34,14 @@ pub enum ModelError {
     ZeroPackageSize,
     /// A process in the application has not been assigned to any segment.
     Unplaced(ProcessId),
+    /// A stochastic annotation on a flow is unusable (empty choice,
+    /// inverted range, items distribution able to produce zero, …).
+    InvalidNoise {
+        /// The annotated flow.
+        flow: FlowId,
+        /// What is wrong with the distribution.
+        reason: String,
+    },
     /// The application/platform pair failed full validation.
     Invalid {
         /// Number of error-severity diagnostics produced.
@@ -63,6 +71,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::ZeroPackageSize => write!(f, "package size must be non-zero"),
             ModelError::Unplaced(p) => write!(f, "process {p} is not placed on any segment"),
+            ModelError::InvalidNoise { flow, reason } => {
+                write!(f, "invalid distribution on flow {flow}: {reason}")
+            }
             ModelError::Invalid { errors, first, .. } => {
                 write!(
                     f,

@@ -61,6 +61,7 @@ pub mod matrix;
 pub mod platform;
 pub mod psdf;
 pub mod rng;
+pub mod stochastic;
 pub mod time;
 pub mod validate;
 
@@ -73,6 +74,7 @@ pub use matrix::CommMatrix;
 pub use platform::{BorderUnitRef, Platform, PlatformBuilder, Segment, Topology};
 pub use psdf::{Application, CostModel, Flow, Process, ProcessKind, Wave};
 pub use rng::SmallRng;
+pub use stochastic::{sample_psm, Dist, FlowNoise};
 pub use time::{ClockDomain, Picos};
 pub use validate::{Constraint, Diagnostic, Severity};
 

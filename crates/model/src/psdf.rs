@@ -25,6 +25,7 @@ use std::num::NonZeroU32;
 
 use crate::error::ModelError;
 use crate::ids::{FlowId, ProcessId};
+use crate::stochastic::FlowNoise;
 
 /// Role of a process inside the dataflow graph.
 ///
@@ -235,6 +236,10 @@ pub struct Application {
     processes: Vec<Process>,
     flows: Vec<Flow>,
     cost_model: CostModel,
+    /// Stochastic annotations, keyed by flow (see [`crate::stochastic`]).
+    /// A sidecar so [`Flow`] stays `Copy` and the base model stays a
+    /// plain deterministic PSM; excluded from [`crate::digest`].
+    noise: BTreeMap<FlowId, FlowNoise>,
 }
 
 impl Application {
@@ -245,6 +250,7 @@ impl Application {
             processes: Vec::new(),
             flows: Vec::new(),
             cost_model: CostModel::default(),
+            noise: BTreeMap::new(),
         }
     }
 
@@ -466,6 +472,47 @@ impl Application {
     pub fn ticks_per_package(&self, flow: FlowId, package_size: u32) -> u64 {
         self.cost_model
             .ticks_per_package(self.flow(flow).ticks, package_size)
+    }
+
+    /// Attach stochastic annotations to a flow (replacing any present).
+    /// An empty [`FlowNoise`] removes the entry. Rejects unknown flows and
+    /// invalid distribution parameters ([`ModelError::InvalidNoise`]).
+    pub fn set_flow_noise(&mut self, flow: FlowId, noise: FlowNoise) -> Result<(), ModelError> {
+        if flow.index() >= self.flows.len() {
+            return Err(ModelError::InvalidNoise {
+                flow,
+                reason: "no such flow".into(),
+            });
+        }
+        noise
+            .validate()
+            .map_err(|reason| ModelError::InvalidNoise { flow, reason })?;
+        if noise.is_empty() {
+            self.noise.remove(&flow);
+        } else {
+            self.noise.insert(flow, noise);
+        }
+        Ok(())
+    }
+
+    /// The stochastic annotations of a flow, if any.
+    pub fn flow_noise(&self, flow: FlowId) -> Option<&FlowNoise> {
+        self.noise.get(&flow)
+    }
+
+    /// All stochastic annotations, in flow order.
+    pub fn noise(&self) -> impl Iterator<Item = (FlowId, &FlowNoise)> + '_ {
+        self.noise.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// `true` when any flow carries a distribution.
+    pub fn is_stochastic(&self) -> bool {
+        !self.noise.is_empty()
+    }
+
+    /// Drop every stochastic annotation.
+    pub fn clear_noise(&mut self) {
+        self.noise.clear();
     }
 }
 

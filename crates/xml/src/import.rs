@@ -11,6 +11,7 @@ use segbus_model::ids::SegmentId;
 use segbus_model::mapping::{Allocation, Psm};
 use segbus_model::platform::{Platform, Topology};
 use segbus_model::psdf::{Application, CostModel, Flow, Process};
+use segbus_model::stochastic::{Dist, FlowNoise};
 use segbus_model::time::ClockDomain;
 
 use crate::doc::{XmlDocument, XmlElement};
@@ -26,6 +27,12 @@ fn err(msg: impl Into<String>) -> SegbusError {
 /// outside the domain the model accepts.
 fn value_err(msg: impl Into<String>) -> SegbusError {
     SegbusError::new("X003", format!("scheme import error: {}", msg.into()))
+}
+
+/// Stochastic-annotation failure (`X004`): an `itemsDist`/`ticksDist`/
+/// `jitter` attribute does not encode a usable distribution.
+fn dist_err(msg: impl Into<String>) -> SegbusError {
+    SegbusError::new("X004", format!("scheme import error: {}", msg.into()))
 }
 
 fn req_attr<'a>(el: &'a XmlElement, key: &str) -> Result<&'a str, SegbusError> {
@@ -84,7 +91,7 @@ pub fn import_psdf(doc: &XmlDocument) -> Result<Application, SegbusError> {
 
     // Second pass: flows, restored to their global order via the `seq`
     // attribute (falling back to document order when absent).
-    let mut flows: Vec<(u32, Flow)> = Vec::new();
+    let mut flows: Vec<(u32, Flow, FlowNoise)> = Vec::new();
     let mut doc_order = 0u32;
     for ct in schema.elements_named("xs:complexType") {
         let src_name = req_attr(ct, "name")?;
@@ -109,13 +116,33 @@ pub fn import_psdf(doc: &XmlDocument) -> Result<Application, SegbusError> {
                     None => doc_order,
                 };
                 doc_order += 1;
-                flows.push((seq, Flow::new(src, dst, items, order, ticks)));
+                let mut noise = FlowNoise::default();
+                for (attr, slot) in [
+                    ("itemsDist", &mut noise.items),
+                    ("ticksDist", &mut noise.ticks),
+                    ("jitter", &mut noise.jitter),
+                ] {
+                    if let Some(v) = el.attribute(attr) {
+                        *slot = Some(
+                            Dist::decode(v)
+                                .map_err(|e| dist_err(format!("{attr} on flow {fname:?}: {e}")))?,
+                        );
+                    }
+                }
+                flows.push((seq, Flow::new(src, dst, items, order, ticks), noise));
             }
         }
     }
-    flows.sort_by_key(|(seq, _)| *seq);
-    for (_, f) in flows {
-        app.add_flow(f).map_err(SegbusError::from)?;
+    flows.sort_by_key(|(seq, _, _)| *seq);
+    for (_, f, noise) in flows {
+        let id = app.add_flow(f).map_err(SegbusError::from)?;
+        if !noise.is_empty() {
+            // Parameter validation (inverted ranges, zero-able items
+            // distributions, …) lives in the model layer; surface it here
+            // under the front end's own code.
+            app.set_flow_noise(id, noise)
+                .map_err(|e| dist_err(e.to_string()))?;
+        }
     }
     Ok(app)
 }
@@ -230,6 +257,59 @@ mod tests {
         // Also through the textual form.
         let reparsed = parse(&doc.to_xml_string()).unwrap();
         assert_eq!(import_psdf(&reparsed).unwrap(), app);
+    }
+
+    #[test]
+    fn stochastic_annotations_round_trip() {
+        use segbus_model::ids::FlowId;
+        let mut app = mp3::mp3_decoder();
+        app.set_flow_noise(
+            FlowId(0),
+            FlowNoise {
+                items: Some(Dist::Uniform { lo: 500, hi: 600 }),
+                ticks: Some(Dist::Normal {
+                    mean: 250,
+                    std: 30,
+                    lo: 150,
+                    hi: 350,
+                }),
+                jitter: Some(Dist::Choice(vec![(0, 3), (10, 1)])),
+            },
+        )
+        .unwrap();
+        let doc = crate::m2t::export_psdf(&app);
+        let xml = doc.to_xml_string();
+        assert!(xml.contains("itemsDist=\"uniform:500:600\""), "{xml}");
+        assert!(xml.contains("jitter=\"choice:0:3:10:1\""), "{xml}");
+        // Application equality includes the noise sidecar.
+        let back = import_psdf(&parse(&xml).unwrap()).unwrap();
+        assert_eq!(back, app);
+    }
+
+    #[test]
+    fn bad_distributions_are_x004() {
+        let doc = |attr: &str| {
+            parse(&format!(
+                r#"<xs:schema name="x">
+                     <xs:complexType name="A" kind="initial">
+                       <xs:all><xs:element name="B_36_1_10" seq="0" {attr}/></xs:all>
+                     </xs:complexType>
+                     <xs:complexType name="B" kind="final"/>
+                   </xs:schema>"#
+            ))
+            .unwrap()
+        };
+        let e = import_psdf(&doc("ticksDist=\"poisson:4\"")).unwrap_err();
+        assert_eq!(e.code, "X004");
+        assert!(e.message.contains("poisson"), "{e}");
+        let e = import_psdf(&doc("ticksDist=\"uniform:5:4\"")).unwrap_err();
+        assert_eq!(e.code, "X004");
+        let e = import_psdf(&doc("itemsDist=\"uniform:0:9\"")).unwrap_err();
+        assert_eq!(e.code, "X004");
+        let e = import_psdf(&doc("jitter=\"choice:1\"")).unwrap_err();
+        assert_eq!(e.code, "X004");
+        // A well-formed annotation still imports.
+        assert!(import_psdf(&doc("jitter=\"constant:5\"")).is_ok());
     }
 
     #[test]

@@ -61,11 +61,21 @@ pub fn export_psdf(app: &Application) -> XmlDocument {
             let dst = &app.process(f.dst).name;
             // `seq` preserves the global flow order across the grouping by
             // source process, making the round trip lossless.
-            all = all.child(
-                XmlElement::new("xs:element")
-                    .attr("name", format!("{dst}_{}_{}_{}", f.items, f.order, f.ticks))
-                    .attr("seq", fid.0.to_string()),
-            );
+            let mut fel = XmlElement::new("xs:element")
+                .attr("name", format!("{dst}_{}_{}_{}", f.items, f.order, f.ticks))
+                .attr("seq", fid.0.to_string());
+            if let Some(noise) = app.flow_noise(fid) {
+                if let Some(d) = &noise.items {
+                    fel = fel.attr("itemsDist", d.encode());
+                }
+                if let Some(d) = &noise.ticks {
+                    fel = fel.attr("ticksDist", d.encode());
+                }
+                if let Some(d) = &noise.jitter {
+                    fel = fel.attr("jitter", d.encode());
+                }
+            }
+            all = all.child(fel);
             any = true;
         }
         if any {

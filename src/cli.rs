@@ -66,6 +66,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "place" => cmd_place(rest),
         "sweep" => cmd_sweep(rest),
         "batch" => cmd_batch(rest),
+        "mc" => cmd_mc(rest),
+        "corpus" => cmd_corpus(rest),
         "serve" => cmd_serve(rest),
         "cache" => cmd_cache(rest),
         "codegen" => cmd_codegen(rest),
@@ -116,6 +118,23 @@ COMMANDS:
                                           emulate many models (files or directories
                                           of .sbd) through the report cache;
                                           --cache-dir persists reports across runs
+    mc        <model.sbd> [--samples N] [--seed S] [--frames N] [--threads N]
+              [--bootstrap N] [--cache N] [--cache-dir DIR]
+              [--engine fast|interpreter] [--package-size N]
+                                          Monte-Carlo estimation of a stochastic
+                                          model (flows annotated with items_dist /
+                                          ticks_dist / jitter): mean, p50/p95/p99,
+                                          bootstrap CI and bus-utilisation spread;
+                                          byte-identical for any --threads
+    corpus    gen [<dir>] [--check]       render the seed manifest (<dir>/MANIFEST.txt,
+                                          default dir `corpus`) to .sbd scenarios;
+                                          --check re-renders and verifies the
+                                          committed tree byte for byte
+    corpus    min <dir> [--write] [--check]
+                                          find scenarios whose model+noise
+                                          fingerprints collide; --write deletes the
+                                          redundant files, --check fails when any
+                                          exist
     serve     [--port N] [--threads N] [--cache N] [--cache-dir DIR]
               [--window N] [--max-frames N] [--engine fast|interpreter]
               [--serve-core event-loop|threads] [--shards N]
@@ -168,6 +187,8 @@ const VALUE_FLAGS: &[&str] = &[
     "capacity",
     "restarts",
     "sizes",
+    "samples",
+    "bootstrap",
     "format",
     "width",
     "port",
@@ -705,6 +726,247 @@ fn cmd_batch(args: &[String]) -> Result<String, CliError> {
         stats.misses
     );
     Ok(out)
+}
+
+fn cmd_mc(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    let [path] = pos.as_slice() else {
+        return Err(fail(
+            "usage: segbus mc <model.sbd> [--samples N] [--seed S] [--frames N] [--threads N] [--bootstrap N] [--cache N] [--cache-dir DIR] [--engine fast|interpreter] [--package-size N]",
+        ));
+    };
+    let psm = apply_package_size(load_psm(path)?, &opts)?;
+    let samples = opt_u32(&opts, "samples")?.unwrap_or(100) as u64;
+    if samples == 0 {
+        return Err(fail("--samples must be at least 1"));
+    }
+    let frames = opt_u32(&opts, "frames")?.unwrap_or(1) as u64;
+    if frames == 0 {
+        return Err(fail("--frames must be at least 1"));
+    }
+    let opts_mc = segbus_core::McOptions {
+        samples,
+        seed: opt_u32(&opts, "seed")?.unwrap_or(0) as u64,
+        frames,
+        bootstrap: opt_u32(&opts, "bootstrap")?.unwrap_or(200),
+    };
+    let config = EmulatorConfig {
+        engine: opt_engine(&opts)?,
+        ..EmulatorConfig::default()
+    };
+    let capacity = opt_u32(&opts, "cache")?.unwrap_or(1024) as usize;
+    let threads = opt_u32(&opts, "threads")?.unwrap_or(0) as usize;
+    let pool = if threads == 0 {
+        SweepPool::new(config)
+    } else {
+        SweepPool::with_threads(config, threads)
+    };
+    let mut pool = CachedPool::with_pool(pool, capacity);
+    if let Some(dir) = opt(&opts, "cache-dir") {
+        let dir = dir.ok_or_else(|| fail("--cache-dir needs a directory"))?;
+        pool.attach_disk(Path::new(dir))
+            .map_err(|e| fail(format!("--cache-dir {dir}: {e}")))?;
+    }
+    let report = segbus_core::run_monte_carlo(&mut pool, &psm, config, &opts_mc)
+        .map_err(|e| fail(format!("{path}: {e}")))?;
+    let us = |ps: u64| ps as f64 / 1e6;
+    let mut out = format!(
+        "monte carlo: {} sample(s), seed {}, {} distinct system(s)\n",
+        report.samples, opts_mc.seed, report.distinct
+    );
+    if !psm.application().is_stochastic() {
+        let _ = writeln!(
+            out,
+            "note: the model carries no distributions — every sample is the base system"
+        );
+    }
+    let m = &report.makespan;
+    let _ = writeln!(
+        out,
+        "makespan: mean {:.2} us, 95% CI [{:.2}, {:.2}] us",
+        m.mean / 1e6,
+        m.ci95.0 / 1e6,
+        m.ci95.1 / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "          min {:.2} | p50 {:.2} | p95 {:.2} | p99 {:.2} | max {:.2} us",
+        us(m.min),
+        us(m.p50),
+        us(m.p95),
+        us(m.p99),
+        us(m.max)
+    );
+    let _ = writeln!(out, "bus utilisation (fraction of makespan):");
+    for (i, u) in report.utilisation.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  segment {}: min {:.1}% mean {:.1}% max {:.1}%",
+            i + 1,
+            u.min * 100.0,
+            u.mean * 100.0,
+            u.max * 100.0
+        );
+    }
+    let stats = pool.stats();
+    let _ = writeln!(
+        out,
+        "cache: {} hits, {} misses, {} evictions, {} disk hits; {} emulated",
+        stats.hits, stats.misses, stats.evictions, stats.disk_hits, stats.misses
+    );
+    Ok(out)
+}
+
+/// The corpus files under `dir`, as paths relative to it (sorted; one
+/// directory level deep, matching the `<family>/<file>.sbd` layout).
+fn corpus_files(dir: &Path) -> Result<Vec<String>, CliError> {
+    fn walk(root: &Path, at: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(at)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                walk(root, &path, out)?;
+            } else if path.extension().and_then(|e| e.to_str()) == Some("sbd") {
+                let rel = path.strip_prefix(root).unwrap_or(&path);
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(dir, dir, &mut out).map_err(|e| fail(format!("cannot scan {}: {e}", dir.display())))?;
+    out.sort();
+    Ok(out)
+}
+
+fn cmd_corpus(args: &[String]) -> Result<String, CliError> {
+    let (pos, opts) = split_opts(args);
+    match pos.as_slice() {
+        ["gen"] | ["gen", _] => {
+            let dir = Path::new(if let [_, d] = pos.as_slice() {
+                *d
+            } else {
+                "corpus"
+            });
+            let check = opt(&opts, "check").is_some();
+            let manifest_path = dir.join("MANIFEST.txt");
+            let manifest = match std::fs::read_to_string(&manifest_path) {
+                Ok(text) => text,
+                Err(_) if !check => segbus_gen::DEFAULT_MANIFEST.to_string(),
+                Err(e) => {
+                    return Err(fail(format!(
+                        "--check needs a committed manifest at {}: {e}",
+                        manifest_path.display()
+                    )))
+                }
+            };
+            let entries = segbus_gen::parse_manifest(&manifest)
+                .map_err(|e| fail(format!("{}: {e}", manifest_path.display())))?;
+            let files = segbus_gen::generate_corpus(&entries);
+            if check {
+                // Byte-identity against the committed tree, plus no strays.
+                let mut bad = Vec::new();
+                for (rel, want) in &files {
+                    match std::fs::read_to_string(dir.join(rel)) {
+                        Ok(have) if have == *want => {}
+                        Ok(_) => bad.push(format!("{rel}: differs from its manifest entry")),
+                        Err(e) => bad.push(format!("{rel}: {e}")),
+                    }
+                }
+                let expected: std::collections::HashSet<&str> =
+                    files.iter().map(|(rel, _)| rel.as_str()).collect();
+                for rel in corpus_files(dir)? {
+                    if !expected.contains(rel.as_str()) {
+                        bad.push(format!("{rel}: not in the manifest"));
+                    }
+                }
+                if !bad.is_empty() {
+                    return Err(fail(format!(
+                        "corpus check failed ({} problem(s)) — run `segbus corpus gen`:\n  {}",
+                        bad.len(),
+                        bad.join("\n  ")
+                    )));
+                }
+                Ok(format!(
+                    "corpus check: {} scenario(s) match {}\n",
+                    files.len(),
+                    manifest_path.display()
+                ))
+            } else {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| fail(format!("{}: {e}", dir.display())))?;
+                if !manifest_path.exists() {
+                    std::fs::write(&manifest_path, &manifest)
+                        .map_err(|e| fail(format!("{}: {e}", manifest_path.display())))?;
+                }
+                for (rel, text) in &files {
+                    let target = dir.join(rel);
+                    if let Some(parent) = target.parent() {
+                        std::fs::create_dir_all(parent)
+                            .map_err(|e| fail(format!("{}: {e}", parent.display())))?;
+                    }
+                    std::fs::write(&target, text)
+                        .map_err(|e| fail(format!("{}: {e}", target.display())))?;
+                }
+                Ok(format!(
+                    "corpus gen: wrote {} scenario(s) under {}\n",
+                    files.len(),
+                    dir.display()
+                ))
+            }
+        }
+        ["min", d] => {
+            let dir = Path::new(d);
+            let write = opt(&opts, "write").is_some();
+            let check = opt(&opts, "check").is_some();
+            let files = corpus_files(dir)?;
+            if files.is_empty() {
+                return Err(fail(format!("no .sbd scenarios under {d}")));
+            }
+            // First file per fingerprint survives (sorted order — stable).
+            let mut seen: std::collections::HashMap<(u64, u64), String> =
+                std::collections::HashMap::new();
+            let mut redundant: Vec<(String, String)> = Vec::new();
+            for rel in &files {
+                let text = read_file(&dir.join(rel).to_string_lossy())?;
+                let psm = dsl::parse_system(&text).map_err(|e| fail(format!("{rel}: {e}")))?;
+                let fp = segbus_gen::model_fingerprint(&psm);
+                match seen.entry(fp) {
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(rel.clone());
+                    }
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        redundant.push((rel.clone(), o.get().clone()));
+                    }
+                }
+            }
+            let mut out = format!(
+                "corpus min: {} scenario(s), {} distinct, {} redundant\n",
+                files.len(),
+                seen.len(),
+                redundant.len()
+            );
+            for (dup, kept) in &redundant {
+                let _ = writeln!(out, "  {dup} duplicates {kept}");
+                if write {
+                    std::fs::remove_file(dir.join(dup))
+                        .map_err(|e| fail(format!("{dup}: {e}")))?;
+                }
+            }
+            if write && !redundant.is_empty() {
+                let _ = writeln!(out, "removed {} file(s)", redundant.len());
+            }
+            if check && !redundant.is_empty() {
+                return Err(fail(format!(
+                    "{out}corpus min --check: {} redundant scenario(s)",
+                    redundant.len()
+                )));
+            }
+            Ok(out)
+        }
+        _ => Err(fail(
+            "usage: segbus corpus gen [<dir>] [--check] | segbus corpus min <dir> [--write] [--check]",
+        )),
+    }
 }
 
 fn cmd_serve(args: &[String]) -> Result<String, CliError> {
@@ -1245,6 +1507,171 @@ mod tests {
         assert!(run(&args(&["batch", "/nonexistent"])).is_err());
         // Flags thread through to the engine: 0 frames is rejected.
         assert!(run(&args(&["batch", &f, "--frames", "0"])).is_err());
+    }
+
+    fn stochastic_demo_file(dir: &Path) -> String {
+        let path = dir.join("noisy.sbd");
+        std::fs::write(
+            &path,
+            r#"application noisy {
+                 process A initial;
+                 process B;
+                 process C final;
+                 flow A -> B { items 360; order 1; ticks 100;
+                               items_dist uniform 300 400;
+                               ticks_dist normal 100 15 60 140; }
+                 flow B -> C { items 180; order 2; ticks 50;
+                               jitter choice 0 3 10 1; }
+               }
+               platform duo {
+                 package_size 36;
+                 ca { freq_mhz 111; }
+                 segment S1 { freq_mhz 91; hosts A B; }
+                 segment S2 { freq_mhz 98; hosts C; }
+               }"#,
+        )
+        .unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn mc_is_thread_count_invariant() {
+        let dir = tmpdir("mc");
+        let f = stochastic_demo_file(&dir);
+        let cmd = |threads: &str| {
+            run(&args(&[
+                "mc",
+                &f,
+                "--samples",
+                "16",
+                "--seed",
+                "7",
+                "--threads",
+                threads,
+            ]))
+            .unwrap()
+        };
+        let one = cmd("1");
+        assert!(one.contains("16 sample(s), seed 7"), "{one}");
+        assert!(one.contains("95% CI"), "{one}");
+        assert!(one.contains("segment 1:"), "{one}");
+        // The acceptance contract: byte-identical for any --threads.
+        assert_eq!(one, cmd("2"));
+        assert_eq!(one, cmd("8"));
+        // The interpreter escape hatch agrees with the fast core.
+        let interp = run(&args(&[
+            "mc",
+            &f,
+            "--samples",
+            "16",
+            "--seed",
+            "7",
+            "--engine",
+            "interpreter",
+        ]))
+        .unwrap();
+        assert_eq!(one, interp);
+    }
+
+    #[test]
+    fn mc_warm_cache_dir_emulates_nothing() {
+        let dir = tmpdir("mc-disk");
+        let f = stochastic_demo_file(&dir);
+        let cache = dir.join("cache").to_string_lossy().into_owned();
+        let cmd = [
+            "mc",
+            &f,
+            "--samples",
+            "12",
+            "--seed",
+            "3",
+            "--cache-dir",
+            &cache,
+        ];
+        let cold = run(&args(&cmd)).unwrap();
+        let warm = run(&args(&cmd)).unwrap();
+        let stats = warm.lines().last().unwrap();
+        assert!(stats.contains("0 misses"), "{warm}");
+        assert!(stats.ends_with("0 emulated"), "{warm}");
+        // Identical estimate, cold or warm.
+        let head = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("cache:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(head(&cold), head(&warm));
+    }
+
+    #[test]
+    fn mc_flags_and_deterministic_models() {
+        let dir = tmpdir("mc-flags");
+        let f = demo_file(&dir);
+        // A model without distributions collapses to one distinct system.
+        let out = run(&args(&["mc", &f, "--samples", "10"])).unwrap();
+        assert!(out.contains("1 distinct system(s)"), "{out}");
+        assert!(out.contains("no distributions"), "{out}");
+        assert!(run(&args(&["mc", &f, "--samples", "0"])).is_err());
+        assert!(run(&args(&["mc", &f, "--frames", "0"])).is_err());
+        assert!(run(&args(&["mc"])).is_err());
+        assert!(run(&args(&["mc", &f, "--engine", "cobol"])).is_err());
+    }
+
+    #[test]
+    fn corpus_gen_then_check_round_trips() {
+        let dir = tmpdir("corpus");
+        let tree = dir.join("tree").to_string_lossy().into_owned();
+        let out = run(&args(&["corpus", "gen", &tree])).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(Path::new(&tree).join("MANIFEST.txt").exists());
+        assert!(Path::new(&tree).join("mp3/mp3-s1.sbd").exists());
+        let check = run(&args(&["corpus", "gen", &tree, "--check"])).unwrap();
+        assert!(check.contains("match"), "{check}");
+        // A drifted file fails the check and is named.
+        let victim = Path::new(&tree).join("star/star-s1.sbd");
+        std::fs::write(&victim, "application tampered {}\n").unwrap();
+        let err = run(&args(&["corpus", "gen", &tree, "--check"])).unwrap_err();
+        assert!(err.message.contains("star-s1.sbd"), "{}", err.message);
+        run(&args(&["corpus", "gen", &tree])).unwrap(); // regenerate heals
+        run(&args(&["corpus", "gen", &tree, "--check"])).unwrap();
+        // A stray scenario outside the manifest also fails the check.
+        std::fs::write(Path::new(&tree).join("mp3/stray.sbd"), "x").unwrap();
+        let err = run(&args(&["corpus", "gen", &tree, "--check"])).unwrap_err();
+        assert!(err.message.contains("stray.sbd"), "{}", err.message);
+        // --check without a manifest refuses rather than inventing one.
+        let empty = dir.join("empty").to_string_lossy().into_owned();
+        std::fs::create_dir_all(&empty).unwrap();
+        assert!(run(&args(&["corpus", "gen", &empty, "--check"])).is_err());
+        assert!(run(&args(&["corpus"])).is_err());
+    }
+
+    #[test]
+    fn corpus_min_reports_and_removes_duplicates() {
+        let dir = tmpdir("corpus-min");
+        let tree = dir.join("tree").to_string_lossy().into_owned();
+        run(&args(&["corpus", "gen", &tree])).unwrap();
+        let clean = run(&args(&["corpus", "min", &tree, "--check"])).unwrap();
+        assert!(clean.contains("0 redundant"), "{clean}");
+        // Duplicate one scenario under a new name: same fingerprint.
+        let src = Path::new(&tree).join("ring/ring-s1.sbd");
+        let dup = Path::new(&tree).join("ring/ring-s999.sbd");
+        std::fs::copy(&src, &dup).unwrap();
+        let report = run(&args(&["corpus", "min", &tree])).unwrap();
+        assert!(report.contains("1 redundant"), "{report}");
+        assert!(report.contains("ring-s999.sbd duplicates"), "{report}");
+        assert!(dup.exists(), "report-only run must not delete");
+        let err = run(&args(&["corpus", "min", &tree, "--check"])).unwrap_err();
+        assert!(err.message.contains("redundant"), "{}", err.message);
+        let fixed = run(&args(&["corpus", "min", &tree, "--write"])).unwrap();
+        assert!(fixed.contains("removed 1 file(s)"), "{fixed}");
+        assert!(!dup.exists());
+        run(&args(&["corpus", "min", &tree, "--check"])).unwrap();
+        assert!(run(&args(&[
+            "corpus",
+            "min",
+            &dir.join("nope").to_string_lossy()
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -286,21 +286,40 @@ fn emulate_and_compare(psm: &Psm, label: &str) {
     );
 }
 
-/// The repo's model corpus, as (name, source) pairs.
+/// The repo's model corpus, as (name, source) pairs: the hand-written
+/// `models/` examples plus the committed stochastic scenarios under
+/// `corpus/` (one family directory deep).
 fn corpus() -> Vec<(String, String)> {
-    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/models");
-    let mut out: Vec<(String, String)> = std::fs::read_dir(dir)
-        .expect("models/ directory")
-        .filter_map(|e| {
-            let p = e.ok()?.path();
-            (p.extension()? == "sbd")
-                .then(|| (p.display().to_string(), std::fs::read_to_string(&p).ok()))?
-                .1
-                .map(|text| (p.display().to_string(), text))
-        })
-        .collect();
+    let mut dirs = vec![std::path::PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/models"
+    ))];
+    let corpus_root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"));
+    for entry in std::fs::read_dir(corpus_root).expect("corpus/ directory") {
+        let p = entry.expect("corpus entry").path();
+        if p.is_dir() {
+            dirs.push(p);
+        }
+    }
+    let mut out: Vec<(String, String)> = Vec::new();
+    for dir in dirs {
+        out.extend(
+            std::fs::read_dir(&dir)
+                .expect("corpus dir")
+                .filter_map(|e| {
+                    let p = e.ok()?.path();
+                    (p.extension()? == "sbd")
+                        .then(|| (p.display().to_string(), std::fs::read_to_string(&p).ok()))?
+                        .1
+                        .map(|text| (p.display().to_string(), text))
+                }),
+        );
+    }
     out.sort();
-    assert!(!out.is_empty(), "corpus must not be empty");
+    assert!(
+        out.iter().any(|(name, _)| name.contains("corpus")),
+        "the committed scenario corpus must seed the fuzzer"
+    );
     out
 }
 
@@ -345,13 +364,29 @@ fn campaign_to(seed: u64, budget: usize, artifacts: Option<&std::path::Path>) {
                 }
             }))
             .map_err(|_| src)
-        } else if arm < 7 {
+        } else if arm < 6 {
             // Arm B: byte-mutated corpus DSL.
             let (_, base) = &corpus[rng.range_usize(0, corpus.len() - 1)];
             let src = mutate(&mut rng, base);
             catch_unwind(AssertUnwindSafe(|| {
                 if let Some(psm) = drive_dsl(&src) {
                     emulate_and_compare(&psm, "mutated dsl");
+                    true
+                } else {
+                    false
+                }
+            }))
+            .map_err(|_| src)
+        } else if arm < 7 {
+            // Arm D: structure-aware mutation (segbus-gen): grammar-level
+            // edits of a canonicalised corpus model, biased to reach the
+            // semantic checks (P00x/V0xx and the new distribution codes)
+            // instead of bouncing off the tokenizer.
+            let (_, base) = &corpus[rng.range_usize(0, corpus.len() - 1)];
+            let src = segbus_gen::mutate_dsl(base, &mut rng);
+            catch_unwind(AssertUnwindSafe(|| {
+                if let Some(psm) = drive_dsl(&src) {
+                    emulate_and_compare(&psm, "structure-mutated dsl");
                     true
                 } else {
                     false
