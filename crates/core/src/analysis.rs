@@ -1,14 +1,21 @@
 //! Post-run analysis of emulation traces and counters.
 //!
 //! The paper's tool "helps us observe the communication bottlenecks"
-//! (§4); this module turns a traced [`crate::EmulationReport`] into the
-//! quantities a designer acts on: bus utilisation per segment, wave
-//! boundaries, per-package end-to-end latency and a Gantt-style CSV of
-//! every bus occupation.
+//! (§4); this module turns a trace into the quantities a designer acts
+//! on: bus utilisation per segment and per border unit, arbitration
+//! wait-time histograms, transfer-to-transfer gaps, a ranked bottleneck
+//! table, wave boundaries, per-package end-to-end latency and a
+//! Gantt-style CSV of every bus occupation.
+//!
+//! The heavy lifting ([`analyze_trace`]) works from a bare
+//! [`TraceLog`] plus a segment count, so it applies equally to an
+//! in-memory traced [`crate::EmulationReport`] and to a `.sbt` file
+//! decoded by [`crate::sbt::read_trace`] — no model required.
 
 use segbus_model::ids::{FlowId, SegmentId};
 use segbus_model::time::Picos;
 
+use crate::hist::Histogram;
 use crate::report::EmulationReport;
 use crate::trace::{TraceKind, TraceLog};
 
@@ -24,23 +31,205 @@ pub struct BusUtilisation {
 }
 
 /// Per-package end-to-end latency statistics (compute start → delivery).
+///
+/// `min`/`max`/`mean_ps` are `None` when no package was delivered —
+/// an empty run has *no* fastest package, not a 0 ps one.
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct LatencyStats {
     /// Packages measured.
     pub count: u64,
-    /// Fastest package.
-    pub min: Picos,
-    /// Slowest package.
-    pub max: Picos,
-    /// Mean latency in picoseconds.
-    pub mean_ps: f64,
+    /// Fastest package, if any package was delivered.
+    pub min: Option<Picos>,
+    /// Slowest package, if any package was delivered.
+    pub max: Option<Picos>,
+    /// Mean latency in picoseconds, if any package was delivered.
+    pub mean_ps: Option<f64>,
+}
+
+/// One segment's activity profile derived from a trace.
+#[derive(Clone, Debug)]
+pub struct SegmentActivity {
+    /// The segment.
+    pub segment: SegmentId,
+    /// Bus occupations served (local serves + inter-segment hops).
+    pub serves: u64,
+    /// Total time the bus was driven.
+    pub busy: Picos,
+    /// Busy time over the makespan (`0.0..=1.0`).
+    pub fraction: f64,
+    /// Arbitration-to-grant waits of requests originating here, in
+    /// **nanoseconds** (`ComputeEnd` → first `BusStart` of the package).
+    pub wait: Histogram,
+    /// Sum of those waits.
+    pub total_wait: Picos,
+    /// Transfer-to-transfer gaps: idle stretches between consecutive
+    /// bus occupations (count, total and the largest one).
+    pub gaps: u64,
+    /// Total idle time between consecutive bus occupations.
+    pub gap_total: Picos,
+    /// Largest single idle stretch between consecutive occupations.
+    pub gap_max: Picos,
+}
+
+/// Occupancy of one border unit, keyed by the segment that loads it.
+///
+/// Traces carry no BU indices, so a BU is identified by its *loading*
+/// side: the `BuLoaded` event's segment (for a ring's wrap-around BU
+/// that is the last segment). Occupancy is the `BuLoaded` →
+/// next-`BuUnloaded` interval of each package.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BuActivity {
+    /// The segment that loads this BU (its upstream side).
+    pub loading_segment: SegmentId,
+    /// Packages parked in the BU.
+    pub loads: u64,
+    /// Total time the BU held a package.
+    pub occupied: Picos,
+    /// Occupied time over the makespan (`0.0..=1.0`).
+    pub fraction: f64,
+}
+
+/// Everything [`analyze_trace`] derives from a trace.
+#[derive(Clone, Debug)]
+pub struct BusAnalysis {
+    /// Timestamp of the last event (the makespan for a complete trace;
+    /// for a truncated `.sbt` tail, the horizon actually observed).
+    pub makespan: Picos,
+    /// Per-segment activity, indexed by segment.
+    pub segments: Vec<SegmentActivity>,
+    /// Border units that carried at least one package.
+    pub bus_units: Vec<BuActivity>,
+}
+
+impl BusAnalysis {
+    /// Segments ranked most-contended first: by total arbitration wait,
+    /// ties broken by bus busy time. The head of this list is where the
+    /// paper's "communication bottleneck" lives.
+    pub fn bottlenecks(&self) -> Vec<&SegmentActivity> {
+        let mut out: Vec<&SegmentActivity> = self.segments.iter().collect();
+        out.sort_by(|a, b| {
+            (b.total_wait, b.busy, a.segment.0).cmp(&(a.total_wait, a.busy, b.segment.0))
+        });
+        out
+    }
+}
+
+/// Analyse a trace: per-segment utilisation, wait histograms and
+/// transfer gaps, plus per-BU occupancy — from the events alone.
+///
+/// `segments` dimensions the per-segment tables (a `.sbt` header
+/// records it; a report knows it from its counters). Events naming a
+/// segment out of range are ignored rather than trusted.
+pub fn analyze_trace(log: &TraceLog, segments: usize) -> BusAnalysis {
+    let makespan = log
+        .events()
+        .iter()
+        .map(|e| e.at)
+        .max()
+        .unwrap_or(Picos::ZERO);
+    let span = makespan.0;
+
+    let mut out: Vec<SegmentActivity> = (0..segments)
+        .map(|i| SegmentActivity {
+            segment: SegmentId(i as u16),
+            serves: 0,
+            busy: Picos::ZERO,
+            fraction: 0.0,
+            wait: Histogram::new(),
+            total_wait: Picos::ZERO,
+            gaps: 0,
+            gap_total: Picos::ZERO,
+            gap_max: Picos::ZERO,
+        })
+        .collect();
+
+    // Busy time and transfer-to-transfer gaps from the bus intervals.
+    for seg in &mut out {
+        let iv = log.bus_intervals(seg.segment);
+        seg.serves = iv.len() as u64;
+        seg.busy = Picos(iv.iter().map(|(a, b)| b.0 - a.0).sum());
+        seg.fraction = if span == 0 {
+            0.0
+        } else {
+            seg.busy.0 as f64 / span as f64
+        };
+        for w in iv.windows(2) {
+            let gap = w[1].0.saturating_sub(w[0].1);
+            seg.gaps += 1;
+            seg.gap_total = seg.gap_total + gap;
+            seg.gap_max = seg.gap_max.max(gap);
+        }
+    }
+
+    // Arbitration-to-grant waits: ComputeEnd raises the request at the
+    // source SA; the package's first BusStart is the grant. Attributed
+    // to the segment the request was raised in.
+    let mut pending: std::collections::HashMap<(FlowId, u64), (Picos, usize)> =
+        std::collections::HashMap::new();
+    // BU occupancy: BuLoaded parks the package, the next BuUnloaded for
+    // the same package drains it.
+    let mut parked: std::collections::HashMap<(FlowId, u64), (Picos, usize)> =
+        std::collections::HashMap::new();
+    let mut bus: Vec<(u64, u64)> = vec![(0, 0); segments]; // (loads, occupied_ps)
+    for e in log.events() {
+        let (Some(flow), Some(pkg)) = (e.flow, e.package) else {
+            continue;
+        };
+        let Some(si) = e.segment.map(|s| s.index()).filter(|&i| i < segments) else {
+            continue;
+        };
+        match e.kind {
+            TraceKind::ComputeEnd => {
+                pending.entry((flow, pkg)).or_insert((e.at, si));
+            }
+            TraceKind::BusStart => {
+                if let Some((raised, src)) = pending.remove(&(flow, pkg)) {
+                    let wait = e.at.saturating_sub(raised);
+                    out[src].wait.record(wait.0 / 1_000); // ps → ns
+                    out[src].total_wait = out[src].total_wait + wait;
+                }
+            }
+            TraceKind::BuLoaded => {
+                parked.insert((flow, pkg), (e.at, si));
+            }
+            TraceKind::BuUnloaded => {
+                if let Some((loaded, loader)) = parked.remove(&(flow, pkg)) {
+                    bus[loader].0 += 1;
+                    bus[loader].1 += e.at.saturating_sub(loaded).0;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let bus_units = bus
+        .into_iter()
+        .enumerate()
+        .filter(|(_, (loads, _))| *loads > 0)
+        .map(|(i, (loads, occupied))| BuActivity {
+            loading_segment: SegmentId(i as u16),
+            loads,
+            occupied: Picos(occupied),
+            fraction: if span == 0 {
+                0.0
+            } else {
+                occupied as f64 / span as f64
+            },
+        })
+        .collect();
+
+    BusAnalysis {
+        makespan,
+        segments: out,
+        bus_units,
+    }
 }
 
 /// Bus utilisation per segment, from the trace's `BusStart`/`BusEnd`
 /// pairs. Requires a traced run; returns one entry per segment.
 pub fn bus_utilisation(report: &EmulationReport) -> Vec<BusUtilisation> {
     let trace = traced(report);
-    let span = report.makespan.0.max(1) as f64;
+    let span = report.makespan.0;
     (0..report.sas.len())
         .map(|i| {
             let seg = SegmentId(i as u16);
@@ -52,10 +241,10 @@ pub fn bus_utilisation(report: &EmulationReport) -> Vec<BusUtilisation> {
             BusUtilisation {
                 segment: seg,
                 busy: Picos(busy),
-                fraction: if report.makespan == Picos::ZERO {
+                fraction: if span == 0 {
                     0.0
                 } else {
-                    busy as f64 / span
+                    busy as f64 / span as f64
                 },
             }
         })
@@ -86,7 +275,11 @@ pub fn wave_durations(report: &EmulationReport) -> Vec<Picos> {
 /// End-to-end latency of every package: from its `ComputeStart` to its
 /// `Delivered` event, matched by `(flow, package)`.
 pub fn package_latencies(report: &EmulationReport) -> Vec<(FlowId, u64, Picos)> {
-    let trace = traced(report);
+    trace_package_latencies(traced(report))
+}
+
+/// [`package_latencies`] over a bare trace (e.g. a decoded `.sbt` file).
+pub fn trace_package_latencies(trace: &TraceLog) -> Vec<(FlowId, u64, Picos)> {
     let mut starts: std::collections::HashMap<(FlowId, u64), Picos> =
         std::collections::HashMap::new();
     let mut out = Vec::new();
@@ -111,7 +304,12 @@ pub fn package_latencies(report: &EmulationReport) -> Vec<(FlowId, u64, Picos)> 
 
 /// Summary statistics over [`package_latencies`].
 pub fn latency_stats(report: &EmulationReport) -> LatencyStats {
-    let lats = package_latencies(report);
+    trace_latency_stats(traced(report))
+}
+
+/// [`latency_stats`] over a bare trace (e.g. a decoded `.sbt` file).
+pub fn trace_latency_stats(trace: &TraceLog) -> LatencyStats {
+    let lats = trace_package_latencies(trace);
     if lats.is_empty() {
         return LatencyStats::default();
     }
@@ -125,9 +323,9 @@ pub fn latency_stats(report: &EmulationReport) -> LatencyStats {
     }
     LatencyStats {
         count: lats.len() as u64,
-        min,
-        max,
-        mean_ps: sum as f64 / lats.len() as f64,
+        min: Some(min),
+        max: Some(max),
+        mean_ps: Some(sum as f64 / lats.len() as f64),
     }
 }
 
@@ -207,6 +405,19 @@ mod tests {
         Emulator::new(EmulatorConfig::traced()).run(&psm)
     }
 
+    fn empty_run() -> EmulationReport {
+        let mut app = Application::new("empty");
+        let a = app.add_process(Process::new("A"));
+        let mut alloc = Allocation::new(1);
+        alloc.assign(a, SegmentId(0));
+        let platform = Platform::builder("p")
+            .uniform_segments(1, ClockDomain::from_mhz(100.0))
+            .build()
+            .unwrap();
+        let psm = Psm::new(platform, app, alloc).unwrap();
+        Emulator::new(EmulatorConfig::traced()).run(&psm)
+    }
+
     #[test]
     fn utilisation_is_positive_and_bounded() {
         let r = traced_run();
@@ -243,9 +454,11 @@ mod tests {
         }
         let stats = latency_stats(&r);
         assert_eq!(stats.count, 4);
-        assert!(stats.min <= stats.max);
-        assert!(stats.mean_ps >= stats.min.0 as f64);
-        assert!(stats.mean_ps <= stats.max.0 as f64);
+        let (min, max) = (stats.min.unwrap(), stats.max.unwrap());
+        let mean = stats.mean_ps.unwrap();
+        assert!(min <= max);
+        assert!(mean >= min.0 as f64);
+        assert!(mean <= max.0 as f64);
     }
 
     #[test]
@@ -259,20 +472,75 @@ mod tests {
     }
 
     #[test]
+    fn analyze_trace_profiles_segments_and_bus() {
+        let r = traced_run();
+        let a = analyze_trace(r.trace.as_ref().unwrap(), r.sas.len());
+        assert_eq!(a.makespan, r.makespan);
+        assert_eq!(a.segments.len(), 2);
+        // Serves per segment match the Gantt: 2 local + 2 first hops on
+        // segment 1, 2 final hops on segment 2.
+        assert_eq!(a.segments[0].serves, 4);
+        assert_eq!(a.segments[1].serves, 2);
+        // Busy time agrees with the legacy per-report view.
+        let u = bus_utilisation(&r);
+        assert_eq!(a.segments[0].busy, u[0].busy);
+        assert_eq!(a.segments[1].busy, u[1].busy);
+        assert!((a.segments[0].fraction - u[0].fraction).abs() < 1e-12);
+        // Every package raised exactly one request at its source SA
+        // (both flows originate in segment 1).
+        assert_eq!(a.segments[0].wait.count(), 4);
+        assert_eq!(a.segments[1].wait.count(), 0);
+        // 4 occupations on segment 1 leave 3 transfer-to-transfer gaps.
+        assert_eq!(a.segments[0].gaps, 3);
+        assert!(a.segments[0].gap_max.0 >= a.segments[0].gap_total.0 / 3);
+        // The inter-segment flow parks 2 packages in the BU loaded by
+        // segment 1.
+        assert_eq!(a.bus_units.len(), 1);
+        let bu = &a.bus_units[0];
+        assert_eq!(bu.loading_segment, SegmentId(0));
+        assert_eq!(bu.loads, 2);
+        assert!(bu.occupied > Picos::ZERO);
+        assert!(bu.fraction > 0.0 && bu.fraction <= 1.0);
+    }
+
+    #[test]
+    fn bottlenecks_rank_by_wait() {
+        let r = traced_run();
+        let a = analyze_trace(r.trace.as_ref().unwrap(), r.sas.len());
+        let ranked = a.bottlenecks();
+        assert_eq!(ranked.len(), 2);
+        // All waits happen at segment 1; it must rank first.
+        assert_eq!(ranked[0].segment, SegmentId(0));
+        assert!(ranked[0].total_wait >= ranked[1].total_wait);
+    }
+
+    #[test]
     fn empty_run_has_empty_stats() {
-        let mut app = Application::new("empty");
-        let a = app.add_process(Process::new("A"));
-        let mut alloc = Allocation::new(1);
-        alloc.assign(a, SegmentId(0));
-        let platform = Platform::builder("p")
-            .uniform_segments(1, ClockDomain::from_mhz(100.0))
-            .build()
-            .unwrap();
-        let psm = Psm::new(platform, app, alloc).unwrap();
-        let r = Emulator::new(EmulatorConfig::traced()).run(&psm);
-        assert_eq!(latency_stats(&r), LatencyStats::default());
+        let r = empty_run();
+        let stats = latency_stats(&r);
+        assert_eq!(stats, LatencyStats::default());
+        assert_eq!(stats.min, None, "an empty run has no fastest package");
         assert!(wave_boundaries(&r).is_empty());
         assert_eq!(bus_utilisation(&r)[0].fraction, 0.0);
+    }
+
+    #[test]
+    fn zero_makespan_yields_finite_fractions() {
+        // Regression: the old code divided by `makespan.max(1)` but
+        // special-cased zero separately; the unified guard must keep
+        // every fraction finite (no NaN) on a run with no activity.
+        let r = empty_run();
+        assert_eq!(r.makespan, Picos::ZERO);
+        for u in bus_utilisation(&r) {
+            assert_eq!(u.fraction, 0.0);
+            assert!(u.fraction.is_finite());
+        }
+        let a = analyze_trace(r.trace.as_ref().unwrap(), r.sas.len());
+        for s in &a.segments {
+            assert!(s.fraction.is_finite());
+            assert_eq!(s.fraction, 0.0);
+        }
+        assert!(a.bus_units.is_empty());
     }
 
     #[test]

@@ -598,10 +598,22 @@ impl Engine {
     /// Panics if `frames` is zero.
     pub fn run_plan(&mut self, plan: &EnginePlan, frames: u64) -> EmulationReport {
         assert!(frames > 0, "at least one frame");
-        // The fast core compiles trace hooks out entirely, so traced runs
-        // stay on the interpreter; everything else takes the specialised
-        // path (bit-identical by the differential suite).
-        if self.config.engine == crate::config::EngineKind::Fast && !self.config.trace {
+        if self.config.engine == crate::config::EngineKind::Fast {
+            if self.config.trace {
+                // The traced fast instantiations emit the interpreter's
+                // exact event stream (differential-tested event for
+                // event); collect it into the report's TraceLog.
+                let mut log = TraceLog::new();
+                let mut report = crate::fast::run_fast_traced(
+                    plan,
+                    &mut self.fast,
+                    &self.config,
+                    frames,
+                    &mut log,
+                );
+                report.trace = Some(log);
+                return report;
+            }
             return crate::fast::run_fast(plan, &mut self.fast, &self.config, frames);
         }
         self.scratch.reset(plan, frames, &self.config);
@@ -614,6 +626,60 @@ impl Engine {
             trace: self.config.trace.then(TraceLog::new),
         }
         .execute()
+    }
+
+    /// Execute a pre-compiled plan, streaming every trace event into
+    /// `sink` instead of collecting an in-memory [`TraceLog`] — the way
+    /// to trace million-event runs without ballooning memory (pair with
+    /// [`crate::sbt::SbtWriter`]). The returned report's `trace` field is
+    /// `None`: the events went to the sink. Tracing is implied; the
+    /// configured [`EmulatorConfig::trace`] flag is ignored here.
+    ///
+    /// On the fast engine events stream as they are emitted; the
+    /// interpreter records its log first and replays it into the sink
+    /// (identical event sequence either way).
+    ///
+    /// # Panics
+    /// Panics if `frames` is zero.
+    pub fn run_plan_with_sink(
+        &mut self,
+        plan: &EnginePlan,
+        frames: u64,
+        sink: &mut dyn crate::trace::TraceSink,
+    ) -> EmulationReport {
+        assert!(frames > 0, "at least one frame");
+        if self.config.engine == crate::config::EngineKind::Fast {
+            return crate::fast::run_fast_traced(plan, &mut self.fast, &self.config, frames, sink);
+        }
+        self.scratch.reset(plan, frames, &self.config);
+        let mut report = Run {
+            plan,
+            cfg: self.config,
+            sc: &mut self.scratch,
+            frames,
+            bus_ticks: self.config.timing.bus_transaction_ticks(plan.s),
+            trace: Some(TraceLog::new()),
+        }
+        .execute();
+        if let Some(log) = report.trace.take() {
+            for e in log.events() {
+                sink.emit(e);
+            }
+        }
+        report
+    }
+
+    /// Panic-free [`Engine::run_plan_with_sink`] over a PSM: validates,
+    /// compiles the plan, then executes with trace streaming.
+    pub fn try_run_frames_with_sink(
+        &mut self,
+        psm: &Psm,
+        frames: u64,
+        sink: &mut dyn crate::trace::TraceSink,
+    ) -> Result<EmulationReport, SegbusError> {
+        crate::precheck::strict_validate(psm, frames, &self.config)?;
+        let plan = EnginePlan::try_new(psm)?;
+        Ok(self.run_plan_with_sink(&plan, frames, sink))
     }
 }
 

@@ -10,13 +10,30 @@
 //! redundantly:
 //!
 //! * **Monomorphisation** — the run loop is generic over
-//!   `<A: Arbitration, R: Release>` and instantiated once per
-//!   `(ArbitrationPolicy, ProducerRelease)` pair by [`run_fast`]'s
-//!   dispatch `match`, so policy checks become compile-time constants and
-//!   the arbiter's pick loop inlines into the dispatch handler.
-//! * **No trace plumbing** — the fast core has no `Option<TraceLog>`
-//!   checks at all; traced runs stay on the interpreter (see
-//!   [`crate::config::EngineKind`]).
+//!   `<A: Arbitration, R: Release, const TRACED: bool>` and instantiated
+//!   once per `(ArbitrationPolicy, ProducerRelease)` pair by [`run_fast`]'s
+//!   (untraced) and [`run_fast_traced`]'s dispatch `match`es, so policy
+//!   checks become compile-time constants and the arbiter's pick loop
+//!   inlines into the dispatch handler.
+//! * **Monomorphised tracing** — every trace hook sits behind
+//!   `if TRACED`, so the untraced instantiations compile the plumbing
+//!   out entirely (no `Option` checks, no side tables touched) and stay
+//!   benchmark-neutral, while the traced instantiations emit the
+//!   interpreter's [`crate::TraceEvent`] stream event for event into any
+//!   [`TraceSink`] (an in-memory [`crate::TraceLog`], a streaming
+//!   [`crate::sbt::SbtWriter`], …). Tracing needs the frame-global
+//!   package index the fast core otherwise elides (see "No package
+//!   indices" below), so the traced instantiations reconstruct it in
+//!   side tables keyed the only way packages can be in flight: one
+//!   compute per producer (`cur_pkg`), a queue position per local
+//!   request (`sa_pkg`), a FIFO of in-flight serves per segment
+//!   (`intra_pkg`) and one entry per inter-segment transfer
+//!   (`tr_pkg`). Burst stepping is
+//!   disabled under `TRACED` (it elides the serve/deliver events
+//!   wholesale); every other elision drops only events whose handlers
+//!   emit nothing, so the surviving emission order is the
+//!   interpreter's — the differential test below checks equality event
+//!   for event across the policy matrix.
 //! * **Flat SoA scratch** — producer state (`pending`/`rr`/`busy`) and
 //!   process bookkeeping (`remaining out`/`in`) are parallel arrays
 //!   indexed by the [`EnginePlan`]'s dense ids instead of arrays of
@@ -111,6 +128,7 @@ use crate::config::{ArbitrationPolicy, EmulatorConfig, ProducerRelease};
 use crate::counters::{BuCounters, CaCounters, FuTimes, SaCounters};
 use crate::engine::{EnginePlan, NO_PATH};
 use crate::report::EmulationReport;
+use crate::trace::{TraceEvent, TraceKind, TraceSink};
 
 // ---------------------------------------------------------------------------
 // compile-time policies
@@ -299,6 +317,20 @@ pub(crate) struct FastScratch {
     seg_hop_wait_ps: Vec<u64>,
     /// CA request registration latency (`ca_request_ticks × CA period`).
     ca_req_ps: u64,
+    // -- traced-only side tables (empty when `TRACED` is false) ----------
+    /// Frame-global package index of each producer's in-flight compute.
+    cur_pkg: Vec<u64>,
+    /// Package indices paralleling `sa_queue`, same push/remove order.
+    sa_pkg: Vec<VecDeque<u64>>,
+    /// Package indices of each segment's outstanding `IntraDone`s, FIFO.
+    /// Usually one deep, but a follow-up serve can be granted at the
+    /// exact end instant of the previous one — a same-timestamp
+    /// `ComputeDone` with an older sequence number pops before the
+    /// pending `IntraDone` — so two can overlap at a time boundary.
+    /// Serve ends are strictly increasing per segment, so pops are FIFO.
+    intra_pkg: Vec<VecDeque<u64>>,
+    /// Package indices paralleling `transfers` (push-only, same index).
+    tr_pkg: Vec<u64>,
 }
 
 /// Clear and re-dimension a vector, keeping its allocation.
@@ -308,8 +340,27 @@ fn refill<T: Clone>(v: &mut Vec<T>, n: usize, value: T) {
 }
 
 impl FastScratch {
-    fn reset(&mut self, plan: &EnginePlan, frames: u64, cfg: &EmulatorConfig, bus_ticks: u64) {
+    fn reset(
+        &mut self,
+        plan: &EnginePlan,
+        frames: u64,
+        cfg: &EmulatorConfig,
+        bus_ticks: u64,
+        traced: bool,
+    ) {
         self.queue.clear();
+
+        if traced {
+            refill(&mut self.cur_pkg, plan.nproc, 0);
+            for tab in [&mut self.sa_pkg, &mut self.intra_pkg] {
+                tab.resize_with(plan.nseg, VecDeque::new);
+                tab.truncate(plan.nseg);
+                for q in tab.iter_mut() {
+                    q.clear();
+                }
+            }
+            self.tr_pkg.clear();
+        }
 
         // Batched frame bookkeeping: the per-wave delivery counts are
         // identical in every frame, so compute them once and repeat.
@@ -408,32 +459,82 @@ pub(crate) fn run_fast(
     use ArbitrationPolicy as A;
     use ProducerRelease as R;
     match (cfg.arbitration, cfg.producer_release) {
-        (A::Fifo, R::AfterDelivery) => run_mono::<FifoArb, RelDelivery>(plan, sc, cfg, frames),
-        (A::Fifo, R::AfterLocalPhase) => run_mono::<FifoArb, RelLocal>(plan, sc, cfg, frames),
+        (A::Fifo, R::AfterDelivery) => {
+            run_mono::<FifoArb, RelDelivery, false>(plan, sc, cfg, frames, None)
+        }
+        (A::Fifo, R::AfterLocalPhase) => {
+            run_mono::<FifoArb, RelLocal, false>(plan, sc, cfg, frames, None)
+        }
         (A::FixedPriority, R::AfterDelivery) => {
-            run_mono::<PriorityArb, RelDelivery>(plan, sc, cfg, frames)
+            run_mono::<PriorityArb, RelDelivery, false>(plan, sc, cfg, frames, None)
         }
         (A::FixedPriority, R::AfterLocalPhase) => {
-            run_mono::<PriorityArb, RelLocal>(plan, sc, cfg, frames)
+            run_mono::<PriorityArb, RelLocal, false>(plan, sc, cfg, frames, None)
         }
         (A::FairRoundRobin, R::AfterDelivery) => {
-            run_mono::<FairArb, RelDelivery>(plan, sc, cfg, frames)
+            run_mono::<FairArb, RelDelivery, false>(plan, sc, cfg, frames, None)
         }
         (A::FairRoundRobin, R::AfterLocalPhase) => {
-            run_mono::<FairArb, RelLocal>(plan, sc, cfg, frames)
+            run_mono::<FairArb, RelLocal, false>(plan, sc, cfg, frames, None)
         }
     }
 }
 
-fn run_mono<A: Arbitration, R: Release>(
+/// [`run_fast`] with trace emission: the traced instantiations stream
+/// the interpreter's exact event sequence into `sink` as the run
+/// executes. The report is bit-identical to [`run_fast`]'s (and the
+/// interpreter's); `report.trace` stays `None` — the events went to the
+/// sink, which may be an in-memory [`crate::TraceLog`] or a streaming
+/// [`crate::sbt::SbtWriter`].
+///
+/// # Panics
+/// Panics if `frames` is zero (same contract as the interpreter).
+pub(crate) fn run_fast_traced(
     plan: &EnginePlan,
     sc: &mut FastScratch,
     cfg: &EmulatorConfig,
     frames: u64,
+    sink: &mut dyn TraceSink,
+) -> EmulationReport {
+    assert!(frames > 0, "at least one frame");
+    assert!(
+        frames <= MAX_FRAMES,
+        "frame count exceeds the packed-event range"
+    );
+    use ArbitrationPolicy as A;
+    use ProducerRelease as R;
+    match (cfg.arbitration, cfg.producer_release) {
+        (A::Fifo, R::AfterDelivery) => {
+            run_mono::<FifoArb, RelDelivery, true>(plan, sc, cfg, frames, Some(sink))
+        }
+        (A::Fifo, R::AfterLocalPhase) => {
+            run_mono::<FifoArb, RelLocal, true>(plan, sc, cfg, frames, Some(sink))
+        }
+        (A::FixedPriority, R::AfterDelivery) => {
+            run_mono::<PriorityArb, RelDelivery, true>(plan, sc, cfg, frames, Some(sink))
+        }
+        (A::FixedPriority, R::AfterLocalPhase) => {
+            run_mono::<PriorityArb, RelLocal, true>(plan, sc, cfg, frames, Some(sink))
+        }
+        (A::FairRoundRobin, R::AfterDelivery) => {
+            run_mono::<FairArb, RelDelivery, true>(plan, sc, cfg, frames, Some(sink))
+        }
+        (A::FairRoundRobin, R::AfterLocalPhase) => {
+            run_mono::<FairArb, RelLocal, true>(plan, sc, cfg, frames, Some(sink))
+        }
+    }
+}
+
+fn run_mono<'r, A: Arbitration, R: Release, const TRACED: bool>(
+    plan: &'r EnginePlan,
+    sc: &'r mut FastScratch,
+    cfg: &EmulatorConfig,
+    frames: u64,
+    sink: Option<&'r mut dyn TraceSink>,
 ) -> EmulationReport {
     let bus_ticks = cfg.timing.bus_transaction_ticks(plan.s);
-    sc.reset(plan, frames, cfg, bus_ticks);
-    FastRun::<A, R> {
+    sc.reset(plan, frames, cfg, bus_ticks, TRACED);
+    FastRun::<A, R, TRACED> {
         plan,
         sc,
         frames,
@@ -441,6 +542,7 @@ fn run_mono<A: Arbitration, R: Release>(
         ca_request_ticks: cfg.timing.ca_request_ticks,
         ca_grant_ticks: cfg.timing.ca_grant_ticks,
         ca_release_ticks: cfg.timing.ca_release_ticks,
+        sink,
         _policy: PhantomData,
     }
     .execute()
@@ -449,7 +551,7 @@ fn run_mono<A: Arbitration, R: Release>(
 // ---------------------------------------------------------------------------
 // one monomorphised run
 
-struct FastRun<'r, 'a, A, R> {
+struct FastRun<'r, 'a, A, R, const TRACED: bool> {
     plan: &'r EnginePlan<'a>,
     sc: &'r mut FastScratch,
     frames: u64,
@@ -457,10 +559,23 @@ struct FastRun<'r, 'a, A, R> {
     ca_request_ticks: u64,
     ca_grant_ticks: u64,
     ca_release_ticks: u64,
+    /// `Some` exactly when `TRACED`; the untraced instantiations never
+    /// read it and the branch in [`Self::trace`] folds away.
+    sink: Option<&'r mut dyn TraceSink>,
     _policy: PhantomData<(A, R)>,
 }
 
-impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
+impl<A: Arbitration, R: Release, const TRACED: bool> FastRun<'_, '_, A, R, TRACED> {
+    /// Emit a trace event; a no-op compiled out entirely when `!TRACED`.
+    #[inline(always)]
+    fn trace(&mut self, e: TraceEvent) {
+        if TRACED {
+            if let Some(s) = &mut self.sink {
+                s.emit(&e);
+            }
+        }
+    }
+
     // -- queue ------------------------------------------------------------
 
     /// Insert at the leftmost slot among equal timestamps: among
@@ -567,6 +682,14 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
     }
 
     fn complete_instance(&mut self, g: usize, now: Picos) {
+        self.trace(TraceEvent {
+            at: now,
+            kind: TraceKind::WaveComplete,
+            flow: None,
+            package: None,
+            process: None,
+            segment: None,
+        });
         let w = g % self.plan.waves.len();
         if w + 1 < self.plan.waves.len() {
             self.start_instance(g + 1, now);
@@ -586,6 +709,13 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
         let rr = self.sc.prod_rr[pi];
         let idx = if rr < len { rr } else { rr % len };
         let (flow, remaining, frame) = pending[idx];
+        if TRACED {
+            // Reconstruct the interpreter's frame-global package index
+            // from the pre-decrement remaining count; one compute is in
+            // flight per producer, so a single slot suffices.
+            let pkgs = self.plan.flow_pkgs[flow.index()];
+            self.sc.cur_pkg[pi] = frame as u64 * pkgs + (pkgs - remaining);
+        }
         if remaining == 1 {
             pending.remove(idx);
             let len = pending.len();
@@ -619,6 +749,14 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
         if self.sc.fus[pi].start.is_none() {
             self.sc.fus[pi].start = Some(start);
         }
+        self.trace(TraceEvent {
+            at: start,
+            kind: TraceKind::ComputeStart,
+            flow: Some(flow),
+            package: Some(if TRACED { self.sc.cur_pkg[pi] } else { 0 }),
+            process: Some(p),
+            segment: Some(seg),
+        });
         self.schedule(end, ev::pack(ev::COMPUTE_DONE, flow.0, frame));
     }
 
@@ -629,10 +767,21 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
         let src = plan.flow_src[flow.index()];
         let src_seg = plan.proc_seg[src.index()];
         let si = src_seg.index();
+        self.trace(TraceEvent {
+            at: now,
+            kind: TraceKind::ComputeEnd,
+            flow: Some(flow),
+            package: Some(if TRACED { self.sc.cur_pkg[src.index()] } else { 0 }),
+            process: Some(src),
+            segment: Some(src_seg),
+        });
         self.touch_sa(si, now);
         let path = plan.flow_path[flow.index()];
         if path == NO_PATH {
-            if self.sc.queue.is_empty()
+            // Burst stepping elides the serve/deliver events wholesale,
+            // so the traced instantiations never take it.
+            if !TRACED
+                && self.sc.queue.is_empty()
                 && self.sc.ca_queue.is_empty()
                 && self.sc.sa_queue[si].is_empty()
                 && !self.sc.reserved[si]
@@ -643,6 +792,10 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
             }
             self.sc.sas[si].intra_requests += 1;
             self.sc.sa_queue[si].push_back(LocalReq { flow, frame });
+            if TRACED {
+                let pkg = self.sc.cur_pkg[src.index()];
+                self.sc.sa_pkg[si].push_back(pkg);
+            }
             // Compute ends on an edge of the producer's own segment
             // clock, so the interpreter's `next_edge(now)` is `now` and
             // the FIFO inline-dispatch condition always holds.
@@ -656,6 +809,10 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
             self.sc.sas[si].inter_requests += 1;
             let req = self.sc.transfers.len() as u32;
             self.sc.transfers.push(InterTransfer { flow, frame, path });
+            if TRACED {
+                let pkg = self.sc.cur_pkg[src.index()];
+                self.sc.tr_pkg.push(pkg);
+            }
             let at = plan.fast_ca.next_edge(now) + Picos(self.sc.ca_req_ps);
             self.schedule(at, ev::pack(ev::CA_ARRIVE, req, 0));
         }
@@ -725,7 +882,7 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
             fu.packages_received += 1;
             fu.last_received = Some(e);
             self.sc.remaining_inp[dst.index()] -= 1;
-            self.maybe_raise_flag(dst);
+            self.maybe_raise_flag(e, dst);
             self.sc.instance_remaining[g] -= 1;
             // Release the producer.
             let fu = &mut self.sc.fus[pi];
@@ -733,7 +890,7 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
             fu.packages_sent += 1;
             fu.end = Some(e);
             self.sc.remaining_out[pi] -= 1;
-            self.maybe_raise_flag(src);
+            self.maybe_raise_flag(e, src);
             // Pick the next package with the interpreter's round-robin.
             match self.pick_package(pi) {
                 None => {
@@ -785,6 +942,11 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
         }
         let pick = A::pick(&self.sc.sa_queue[si], &plan.flow_src, &self.sc.served);
         let req = self.sc.sa_queue[si].remove(pick).expect("index in range");
+        let pkg = if TRACED {
+            self.sc.sa_pkg[si].remove(pick).expect("index in range")
+        } else {
+            0
+        };
         self.sc.served[plan.flow_src[req.flow.index()].index()] += 1;
         // Dispatches run on edges of this segment's clock (see module
         // docs), so the serve starts at `now` exactly.
@@ -793,6 +955,22 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
         self.sc.bus_free[si] = end;
         self.sc.sas[si].busy_ticks += self.bus_ticks;
         self.touch_sa(si, end);
+        self.trace(TraceEvent {
+            at: now,
+            kind: TraceKind::BusStart,
+            flow: Some(req.flow),
+            package: Some(pkg),
+            process: None,
+            segment: Some(seg),
+        });
+        self.trace(TraceEvent {
+            at: end,
+            kind: TraceKind::BusEnd,
+            flow: Some(req.flow),
+            package: Some(pkg),
+            process: None,
+            segment: Some(seg),
+        });
         let chain = !self.sc.sa_queue[si].is_empty();
         if self.sc.queue.last().is_none_or(|x| x.at > end.0) {
             // Every queued event lies strictly after `end`, so the
@@ -802,8 +980,11 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
             // marker equal to `end` cannot exist: markers always back a
             // queued event at their timestamp.)
             self.sc.makespan = end;
-            self.on_intra_done(end, req.flow, req.frame, chain);
+            self.on_intra_done(end, req.flow, req.frame, chain, pkg);
             return;
+        }
+        if TRACED {
+            self.sc.intra_pkg[si].push_back(pkg);
         }
         if chain {
             // The fused follow-up dispatch doubles as the outstanding
@@ -847,6 +1028,11 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
     fn grant(&mut self, now: Picos, req: u32) {
         let plan = self.plan;
         let tr = self.sc.transfers[req as usize];
+        let pkg = if TRACED {
+            self.sc.tr_pkg[req as usize]
+        } else {
+            0
+        };
         self.sc.ca.grants += 1;
         self.sc.ca.busy_ticks += self.ca_grant_ticks;
         let path = &plan.paths[tr.path as usize];
@@ -875,6 +1061,22 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
             self.sc.bus_free[mi] = end;
             self.sc.sas[mi].busy_ticks += self.bus_ticks;
             self.touch_sa(mi, end);
+            self.trace(TraceEvent {
+                at: start,
+                kind: TraceKind::BusStart,
+                flow: Some(tr.flow),
+                package: Some(pkg),
+                process: None,
+                segment: Some(m),
+            });
+            self.trace(TraceEvent {
+                at: end,
+                kind: TraceKind::BusEnd,
+                flow: Some(tr.flow),
+                package: Some(pkg),
+                process: None,
+                segment: Some(m),
+            });
             if hop + 1 < path.segs.len() {
                 let b = &mut self.sc.bus_ctr[path.bu[hop] as usize];
                 if path.load_left[hop] {
@@ -882,6 +1084,14 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
                 } else {
                     b.received_from_right += 1;
                 }
+                self.trace(TraceEvent {
+                    at: end,
+                    kind: TraceKind::BuLoaded,
+                    flow: Some(tr.flow),
+                    package: Some(pkg),
+                    process: None,
+                    segment: Some(m),
+                });
             }
             if hop > 0 {
                 let b = &mut self.sc.bus_ctr[path.bu[hop - 1] as usize];
@@ -891,6 +1101,14 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
                     b.transferred_to_left += 1;
                 }
                 self.sc.sas[mi].intra_requests += 1;
+                self.trace(TraceEvent {
+                    at: start,
+                    kind: TraceKind::BuUnloaded,
+                    flow: Some(tr.flow),
+                    package: Some(pkg),
+                    process: None,
+                    segment: Some(m),
+                });
             }
             self.schedule(end, ev::pack(ev::PHASE_DONE, req, hop as u32));
             prev_end = end;
@@ -903,9 +1121,9 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
         }
     }
 
-    fn on_intra_done(&mut self, now: Picos, flow: FlowId, frame: u32, chain: bool) {
+    fn on_intra_done(&mut self, now: Picos, flow: FlowId, frame: u32, chain: bool, pkg: u64) {
         let src = self.plan.flow_src[flow.index()];
-        self.deliver(now, flow, frame);
+        self.deliver(now, flow, frame, pkg);
         self.producer_transfer_done(now, src);
         if !self.sc.ca_queue.is_empty() {
             self.request_ca_dispatch(self.plan.fast_ca.next_edge(now));
@@ -941,7 +1159,12 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
             self.producer_transfer_done(now, src);
         }
         if last {
-            self.deliver(now, tr.flow, tr.frame);
+            let pkg = if TRACED {
+                self.sc.tr_pkg[req as usize]
+            } else {
+                0
+            };
+            self.deliver(now, tr.flow, tr.frame, pkg);
         }
         if !self.sc.sa_queue[seg.index()].is_empty() {
             self.request_dispatch(seg, now);
@@ -956,11 +1179,11 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
         self.sc.fus[pi].packages_sent += 1;
         self.sc.fus[pi].end = Some(now);
         self.sc.remaining_out[pi] -= 1;
-        self.maybe_raise_flag(p);
+        self.maybe_raise_flag(now, p);
         self.start_next_package(p, now);
     }
 
-    fn deliver(&mut self, now: Picos, flow: FlowId, frame: u32) {
+    fn deliver(&mut self, now: Picos, flow: FlowId, frame: u32, pkg: u64) {
         let plan = self.plan;
         let dst = plan.flow_dst[flow.index()];
         let di = dst.index();
@@ -968,7 +1191,15 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
         fu.packages_received += 1;
         fu.last_received = Some(now);
         self.sc.remaining_inp[di] -= 1;
-        self.maybe_raise_flag(dst);
+        self.trace(TraceEvent {
+            at: now,
+            kind: TraceKind::Delivered,
+            flow: Some(flow),
+            package: Some(pkg),
+            process: Some(dst),
+            segment: Some(plan.proc_seg[di]),
+        });
+        self.maybe_raise_flag(now, dst);
         // The frame travelled with the package (module docs), so no
         // package-index division is needed here.
         let g = frame as usize * plan.waves.len() + plan.flow_wave[flow.index()];
@@ -979,10 +1210,18 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
     }
 
     #[inline(always)]
-    fn maybe_raise_flag(&mut self, p: ProcessId) {
+    fn maybe_raise_flag(&mut self, now: Picos, p: ProcessId) {
         let i = p.index();
         if !self.sc.fus[i].flag && self.sc.remaining_out[i] == 0 && self.sc.remaining_inp[i] == 0 {
             self.sc.fus[i].flag = true;
+            self.trace(TraceEvent {
+                at: now,
+                kind: TraceKind::FlagRaised,
+                flow: None,
+                package: None,
+                process: Some(p),
+                segment: None,
+            });
         }
     }
 
@@ -1017,7 +1256,16 @@ impl<A: Arbitration, R: Release> FastRun<'_, '_, A, R> {
                 }
                 ev::INTRA_DONE => {
                     let fc = ev::b(e.ev);
-                    self.on_intra_done(at, FlowId(ev::a(e.ev)), fc >> 1, fc & 1 != 0);
+                    let flow = FlowId(ev::a(e.ev));
+                    let pkg = if TRACED {
+                        // Serve ends are strictly increasing per segment,
+                        // so outstanding IntraDones pop in push order.
+                        let si = plan.proc_seg[plan.flow_src[flow.index()].index()].index();
+                        self.sc.intra_pkg[si].pop_front().expect("pending serve")
+                    } else {
+                        0
+                    };
+                    self.on_intra_done(at, flow, fc >> 1, fc & 1 != 0, pkg);
                 }
                 _ => {
                     debug_assert_eq!(ev::tag(e.ev), ev::PHASE_DONE);
@@ -1213,18 +1461,92 @@ mod tests {
         }
     }
 
-    /// Traced runs fall back to the interpreter and still record a trace.
+    /// The traced fast instantiations reproduce the interpreter's trace
+    /// **event for event** — same kinds, same timestamps, same
+    /// flow/package/process/segment payloads, same emission order —
+    /// across every shape, the full policy matrix, and multi-frame runs;
+    /// the reports stay bit-identical at the same time.
     #[test]
-    fn traced_runs_fall_back_to_interpreter() {
-        let psm = shapes().remove(1);
-        let r = fast(EmulatorConfig::traced()).run(&psm);
-        assert!(r.trace.is_some(), "trace must survive the fast default");
-        let i = interpreter(EmulatorConfig::traced()).run(&psm);
-        assert_eq!(r.makespan, i.makespan);
-        assert_eq!(
-            r.trace.as_ref().unwrap().len(),
-            i.trace.as_ref().unwrap().len()
-        );
+    fn traced_fast_core_matches_interpreter_event_for_event() {
+        let arbs = [
+            ArbitrationPolicy::Fifo,
+            ArbitrationPolicy::FixedPriority,
+            ArbitrationPolicy::FairRoundRobin,
+        ];
+        let rels = [
+            ProducerRelease::AfterDelivery,
+            ProducerRelease::AfterLocalPhase,
+        ];
+        for psm in shapes() {
+            for &arbitration in &arbs {
+                for &producer_release in &rels {
+                    let cfg = EmulatorConfig {
+                        arbitration,
+                        producer_release,
+                        ..EmulatorConfig::traced()
+                    };
+                    for frames in [1, 3] {
+                        let label = format!("{arbitration:?}/{producer_release:?}/f{frames}");
+                        let a = interpreter(cfg).run_frames(&psm, frames);
+                        let b = fast(cfg).run_frames(&psm, frames);
+                        let ta = a.trace.as_ref().expect("interpreter trace").events();
+                        let tb = b.trace.as_ref().expect("fast trace").events();
+                        assert_eq!(ta.len(), tb.len(), "{label}: event count");
+                        for (i, (x, y)) in ta.iter().zip(tb.iter()).enumerate() {
+                            assert_eq!(x, y, "{label}: event {i}");
+                        }
+                        assert_eq!(a.makespan, b.makespan, "{label}: makespan");
+                        assert_eq!(a.sas, b.sas, "{label}: sas");
+                        assert_eq!(a.ca, b.ca, "{label}: ca");
+                        assert_eq!(a.bus, b.bus, "{label}: bus");
+                        assert_eq!(a.fus, b.fus, "{label}: fus");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Traced detailed timing exercises the BU synchroniser trace sites.
+    #[test]
+    fn traced_fast_core_matches_under_detailed_timing() {
+        let cfg = EmulatorConfig {
+            trace: true,
+            ..EmulatorConfig::detailed()
+        };
+        for psm in shapes() {
+            let a = interpreter(cfg).run_frames(&psm, 2);
+            let b = fast(cfg).run_frames(&psm, 2);
+            assert_eq!(
+                a.trace.as_ref().unwrap().events(),
+                b.trace.as_ref().unwrap().events(),
+                "detailed traced"
+            );
+            assert_eq!(a.makespan, b.makespan);
+        }
+    }
+
+    /// Streaming a fast-core trace through an `.sbt` round-trip loses
+    /// nothing: the file's decoded events equal the in-memory log.
+    #[test]
+    fn traced_fast_core_streams_to_sbt() {
+        use crate::sbt::{read_trace, SbtWriter};
+        let psm = segbus_apps::mp3::three_segment_psm();
+        let in_memory = fast(EmulatorConfig::traced()).run_frames(&psm, 2);
+        let dir = std::env::temp_dir().join(format!("fast-sbt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mp3.sbt");
+        let mut sink = SbtWriter::create(&path, 3, 10).unwrap();
+        let plan = EnginePlan::new(&psm);
+        let streamed = {
+            let mut engine = fast(EmulatorConfig::traced());
+            engine.run_plan_with_sink(&plan, 2, &mut sink)
+        };
+        sink.finish().unwrap();
+        assert!(streamed.trace.is_none(), "events went to the sink");
+        assert_eq!(streamed.makespan, in_memory.makespan);
+        let t = read_trace(&path).unwrap();
+        assert!(!t.truncated);
+        assert_eq!(t.log.events(), in_memory.trace.as_ref().unwrap().events());
     }
 
     /// Deep frame pipelining through the batched arming path.

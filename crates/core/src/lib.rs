@@ -42,6 +42,7 @@ pub mod energy;
 pub mod engine;
 pub mod fast;
 pub mod gantt;
+pub mod hist;
 pub mod montecarlo;
 pub mod parallel;
 pub mod persist;
@@ -49,12 +50,14 @@ pub mod precheck;
 pub mod queue;
 pub mod reference;
 pub mod report;
+pub mod sbt;
 pub mod trace;
 pub mod vcd;
 
 pub use analysis::{
-    bus_utilisation, gantt_csv, latency_stats, package_latencies, wave_boundaries, wave_durations,
-    BusUtilisation, LatencyStats,
+    analyze_trace, bus_utilisation, gantt_csv, latency_stats, package_latencies,
+    trace_latency_stats, trace_package_latencies, wave_boundaries, wave_durations, BuActivity,
+    BusAnalysis, BusUtilisation, LatencyStats, SegmentActivity,
 };
 pub use cache::{job_digest, BatchJob, CacheStats, CachedPool, ReportCache};
 pub use config::{ArbitrationPolicy, EmulatorConfig, EngineKind, ProducerRelease, TimingParams};
@@ -69,5 +72,6 @@ pub use precheck::{is_emulable, strict_validate};
 pub use queue::QueueKind;
 pub use reference::ReferenceEmulator;
 pub use report::EmulationReport;
-pub use trace::{TraceEvent, TraceKind, TraceLog};
+pub use sbt::{read_trace, SbtTrace, SbtWriter};
+pub use trace::{TraceEvent, TraceKind, TraceLog, TraceSink};
 pub use vcd::to_vcd;

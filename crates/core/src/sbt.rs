@@ -1,0 +1,508 @@
+//! `.sbt` — the compact on-disk binary trace format.
+//!
+//! [`crate::TraceLog`] is an in-memory afterthought: fine for a report
+//! binary, useless for million-event runs or for shipping a trace to
+//! another machine. An `.sbt` file is the streaming counterpart — the
+//! engine writes events through [`SbtWriter`] (a [`TraceSink`]) as they
+//! are emitted, so memory stays flat no matter how long the run is:
+//!
+//! ```text
+//! header:  "SBTR" magic (4 bytes) | format version (u32 LE)
+//!          | segment count (u32 LE) | process count (u32 LE)
+//! block:   payload length (u32 LE) | FNV-1a of payload (u64 LE) | payload
+//! ```
+//!
+//! Each block payload packs up to [`BLOCK_EVENTS`] events:
+//!
+//! ```text
+//! payload: event count (varint)
+//!          per event: timestamp | tag byte | present id fields (varints)
+//! ```
+//!
+//! The first timestamp in a block is an absolute varint; the rest are
+//! **zigzag-encoded signed deltas** from the previous event in the block.
+//! Deltas must be signed because emission order is not timestamp order:
+//! the engines emit `BusEnd` at schedule time carrying a future timestamp,
+//! so consecutive events can go backwards in time. The tag byte holds the
+//! [`TraceKind`] in its low nibble and presence flags for
+//! flow/package/process/segment in its high nibble; only present fields
+//! are written, as varints.
+//!
+//! Corruption policy mirrors [`crate::DiskStore`]: blocks are
+//! length-framed and checksummed, and the reader stops at the first block
+//! whose header is short, whose length is implausible or whose checksum
+//! fails — a crash mid-write loses the tail, never the file
+//! ([`SbtTrace::truncated`] reports it). A wrong magic is `T001`, an
+//! unknown version `T002`.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+
+use segbus_model::diag::SegbusError;
+use segbus_model::digest::Fnv64;
+use segbus_model::ids::{FlowId, ProcessId, SegmentId};
+use segbus_model::time::Picos;
+
+use crate::trace::{TraceEvent, TraceKind, TraceLog, TraceSink};
+
+const MAGIC: [u8; 4] = *b"SBTR";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 16;
+/// payload length (4) + checksum (8).
+const BLOCK_HEADER_LEN: usize = 12;
+/// Events buffered per block before it is flushed to disk.
+pub const BLOCK_EVENTS: usize = 4096;
+/// Defensive bound on one block's payload, so a corrupt length field
+/// cannot trigger a huge allocation during the load scan. Generous: a
+/// worst-case event is < 64 bytes, a block is 4096 events.
+const MAX_PAYLOAD: u32 = 4 * 1024 * 1024;
+
+fn kind_code(k: TraceKind) -> u8 {
+    match k {
+        TraceKind::ComputeStart => 0,
+        TraceKind::ComputeEnd => 1,
+        TraceKind::BusStart => 2,
+        TraceKind::BusEnd => 3,
+        TraceKind::BuLoaded => 4,
+        TraceKind::BuUnloaded => 5,
+        TraceKind::Delivered => 6,
+        TraceKind::FlagRaised => 7,
+        TraceKind::WaveComplete => 8,
+    }
+}
+
+fn code_kind(c: u8) -> Option<TraceKind> {
+    Some(match c {
+        0 => TraceKind::ComputeStart,
+        1 => TraceKind::ComputeEnd,
+        2 => TraceKind::BusStart,
+        3 => TraceKind::BusEnd,
+        4 => TraceKind::BuLoaded,
+        5 => TraceKind::BuUnloaded,
+        6 => TraceKind::Delivered,
+        7 => TraceKind::FlagRaised,
+        8 => TraceKind::WaveComplete,
+        _ => return None,
+    })
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return None; // overflows u64
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn encode_event(out: &mut Vec<u8>, e: &TraceEvent, prev_at: Option<u64>) {
+    match prev_at {
+        None => put_varint(out, e.at.0),
+        Some(p) => put_varint(out, zigzag(e.at.0.wrapping_sub(p) as i64)),
+    }
+    let mut tag = kind_code(e.kind);
+    if e.flow.is_some() {
+        tag |= 1 << 4;
+    }
+    if e.package.is_some() {
+        tag |= 1 << 5;
+    }
+    if e.process.is_some() {
+        tag |= 1 << 6;
+    }
+    if e.segment.is_some() {
+        tag |= 1 << 7;
+    }
+    out.push(tag);
+    if let Some(f) = e.flow {
+        put_varint(out, u64::from(f.0));
+    }
+    if let Some(p) = e.package {
+        put_varint(out, p);
+    }
+    if let Some(p) = e.process {
+        put_varint(out, u64::from(p.0));
+    }
+    if let Some(s) = e.segment {
+        put_varint(out, u64::from(s.0));
+    }
+}
+
+fn decode_event(buf: &[u8], pos: &mut usize, prev_at: Option<u64>) -> Option<TraceEvent> {
+    let raw = get_varint(buf, pos)?;
+    let at = match prev_at {
+        None => raw,
+        Some(p) => p.wrapping_add(unzigzag(raw) as u64),
+    };
+    let tag = *buf.get(*pos)?;
+    *pos += 1;
+    let kind = code_kind(tag & 0x0f)?;
+    let flow = if tag & (1 << 4) != 0 {
+        Some(FlowId(u32::try_from(get_varint(buf, pos)?).ok()?))
+    } else {
+        None
+    };
+    let package = if tag & (1 << 5) != 0 {
+        Some(get_varint(buf, pos)?)
+    } else {
+        None
+    };
+    let process = if tag & (1 << 6) != 0 {
+        Some(ProcessId(u32::try_from(get_varint(buf, pos)?).ok()?))
+    } else {
+        None
+    };
+    let segment = if tag & (1 << 7) != 0 {
+        Some(SegmentId(u16::try_from(get_varint(buf, pos)?).ok()?))
+    } else {
+        None
+    };
+    Some(TraceEvent {
+        at: Picos(at),
+        kind,
+        flow,
+        package,
+        process,
+        segment,
+    })
+}
+
+/// Streams trace events to an `.sbt` file as the engine emits them.
+///
+/// Events accumulate in a [`BLOCK_EVENTS`]-sized block buffer that is
+/// checksummed and flushed to disk when full, so memory use is constant.
+/// IO errors during [`TraceSink::emit`] are latched and surfaced by
+/// [`SbtWriter::finish`] — the engine's hot loop never sees them.
+pub struct SbtWriter {
+    out: BufWriter<File>,
+    block: Vec<u8>,
+    block_events: u64,
+    prev_at: Option<u64>,
+    total: u64,
+    err: Option<io::Error>,
+}
+
+impl SbtWriter {
+    /// Create (truncating) `path` and write the header. `segments` and
+    /// `processes` are the platform dimensions the trace was recorded
+    /// against — analytics read them back so a bare `.sbt` needs no model.
+    pub fn create(path: &Path, segments: u32, processes: u32) -> io::Result<SbtWriter> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&segments.to_le_bytes())?;
+        out.write_all(&processes.to_le_bytes())?;
+        Ok(SbtWriter {
+            out,
+            block: Vec::with_capacity(BLOCK_EVENTS * 8),
+            block_events: 0,
+            prev_at: None,
+            total: 0,
+            err: None,
+        })
+    }
+
+    fn flush_block(&mut self) {
+        if self.block_events == 0 || self.err.is_some() {
+            self.block.clear();
+            self.block_events = 0;
+            self.prev_at = None;
+            return;
+        }
+        let mut payload = Vec::with_capacity(self.block.len() + 4);
+        put_varint(&mut payload, self.block_events);
+        payload.extend_from_slice(&self.block);
+        let mut h = Fnv64::new();
+        h.write_bytes(&payload);
+        let res = self
+            .out
+            .write_all(&(payload.len() as u32).to_le_bytes())
+            .and_then(|()| self.out.write_all(&h.finish().to_le_bytes()))
+            .and_then(|()| self.out.write_all(&payload));
+        if let Err(e) = res {
+            self.err = Some(e);
+        }
+        self.block.clear();
+        self.block_events = 0;
+        self.prev_at = None;
+    }
+
+    /// Flush the trailing partial block and sync the file, returning the
+    /// number of events written or the first latched IO error.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.flush_block();
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.total)
+    }
+}
+
+impl TraceSink for SbtWriter {
+    fn emit(&mut self, e: &TraceEvent) {
+        encode_event(&mut self.block, e, self.prev_at);
+        self.prev_at = Some(e.at.0);
+        self.block_events += 1;
+        self.total += 1;
+        if self.block_events as usize >= BLOCK_EVENTS {
+            self.flush_block();
+        }
+    }
+}
+
+/// A trace loaded from an `.sbt` file.
+#[derive(Debug)]
+pub struct SbtTrace {
+    /// The decoded events, in emission order.
+    pub log: TraceLog,
+    /// Segment count of the platform the trace was recorded against.
+    pub segments: u32,
+    /// Process count of the platform the trace was recorded against.
+    pub processes: u32,
+    /// `true` if a corrupt or short tail was dropped during the scan.
+    pub truncated: bool,
+}
+
+/// Read an `.sbt` trace back. A wrong magic or short header is `T001`,
+/// an unknown format version `T002`; a corrupt tail is *not* an error —
+/// the scan stops at the first bad block and flags
+/// [`SbtTrace::truncated`], mirroring [`crate::DiskStore`] recovery.
+pub fn read_trace(path: &Path) -> Result<SbtTrace, SegbusError> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| SegbusError::new("T001", format!("cannot read trace: {e}")))?;
+    if bytes.len() < HEADER_LEN || bytes[..4] != MAGIC {
+        return Err(SegbusError::new(
+            "T001",
+            "not an .sbt trace (bad magic or short header)",
+        ));
+    }
+    let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    let version = word(4);
+    if version != VERSION {
+        return Err(SegbusError::new(
+            "T002",
+            format!("unsupported .sbt version {version} (expected {VERSION})"),
+        ));
+    }
+    let segments = word(8);
+    let processes = word(12);
+
+    let mut log = TraceLog::new();
+    let mut truncated = false;
+    let mut pos = HEADER_LEN;
+    'scan: while pos < bytes.len() {
+        if bytes.len() - pos < BLOCK_HEADER_LEN {
+            truncated = true;
+            break;
+        }
+        let len = word(pos) as usize;
+        let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        pos += BLOCK_HEADER_LEN;
+        if len > MAX_PAYLOAD as usize || bytes.len() - pos < len {
+            truncated = true;
+            break;
+        }
+        let payload = &bytes[pos..pos + len];
+        let mut h = Fnv64::new();
+        h.write_bytes(payload);
+        if h.finish() != sum {
+            truncated = true;
+            break;
+        }
+        let mut p = 0usize;
+        let Some(count) = get_varint(payload, &mut p) else {
+            truncated = true;
+            break;
+        };
+        let mut prev_at = None;
+        for _ in 0..count {
+            let Some(e) = decode_event(payload, &mut p, prev_at) else {
+                // A checksummed block that fails to decode is format
+                // drift, not bit rot; stop like a corrupt tail.
+                truncated = true;
+                break 'scan;
+            };
+            prev_at = Some(e.at.0);
+            log.push(e);
+        }
+        pos += len;
+    }
+    Ok(SbtTrace {
+        log,
+        segments,
+        processes,
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sbt-{}-{name}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("t.sbt")
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let mut v = Vec::new();
+        // Deliberately non-monotone timestamps (BusEnd style) and a mix
+        // of present/absent fields, spanning more than one block.
+        for i in 0..(BLOCK_EVENTS as u64 * 2 + 7) {
+            v.push(TraceEvent {
+                at: Picos(if i % 3 == 0 { i * 100 } else { i * 100 + 5000 }),
+                kind: match i % 4 {
+                    0 => TraceKind::ComputeStart,
+                    1 => TraceKind::BusStart,
+                    2 => TraceKind::BusEnd,
+                    _ => TraceKind::WaveComplete,
+                },
+                flow: (i % 2 == 0).then(|| FlowId((i % 7) as u32)),
+                package: (i % 3 == 0).then_some(i),
+                process: (i % 5 == 0).then(|| ProcessId((i % 11) as u32)),
+                segment: (i % 4 != 3).then(|| SegmentId((i % 3) as u16)),
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn round_trips_a_trace_log() {
+        let path = tmp("roundtrip");
+        let events = sample_events();
+        let mut w = SbtWriter::create(&path, 3, 9).unwrap();
+        for e in &events {
+            w.emit(e);
+        }
+        assert_eq!(w.finish().unwrap(), events.len() as u64);
+        let t = read_trace(&path).unwrap();
+        assert_eq!(t.segments, 3);
+        assert_eq!(t.processes, 9);
+        assert!(!t.truncated);
+        assert_eq!(t.log.events(), &events[..]);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let path = tmp("empty");
+        let w = SbtWriter::create(&path, 2, 4).unwrap();
+        assert_eq!(w.finish().unwrap(), 0);
+        let t = read_trace(&path).unwrap();
+        assert!(t.log.is_empty());
+        assert!(!t.truncated);
+        assert_eq!(t.segments, 2);
+    }
+
+    #[test]
+    fn corrupt_tail_is_truncated_not_fatal() {
+        let path = tmp("corrupt");
+        let events = sample_events();
+        let mut w = SbtWriter::create(&path, 3, 9).unwrap();
+        for e in &events {
+            w.emit(e);
+        }
+        w.finish().unwrap();
+        // Flip a byte in the last block's payload: its checksum fails, the
+        // scan stops there, and every earlier block survives.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let t = read_trace(&path).unwrap();
+        assert!(t.truncated);
+        assert_eq!(t.log.len(), BLOCK_EVENTS * 2);
+        assert_eq!(t.log.events(), &events[..BLOCK_EVENTS * 2]);
+    }
+
+    #[test]
+    fn short_tail_is_truncated_not_fatal() {
+        let path = tmp("short");
+        let events = sample_events();
+        let mut w = SbtWriter::create(&path, 3, 9).unwrap();
+        for e in &events {
+            w.emit(e);
+        }
+        w.finish().unwrap();
+        // Chop the file mid-record, as a crash mid-append would.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 10]).unwrap();
+        let t = read_trace(&path).unwrap();
+        assert!(t.truncated);
+        assert_eq!(t.log.events(), &events[..BLOCK_EVENTS * 2]);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let path = tmp("badmagic");
+        fs::write(&path, b"NOPE").unwrap();
+        assert_eq!(read_trace(&path).unwrap_err().code, "T001");
+
+        fs::write(&path, []).unwrap();
+        assert_eq!(read_trace(&path).unwrap_err().code, "T001");
+
+        let missing = path.with_file_name("absent.sbt");
+        assert_eq!(read_trace(&missing).unwrap_err().code, "T001");
+
+        let path2 = tmp("badversion");
+        let w = SbtWriter::create(&path2, 1, 1).unwrap();
+        w.finish().unwrap();
+        let mut bytes = fs::read(&path2).unwrap();
+        bytes[4] = 0xee;
+        fs::write(&path2, &bytes).unwrap();
+        assert_eq!(read_trace(&path2).unwrap_err().code, "T002");
+    }
+
+    #[test]
+    fn varint_and_zigzag_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+        for d in [0i64, 1, -1, 5000, -5000, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+        // Truncated and over-long varints are rejected.
+        assert_eq!(get_varint(&[0x80], &mut 0), None);
+        assert_eq!(get_varint(&[0xff; 11], &mut 0), None);
+    }
+}

@@ -47,6 +47,25 @@ pub struct TraceEvent {
     pub segment: Option<SegmentId>,
 }
 
+/// A destination for trace events as the engine emits them.
+///
+/// The engines don't commit to an in-memory [`TraceLog`]: a sink may
+/// buffer events ([`TraceLog`] itself), stream them to disk
+/// ([`crate::sbt::SbtWriter`]) or fold them into counters on the fly.
+/// Events arrive in *emission* order — the engine's deterministic handler
+/// order — which is not globally sorted by timestamp (`BusEnd` is emitted
+/// at schedule time carrying a future timestamp).
+pub trait TraceSink {
+    /// Record one event.
+    fn emit(&mut self, e: &TraceEvent);
+}
+
+impl TraceSink for TraceLog {
+    fn emit(&mut self, e: &TraceEvent) {
+        self.push(*e);
+    }
+}
+
 /// An append-only event log, ordered by emission time.
 #[derive(Clone, Debug, Default)]
 pub struct TraceLog {

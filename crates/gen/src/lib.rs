@@ -391,6 +391,90 @@ pub fn mutate_dsl(src: &str, rng: &mut SmallRng) -> String {
     out
 }
 
+/// Structure-aware mutation of an exported scheme document (`psdf.xml`
+/// / `psm.xml`) for the fuzz harness.
+///
+/// The writer emits one element per line, so the same line-level edits
+/// as [`mutate_dsl`] apply: numeric perturbation (which also reaches the
+/// counts encoded in flow element names like `P1_576_1_250`),
+/// duplication / deletion / swap, and injection or corruption of
+/// distribution *attributes* (`itemsDist="uniform:300:400"`-style,
+/// valid and deliberately invalid). Unlike byte mutation the result
+/// usually stays well-formed XML, steering the campaign at the
+/// importer's semantic checks (X00x) instead of the tag scanner.
+pub fn mutate_xml(src: &str, rng: &mut SmallRng) -> String {
+    let mut lines: Vec<String> = src.lines().map(String::from).collect();
+    if lines.is_empty() {
+        return src.to_string();
+    }
+    for _ in 0..rng.range_usize(1, 3) {
+        let at = rng.range_usize(0, lines.len() - 1);
+        match rng.below(6) {
+            0 => perturb_number(&mut lines[at], rng),
+            1 => {
+                let dup = lines[at].clone();
+                lines.insert(at, dup);
+            }
+            2 => {
+                if lines.len() > 1 {
+                    lines.remove(at);
+                }
+            }
+            3 => {
+                let other = rng.range_usize(0, lines.len() - 1);
+                lines.swap(at, other);
+            }
+            4 => inject_xml_dist(&mut lines, at, rng),
+            _ => corrupt_xml_dist(&mut lines, at, rng),
+        }
+    }
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Attach a distribution attribute (sometimes deliberately invalid) to
+/// the first flow element — an `xs:element` carrying a `seq` attribute —
+/// at or after `at`.
+fn inject_xml_dist(lines: &mut [String], at: usize, rng: &mut SmallRng) {
+    let Some(line) = lines[at..].iter_mut().find(|l| l.contains("seq=\"")) else {
+        return;
+    };
+    let dist = match rng.below(6) {
+        0 => format!(
+            "itemsDist=\"uniform:{}:{}\" ",
+            36 * rng.range_u64(1, 4),
+            36 * rng.range_u64(5, 12)
+        ),
+        1 => format!("ticksDist=\"constant:{}\" ", rng.range_u64(1, 500)),
+        2 => format!("jitter=\"choice:0:7:{}:1\" ", rng.range_u64(1, 60)),
+        3 => "itemsDist=\"uniform:9:3\" ".to_string(), // inverted (X004)
+        4 => "ticksDist=\"poisson:4\" ".to_string(),   // unknown kind (X004)
+        _ => "itemsDist=\"constant:0\" ".to_string(),  // zero volume (X004)
+    };
+    if let Some(pos) = line.find("seq=\"") {
+        line.insert_str(pos, &dist);
+    }
+}
+
+/// Corrupt a distribution attribute in place; falls back to a numeric
+/// perturbation when the line carries none.
+fn corrupt_xml_dist(lines: &mut [String], at: usize, rng: &mut SmallRng) {
+    let line = &mut lines[at];
+    for (from, to) in [
+        ("uniform:", "normal:"),
+        ("normal:", "uniform:"),
+        ("choice:", "constant:"),
+        ("itemsDist=", "jitter="),
+    ] {
+        if line.contains(from) {
+            *line = line.replacen(from, to, 1);
+            return;
+        }
+    }
+    perturb_number(line, rng);
+}
+
 /// Replace one decimal literal on the line with a boundary-seeking value.
 fn perturb_number(line: &mut String, rng: &mut SmallRng) {
     let runs: Vec<(usize, usize)> = digit_runs(line);
@@ -578,6 +662,59 @@ mod tests {
         assert!(changed > 250, "mutator degenerated: {changed} changed");
         assert!(parsed > 30, "only {parsed}/300 mutants parsed");
         assert!(rejected > 30, "only {rejected}/300 mutants rejected");
+    }
+
+    #[test]
+    fn xml_mutations_are_deterministic_and_structure_preserving() {
+        let psm = segbus_dsl::parse_system(&scenario_dsl(Family::Star, 1)).unwrap();
+        let base = segbus_xml::m2t::export_psdf(psm.application()).to_xml_string();
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        assert_eq!(mutate_xml(&base, &mut a), mutate_xml(&base, &mut b));
+        // Mutants must mostly stay well-formed XML (structure-aware, not
+        // byte soup) while a healthy fraction trips the importer's
+        // semantic checks with typed X0xx/M0xx rejections.
+        let mut rng = SmallRng::seed_from_u64(0x5EED);
+        let (mut well_formed, mut rejected, mut changed) = (0, 0, 0);
+        for _ in 0..300 {
+            let m = mutate_xml(&base, &mut rng);
+            if m != base {
+                changed += 1;
+            }
+            match segbus_xml::parse(&m) {
+                Ok(_) => well_formed += 1,
+                Err(e) => {
+                    assert!(!e.code.is_empty(), "typed rejection required");
+                    rejected += 1;
+                }
+            }
+        }
+        assert!(changed > 250, "mutator degenerated: {changed} changed");
+        // Line deletion/swap can break tag nesting, so well-formedness is
+        // lower than the DSL mutator's parse rate — but a healthy share
+        // of both outcomes keeps the campaign probing both layers.
+        assert!(well_formed > 75, "only {well_formed}/300 stayed well-formed");
+        assert!(rejected > 75, "only {rejected}/300 were rejected");
+    }
+
+    #[test]
+    fn xml_dist_injection_lands_on_flow_elements() {
+        let psm = segbus_dsl::parse_system(&scenario_dsl(Family::Mp3, 0)).unwrap();
+        let base = segbus_xml::m2t::export_psdf(psm.application()).to_xml_string();
+        // Drive the mutator until an injected distribution shows up.
+        let mut seen = false;
+        for seed in 0..64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let m = mutate_xml(&base, &mut rng);
+            // The deliberately-invalid injected shapes are unmistakable:
+            // the generator never emits them on its own.
+            if m.contains("poisson:4") || m.contains("uniform:9:3") || m.contains("constant:0")
+            {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "injection never produced a dist attribute");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | `M0xx` | model construction ([`ModelError`] hard errors)    |
 //! | `V0xx` | PSM validation ([`crate::validate::Constraint`])   |
 //! | `C0xx` | emulator pre-flight checks (`segbus-core`)         |
+//! | `T0xx` | trace layer (`.sbt` files, trace-requiring APIs)   |
 //!
 //! Codes are part of the public contract: golden tests assert on them and
 //! scripts may grep reports for them, so existing codes must never be

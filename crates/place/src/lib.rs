@@ -97,6 +97,10 @@ pub struct PlaceTool<'a> {
     /// The concrete platform emulated by [`Objective::Makespan`].
     platform: Option<&'a Platform>,
     emu_config: EmulatorConfig,
+    /// Measured per-flow weights (indexed by flow position) overriding
+    /// the model-declared traffic; see
+    /// [`PlaceTool::with_measured_weights`].
+    measured: Option<&'a [u64]>,
 }
 
 impl<'a> PlaceTool<'a> {
@@ -120,6 +124,7 @@ impl<'a> PlaceTool<'a> {
             topology: Topology::Linear,
             platform: None,
             emu_config: EmulatorConfig::default(),
+            measured: None,
         }
     }
 
@@ -181,6 +186,26 @@ impl<'a> PlaceTool<'a> {
         self
     }
 
+    /// Weight flows by *measured* traffic instead of the model's declared
+    /// item counts: `weights[i]` is the weight of the application's `i`-th
+    /// flow (e.g. packages actually delivered in a trace — see
+    /// `segbus_core`'s trace analysis). The hop-weighted objectives and
+    /// the greedy placement order both use these weights; a flow the
+    /// measurement never saw weighs nothing, however large its declared
+    /// rate.
+    ///
+    /// # Panics
+    /// Panics if `weights` does not have one entry per flow.
+    pub fn with_measured_weights(mut self, weights: &'a [u64]) -> Self {
+        assert_eq!(
+            weights.len(),
+            self.app.flows().len(),
+            "one measured weight per flow"
+        );
+        self.measured = Some(weights);
+        self
+    }
+
     /// Hop distance between two segments under the configured topology.
     fn dist(&self, a: SegmentId, b: SegmentId) -> u64 {
         let d = a.hops_to(b) as u64;
@@ -208,10 +233,11 @@ impl<'a> PlaceTool<'a> {
         self.app
             .flows()
             .iter()
-            .map(|f| {
+            .enumerate()
+            .map(|(i, f)| {
                 let a = alloc.segment_of_checked(f.src);
                 let b = alloc.segment_of_checked(f.dst);
-                self.flow_weight(f) * self.dist(a, b)
+                self.flow_weight(i, f) * self.dist(a, b)
             })
             .sum()
     }
@@ -336,9 +362,20 @@ impl<'a> PlaceTool<'a> {
 
     fn greedy_allocation(&self) -> Allocation {
         let n = self.app.process_count();
-        let matrix = segbus_model::matrix::CommMatrix::from_application(self.app);
         let mut order: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
-        order.sort_by_key(|&p| std::cmp::Reverse(matrix.row_sum(p) + matrix.col_sum(p)));
+        if self.measured.is_some() {
+            // Measured traffic drives the placement order too.
+            let mut totals = vec![0u64; n];
+            for (i, f) in self.app.flows().iter().enumerate() {
+                let w = self.flow_weight(i, f);
+                totals[f.src.index()] += w;
+                totals[f.dst.index()] += w;
+            }
+            order.sort_by_key(|&p| std::cmp::Reverse(totals[p.index()]));
+        } else {
+            let matrix = segbus_model::matrix::CommMatrix::from_application(self.app);
+            order.sort_by_key(|&p| std::cmp::Reverse(matrix.row_sum(p) + matrix.col_sum(p)));
+        }
 
         let mut alloc = Allocation::new(self.segments);
         let mut placed = 0usize;
@@ -379,11 +416,12 @@ impl<'a> PlaceTool<'a> {
         self.app
             .flows()
             .iter()
-            .filter_map(|f| {
+            .enumerate()
+            .filter_map(|(i, f)| {
                 let (other, w) = if f.src == p {
-                    (f.dst, self.flow_weight(f))
+                    (f.dst, self.flow_weight(i, f))
                 } else if f.dst == p {
-                    (f.src, self.flow_weight(f))
+                    (f.src, self.flow_weight(i, f))
                 } else {
                     return None;
                 };
@@ -392,7 +430,10 @@ impl<'a> PlaceTool<'a> {
             .sum()
     }
 
-    fn flow_weight(&self, f: &segbus_model::psdf::Flow) -> u64 {
+    fn flow_weight(&self, i: usize, f: &segbus_model::psdf::Flow) -> u64 {
+        if let Some(w) = self.measured {
+            return w[i];
+        }
         match self.objective {
             // Makespan uses items as the constructive-heuristic surrogate;
             // the emulator only judges complete candidates.
@@ -733,6 +774,32 @@ mod tests {
         let tool = PlaceTool::new(&app, 2);
         assert_eq!(tool.anneal(7, 2000).cost, 36);
         assert_eq!(tool.best(7).cost, 36);
+    }
+
+    #[test]
+    fn measured_weights_override_declared_traffic() {
+        // Declared traffic says the cliques are heavy and the bridge is
+        // thin; a measurement saying the *bridge* is the only active flow
+        // must flip the optimum to "keep P2 and P3 together".
+        let app = two_cliques();
+        let weights = [0u64, 0, 0, 0, 1000]; // only the bridge observed
+        let tool = PlaceTool::new(&app, 2).with_measured_weights(&weights);
+        let best = tool.exhaustive().unwrap();
+        assert_eq!(best.cost, 0, "the bridge must not cross");
+        assert_eq!(
+            best.allocation.segment_of_checked(ProcessId(2)),
+            best.allocation.segment_of_checked(ProcessId(3)),
+        );
+        // Greedy stays feasible under measured ordering too.
+        let g = tool.greedy();
+        assert!(tool.feasible(&g.allocation));
+    }
+
+    #[test]
+    #[should_panic(expected = "one measured weight per flow")]
+    fn measured_weights_must_cover_every_flow() {
+        let app = two_cliques();
+        let _ = PlaceTool::new(&app, 2).with_measured_weights(&[1, 2, 3]);
     }
 
     #[test]

@@ -2,20 +2,15 @@
 //!
 //! Service latency (submit → completion callback) is recorded into a
 //! fixed array of atomic counters, so the hot path is one relaxed
-//! `fetch_add` and quantile queries never block recorders. Buckets are
-//! **log-linear**: values 0–3 µs get exact buckets, and every power-of-two
-//! octave above that is split into 4 linear sub-buckets, giving ≤ 25%
-//! relative error on reported quantiles across a 0 µs … ~67 s range.
-//! Values beyond the range clamp into the last bucket.
+//! `fetch_add` and quantile queries never block recorders. The bucket
+//! layout (log-linear: exact 0–3 µs, then 4 linear sub-buckets per
+//! power-of-two octave, ≤ 25% relative quantile error over
+//! 0 µs … ~67 s) is shared with the trace analytics in `segbus-core` —
+//! see [`segbus_core::hist`] for the bucket math.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Sub-buckets per power-of-two octave.
-const SUBS: usize = 4;
-/// Highest octave tracked: values up to `2^26 − 1` µs (~67 s).
-const OCTAVES: usize = 25;
-/// 4 exact buckets (0–3 µs) + 4 sub-buckets per octave ≥ 2.
-const BUCKETS: usize = SUBS + (OCTAVES - 1) * SUBS;
+use segbus_core::hist::{bucket_index, bucket_upper_bound, BUCKETS};
 
 /// Lock-free fixed-memory latency histogram (microsecond samples).
 pub struct LatencyHistogram {
@@ -32,26 +27,12 @@ impl LatencyHistogram {
 
     /// Bucket index for a microsecond sample.
     fn index(us: u64) -> usize {
-        if us < SUBS as u64 {
-            return us as usize;
-        }
-        // Octave o = floor(log2(us)) ≥ 2; 4 linear sub-buckets per octave.
-        let o = 63 - us.leading_zeros() as usize;
-        let o = o.min(OCTAVES);
-        let sub = ((us >> (o - 2)) as usize)
-            .saturating_sub(SUBS)
-            .min(SUBS - 1);
-        (o - 1) * SUBS + sub
+        bucket_index(us)
     }
 
     /// Inclusive upper bound (µs) of the values mapped to `bucket`.
     fn upper_bound(bucket: usize) -> u64 {
-        if bucket < SUBS {
-            return bucket as u64;
-        }
-        let o = bucket / SUBS + 1;
-        let sub = (bucket % SUBS) as u64;
-        ((sub + SUBS as u64 + 1) << (o - 2)) - 1
+        bucket_upper_bound(bucket)
     }
 
     /// Record one latency sample.
@@ -97,6 +78,7 @@ impl Default for LatencyHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use segbus_core::hist::SUBS;
 
     #[test]
     fn index_and_bound_agree() {

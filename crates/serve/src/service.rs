@@ -320,6 +320,32 @@ mod tests {
     }
 
     #[test]
+    fn traced_jobs_carry_traces_through_the_pool() {
+        // `"trace": true` requests route to the traced fast core; the
+        // report that comes back through the cache must carry the events,
+        // and the traced digest must not collide with the untraced one.
+        let svc = svc(2, 16);
+        let plain = svc.run(job());
+        let mut tj = BatchJob::new(
+            segbus_dsl::parse_system(DEMO).unwrap(),
+            segbus_core::EmulatorConfig::traced(),
+        );
+        tj.frames = 2;
+        let traced = svc.run(tj.clone());
+        assert_ne!(plain.digest, traced.digest);
+        let report = traced.result.unwrap();
+        let trace = report.trace.expect("traced job records events");
+        assert!(trace.len() > 0);
+        // Cached replay returns the same trace.
+        let again = svc.run(tj);
+        assert!(again.cached);
+        assert_eq!(
+            again.result.unwrap().trace.expect("cached trace").len(),
+            trace.len()
+        );
+    }
+
+    #[test]
     fn concurrent_submitters_coalesce_and_all_get_answers() {
         let svc = svc(2, 64);
         let receivers: Vec<_> = (0..24).map(|_| svc.submit(job())).collect();

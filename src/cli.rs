@@ -91,10 +91,12 @@ COMMANDS:
     validate  <model.sbd>                 parse and run the structural constraints
     matrix    <model.sbd>                 print the communication matrix (Fig. 8 style)
     emulate   <model.sbd> [--trace] [--package-size N] [--detailed] [--frames N]
-              [--engine fast|interpreter]
+              [--engine fast|interpreter] [--trace-out FILE.sbt]
                                           run the performance estimator
                                           (--engine interpreter falls back to
-                                          the general event-loop core)
+                                          the general event-loop core;
+                                          --trace-out streams the event trace
+                                          to a compact binary .sbt file)
     reference <model.sbd> [--package-size N]
                                           run the cycle-accurate reference simulator
     accuracy  <model.sbd> [--package-size N]
@@ -104,12 +106,14 @@ COMMANDS:
     place     <model.sbd> --segments N [--seed S]
               [--objective items|packages|makespan] [--capacity C]
               [--threads N] [--restarts R] [--cache-dir DIR]
-              [--engine fast|interpreter]
+              [--engine fast|interpreter] [--from-trace FILE.sbt]
                                           propose an allocation with PlaceTool;
                                           makespan searches with emulation in
                                           the loop, sharded over --threads
                                           workers and warm-started from
-                                          --cache-dir
+                                          --cache-dir; --from-trace weighs
+                                          flows by packages actually delivered
+                                          in a recorded trace
     sweep     <model.sbd> --sizes 18,36,72
                                           emulate at several package sizes
     batch     <paths...> [--package-size N] [--frames N] [--detailed] [--trace]
@@ -149,7 +153,10 @@ COMMANDS:
                                           dropping dead records
     codegen   <model.sbd> [--format vhdl|rust|c]
                                           generate arbiter schedule code
-    analyze   <model.sbd>                 bus utilisation, wave timing, latency, energy
+    analyze   <model.sbd | trace.sbt> [--frames N]
+                                          per-segment/per-BU utilisation, wait-time
+                                          histograms, bottleneck ranking, latency
+                                          (and wave timing + energy for models)
     gantt     <model.sbd> [--width N]     ASCII Gantt chart of the emulation
     vcd       <model.sbd>                 dump a VCD waveform of the emulation
 
@@ -200,6 +207,8 @@ const VALUE_FLAGS: &[&str] = &[
     "serve-core",
     "shards",
     "max-in-flight",
+    "trace-out",
+    "from-trace",
 ];
 
 /// Parse `--key value` style options out of an argument list; returns
@@ -328,7 +337,7 @@ fn cmd_matrix(args: &[String]) -> Result<String, CliError> {
 fn cmd_emulate(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     let [path] = pos.as_slice() else {
-        return Err(fail("usage: segbus emulate <model.sbd> [--trace] [--package-size N] [--detailed] [--frames N] [--engine fast|interpreter]"));
+        return Err(fail("usage: segbus emulate <model.sbd> [--trace] [--package-size N] [--detailed] [--frames N] [--engine fast|interpreter] [--trace-out FILE.sbt]"));
     };
     let psm = apply_package_size(load_psm(path)?, &opts)?;
     let mut config = EmulatorConfig {
@@ -344,6 +353,25 @@ fn cmd_emulate(args: &[String]) -> Result<String, CliError> {
     let frames = opt_u32(&opts, "frames")?.unwrap_or(1) as u64;
     if frames == 0 {
         return Err(fail("--frames must be at least 1"));
+    }
+    if let Some(sbt) = opt(&opts, "trace-out") {
+        let sbt = sbt.ok_or_else(|| fail("--trace-out needs a file path"))?;
+        // Stream the trace to disk instead of holding it in memory.
+        let mut writer = segbus_core::SbtWriter::create(
+            Path::new(sbt),
+            psm.platform().segment_count() as u32,
+            psm.application().process_count() as u32,
+        )
+        .map_err(|e| fail(format!("--trace-out {sbt}: {e}")))?;
+        let report = segbus_core::Engine::new(config)
+            .try_run_frames_with_sink(&psm, frames, &mut writer)
+            .map_err(|e| fail(format!("{path}: {e}")))?;
+        let events = writer
+            .finish()
+            .map_err(|e| fail(format!("--trace-out {sbt}: {e}")))?;
+        let mut out = report.paper_style();
+        let _ = writeln!(out, "\ntrace: {events} events written to {sbt}");
+        return Ok(out);
     }
     let report = Emulator::new(config)
         .try_run_frames(&psm, frames)
@@ -445,7 +473,7 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
             "usage: segbus place <model.sbd> --segments N [--seed S] \
              [--objective items|packages|makespan] [--capacity C] \
              [--threads N] [--restarts R] [--cache-dir DIR] \
-             [--engine fast|interpreter]",
+             [--engine fast|interpreter] [--from-trace FILE.sbt]",
         ));
     };
     let segments =
@@ -458,6 +486,27 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
         return Err(fail(format!("--segments must be in 1..={n}")));
     }
     let s = psm.platform().package_size();
+    // Measured traffic: per-flow delivered-package counts from a trace.
+    let measured: Option<(String, Vec<u64>)> = match opt(&opts, "from-trace") {
+        None => None,
+        Some(None) => return Err(fail("--from-trace needs a .sbt trace file")),
+        Some(Some(file)) => {
+            let t = segbus_core::read_trace(Path::new(file))
+                .map_err(|e| fail(format!("--from-trace {file}: {e}")))?;
+            let mut w = vec![0u64; app.flows().len()];
+            for e in t.log.of_kind(segbus_core::TraceKind::Delivered) {
+                if let Some(slot) = e.flow.and_then(|f| w.get_mut(f.index())) {
+                    *slot += 1;
+                }
+            }
+            if w.iter().all(|&x| x == 0) {
+                return Err(fail(format!(
+                    "--from-trace {file}: trace contains no deliveries for this application"
+                )));
+            }
+            Some((file.to_string(), w))
+        }
+    };
     let objective = match opt(&opts, "objective") {
         None => "packages",
         Some(None) => {
@@ -471,6 +520,9 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
         engine: opt_engine(&opts)?,
         ..EmulatorConfig::default()
     });
+    if let Some((_, w)) = &measured {
+        tool = tool.with_measured_weights(w);
+    }
     let label = match objective {
         "items" => {
             tool = tool.with_objective(Objective::Items);
@@ -527,6 +579,14 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
         search.threads(),
         placement.cost
     );
+    if let Some((file, w)) = &measured {
+        let total: u64 = w.iter().sum();
+        let _ = writeln!(
+            out,
+            "measured weights from {file}: {total} delivered package(s) over {} flow(s)",
+            w.iter().filter(|&&x| x > 0).count()
+        );
+    }
     for i in 0..segments {
         let seg = segbus_model::ids::SegmentId(i as u16);
         let names: Vec<String> = placement
@@ -1030,11 +1090,32 @@ fn cmd_serve(args: &[String]) -> Result<String, CliError> {
 fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     let (pos, opts) = split_opts(args);
     let [path] = pos.as_slice() else {
-        return Err(fail("usage: segbus analyze <model.sbd> [--package-size N]"));
+        return Err(fail(
+            "usage: segbus analyze <model.sbd | trace.sbt> [--package-size N] [--frames N]",
+        ));
     };
+    if path.ends_with(".sbt") {
+        // A recorded binary trace: everything derives from the events.
+        let t = segbus_core::read_trace(Path::new(path)).map_err(|e| fail(format!("{path}: {e}")))?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} events, {} segment(s), {} process(es){}",
+            t.log.len(),
+            t.segments,
+            t.processes,
+            if t.truncated { " — truncated tail dropped" } else { "" }
+        );
+        write_trace_report(&mut out, &t.log, t.segments as usize);
+        return Ok(out);
+    }
     let psm = apply_package_size(load_psm(path)?, &opts)?;
+    let frames = opt_u32(&opts, "frames")?.unwrap_or(1) as u64;
+    if frames == 0 {
+        return Err(fail("--frames must be at least 1"));
+    }
     let report = Emulator::new(EmulatorConfig::traced())
-        .try_run(&psm)
+        .try_run_frames(&psm, frames)
         .map_err(|e| fail(format!("{path}: {e}")))?;
     let mut out = String::new();
     let _ = writeln!(
@@ -1042,20 +1123,8 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
         "estimated execution time: {:.2} us",
         report.execution_time().as_micros_f64()
     );
-    let _ = writeln!(
-        out,
-        "
-bus utilisation:"
-    );
-    for u in segbus_core::bus_utilisation(&report) {
-        let _ = writeln!(
-            out,
-            "  {}: busy {:.2} us ({:.1}%)",
-            u.segment,
-            u.busy.as_micros_f64(),
-            u.fraction * 100.0
-        );
-    }
+    let trace = report.trace.as_ref().expect("traced config records a trace");
+    write_trace_report(&mut out, trace, report.sas.len());
     let _ = writeln!(
         out,
         "
@@ -1064,16 +1133,6 @@ wave durations (us):"
     for (i, d) in segbus_core::wave_durations(&report).iter().enumerate() {
         let _ = writeln!(out, "  wave {}: {:.2}", i + 1, d.as_micros_f64());
     }
-    let stats = segbus_core::latency_stats(&report);
-    let _ = writeln!(
-        out,
-        "
-package latency: {} packages, min {:.2} us, mean {:.2} us, max {:.2} us",
-        stats.count,
-        stats.min.as_micros_f64(),
-        stats.mean_ps / 1e6,
-        stats.max.as_micros_f64()
-    );
     let energy = segbus_core::estimate_energy(&report, &segbus_core::EnergyModel::default());
     let _ = writeln!(
         out,
@@ -1083,6 +1142,103 @@ energy (synthetic weights): {:.2} uJ total, {:.1}% communication",
         energy.communication_fraction() * 100.0
     );
     Ok(out)
+}
+
+/// The shared heart of `segbus analyze`: per-segment utilisation, wait
+/// histograms, border-unit occupancy, the bottleneck ranking and the
+/// package-latency summary — all derived from the trace alone, so it
+/// serves both a freshly emulated model and a decoded `.sbt` file.
+fn write_trace_report(out: &mut String, log: &segbus_core::TraceLog, segments: usize) {
+    let us = |ns: u64| ns as f64 / 1e3;
+    let a = segbus_core::analyze_trace(log, segments);
+    let _ = writeln!(
+        out,
+        "
+bus utilisation (makespan {:.2} us):",
+        a.makespan.as_micros_f64()
+    );
+    for s in &a.segments {
+        let _ = writeln!(
+            out,
+            "  {}: busy {:.2} us ({:.1}%), {} serve(s), {} gap(s), longest gap {:.2} us",
+            s.segment,
+            s.busy.as_micros_f64(),
+            s.fraction * 100.0,
+            s.serves,
+            s.gaps,
+            s.gap_max.as_micros_f64()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "
+wait time (arbitration to grant):"
+    );
+    for s in &a.segments {
+        if s.wait.count() == 0 {
+            let _ = writeln!(out, "  {}: no requests", s.segment);
+        } else {
+            let _ = writeln!(
+                out,
+                "  {}: {} request(s), p50 {:.2} us, p95 {:.2} us, max {:.2} us",
+                s.segment,
+                s.wait.count(),
+                us(s.wait.quantile(0.50)),
+                us(s.wait.quantile(0.95)),
+                us(s.wait.max().unwrap_or(0)),
+            );
+        }
+    }
+    if !a.bus_units.is_empty() {
+        let _ = writeln!(
+            out,
+            "
+border units:"
+        );
+        for b in &a.bus_units {
+            let _ = writeln!(
+                out,
+                "  BU loaded by {}: {} package(s), occupied {:.2} us ({:.1}%)",
+                b.loading_segment,
+                b.loads,
+                b.occupied.as_micros_f64(),
+                b.fraction * 100.0
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "
+bottlenecks (by total arbitration wait):"
+    );
+    for (i, s) in a.bottlenecks().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {}. {}: total wait {:.2} us, busy {:.1}%",
+            i + 1,
+            s.segment,
+            s.total_wait.as_micros_f64(),
+            s.fraction * 100.0
+        );
+    }
+    let stats = segbus_core::trace_latency_stats(log);
+    if let (Some(min), Some(max), Some(mean)) = (stats.min, stats.max, stats.mean_ps) {
+        let _ = writeln!(
+            out,
+            "
+package latency: {} packages, min {:.2} us, mean {:.2} us, max {:.2} us",
+            stats.count,
+            min.as_micros_f64(),
+            mean / 1e6,
+            max.as_micros_f64()
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "
+package latency: no packages delivered"
+        );
+    }
 }
 
 fn cmd_gantt(args: &[String]) -> Result<String, CliError> {
@@ -1112,7 +1268,7 @@ fn cmd_vcd(args: &[String]) -> Result<String, CliError> {
     let report = Emulator::new(EmulatorConfig::traced())
         .try_run(&psm)
         .map_err(|e| fail(format!("{path}: {e}")))?;
-    Ok(segbus_core::to_vcd(&report))
+    segbus_core::to_vcd(&report).map_err(|e| fail(format!("{path}: {e}")))
 }
 
 fn cmd_codegen(args: &[String]) -> Result<String, CliError> {
@@ -1377,6 +1533,46 @@ mod tests {
         let g = run(&args(&["gantt", &f, "--width", "40"])).unwrap();
         assert!(g.contains("Segment 1 |"), "{g}");
         assert!(run(&args(&["gantt", &f, "--width", "0"])).is_err());
+    }
+
+    #[test]
+    fn trace_round_trip_through_sbt() {
+        let dir = tmpdir("sbt");
+        let f = demo_file(&dir);
+        let sbt = dir.join("run.sbt").to_string_lossy().into_owned();
+        // Stream a trace to disk while emulating.
+        let e = run(&args(&["emulate", &f, "--trace-out", &sbt, "--frames", "2"])).unwrap();
+        assert!(e.contains("events written to"), "{e}");
+        // Analyze the file without the model.
+        let a = run(&args(&["analyze", &sbt])).unwrap();
+        assert!(a.contains("bus utilisation"), "{a}");
+        assert!(a.contains("wait time (arbitration to grant)"), "{a}");
+        assert!(a.contains("border units"), "{a}");
+        assert!(a.contains("bottlenecks"), "{a}");
+        assert!(a.contains("package latency"), "{a}");
+        // The trace-derived report matches the model-derived one section
+        // for section (same events, same analytics).
+        let m = run(&args(&["analyze", &f, "--frames", "2"])).unwrap();
+        for line in a.lines().skip(1) {
+            if !line.is_empty() {
+                assert!(m.contains(line), "model analyze lacks {line:?}\n{m}");
+            }
+        }
+        // And the measured traffic drives the placement.
+        let p = run(&args(&["place", &f, "--segments", "2", "--from-trace", &sbt])).unwrap();
+        assert!(p.contains("measured weights from"), "{p}");
+        assert!(p.contains("PlaceTool: 2 segments"), "{p}");
+        // A missing trace is a typed, propagated error.
+        let err = run(&args(&[
+            "place",
+            &f,
+            "--segments",
+            "2",
+            "--from-trace",
+            "/nonexistent.sbt",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("T001"), "{}", err.message);
     }
 
     #[test]

@@ -323,8 +323,9 @@ fn corpus() -> Vec<(String, String)> {
     out
 }
 
-/// One fuzz campaign of `budget` inputs, mixing generated DSL, mutated
-/// corpus DSL and mutated exported XML.
+/// One fuzz campaign of `budget` inputs, mixing generated DSL, byte- and
+/// structure-mutated corpus DSL, and byte- and structure-mutated exported
+/// XML.
 fn campaign(seed: u64, budget: usize) {
     campaign_to(seed, budget, None);
 }
@@ -352,7 +353,7 @@ fn campaign_to(seed: u64, budget: usize, artifacts: Option<&std::path::Path>) {
     let mut accepted = 0usize;
     for case in 0..budget {
         let arm = rng.below(10);
-        let result = if arm < 4 {
+        let result = if arm < 3 {
             // Arm A: structured generated DSL.
             let src = gen_dsl(&mut rng);
             catch_unwind(AssertUnwindSafe(|| {
@@ -364,7 +365,7 @@ fn campaign_to(seed: u64, budget: usize, artifacts: Option<&std::path::Path>) {
                 }
             }))
             .map_err(|_| src)
-        } else if arm < 6 {
+        } else if arm < 5 {
             // Arm B: byte-mutated corpus DSL.
             let (_, base) = &corpus[rng.range_usize(0, corpus.len() - 1)];
             let src = mutate(&mut rng, base);
@@ -377,7 +378,7 @@ fn campaign_to(seed: u64, budget: usize, artifacts: Option<&std::path::Path>) {
                 }
             }))
             .map_err(|_| src)
-        } else if arm < 7 {
+        } else if arm < 6 {
             // Arm D: structure-aware mutation (segbus-gen): grammar-level
             // edits of a canonicalised corpus model, biased to reach the
             // semantic checks (P00x/V0xx and the new distribution codes)
@@ -393,7 +394,7 @@ fn campaign_to(seed: u64, budget: usize, artifacts: Option<&std::path::Path>) {
                 }
             }))
             .map_err(|_| src)
-        } else {
+        } else if arm < 8 {
             // Arm C: byte-mutated exported XML schemes. Mutate one of the
             // two documents, keep the other intact.
             let (psdf, psm_doc) = &xml_corpus[rng.range_usize(0, xml_corpus.len() - 1)];
@@ -406,6 +407,27 @@ fn campaign_to(seed: u64, budget: usize, artifacts: Option<&std::path::Path>) {
             catch_unwind(AssertUnwindSafe(|| {
                 if let Some(psm) = drive_xml(&pd, &pm) {
                     emulate_and_compare(&psm, "mutated xml");
+                    true
+                } else {
+                    false
+                }
+            }))
+            .map_err(|_| joined)
+        } else {
+            // Arm E: structure-aware XML mutation (segbus-gen): line-level
+            // edits plus distribution-attribute injection/corruption, so
+            // the campaign reaches the XML semantic checks (X0xx and the
+            // distribution validators) instead of only the tokenizer.
+            let (psdf, psm_doc) = &xml_corpus[rng.range_usize(0, xml_corpus.len() - 1)];
+            let (pd, pm) = if rng.below(2) == 0 {
+                (segbus_gen::mutate_xml(psdf, &mut rng), psm_doc.clone())
+            } else {
+                (psdf.clone(), segbus_gen::mutate_xml(psm_doc, &mut rng))
+            };
+            let joined = format!("{pd}\n----\n{pm}");
+            catch_unwind(AssertUnwindSafe(|| {
+                if let Some(psm) = drive_xml(&pd, &pm) {
+                    emulate_and_compare(&psm, "structure-mutated xml");
                     true
                 } else {
                     false

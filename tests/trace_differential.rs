@@ -1,0 +1,122 @@
+//! Trace-level differential testing over the committed scenario corpus.
+//!
+//! The fast core's traced instantiations promise the interpreter's trace
+//! *event for event* — and the `.sbt` binary format promises a lossless
+//! round trip. This suite drives both promises end to end on every
+//! committed `corpus/` scenario: the fast core streams its trace to an
+//! `.sbt` file, the file is decoded, and both the raw events and every
+//! analytics counter derived from them (utilisation, waits, gaps, BU
+//! occupancy, latencies) must equal what the interpreter's in-memory
+//! `TraceLog` yields.
+
+use segbus_core::{
+    analyze_trace, read_trace, trace_latency_stats, trace_package_latencies, EmulatorConfig,
+    Engine, EngineKind, SbtWriter,
+};
+use segbus_model::mapping::Psm;
+
+/// The committed stochastic scenarios under `corpus/`, one family
+/// directory deep, as (name, parsed PSM) pairs.
+fn corpus_psms() -> Vec<(String, Psm)> {
+    let corpus_root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"));
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(corpus_root)
+        .expect("corpus/ directory")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            p.is_dir().then_some(p)
+        })
+        .flat_map(|dir| {
+            std::fs::read_dir(dir)
+                .expect("corpus family dir")
+                .filter_map(|e| {
+                    let p = e.ok()?.path();
+                    (p.extension()? == "sbd").then_some(p)
+                })
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus must contain scenarios");
+    files
+        .into_iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(&p).expect("readable scenario");
+            let psm = segbus_dsl::parse_system(&text).expect("committed scenario parses");
+            (p.display().to_string(), psm)
+        })
+        .collect()
+}
+
+fn engine(kind: EngineKind) -> Engine {
+    Engine::new(EmulatorConfig {
+        engine: kind,
+        ..EmulatorConfig::traced()
+    })
+}
+
+#[test]
+fn fast_core_sbt_traces_match_interpreter_counters_on_corpus() {
+    let dir = std::env::temp_dir().join(format!("segbus-trace-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (frames, (name, psm)) in corpus_psms().into_iter().enumerate() {
+        let frames = 1 + (frames as u64 % 2); // alternate 1- and 2-frame runs
+        let reference = engine(EngineKind::Interpreter)
+            .try_run_frames(&psm, frames)
+            .unwrap_or_else(|e| panic!("{name}: interpreter: {e}"));
+        let ref_log = reference.trace.as_ref().expect("interpreter trace");
+
+        // Stream the fast core's trace to disk and decode it back.
+        let path = dir.join("scenario.sbt");
+        let mut writer = SbtWriter::create(
+            &path,
+            psm.platform().segment_count() as u32,
+            psm.application().process_count() as u32,
+        )
+        .unwrap();
+        let streamed = engine(EngineKind::Fast)
+            .try_run_frames_with_sink(&psm, frames, &mut writer)
+            .unwrap_or_else(|e| panic!("{name}: fast: {e}"));
+        writer.finish().unwrap();
+        let decoded = read_trace(&path).unwrap_or_else(|e| panic!("{name}: read_trace: {e}"));
+
+        assert!(!decoded.truncated, "{name}: fresh file must not truncate");
+        assert_eq!(streamed.makespan, reference.makespan, "{name}: makespan");
+        assert_eq!(
+            decoded.log.events(),
+            ref_log.events(),
+            "{name}: decoded events differ"
+        );
+
+        // Counters derived from the .sbt must match the interpreter's.
+        let nseg = psm.platform().segment_count();
+        let a = analyze_trace(&decoded.log, nseg);
+        let b = analyze_trace(ref_log, nseg);
+        assert_eq!(a.makespan, b.makespan, "{name}: analysis makespan");
+        for (x, y) in a.segments.iter().zip(b.segments.iter()) {
+            assert_eq!(x.busy, y.busy, "{name}: {} busy", x.segment);
+            assert_eq!(x.serves, y.serves, "{name}: {} serves", x.segment);
+            assert_eq!(x.total_wait, y.total_wait, "{name}: {} wait", x.segment);
+            assert_eq!(x.wait.count(), y.wait.count(), "{name}: {} waits", x.segment);
+            assert_eq!(
+                x.wait.nonzero_buckets(),
+                y.wait.nonzero_buckets(),
+                "{name}: {} wait histogram",
+                x.segment
+            );
+            assert_eq!(x.gaps, y.gaps, "{name}: {} gaps", x.segment);
+            assert_eq!(x.gap_total, y.gap_total, "{name}: {} gap total", x.segment);
+            assert_eq!(x.gap_max, y.gap_max, "{name}: {} gap max", x.segment);
+        }
+        assert_eq!(a.bus_units, b.bus_units, "{name}: BU occupancy");
+        assert_eq!(
+            trace_package_latencies(&decoded.log),
+            trace_package_latencies(ref_log),
+            "{name}: package latencies"
+        );
+        assert_eq!(
+            trace_latency_stats(&decoded.log),
+            trace_latency_stats(ref_log),
+            "{name}: latency stats"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
