@@ -189,6 +189,55 @@ pub fn random_layered(layers: usize, width: usize, seed: u64, cfg: GeneratorConf
     app
 }
 
+/// A toroidal 2D mesh pipeline of `width × height` processes: process
+/// `(r, c)` feeds `(r+1, c)` and — when `width ≥ 2` — its wrap-around
+/// neighbour `(r+1, (c+1) mod width)`. Row 0 holds the sources, the last
+/// row the sinks, so the app stays a layered DAG while every row couples
+/// all columns (no column-parallel decomposition exists, which is what
+/// makes it a hard placement instance at 100+ processes).
+///
+/// # Panics
+/// Panics if `width == 0` or `height < 2`.
+pub fn grid(width: usize, height: usize, cfg: GeneratorConfig) -> Application {
+    assert!(width > 0 && height >= 2, "need width > 0 and height >= 2");
+    let mut app = Application::new(format!("grid-{width}x{height}"));
+    let mut rows = vec![vec![ProcessId(0); width]; height];
+    for (r, row) in rows.iter_mut().enumerate() {
+        for (c, slot) in row.iter_mut().enumerate() {
+            let name = format!("R{r}C{c}");
+            *slot = app.add_process(match r {
+                0 => Process::initial(name),
+                r if r == height - 1 => Process::final_(name),
+                _ => Process::new(name),
+            });
+        }
+    }
+    for r in 0..height - 1 {
+        for c in 0..width {
+            app.add_flow(Flow::new(
+                rows[r][c],
+                rows[r + 1][c],
+                cfg.items_per_flow,
+                0,
+                cfg.ticks_per_package,
+            ))
+            .expect("valid");
+            if width >= 2 {
+                app.add_flow(Flow::new(
+                    rows[r][c],
+                    rows[r + 1][(c + 1) % width],
+                    cfg.items_per_flow,
+                    0,
+                    cfg.ticks_per_package,
+                ))
+                .expect("valid");
+            }
+        }
+    }
+    app.assign_orders_topologically().expect("grid is acyclic");
+    app
+}
+
 /// Round-robin allocation of an application's processes over `segments`
 /// segments — a deliberately naive placement used as the baseline in the
 /// placement experiments.
@@ -292,6 +341,31 @@ mod tests {
         assert_eq!(app.sinks().len(), 4);
         assert!(app.orders_respect_dependencies());
         assert_valid(&app, 2);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let app = grid(4, 3, GeneratorConfig::default());
+        assert_eq!(app.process_count(), 12);
+        assert_eq!(app.flows().len(), 16); // 2 flows per node per row step
+        assert_eq!(app.sources().len(), 4);
+        assert_eq!(app.sinks().len(), 4);
+        assert!(app.orders_respect_dependencies());
+        assert_valid(&app, 2);
+    }
+
+    #[test]
+    fn grid_of_width_one_is_a_chain() {
+        let app = grid(1, 5, GeneratorConfig::default());
+        assert_eq!(app.process_count(), 5);
+        assert_eq!(app.flows().len(), 4);
+        assert_valid(&app, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "height >= 2")]
+    fn grid_too_flat() {
+        let _ = grid(3, 1, GeneratorConfig::default());
     }
 
     #[test]

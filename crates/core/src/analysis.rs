@@ -156,7 +156,7 @@ pub fn analyze_trace(log: &TraceLog, segments: usize) -> BusAnalysis {
         for w in iv.windows(2) {
             let gap = w[1].0.saturating_sub(w[0].1);
             seg.gaps += 1;
-            seg.gap_total = seg.gap_total + gap;
+            seg.gap_total += gap;
             seg.gap_max = seg.gap_max.max(gap);
         }
     }
@@ -186,7 +186,7 @@ pub fn analyze_trace(log: &TraceLog, segments: usize) -> BusAnalysis {
                 if let Some((raised, src)) = pending.remove(&(flow, pkg)) {
                     let wait = e.at.saturating_sub(raised);
                     out[src].wait.record(wait.0 / 1_000); // ps → ns
-                    out[src].total_wait = out[src].total_wait + wait;
+                    out[src].total_wait += wait;
                 }
             }
             TraceKind::BuLoaded => {

@@ -80,9 +80,21 @@ fn absorb_config(h: &mut Fnv64, config: &EmulatorConfig) {
 /// Two jobs with equal digests produce bit-identical reports (up to the
 /// ~`n²/2⁶⁵` FNV collision probability, which the cache accepts).
 pub fn job_digest(psm: &Psm, config: &EmulatorConfig, frames: u64) -> u64 {
+    job_digest_from(psm.digest(), config, frames)
+}
+
+/// [`job_digest`] for a model digest computed elsewhere.
+///
+/// Placement search hashes thousands of allocations of one fixed
+/// platform + application; it derives each candidate's model digest
+/// incrementally ([`Psm::digest_prefix`] +
+/// [`segbus_model::digest_with_slots`]) and finishes the cache key here
+/// without materialising a `Psm` per candidate. Equal to
+/// [`job_digest`] whenever `psm_digest == psm.digest()`.
+pub fn job_digest_from(psm_digest: u64, config: &EmulatorConfig, frames: u64) -> u64 {
     const TAG_FRAMES: u8 = 0x11;
     let mut h = Fnv64::new();
-    h.write_u64(psm.digest());
+    h.write_u64(psm_digest);
     absorb_config(&mut h, config);
     h.write_u8(TAG_FRAMES);
     h.write_u64(frames);

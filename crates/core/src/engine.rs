@@ -123,6 +123,59 @@ enum Ev {
 /// Sentinel in `flow_path` for intra-segment flows (no CA involvement).
 pub(crate) const NO_PATH: u32 = u32::MAX;
 
+/// Compile (or fetch from the `path_of` memo) the route from segment `a`
+/// to segment `b`: the segment chain plus per-hop border-unit index and
+/// crossing direction. Returns [`NO_PATH`] for `a == b`. Shared by plan
+/// compilation and [`EnginePlan::try_remap`], which extends the same
+/// route table incrementally as moves expose new segment pairs.
+fn compile_route(
+    platform: &segbus_model::platform::Platform,
+    nseg: usize,
+    paths: &mut Vec<PathInfo>,
+    path_of: &mut [u32],
+    a: SegmentId,
+    b: SegmentId,
+) -> Result<u32, SegbusError> {
+    if a == b {
+        return Ok(NO_PATH);
+    }
+    let key = a.index() * nseg + b.index();
+    if path_of[key] == NO_PATH {
+        let segs = platform.path_segments(a, b);
+        if segs.len() < 2 || segs.first() != Some(&a) || segs.last() != Some(&b) {
+            return Err(SegbusError::new(
+                "C005",
+                format!("no route from segment {a} to segment {b}"),
+            ));
+        }
+        let mut bu = Vec::with_capacity(segs.len() - 1);
+        let mut load_left = Vec::with_capacity(segs.len() - 1);
+        let mut unload_right = Vec::with_capacity(segs.len() - 1);
+        for w in segs.windows(2) {
+            let r = platform.bu_between(w[0], w[1]).ok_or_else(|| {
+                SegbusError::new(
+                    "C005",
+                    format!(
+                        "no border unit between adjacent segments {} and {}",
+                        w[0], w[1]
+                    ),
+                )
+            })?;
+            bu.push(r.index() as u32);
+            load_left.push(w[0] == r.left);
+            unload_right.push(w[1] == r.right);
+        }
+        path_of[key] = paths.len() as u32;
+        paths.push(PathInfo {
+            segs,
+            bu,
+            load_left,
+            unload_right,
+        });
+    }
+    Ok(path_of[key])
+}
+
 /// An inter-segment route with its per-hop border units, compiled once.
 #[derive(Clone, Debug)]
 pub(crate) struct PathInfo {
@@ -242,11 +295,61 @@ pub struct EnginePlan<'a> {
     pub(crate) fast_ca: FastClock,
     pub(crate) waves: Vec<Vec<FlowId>>,
     pub(crate) paths: Vec<PathInfo>,
+    /// Route memo behind `paths`: `path_of[a·nseg + b]` is the compiled
+    /// path index from segment `a` to `b`, or [`NO_PATH`] while that pair
+    /// has not been routed. Kept in the plan so [`EnginePlan::try_remap`]
+    /// extends the route table instead of recompiling it.
+    path_of: Vec<u32>,
+    /// CSR adjacency over flows: the flow indices touching process `p`
+    /// (as source or destination) are
+    /// `proc_flow[proc_flow_off[p]..proc_flow_off[p+1]]`. Lets a remap
+    /// rebuild only the O(degree) mapping-dependent `flow_path` entries.
+    proc_flow_off: Vec<u32>,
+    proc_flow: Vec<u32>,
     /// Calendar-queue bucket-width hint. A bucket of a few dozen clock
     /// ticks keeps the ring sparse — consecutive events are typically
     /// many ticks apart — without letting any single bucket collect a
     /// long scan list.
     bucket_hint_ps: u64,
+}
+
+/// Reusable accumulation buffers for
+/// [`EnginePlan::makespan_lower_bound_in`]. A default-constructed value
+/// works for any plan; buffers grow to the plan's process and segment
+/// counts on first use and are retained across calls.
+#[derive(Default)]
+pub struct LowerBoundScratch {
+    proc_ps: Vec<u128>,
+    seg_ps: Vec<u128>,
+}
+
+/// The revertable record of one [`EnginePlan::try_remap`]: which process
+/// moved, where it came from, and every `flow_path` entry the move
+/// rewrote. [`EnginePlan::revert`] undoes exactly this delta.
+#[derive(Clone, Debug)]
+pub struct PlanDelta {
+    process: ProcessId,
+    from: SegmentId,
+    /// `(flow index, previous flow_path entry)` for each touched flow.
+    flow_path: Vec<(u32, u32)>,
+}
+
+impl PlanDelta {
+    /// The process the remap moved.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// The segment the process was mapped to before the remap.
+    pub fn from(&self) -> SegmentId {
+        self.from
+    }
+
+    /// Number of per-flow hop-table entries the remap rewrote — the
+    /// O(degree) work the patch did instead of a full plan recompile.
+    pub fn touched_flows(&self) -> usize {
+        self.flow_path.len()
+    }
 }
 
 impl<'a> EnginePlan<'a> {
@@ -315,46 +418,33 @@ impl<'a> EnginePlan<'a> {
             .map(|i| {
                 let a = proc_seg[flow_src[i].index()];
                 let b = proc_seg[flow_dst[i].index()];
-                if a == b {
-                    return Ok(NO_PATH);
-                }
-                let key = a.index() * nseg + b.index();
-                if path_of[key] == NO_PATH {
-                    let segs = platform.path_segments(a, b);
-                    if segs.len() < 2 || segs.first() != Some(&a) || segs.last() != Some(&b) {
-                        return Err(SegbusError::new(
-                            "C005",
-                            format!("no route from segment {a} to segment {b}"),
-                        ));
-                    }
-                    let mut bu = Vec::with_capacity(segs.len() - 1);
-                    let mut load_left = Vec::with_capacity(segs.len() - 1);
-                    let mut unload_right = Vec::with_capacity(segs.len() - 1);
-                    for w in segs.windows(2) {
-                        let r = platform.bu_between(w[0], w[1]).ok_or_else(|| {
-                            SegbusError::new(
-                                "C005",
-                                format!(
-                                    "no border unit between adjacent segments {} and {}",
-                                    w[0], w[1]
-                                ),
-                            )
-                        })?;
-                        bu.push(r.index() as u32);
-                        load_left.push(w[0] == r.left);
-                        unload_right.push(w[1] == r.right);
-                    }
-                    path_of[key] = paths.len() as u32;
-                    paths.push(PathInfo {
-                        segs,
-                        bu,
-                        load_left,
-                        unload_right,
-                    });
-                }
-                Ok(path_of[key])
+                compile_route(platform, nseg, &mut paths, &mut path_of, a, b)
             })
             .collect::<Result<_, SegbusError>>()?;
+
+        // CSR adjacency: each flow is listed under both endpoints (once
+        // when they coincide), so a remap of process `p` sees exactly the
+        // flows whose hop table the move can change.
+        let mut proc_flow_off = vec![0u32; nproc + 1];
+        for i in 0..nflow {
+            proc_flow_off[flow_src[i].index() + 1] += 1;
+            if flow_dst[i] != flow_src[i] {
+                proc_flow_off[flow_dst[i].index() + 1] += 1;
+            }
+        }
+        for p in 0..nproc {
+            proc_flow_off[p + 1] += proc_flow_off[p];
+        }
+        let mut proc_flow = vec![0u32; proc_flow_off[nproc] as usize];
+        let mut cursor: Vec<u32> = proc_flow_off[..nproc].to_vec();
+        for i in 0..nflow {
+            proc_flow[cursor[flow_src[i].index()] as usize] = i as u32;
+            cursor[flow_src[i].index()] += 1;
+            if flow_dst[i] != flow_src[i] {
+                proc_flow[cursor[flow_dst[i].index()] as usize] = i as u32;
+                cursor[flow_dst[i].index()] += 1;
+            }
+        }
 
         let seg_clock: Vec<ClockDomain> = platform.segments().iter().map(|sg| sg.clock).collect();
         let ca_clock = platform.ca_clock();
@@ -393,13 +483,248 @@ impl<'a> EnginePlan<'a> {
             fast_ca,
             waves,
             paths,
+            path_of,
+            proc_flow_off,
+            proc_flow,
             bucket_hint_ps,
         })
     }
 
     /// The PSM this plan was compiled from.
+    ///
+    /// After a [`EnginePlan::try_remap`] the plan's tables describe the
+    /// *moved* placement while this model still carries the original
+    /// allocation; callers tracking content digests across remaps must
+    /// derive them from their own slot vector
+    /// ([`segbus_model::digest_with_slots`]), not from this PSM.
     pub fn psm(&self) -> &'a Psm {
         self.psm
+    }
+
+    /// The segment each process is currently mapped to (reflects remaps).
+    pub fn segment_of(&self, p: ProcessId) -> SegmentId {
+        self.proc_seg[p.index()]
+    }
+
+    /// Re-point process `p` at segment `to`, rebuilding only the
+    /// mapping-dependent plan slices: the process's segment entry and the
+    /// per-flow hop tables of the O(degree) flows touching it. Routes
+    /// newly exposed by the move are compiled once and memoised alongside
+    /// the existing route table; everything else (package counts, clock
+    /// tables, waves, picosecond slices derived at run setup) is
+    /// untouched. Running a patched plan is bit-identical to compiling a
+    /// fresh [`EnginePlan`] for the moved model — the differential suite
+    /// pins this across the corpus.
+    ///
+    /// Returns the [`PlanDelta`] that [`EnginePlan::revert`] undoes. On a
+    /// routing error (`C005`) the plan is left unchanged.
+    pub fn try_remap(&mut self, p: ProcessId, to: SegmentId) -> Result<PlanDelta, SegbusError> {
+        if p.index() >= self.nproc {
+            return Err(SegbusError::new(
+                "C002",
+                format!("process {p} is out of range for this plan"),
+            ));
+        }
+        let psm = self.psm;
+        let platform = psm.platform();
+        if !platform.contains(to) {
+            return Err(SegbusError::new(
+                "C002",
+                format!("process {p} cannot move to non-existent segment {to}"),
+            ));
+        }
+        let from = self.proc_seg[p.index()];
+        let mut delta = PlanDelta {
+            process: p,
+            from,
+            flow_path: Vec::new(),
+        };
+        if from == to {
+            return Ok(delta);
+        }
+        // Two phases: resolve every touched flow's new route first (route
+        // compilation can fail), then commit. A failed resolve may leave
+        // freshly compiled routes in the memo — that cache stays valid —
+        // but never a partially moved mapping.
+        let lo = self.proc_flow_off[p.index()] as usize;
+        let hi = self.proc_flow_off[p.index() + 1] as usize;
+        let mut resolved = Vec::with_capacity(hi - lo);
+        for k in lo..hi {
+            let f = self.proc_flow[k] as usize;
+            let a = if self.flow_src[f] == p {
+                to
+            } else {
+                self.proc_seg[self.flow_src[f].index()]
+            };
+            let b = if self.flow_dst[f] == p {
+                to
+            } else {
+                self.proc_seg[self.flow_dst[f].index()]
+            };
+            let idx = compile_route(
+                platform,
+                self.nseg,
+                &mut self.paths,
+                &mut self.path_of,
+                a,
+                b,
+            )?;
+            resolved.push((f as u32, idx));
+        }
+        self.proc_seg[p.index()] = to;
+        for (f, idx) in resolved {
+            delta.flow_path.push((f, self.flow_path[f as usize]));
+            self.flow_path[f as usize] = idx;
+        }
+        Ok(delta)
+    }
+
+    /// [`EnginePlan::try_remap`] that panics on invalid moves; for input
+    /// whose segments are known to exist and be routable.
+    ///
+    /// # Panics
+    /// Panics if the move is out of range or unroutable.
+    pub fn remap(&mut self, p: ProcessId, to: SegmentId) -> PlanDelta {
+        match self.try_remap(p, to) {
+            Ok(d) => d,
+            Err(e) => panic!("invalid remap: {e}"),
+        }
+    }
+
+    /// Undo a [`EnginePlan::try_remap`], restoring the process's segment
+    /// and every rewritten hop-table entry. Deltas must be reverted in
+    /// LIFO order relative to other remaps of the same process.
+    pub fn revert(&mut self, delta: &PlanDelta) {
+        self.proc_seg[delta.process.index()] = delta.from;
+        for &(f, old) in &delta.flow_path {
+            self.flow_path[f as usize] = old;
+        }
+    }
+
+    /// An admissible lower bound on the plan's `frames`-frame makespan:
+    /// the larger of a **global** term and a **wave-chain** term.
+    ///
+    /// The global term (scaled by `frames`) is the busiest single
+    /// resource:
+    ///
+    /// * **producer serialisation** — a producer handles its packages
+    ///   strictly one at a time: it computes a package and stays busy
+    ///   until the package's bus phase completes (through final delivery
+    ///   under [`ProducerRelease::AfterDelivery`], through the source
+    ///   segment's serve under
+    ///   [`ProducerRelease::AfterLocalPhase`]), so the sum of
+    ///   compute-plus-serve over its packages bounds the run from below;
+    /// * **boundary traffic** — every package transfer occupies each
+    ///   segment on its path for the full bus transaction, and transfers
+    ///   on one segment never overlap, so the busiest segment's occupancy
+    ///   bounds the run from below.
+    ///
+    /// The wave-chain term exploits the barrier semantics of DESIGN.md
+    /// §4: within a frame, wave `w`'s producers are armed only once wave
+    /// `w−1` has *fully delivered*, so frame 0's waves execute strictly
+    /// in sequence no matter how many frames pipeline around them. The
+    /// single-frame chain — the sum over waves of each wave's busiest
+    /// resource (the two global terms restricted to that wave's flows) —
+    /// is therefore admissible for any frame count.
+    ///
+    /// All terms count mandatory work only (edge alignment, arbitration
+    /// waits and circuit stalls can only add time), so the bound never
+    /// exceeds the emulated makespan — the property tests pin
+    /// `makespan_lower_bound ≤ makespan` across the corpus. Placement
+    /// search uses it to skip emulating candidates that provably cannot
+    /// beat an incumbent.
+    pub fn makespan_lower_bound(&self, config: &EmulatorConfig, frames: u64) -> Picos {
+        self.makespan_lower_bound_in(config, frames, &mut LowerBoundScratch::default())
+    }
+
+    /// [`EnginePlan::makespan_lower_bound`] with caller-owned scratch, so
+    /// hot loops (placement search bounds one plan per candidate) pay no
+    /// allocation per call.
+    pub fn makespan_lower_bound_in(
+        &self,
+        config: &EmulatorConfig,
+        frames: u64,
+        scratch: &mut LowerBoundScratch,
+    ) -> Picos {
+        let bus_ticks = config.timing.bus_transaction_ticks(self.s) as u128;
+        let full_path = config.producer_release == ProducerRelease::AfterDelivery;
+        scratch.proc_ps.clear();
+        scratch.proc_ps.resize(self.nproc, 0);
+        scratch.seg_ps.clear();
+        scratch.seg_ps.resize(self.nseg, 0);
+        let (proc_ps, seg_ps) = (&mut scratch.proc_ps, &mut scratch.seg_ps);
+        // Per-flow accumulation shared by the global pass (all flows) and
+        // the per-wave passes (one wave's flows at a time): returns the
+        // largest resource total after folding flow `f` in.
+        let add_flow = |f: usize, proc_ps: &mut [u128], seg_ps: &mut [u128]| -> u128 {
+            let pkgs = self.flow_pkgs[f] as u128;
+            let src = self.flow_src[f].index();
+            let src_seg = self.proc_seg[src].index();
+            let src_period = self.seg_clock[src_seg].period_ps() as u128;
+            let mut worst = 0u128;
+            // Mandatory bus time between compute-done and the producer's
+            // release, per package.
+            let mut serve_ps = bus_ticks * src_period;
+            let path = self.flow_path[f];
+            if path == NO_PATH {
+                seg_ps[src_seg] += pkgs * bus_ticks * src_period;
+                worst = worst.max(seg_ps[src_seg]);
+            } else {
+                let mut path_ps = 0u128;
+                for m in &self.paths[path as usize].segs {
+                    let period = self.seg_clock[m.index()].period_ps() as u128;
+                    seg_ps[m.index()] += pkgs * bus_ticks * period;
+                    worst = worst.max(seg_ps[m.index()]);
+                    path_ps += bus_ticks * period;
+                }
+                if full_path {
+                    // Send-and-wait: the producer resumes only on final
+                    // delivery, after the package was served on every
+                    // segment along its path in turn.
+                    serve_ps = path_ps;
+                }
+            }
+            proc_ps[src] += pkgs * (self.flow_compute[f] as u128 * src_period + serve_ps);
+            worst.max(proc_ps[src])
+        };
+        let mut bound = 0u128;
+        if frames > 1 {
+            // Global term. At `frames == 1` the chain term dominates it
+            // (a resource's total is the sum of its per-wave loads, each
+            // ≤ that wave's maximum), so the pass is skipped there.
+            let mut global = 0u128;
+            for f in 0..self.flow_src.len() {
+                global = global.max(add_flow(f, proc_ps, seg_ps));
+            }
+            bound = global * frames as u128;
+            proc_ps.fill(0);
+            seg_ps.fill(0);
+        }
+        // Wave-chain term: the same accumulation one wave at a time,
+        // zeroing only the touched slots between waves.
+        let mut chain = 0u128;
+        for flows in &self.waves {
+            let mut wave_worst = 0u128;
+            for f in flows {
+                wave_worst = wave_worst.max(add_flow(f.index(), proc_ps, seg_ps));
+            }
+            chain += wave_worst;
+            for f in flows {
+                let fi = f.index();
+                let src = self.flow_src[fi].index();
+                proc_ps[src] = 0;
+                let path = self.flow_path[fi];
+                if path == NO_PATH {
+                    seg_ps[self.proc_seg[src].index()] = 0;
+                } else {
+                    for m in &self.paths[path as usize].segs {
+                        seg_ps[m.index()] = 0;
+                    }
+                }
+            }
+        }
+        bound = bound.max(chain);
+        Picos(bound.min(u64::MAX as u128) as u64)
     }
 }
 
@@ -597,6 +922,22 @@ impl Engine {
     /// # Panics
     /// Panics if `frames` is zero.
     pub fn run_plan(&mut self, plan: &EnginePlan, frames: u64) -> EmulationReport {
+        let mut out = EmulationReport::empty();
+        self.run_plan_into(plan, frames, &mut out);
+        out
+    }
+
+    /// [`Engine::run_plan`] assembling the result into `out`, reusing its
+    /// vectors (counters, clock tables, border-unit refs) instead of
+    /// allocating a fresh report per run. Tight evaluation loops —
+    /// placement search emulating thousands of candidates — hold one
+    /// report buffer and make the whole run allocation-free apart from
+    /// first-time growth. `out`'s previous contents are overwritten; the
+    /// result is bit-identical to [`Engine::run_plan`]'s.
+    ///
+    /// # Panics
+    /// Panics if `frames` is zero.
+    pub fn run_plan_into(&mut self, plan: &EnginePlan, frames: u64, out: &mut EmulationReport) {
         assert!(frames > 0, "at least one frame");
         if self.config.engine == crate::config::EngineKind::Fast {
             if self.config.trace {
@@ -604,17 +945,19 @@ impl Engine {
                 // exact event stream (differential-tested event for
                 // event); collect it into the report's TraceLog.
                 let mut log = TraceLog::new();
-                let mut report = crate::fast::run_fast_traced(
+                crate::fast::run_fast_traced(
                     plan,
                     &mut self.fast,
                     &self.config,
                     frames,
                     &mut log,
+                    out,
                 );
-                report.trace = Some(log);
-                return report;
+                out.trace = Some(log);
+                return;
             }
-            return crate::fast::run_fast(plan, &mut self.fast, &self.config, frames);
+            crate::fast::run_fast(plan, &mut self.fast, &self.config, frames, out);
+            return;
         }
         self.scratch.reset(plan, frames, &self.config);
         Run {
@@ -625,7 +968,7 @@ impl Engine {
             bus_ticks: self.config.timing.bus_transaction_ticks(plan.s),
             trace: self.config.trace.then(TraceLog::new),
         }
-        .execute()
+        .execute_into(out)
     }
 
     /// Execute a pre-compiled plan, streaming every trace event into
@@ -648,11 +991,20 @@ impl Engine {
         sink: &mut dyn crate::trace::TraceSink,
     ) -> EmulationReport {
         assert!(frames > 0, "at least one frame");
+        let mut report = EmulationReport::empty();
         if self.config.engine == crate::config::EngineKind::Fast {
-            return crate::fast::run_fast_traced(plan, &mut self.fast, &self.config, frames, sink);
+            crate::fast::run_fast_traced(
+                plan,
+                &mut self.fast,
+                &self.config,
+                frames,
+                sink,
+                &mut report,
+            );
+            return report;
         }
         self.scratch.reset(plan, frames, &self.config);
-        let mut report = Run {
+        Run {
             plan,
             cfg: self.config,
             sc: &mut self.scratch,
@@ -660,7 +1012,7 @@ impl Engine {
             bus_ticks: self.config.timing.bus_transaction_ticks(plan.s),
             trace: Some(TraceLog::new()),
         }
-        .execute();
+        .execute_into(&mut report);
         if let Some(log) = report.trace.take() {
             for e in log.events() {
                 sink.emit(e);
@@ -1194,7 +1546,7 @@ impl Run<'_, '_> {
 
     // -- main loop ---------------------------------------------------------
 
-    fn execute(mut self) -> EmulationReport {
+    fn execute_into(mut self, out: &mut EmulationReport) {
         let plan = self.plan;
         if !plan.waves.is_empty() {
             // Wave 0 of every frame is input-ready immediately (streaming
@@ -1225,18 +1577,19 @@ impl Run<'_, '_> {
             sa.tct = plan.seg_clock[i].ticks_covering(sa.last_activity);
         }
         self.sc.ca.tct = plan.ca_clock.ticks_covering(self.sc.makespan);
-        EmulationReport {
-            sas: std::mem::take(&mut self.sc.sas),
-            ca: self.sc.ca,
-            bus: std::mem::take(&mut self.sc.bus_ctr),
-            bu_refs: plan.psm.platform().border_units().collect(),
-            fus: std::mem::take(&mut self.sc.fus),
-            segment_clocks: plan.seg_clock.clone(),
-            ca_clock: plan.ca_clock,
-            package_size: plan.s,
-            makespan: self.sc.makespan,
-            trace: self.trace,
-        }
+        // clone_from reuses the output report's allocations; a fresh
+        // (empty) report degrades to plain clones.
+        out.sas.clone_from(&self.sc.sas);
+        out.ca = self.sc.ca;
+        out.bus.clone_from(&self.sc.bus_ctr);
+        out.bu_refs.clear();
+        out.bu_refs.extend(plan.psm.platform().border_units());
+        out.fus.clone_from(&self.sc.fus);
+        out.segment_clocks.clone_from(&plan.seg_clock);
+        out.ca_clock = plan.ca_clock;
+        out.package_size = plan.s;
+        out.makespan = self.sc.makespan;
+        out.trace = self.trace.take();
     }
 }
 

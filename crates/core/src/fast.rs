@@ -450,7 +450,8 @@ pub(crate) fn run_fast(
     sc: &mut FastScratch,
     cfg: &EmulatorConfig,
     frames: u64,
-) -> EmulationReport {
+    out: &mut EmulationReport,
+) {
     assert!(frames > 0, "at least one frame");
     assert!(
         frames <= MAX_FRAMES,
@@ -460,22 +461,22 @@ pub(crate) fn run_fast(
     use ProducerRelease as R;
     match (cfg.arbitration, cfg.producer_release) {
         (A::Fifo, R::AfterDelivery) => {
-            run_mono::<FifoArb, RelDelivery, false>(plan, sc, cfg, frames, None)
+            run_mono::<FifoArb, RelDelivery, false>(plan, sc, cfg, frames, None, out)
         }
         (A::Fifo, R::AfterLocalPhase) => {
-            run_mono::<FifoArb, RelLocal, false>(plan, sc, cfg, frames, None)
+            run_mono::<FifoArb, RelLocal, false>(plan, sc, cfg, frames, None, out)
         }
         (A::FixedPriority, R::AfterDelivery) => {
-            run_mono::<PriorityArb, RelDelivery, false>(plan, sc, cfg, frames, None)
+            run_mono::<PriorityArb, RelDelivery, false>(plan, sc, cfg, frames, None, out)
         }
         (A::FixedPriority, R::AfterLocalPhase) => {
-            run_mono::<PriorityArb, RelLocal, false>(plan, sc, cfg, frames, None)
+            run_mono::<PriorityArb, RelLocal, false>(plan, sc, cfg, frames, None, out)
         }
         (A::FairRoundRobin, R::AfterDelivery) => {
-            run_mono::<FairArb, RelDelivery, false>(plan, sc, cfg, frames, None)
+            run_mono::<FairArb, RelDelivery, false>(plan, sc, cfg, frames, None, out)
         }
         (A::FairRoundRobin, R::AfterLocalPhase) => {
-            run_mono::<FairArb, RelLocal, false>(plan, sc, cfg, frames, None)
+            run_mono::<FairArb, RelLocal, false>(plan, sc, cfg, frames, None, out)
         }
     }
 }
@@ -495,7 +496,8 @@ pub(crate) fn run_fast_traced(
     cfg: &EmulatorConfig,
     frames: u64,
     sink: &mut dyn TraceSink,
-) -> EmulationReport {
+    out: &mut EmulationReport,
+) {
     assert!(frames > 0, "at least one frame");
     assert!(
         frames <= MAX_FRAMES,
@@ -505,22 +507,22 @@ pub(crate) fn run_fast_traced(
     use ProducerRelease as R;
     match (cfg.arbitration, cfg.producer_release) {
         (A::Fifo, R::AfterDelivery) => {
-            run_mono::<FifoArb, RelDelivery, true>(plan, sc, cfg, frames, Some(sink))
+            run_mono::<FifoArb, RelDelivery, true>(plan, sc, cfg, frames, Some(sink), out)
         }
         (A::Fifo, R::AfterLocalPhase) => {
-            run_mono::<FifoArb, RelLocal, true>(plan, sc, cfg, frames, Some(sink))
+            run_mono::<FifoArb, RelLocal, true>(plan, sc, cfg, frames, Some(sink), out)
         }
         (A::FixedPriority, R::AfterDelivery) => {
-            run_mono::<PriorityArb, RelDelivery, true>(plan, sc, cfg, frames, Some(sink))
+            run_mono::<PriorityArb, RelDelivery, true>(plan, sc, cfg, frames, Some(sink), out)
         }
         (A::FixedPriority, R::AfterLocalPhase) => {
-            run_mono::<PriorityArb, RelLocal, true>(plan, sc, cfg, frames, Some(sink))
+            run_mono::<PriorityArb, RelLocal, true>(plan, sc, cfg, frames, Some(sink), out)
         }
         (A::FairRoundRobin, R::AfterDelivery) => {
-            run_mono::<FairArb, RelDelivery, true>(plan, sc, cfg, frames, Some(sink))
+            run_mono::<FairArb, RelDelivery, true>(plan, sc, cfg, frames, Some(sink), out)
         }
         (A::FairRoundRobin, R::AfterLocalPhase) => {
-            run_mono::<FairArb, RelLocal, true>(plan, sc, cfg, frames, Some(sink))
+            run_mono::<FairArb, RelLocal, true>(plan, sc, cfg, frames, Some(sink), out)
         }
     }
 }
@@ -531,7 +533,8 @@ fn run_mono<'r, A: Arbitration, R: Release, const TRACED: bool>(
     cfg: &EmulatorConfig,
     frames: u64,
     sink: Option<&'r mut dyn TraceSink>,
-) -> EmulationReport {
+    out: &mut EmulationReport,
+) {
     let bus_ticks = cfg.timing.bus_transaction_ticks(plan.s);
     sc.reset(plan, frames, cfg, bus_ticks, TRACED);
     FastRun::<A, R, TRACED> {
@@ -545,7 +548,7 @@ fn run_mono<'r, A: Arbitration, R: Release, const TRACED: bool>(
         sink,
         _policy: PhantomData,
     }
-    .execute()
+    .execute_into(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -771,7 +774,11 @@ impl<A: Arbitration, R: Release, const TRACED: bool> FastRun<'_, '_, A, R, TRACE
             at: now,
             kind: TraceKind::ComputeEnd,
             flow: Some(flow),
-            package: Some(if TRACED { self.sc.cur_pkg[src.index()] } else { 0 }),
+            package: Some(if TRACED {
+                self.sc.cur_pkg[src.index()]
+            } else {
+                0
+            }),
             process: Some(src),
             segment: Some(src_seg),
         });
@@ -1227,7 +1234,7 @@ impl<A: Arbitration, R: Release, const TRACED: bool> FastRun<'_, '_, A, R, TRACE
 
     // -- main loop ---------------------------------------------------------
 
-    fn execute(mut self) -> EmulationReport {
+    fn execute_into(mut self, out: &mut EmulationReport) {
         let plan = self.plan;
         if !plan.waves.is_empty() {
             self.arm_frames();
@@ -1281,18 +1288,20 @@ impl<A: Arbitration, R: Release, const TRACED: bool> FastRun<'_, '_, A, R, TRACE
             sa.tct = plan.seg_clock[i].ticks_covering(sa.last_activity);
         }
         self.sc.ca.tct = plan.ca_clock.ticks_covering(self.sc.makespan);
-        EmulationReport {
-            sas: std::mem::take(&mut self.sc.sas),
-            ca: self.sc.ca,
-            bus: std::mem::take(&mut self.sc.bus_ctr),
-            bu_refs: plan.psm.platform().border_units().collect(),
-            fus: std::mem::take(&mut self.sc.fus),
-            segment_clocks: plan.seg_clock.clone(),
-            ca_clock: plan.ca_clock,
-            package_size: plan.s,
-            makespan: self.sc.makespan,
-            trace: None,
-        }
+        // clone_from reuses the output report's allocations (see the
+        // interpreter's execute_into); the result is bit-identical to a
+        // freshly assembled report.
+        out.sas.clone_from(&self.sc.sas);
+        out.ca = self.sc.ca;
+        out.bus.clone_from(&self.sc.bus_ctr);
+        out.bu_refs.clear();
+        out.bu_refs.extend(plan.psm.platform().border_units());
+        out.fus.clone_from(&self.sc.fus);
+        out.segment_clocks.clone_from(&plan.seg_clock);
+        out.ca_clock = plan.ca_clock;
+        out.package_size = plan.s;
+        out.makespan = self.sc.makespan;
+        out.trace = None;
     }
 }
 

@@ -147,7 +147,11 @@ mod tests {
                 );
             }
             if b > 0 {
-                assert!(bucket_upper_bound(b - 1) < v, "v={v} also fits bucket {}", b - 1);
+                assert!(
+                    bucket_upper_bound(b - 1) < v,
+                    "v={v} also fits bucket {}",
+                    b - 1
+                );
             }
         }
     }

@@ -59,11 +59,11 @@ pub use analysis::{
     trace_latency_stats, trace_package_latencies, wave_boundaries, wave_durations, BuActivity,
     BusAnalysis, BusUtilisation, LatencyStats, SegmentActivity,
 };
-pub use cache::{job_digest, BatchJob, CacheStats, CachedPool, ReportCache};
+pub use cache::{job_digest, job_digest_from, BatchJob, CacheStats, CachedPool, ReportCache};
 pub use config::{ArbitrationPolicy, EmulatorConfig, EngineKind, ProducerRelease, TimingParams};
 pub use counters::{BuCounters, CaCounters, FuTimes, SaCounters};
 pub use energy::{estimate_energy, EnergyBreakdown, EnergyModel};
-pub use engine::{Emulator, Engine, EnginePlan};
+pub use engine::{Emulator, Engine, EnginePlan, LowerBoundScratch, PlanDelta};
 pub use gantt::ascii_gantt;
 pub use montecarlo::{run_monte_carlo, McOptions, McReport, McStats, UtilisationSpread};
 pub use parallel::{run_many, run_many_with, SweepPool};

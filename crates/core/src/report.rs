@@ -36,6 +36,28 @@ pub struct EmulationReport {
 }
 
 impl EmulationReport {
+    /// A blank report for buffer reuse: pass it (or any previous report)
+    /// to [`run_plan_into`] to have the run's result assembled into the
+    /// existing vectors instead of freshly allocated ones. Placement
+    /// search holds one such report per evaluator and amortises report
+    /// assembly across thousands of candidate emulations.
+    ///
+    /// [`run_plan_into`]: crate::Engine::run_plan_into
+    pub fn empty() -> EmulationReport {
+        EmulationReport {
+            sas: Vec::new(),
+            ca: CaCounters::default(),
+            bus: Vec::new(),
+            bu_refs: Vec::new(),
+            fus: Vec::new(),
+            segment_clocks: Vec::new(),
+            ca_clock: ClockDomain::from_period_ps(1),
+            package_size: 0,
+            makespan: Picos::ZERO,
+            trace: None,
+        }
+    }
+
     /// The paper's total execution time:
     /// `max(t_SA1, …, t_SAn, t_CA)` where `t_X = TCT_X × period_X`.
     pub fn execution_time(&self) -> Picos {

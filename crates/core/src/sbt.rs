@@ -394,10 +394,10 @@ mod tests {
                     2 => TraceKind::BusEnd,
                     _ => TraceKind::WaveComplete,
                 },
-                flow: (i % 2 == 0).then(|| FlowId((i % 7) as u32)),
+                flow: (i % 2 == 0).then_some(FlowId((i % 7) as u32)),
                 package: (i % 3 == 0).then_some(i),
-                process: (i % 5 == 0).then(|| ProcessId((i % 11) as u32)),
-                segment: (i % 4 != 3).then(|| SegmentId((i % 3) as u16)),
+                process: (i % 5 == 0).then_some(ProcessId((i % 11) as u32)),
+                segment: (i % 4 != 3).then_some(SegmentId((i % 3) as u16)),
             });
         }
         v

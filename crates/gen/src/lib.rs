@@ -18,7 +18,10 @@
 //! * `ring` — a random layered DAG mapped round-robin onto a closed ring
 //!   platform, exercising the wrap-around border unit;
 //! * `star` — a hub fanning configuration data out to workers that return
-//!   results to a collector (asymmetric volumes).
+//!   results to a collector (asymmetric volumes);
+//! * `grid` — a large toroidal 2D mesh (100+ processes, small volumes,
+//!   light compute): communication-dominated placement stress for the
+//!   portfolio search and its ≥100-process benchmark leg.
 //!
 //! Everything is a pure function of `(family, seed)` through the
 //! workspace's own [`SmallRng`]; regenerating the corpus from the
@@ -30,7 +33,7 @@
 use std::fmt;
 
 use segbus_apps::generators::{
-    block_allocation, butterfly, random_layered, ring_platform, round_robin_allocation,
+    block_allocation, butterfly, grid, random_layered, ring_platform, round_robin_allocation,
     uniform_platform, GeneratorConfig,
 };
 use segbus_apps::mp3::{self, Mp3Config};
@@ -53,16 +56,20 @@ pub enum Family {
     Ring,
     /// Hub-and-spokes fan-out/fan-in with asymmetric volumes.
     Star,
+    /// Large toroidal 2D mesh, communication-dominated (100+ processes).
+    Grid,
 }
 
 impl Family {
-    /// Every family, in manifest order.
-    pub const ALL: [Family; 5] = [
+    /// Every family, in manifest order. `Grid` was appended last so the
+    /// seed streams of the pre-existing families are unchanged.
+    pub const ALL: [Family; 6] = [
         Family::Mp3,
         Family::Video,
         Family::Telecom,
         Family::Ring,
         Family::Star,
+        Family::Grid,
     ];
 
     /// The manifest/directory name.
@@ -73,6 +80,7 @@ impl Family {
             Family::Telecom => "telecom",
             Family::Ring => "ring",
             Family::Star => "star",
+            Family::Grid => "grid",
         }
     }
 
@@ -92,6 +100,7 @@ impl Family {
             Family::Telecom => gen_telecom(seed, &mut rng),
             Family::Ring => gen_ring(&mut rng),
             Family::Star => gen_star(&mut rng),
+            Family::Grid => gen_grid(&mut rng),
         }
     }
 }
@@ -259,6 +268,28 @@ fn gen_star(rng: &mut SmallRng) -> Psm {
     Psm::new(platform, app, alloc).expect("star scenario validates")
 }
 
+fn gen_grid(rng: &mut SmallRng) -> Psm {
+    // 100–156 processes. One or two packages per flow and light compute
+    // keep the scenario cheap to emulate while making it communication-
+    // dominated — the regime where the placement search's lower bound and
+    // plan patching pay off.
+    let width = rng.range_usize(10, 13);
+    let height = rng.range_usize(10, 12);
+    let mut app = grid(
+        width,
+        height,
+        GeneratorConfig {
+            items_per_flow: 36 * rng.range_u64(1, 2),
+            ticks_per_package: rng.range_u64(20, 60),
+        },
+    );
+    sprinkle_noise(&mut app, rng, 0.1);
+    let segments = rng.range_usize(4, 6);
+    let alloc = block_allocation(&app, segments);
+    let platform = uniform_platform(segments, 36);
+    Psm::new(platform, app, alloc).expect("grid scenario validates")
+}
+
 // ---------------------------------------------------------------------------
 // corpus manifest and emission
 
@@ -282,6 +313,8 @@ ring 1
 ring 2
 star 1
 star 2
+grid 1
+grid 2
 ";
 
 /// Parse a manifest: `#` comments and blank lines are skipped, every other
@@ -599,7 +632,7 @@ mod tests {
     #[test]
     fn default_manifest_parses_and_renders() {
         let entries = parse_manifest(DEFAULT_MANIFEST).unwrap();
-        assert_eq!(entries.len(), 13);
+        assert_eq!(entries.len(), 15);
         assert_eq!(entries[0], (Family::Mp3, 1));
         let corpus = generate_corpus(&entries);
         assert_eq!(corpus.len(), entries.len());
@@ -611,6 +644,18 @@ mod tests {
         assert_eq!(paths.len(), corpus.len());
         for (path, text) in &corpus {
             segbus_dsl::parse_system(text).unwrap_or_else(|e| panic!("{path}: {e}"));
+        }
+    }
+
+    #[test]
+    fn grid_family_is_large() {
+        for seed in 0..4 {
+            let psm = Family::Grid.generate(seed);
+            assert!(
+                psm.application().process_count() >= 100,
+                "grid seed {seed}: only {} processes",
+                psm.application().process_count()
+            );
         }
     }
 
@@ -693,7 +738,10 @@ mod tests {
         // Line deletion/swap can break tag nesting, so well-formedness is
         // lower than the DSL mutator's parse rate — but a healthy share
         // of both outcomes keeps the campaign probing both layers.
-        assert!(well_formed > 75, "only {well_formed}/300 stayed well-formed");
+        assert!(
+            well_formed > 75,
+            "only {well_formed}/300 stayed well-formed"
+        );
         assert!(rejected > 75, "only {rejected}/300 were rejected");
     }
 
@@ -708,8 +756,7 @@ mod tests {
             let m = mutate_xml(&base, &mut rng);
             // The deliberately-invalid injected shapes are unmistakable:
             // the generator never emits them on its own.
-            if m.contains("poisson:4") || m.contains("uniform:9:3") || m.contains("constant:0")
-            {
+            if m.contains("poisson:4") || m.contains("uniform:9:3") || m.contains("constant:0") {
                 seen = true;
                 break;
             }

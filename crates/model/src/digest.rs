@@ -115,6 +115,27 @@ impl Psm {
     ///
     /// [`EmulationReport`]: https://docs.rs/segbus-core
     pub fn digest(&self) -> u64 {
+        let mut h = self.digest_prefix();
+        h.write_u8(TAG_ALLOCATION);
+        let app = self.application();
+        h.write_u64(app.process_count() as u64);
+        for i in 0..app.process_count() {
+            h.write_u16(self.segment_of(crate::ids::ProcessId(i as u32)).0);
+        }
+        h.finish()
+    }
+
+    /// The allocation-independent prefix of [`Psm::digest`]: the hasher
+    /// state after the platform, cost-model, process and flow sections,
+    /// *before* the trailing allocation section.
+    ///
+    /// The allocation is deliberately the final section of the canonical
+    /// encoding so that placement search — which evaluates thousands of
+    /// allocations of one fixed platform + application — can hash the
+    /// invariant part once and finish each candidate with
+    /// [`digest_with_slots`] in O(processes) instead of re-encoding the
+    /// whole model per candidate.
+    pub fn digest_prefix(&self) -> Fnv64 {
         let mut h = Fnv64::new();
         let platform = self.platform();
         let app = self.application();
@@ -170,14 +191,25 @@ impl Psm {
             h.write_u64(f.ticks);
         }
 
-        h.write_u8(TAG_ALLOCATION);
-        h.write_u64(app.process_count() as u64);
-        for i in 0..app.process_count() {
-            h.write_u16(self.segment_of(crate::ids::ProcessId(i as u32)).0);
-        }
-
-        h.finish()
+        h
     }
+}
+
+/// Complete an allocation-independent [`Psm::digest_prefix`] into the full
+/// model digest for the placement described by `slots` (`slots[p]` is the
+/// segment index process `p` is assigned to).
+///
+/// For any complete allocation this equals [`Psm::digest`] of the same
+/// platform + application re-validated under that allocation; the digest
+/// tests pin the equivalence.
+pub fn digest_with_slots(prefix: Fnv64, slots: &[u16]) -> u64 {
+    let mut h = prefix;
+    h.write_u8(TAG_ALLOCATION);
+    h.write_u64(slots.len() as u64);
+    for &s in slots {
+        h.write_u16(s);
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -261,6 +293,17 @@ mod tests {
         app.set_cost_model(CostModel::affine(5, 36).unwrap());
         let cm = Psm::new(base.platform().clone(), app, base.allocation().clone()).unwrap();
         assert_ne!(d, cm.digest());
+    }
+
+    #[test]
+    fn prefix_plus_slots_equals_full_digest() {
+        let base = psm(72, 36, 100.0);
+        let prefix = base.digest_prefix();
+        assert_eq!(digest_with_slots(prefix, &[0, 1]), base.digest());
+        // Same prefix finishes any other placement of the same model.
+        let moved = base.with_process_moved(ProcessId(1), SegmentId(0)).unwrap();
+        assert_eq!(digest_with_slots(prefix, &[0, 0]), moved.digest());
+        assert_ne!(digest_with_slots(prefix, &[0, 0]), base.digest());
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod time;
 pub mod validate;
 
 pub use diag::{SegbusError, SourceSpan};
-pub use digest::Fnv64;
+pub use digest::{digest_with_slots, Fnv64};
 pub use error::ModelError;
 pub use ids::{FlowId, ProcessId, SegmentId};
 pub use mapping::{Allocation, Psm};

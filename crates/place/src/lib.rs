@@ -44,11 +44,14 @@
 
 #![warn(missing_docs)]
 
+mod delta;
 pub mod kl;
 pub mod parallel;
+pub mod portfolio;
 
 pub use kl::kernighan_lin;
 pub use parallel::{allocation_digest, ParallelSearch, SearchStats};
+pub use portfolio::Portfolio;
 
 use std::collections::HashMap;
 
@@ -101,6 +104,9 @@ pub struct PlaceTool<'a> {
     /// the model-declared traffic; see
     /// [`PlaceTool::with_measured_weights`].
     measured: Option<&'a [u64]>,
+    /// Incremental candidate evaluation (delta hop sums, plan patching,
+    /// lower-bound skips); see [`PlaceTool::with_incremental`].
+    incremental: bool,
 }
 
 impl<'a> PlaceTool<'a> {
@@ -125,7 +131,20 @@ impl<'a> PlaceTool<'a> {
             platform: None,
             emu_config: EmulatorConfig::default(),
             measured: None,
+            incremental: true,
         }
+    }
+
+    /// Toggle incremental candidate evaluation (on by default): delta
+    /// hop-cost maintenance, plan patching and lower-bound emulation
+    /// skips. `false` forces the pre-incremental path — every candidate
+    /// rebuilds its model and is evaluated from scratch. Search results
+    /// are bit-identical either way (the delta paths are exact and the
+    /// bound is admissible); this is a diagnostics and benchmarking
+    /// escape hatch, like the interpreter engine.
+    pub fn with_incremental(mut self, incremental: bool) -> Self {
+        self.incremental = incremental;
+        self
     }
 
     /// Use ring (or linear) hop distances for the objective.
@@ -451,7 +470,8 @@ impl<'a> PlaceTool<'a> {
     /// # Panics
     /// Panics if `start` is infeasible.
     pub fn refine(&self, start: Allocation) -> Placement {
-        self.refine_in(&mut Evaluator::new(self), start)
+        let base = delta::EvalBase::new(self);
+        self.refine_in(&mut Evaluator::new(self, &base), start)
     }
 
     fn refine_in<E: CostEval>(&self, eval: &mut E, start: Allocation) -> Placement {
@@ -471,12 +491,12 @@ impl<'a> PlaceTool<'a> {
                     }
                     alloc.assign(p, to);
                     let better = self.feasible(&alloc) && {
-                        let c = eval.cost(&alloc);
-                        if c < cost {
-                            cost = c;
-                            true
-                        } else {
-                            false
+                        match eval.cost_if_below(&alloc, cost) {
+                            Some(c) if c < cost => {
+                                cost = c;
+                                true
+                            }
+                            _ => false,
                         }
                     };
                     if better {
@@ -497,12 +517,12 @@ impl<'a> PlaceTool<'a> {
                     alloc.assign(pa, sb);
                     alloc.assign(pb, sa);
                     let better = self.feasible(&alloc) && {
-                        let c = eval.cost(&alloc);
-                        if c < cost {
-                            cost = c;
-                            true
-                        } else {
-                            false
+                        match eval.cost_if_below(&alloc, cost) {
+                            Some(c) if c < cost => {
+                                cost = c;
+                                true
+                            }
+                            _ => false,
                         }
                     };
                     if better {
@@ -527,13 +547,28 @@ impl<'a> PlaceTool<'a> {
     /// Seeded simulated annealing over moves and swaps, starting from the
     /// greedy placement. Deterministic for a given seed.
     pub fn anneal(&self, seed: u64, iterations: usize) -> Placement {
-        self.anneal_in(&mut Evaluator::new(self), seed, iterations)
+        let base = delta::EvalBase::new(self);
+        self.anneal_in(&mut Evaluator::new(self, &base), seed, iterations)
     }
 
     fn anneal_in<E: CostEval>(&self, eval: &mut E, seed: u64, iterations: usize) -> Placement {
+        self.anneal_from(eval, self.greedy_allocation(), seed, iterations)
+    }
+
+    /// Annealing from an explicit feasible start (the portfolio search
+    /// restarts chains from the global incumbent). Identical draw
+    /// sequence to [`PlaceTool::anneal`] for the same seed.
+    fn anneal_from<E: CostEval>(
+        &self,
+        eval: &mut E,
+        start: Allocation,
+        seed: u64,
+        iterations: usize,
+    ) -> Placement {
         let n = self.app.process_count();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut alloc = self.greedy_allocation();
+        debug_assert!(self.feasible(&start), "anneal needs a feasible start");
+        let mut alloc = start;
         let mut cost = eval.cost(&alloc) as f64;
         let mut best = alloc.clone();
         let mut best_cost = cost;
@@ -599,8 +634,10 @@ impl<'a> PlaceTool<'a> {
             }
         }
         // One evaluator for the whole composition: candidates revisited
-        // across greedy/KL/annealing restarts hit the memo.
-        let mut eval = Evaluator::new(self);
+        // across greedy/KL/annealing restarts hit the memo, and the
+        // makespan evaluator's patched plan survives across phases.
+        let base = delta::EvalBase::new(self);
+        let mut eval = Evaluator::new(self, &base);
         let mut winner = self.refine_in(&mut eval, self.greedy_allocation());
         if self.kl_applicable() {
             let kl = self.refine_in(&mut eval, self.kl_allocation());
@@ -659,6 +696,15 @@ impl<'a> PlaceTool<'a> {
     pub fn parallel(self, threads: usize) -> ParallelSearch<'a> {
         ParallelSearch::new(self, threads)
     }
+
+    /// A portfolio search over this solver: the greedy, Kernighan–Lin and
+    /// annealing families run concurrently in synchronous rounds with a
+    /// shared memo and a shared incumbent, stale families restarting from
+    /// the incumbent between rounds. See [`Portfolio`]. `threads == 0`
+    /// picks the machine parallelism.
+    pub fn portfolio(self, threads: usize) -> Portfolio<'a> {
+        Portfolio::new(self, threads)
+    }
 }
 
 /// Objective evaluation seen by the local-search solvers.
@@ -671,47 +717,111 @@ impl<'a> PlaceTool<'a> {
 trait CostEval {
     /// Objective value of a feasible candidate.
     fn cost(&mut self, alloc: &Allocation) -> u64;
+
+    /// Objective value, or `None` when the evaluator can prove — via an
+    /// admissible lower bound — that the candidate costs at least
+    /// `incumbent` without evaluating it exactly. `None` therefore never
+    /// hides a candidate an exact evaluator would have accepted: the
+    /// hill-climbing trajectory is identical either way, only the number
+    /// of exact evaluations differs. The default is the exact evaluation.
+    fn cost_if_below(&mut self, alloc: &Allocation, incumbent: u64) -> Option<u64> {
+        let _ = incumbent;
+        Some(self.cost(alloc))
+    }
 }
 
 /// Objective evaluator shared across the solver phases of one `best` run.
 ///
-/// For the hop-count objectives it is a thin pass-through; for
-/// [`Objective::Makespan`] it owns a reusable [`Engine`] (plan/scratch
-/// buffers survive across candidates) and memoises the makespan per
-/// allocation, so local-search neighbourhoods that keep revisiting the
-/// same candidates pay for each distinct one exactly once.
-struct Evaluator<'t, 'a> {
+/// For the hop-count objectives it maintains an incremental
+/// [`delta::HopState`] (O(degree) per candidate instead of a full flow
+/// sweep). For [`Objective::Makespan`] it owns a reusable [`Engine`] and a
+/// [`delta::PatchState`] — a compiled plan of the caller-provided
+/// [`delta::EvalBase`] patched per candidate, with a reused report buffer
+/// — memoises the makespan per allocation digest, and skips emulation
+/// entirely when the plan's admissible lower bound proves a candidate
+/// cannot beat the incumbent ([`CostEval::cost_if_below`]).
+struct Evaluator<'b, 't, 'a> {
     tool: &'t PlaceTool<'a>,
     engine: Engine,
-    memo: HashMap<Vec<u16>, u64>,
+    hop: Option<delta::HopState>,
+    patch: delta::PatchState<'b>,
+    memo: HashMap<u64, u64>,
     /// Distinct emulation runs performed (memo misses).
     misses: usize,
+    /// Candidates rejected by the lower bound without emulation.
+    bound_skips: u64,
 }
 
-impl<'t, 'a> Evaluator<'t, 'a> {
-    fn new(tool: &'t PlaceTool<'a>) -> Evaluator<'t, 'a> {
+impl<'b, 't, 'a> Evaluator<'b, 't, 'a> {
+    fn new(tool: &'t PlaceTool<'a>, base: &'b delta::EvalBase) -> Evaluator<'b, 't, 'a> {
         Evaluator {
             tool,
             engine: Engine::new(tool.emu_config),
+            hop: (tool.incremental && tool.objective != Objective::Makespan)
+                .then(|| delta::HopState::new(tool)),
+            patch: delta::PatchState::new(tool, base),
             memo: HashMap::new(),
             misses: 0,
+            bound_skips: 0,
         }
+    }
+
+    /// Makespan of the candidate, or `None` when `threshold` is set and
+    /// the lower bound proves the candidate cannot beat it.
+    fn makespan_cost(&mut self, alloc: &Allocation, threshold: Option<u64>) -> Option<u64> {
+        let outcome = self.patch.prepare(self.tool, alloc);
+        let key = allocation_digest(self.patch.cand());
+        if let Some(&c) = self.memo.get(&key) {
+            return Some(c);
+        }
+        // Memo miss: only now patch the plan onto the candidate — memo
+        // hits never pay the remap work.
+        let outcome = match outcome {
+            delta::PatchOutcome::Ready => self.patch.patch(),
+            o => o,
+        };
+        let c = match outcome {
+            // Empty segment or unroutable move: same `u64::MAX` the
+            // model-rebuild path reports for a PSM that fails validation.
+            delta::PatchOutcome::Infeasible => u64::MAX,
+            delta::PatchOutcome::NoPlan => self.tool.emulate(&mut self.engine, alloc),
+            delta::PatchOutcome::Ready => {
+                if let Some(incumbent) = threshold {
+                    if self.patch.lower_bound(self.tool) >= incumbent {
+                        // Provably no better than the incumbent: skip the
+                        // emulation. Not memoised — the exact cost is
+                        // still unknown.
+                        self.bound_skips += 1;
+                        return None;
+                    }
+                }
+                self.patch.run(&mut self.engine)
+            }
+        };
+        self.misses += 1;
+        self.memo.insert(key, c);
+        Some(c)
     }
 }
 
-impl CostEval for Evaluator<'_, '_> {
+impl CostEval for Evaluator<'_, '_, '_> {
     fn cost(&mut self, alloc: &Allocation) -> u64 {
         if self.tool.objective != Objective::Makespan {
-            return self.tool.hop_cost(alloc);
+            return match self.hop.as_mut() {
+                Some(hop) => hop.cost(self.tool, alloc),
+                None => self.tool.hop_cost(alloc),
+            };
         }
-        let key = self.tool.slots(alloc);
-        if let Some(&c) = self.memo.get(&key) {
-            return c;
+        self.makespan_cost(alloc, None)
+            .expect("exact evaluation never bound-skips")
+    }
+
+    fn cost_if_below(&mut self, alloc: &Allocation, incumbent: u64) -> Option<u64> {
+        if self.tool.objective != Objective::Makespan {
+            return Some(self.cost(alloc));
         }
-        let c = self.tool.emulate(&mut self.engine, alloc);
-        self.misses += 1;
-        self.memo.insert(key, c);
-        c
+        let threshold = self.tool.incremental.then_some(incumbent);
+        self.makespan_cost(alloc, threshold)
     }
 }
 
@@ -997,7 +1107,8 @@ mod tests {
         let app = pipeline_app();
         let platform = two_segment_platform();
         let tool = PlaceTool::new(&app, 2).with_makespan(&platform);
-        let mut eval = Evaluator::new(&tool);
+        let base = delta::EvalBase::new(&tool);
+        let mut eval = Evaluator::new(&tool, &base);
         let a = Allocation::from_groups(&[&[0, 1, 2], &[3, 4, 5]]);
         let b = Allocation::from_groups(&[&[0, 1], &[2, 3, 4, 5]]);
         let first = eval.cost(&a);

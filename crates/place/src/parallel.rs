@@ -41,11 +41,12 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
-use segbus_core::{job_digest, CacheStats, CachedPool, Engine, SweepPool};
+use segbus_core::{job_digest, job_digest_from, CacheStats, CachedPool, Engine, SweepPool};
 use segbus_model::digest::Fnv64;
 use segbus_model::ids::{ProcessId, SegmentId};
 use segbus_model::mapping::{Allocation, Psm};
 
+use crate::delta::{EvalBase, HopState, PatchOutcome, PatchState};
 use crate::{CostEval, Objective, PlaceTool, Placement};
 
 /// In-memory LRU capacity of the search's report cache. Placement
@@ -84,6 +85,14 @@ pub struct SearchStats {
     /// Emulation runs whose job digest had already been emulated — the
     /// shared memo's no-duplicate guarantee holds iff this stays `0`.
     pub duplicate_emulations: u64,
+    /// Candidates rejected by the plan's admissible makespan lower bound
+    /// without emulating (and without a memo entry — their exact cost is
+    /// never computed). Every evaluation is accounted exactly once:
+    /// `memo_len == evaluations − memo_hits − bound_skips`.
+    pub bound_skips: u64,
+    /// Successful plan remaps (one per process moved between consecutive
+    /// candidates of an evaluator's patched [`segbus_core::EnginePlan`]).
+    pub plan_patches: u64,
     /// Distinct allocations recorded in the memo.
     pub memo_len: usize,
     /// Counters of the underlying report cache (memory + disk tiers).
@@ -117,15 +126,23 @@ struct MemoState {
 /// assert_eq!(search.best(42), tool.parallel(1).best(42)); // thread-count invariant
 /// ```
 pub struct ParallelSearch<'a> {
-    tool: PlaceTool<'a>,
-    pool: SweepPool,
-    restarts: usize,
+    pub(crate) tool: PlaceTool<'a>,
+    pub(crate) pool: SweepPool,
+    pub(crate) restarts: usize,
     memo: Mutex<MemoState>,
     done: Condvar,
     cache: Mutex<CachedPool>,
+    /// `true` once a disk store is attached. A cold in-process search
+    /// never hits the report-cache tiers (the allocation-digest memo
+    /// already answers every repeat), so without disk the tier lookup
+    /// and the per-report write-back clone are pure overhead and both
+    /// are skipped.
+    cache_tier: bool,
     evaluations: AtomicU64,
     memo_hits: AtomicU64,
     emulations: AtomicU64,
+    bound_skips: AtomicU64,
+    plan_patches: AtomicU64,
 }
 
 impl<'a> ParallelSearch<'a> {
@@ -149,9 +166,12 @@ impl<'a> ParallelSearch<'a> {
                 SweepPool::with_threads(tool.emu_config, 1),
                 CACHE_CAPACITY,
             )),
+            cache_tier: false,
             evaluations: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             emulations: AtomicU64::new(0),
+            bound_skips: AtomicU64::new(0),
+            plan_patches: AtomicU64::new(0),
         }
     }
 
@@ -167,8 +187,9 @@ impl<'a> ParallelSearch<'a> {
     /// `segbus batch`/`serve` via `--cache-dir`): cached makespans
     /// survive the process, and a warm directory answers repeated
     /// searches from disk instead of the emulator.
-    pub fn with_cache_dir(self, dir: &Path) -> io::Result<Self> {
+    pub fn with_cache_dir(mut self, dir: &Path) -> io::Result<Self> {
         self.cache.lock().unwrap().attach_disk(dir)?;
+        self.cache_tier = true;
         Ok(self)
     }
 
@@ -195,6 +216,8 @@ impl<'a> ParallelSearch<'a> {
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             emulations: self.emulations.load(Ordering::Relaxed),
             duplicate_emulations: memo.duplicates,
+            bound_skips: self.bound_skips.load(Ordering::Relaxed),
+            plan_patches: self.plan_patches.load(Ordering::Relaxed),
             memo_len: memo.map.len(),
             cache: self.cache.lock().unwrap().stats(),
         }
@@ -229,7 +252,9 @@ impl<'a> ParallelSearch<'a> {
         }
         let prefixes: Vec<u64> = (0..shards).collect();
         let results = self.pool.sweep_with(&prefixes, |engine, &prefix| {
-            self.exhaustive_shard(engine, prefix, depth)
+            let base = EvalBase::new(&self.tool);
+            let mut eval = SharedEval::new(self, engine, &base);
+            self.exhaustive_shard(&mut eval, prefix, depth)
         });
         let mut best: Option<(u64, Vec<u16>)> = None;
         for cand in results.into_iter().flatten() {
@@ -252,7 +277,7 @@ impl<'a> ParallelSearch<'a> {
     /// to the base-`k` digits of `prefix`, suffix enumerated in full.
     fn exhaustive_shard(
         &self,
-        engine: &mut Engine,
+        eval: &mut SharedEval<'_, '_, 'a>,
         prefix: u64,
         depth: usize,
     ) -> Option<(u64, Vec<u16>)> {
@@ -271,7 +296,7 @@ impl<'a> ParallelSearch<'a> {
                 alloc.assign(ProcessId(i as u32), SegmentId(s));
             }
             if self.tool.feasible(&alloc) {
-                let cand = (self.shared_cost(engine, &alloc), assign.clone());
+                let cand = (eval.cost(&alloc), assign.clone());
                 if better(&cand, &best) {
                     best = Some(cand);
                 }
@@ -302,10 +327,8 @@ impl<'a> ParallelSearch<'a> {
             .map(|r| seed.wrapping_add(r.wrapping_mul(0x9e37_79b9)))
             .collect();
         let results = self.pool.sweep_with(&seeds, |engine, &s| {
-            let mut eval = SharedEval {
-                search: self,
-                engine,
-            };
+            let base = EvalBase::new(&self.tool);
+            let mut eval = SharedEval::new(self, engine, &base);
             self.tool.anneal_in(&mut eval, s, iterations)
         });
         self.merge(results).expect("restarts >= 1")
@@ -335,10 +358,8 @@ impl<'a> ParallelSearch<'a> {
             tasks.push(Task::Anneal(seed.wrapping_add(r.wrapping_mul(0x9e37_79b9))));
         }
         let results = self.pool.sweep_with(&tasks, |engine, task| {
-            let mut eval = SharedEval {
-                search: self,
-                engine,
-            };
+            let base = EvalBase::new(&self.tool);
+            let mut eval = SharedEval::new(self, engine, &base);
             match *task {
                 Task::Greedy => self
                     .tool
@@ -355,7 +376,7 @@ impl<'a> ParallelSearch<'a> {
 
     /// Canonical winner of a set of finished placements: lowest cost,
     /// ties broken by the lexicographically smallest segment vector.
-    fn merge(&self, candidates: Vec<Placement>) -> Option<Placement> {
+    pub(crate) fn merge(&self, candidates: Vec<Placement>) -> Option<Placement> {
         let mut best: Option<(u64, Vec<u16>)> = None;
         for p in candidates {
             let cand = (p.cost, self.tool.slots(&p.allocation));
@@ -376,25 +397,67 @@ impl<'a> ParallelSearch<'a> {
 
     // -- shared evaluation --------------------------------------------------
 
-    /// Objective value of a feasible candidate, through the shared memo
-    /// and the cache tiers. Pure: the answer never depends on which
-    /// worker asks, or when.
-    fn shared_cost(&self, engine: &mut Engine, alloc: &Allocation) -> u64 {
+    /// Makespan of a candidate through the shared memo and cache tiers,
+    /// or `None` when `threshold` is set and the patched plan's
+    /// admissible lower bound proves the candidate cannot beat it. Pure
+    /// up to the skip: an answered cost never depends on which worker
+    /// asks, or when, and a skip only suppresses candidates no solver
+    /// would have accepted.
+    fn shared_cost(
+        &self,
+        engine: &mut Engine,
+        patch: &mut PatchState<'_>,
+        alloc: &Allocation,
+        threshold: Option<u64>,
+    ) -> Option<u64> {
         if self.tool.objective != Objective::Makespan {
-            return self.tool.hop_cost(alloc);
+            return Some(self.tool.hop_cost(alloc));
         }
         self.evaluations.fetch_add(1, Ordering::Relaxed);
-        let key = allocation_digest(&self.tool.slots(alloc));
+        let mut outcome = patch.prepare(&self.tool, alloc);
+        let key = allocation_digest(patch.cand());
+        // First memo pass, without claiming the candidate — a bound skip
+        // must not leave an in-flight marker behind.
         {
             let mut memo = self.memo.lock().unwrap();
             loop {
                 match memo.map.get(&key) {
                     Some(Some(c)) => {
                         self.memo_hits.fetch_add(1, Ordering::Relaxed);
-                        return *c;
+                        return Some(*c);
                     }
                     // Another worker is emulating this exact candidate:
                     // wait for its answer instead of duplicating the run.
+                    Some(None) => memo = self.done.wait(memo).unwrap(),
+                    None => break,
+                }
+            }
+        }
+        // Memo miss: only now patch the plan onto the candidate — the
+        // hits above never pay the remap work.
+        if outcome == PatchOutcome::Ready {
+            outcome = patch.patch();
+            self.plan_patches
+                .fetch_add(patch.take_patches(), Ordering::Relaxed);
+        }
+        if let (PatchOutcome::Ready, Some(incumbent)) = (outcome, threshold) {
+            if patch.lower_bound(&self.tool) >= incumbent {
+                // Provably no better than the incumbent: skip the
+                // emulation. Not memoised — the exact cost is unknown.
+                self.bound_skips.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        // Claim the candidate: re-check under the lock, since another
+        // worker may have claimed or finished it during the bound check.
+        {
+            let mut memo = self.memo.lock().unwrap();
+            loop {
+                match memo.map.get(&key) {
+                    Some(Some(c)) => {
+                        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(*c);
+                    }
                     Some(None) => memo = self.done.wait(memo).unwrap(),
                     None => {
                         memo.map.insert(key, None);
@@ -403,16 +466,49 @@ impl<'a> ParallelSearch<'a> {
                 }
             }
         }
-        let c = self.compute(engine, alloc);
+        let c = match outcome {
+            // Empty segment or unroutable move: same `u64::MAX` the
+            // model-rebuild path reports for a PSM failing validation.
+            PatchOutcome::Infeasible => u64::MAX,
+            PatchOutcome::NoPlan => self.compute_rebuilt(engine, alloc),
+            PatchOutcome::Ready => self.compute_patched(engine, patch),
+        };
         self.memo.lock().unwrap().map.insert(key, Some(c));
         self.done.notify_all();
-        c
+        Some(c)
     }
 
-    /// Memo-miss path: memory → disk → emulate, holding the cache lock
-    /// only around the tier lookup and the write-back — never across the
-    /// emulation itself.
-    fn compute(&self, engine: &mut Engine, alloc: &Allocation) -> u64 {
+    /// Memo-miss path on the patched plan: memory → disk → emulate, with
+    /// the candidate's job digest derived incrementally from the base
+    /// model's digest prefix (equal to the digest of the rebuilt model,
+    /// so warm `segbus batch`/`serve` caches keep hitting). Holds the
+    /// cache lock only around the tier lookup and the write-back — never
+    /// across the emulation itself.
+    fn compute_patched(&self, engine: &mut Engine, patch: &mut PatchState<'_>) -> u64 {
+        let digest = job_digest_from(patch.psm_digest(), &self.tool.emu_config, 1);
+        if self.cache_tier {
+            if let Some(report) = self.cache.lock().unwrap().lookup(digest) {
+                return report.makespan.0;
+            }
+        }
+        {
+            let mut memo = self.memo.lock().unwrap();
+            if !memo.emulated.insert(digest) {
+                memo.duplicates += 1;
+            }
+        }
+        self.emulations.fetch_add(1, Ordering::Relaxed);
+        let makespan = patch.run(engine);
+        if self.cache_tier {
+            self.cache.lock().unwrap().insert(digest, patch.report());
+        }
+        makespan
+    }
+
+    /// Memo-miss fallback when no base plan exists (the instance cannot
+    /// form a valid PSM): rebuild the model per candidate, exactly as
+    /// before plan patching.
+    fn compute_rebuilt(&self, engine: &mut Engine, alloc: &Allocation) -> u64 {
         let platform = self
             .tool
             .platform
@@ -422,8 +518,10 @@ impl<'a> ParallelSearch<'a> {
             Err(_) => return u64::MAX,
         };
         let digest = job_digest(&psm, &self.tool.emu_config, 1);
-        if let Some(report) = self.cache.lock().unwrap().lookup(digest) {
-            return report.makespan.0;
+        if self.cache_tier {
+            if let Some(report) = self.cache.lock().unwrap().lookup(digest) {
+                return report.makespan.0;
+            }
         }
         {
             let mut memo = self.memo.lock().unwrap();
@@ -435,7 +533,9 @@ impl<'a> ParallelSearch<'a> {
         match engine.try_run(&psm) {
             Ok(report) => {
                 let makespan = report.makespan.0;
-                self.cache.lock().unwrap().insert(digest, &report);
+                if self.cache_tier {
+                    self.cache.lock().unwrap().insert(digest, &report);
+                }
                 makespan
             }
             Err(_) => u64::MAX,
@@ -445,7 +545,7 @@ impl<'a> ParallelSearch<'a> {
 
 /// One independent start of the composed `best` search.
 #[derive(Clone, Copy, Debug)]
-enum Task {
+pub(crate) enum Task {
     /// Greedy constructive start, then refine.
     Greedy,
     /// Kernighan–Lin bipartition start, then refine.
@@ -455,7 +555,7 @@ enum Task {
 }
 
 /// `true` if `cand` beats `best` under the canonical total order.
-fn better(cand: &(u64, Vec<u16>), best: &Option<(u64, Vec<u16>)>) -> bool {
+pub(crate) fn better(cand: &(u64, Vec<u16>), best: &Option<(u64, Vec<u16>)>) -> bool {
     match best {
         None => true,
         Some((c, s)) => cand.0 < *c || (cand.0 == *c && cand.1 < *s),
@@ -463,15 +563,53 @@ fn better(cand: &(u64, Vec<u16>), best: &Option<(u64, Vec<u16>)>) -> bool {
 }
 
 /// Worker-local view of the shared evaluation state: the solvers see a
-/// plain [`CostEval`], the engine stays worker-private, everything else
-/// goes through [`ParallelSearch::shared_cost`].
-struct SharedEval<'x, 'a> {
+/// plain [`CostEval`]; the engine, the incremental hop state and the
+/// patched plan stay worker-private, while memoisation and the cache
+/// tiers go through [`ParallelSearch::shared_cost`].
+pub(crate) struct SharedEval<'x, 'b, 'a> {
     search: &'x ParallelSearch<'a>,
     engine: &'x mut Engine,
+    hop: Option<HopState>,
+    patch: PatchState<'b>,
 }
 
-impl CostEval for SharedEval<'_, '_> {
+impl<'x, 'b, 'a> SharedEval<'x, 'b, 'a> {
+    /// A worker-local evaluator over `search`, compiling its patchable
+    /// plan from the caller-owned `base`.
+    pub(crate) fn new(
+        search: &'x ParallelSearch<'a>,
+        engine: &'x mut Engine,
+        base: &'b EvalBase,
+    ) -> SharedEval<'x, 'b, 'a> {
+        SharedEval {
+            hop: (search.tool.incremental && search.tool.objective != Objective::Makespan)
+                .then(|| HopState::new(&search.tool)),
+            patch: PatchState::new(&search.tool, base),
+            search,
+            engine,
+        }
+    }
+}
+
+impl CostEval for SharedEval<'_, '_, '_> {
     fn cost(&mut self, alloc: &Allocation) -> u64 {
-        self.search.shared_cost(self.engine, alloc)
+        if self.search.tool.objective != Objective::Makespan {
+            return match self.hop.as_mut() {
+                Some(hop) => hop.cost(&self.search.tool, alloc),
+                None => self.search.tool.hop_cost(alloc),
+            };
+        }
+        self.search
+            .shared_cost(self.engine, &mut self.patch, alloc, None)
+            .expect("exact evaluation never bound-skips")
+    }
+
+    fn cost_if_below(&mut self, alloc: &Allocation, incumbent: u64) -> Option<u64> {
+        if self.search.tool.objective != Objective::Makespan {
+            return Some(self.cost(alloc));
+        }
+        let threshold = self.search.tool.incremental.then_some(incumbent);
+        self.search
+            .shared_cost(self.engine, &mut self.patch, alloc, threshold)
     }
 }

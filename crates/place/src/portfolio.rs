@@ -1,0 +1,297 @@
+//! Portfolio placement search: heterogeneous solver families racing over
+//! one shared evaluation substrate.
+//!
+//! [`ParallelSearch::best`] fans its independent starts out once and
+//! merges at the end; each family explores alone and a family stuck in a
+//! poor basin wastes its whole budget there. [`Portfolio`] keeps the same
+//! family roster — greedy → refine, Kernighan–Lin → refine (when
+//! applicable), `restarts` annealing chains → refine — but runs it in
+//! **synchronous rounds** over the shared allocation-digest memo and a
+//! shared incumbent:
+//!
+//! * **Round 0** is exactly the `ParallelSearch::best` fan-out (same
+//!   seeds, same trajectories).
+//! * After every round the family results are merged under the canonical
+//!   total order (lowest cost, ties broken by the lexicographically
+//!   smallest segment vector) into the **global incumbent**.
+//! * In round `r ≥ 1` every family continues as a freshly seeded
+//!   annealing chain + refine. A family whose own best is *stale* —
+//!   strictly worse than the incumbent — restarts from the incumbent
+//!   instead (cross-pollination); the others keep exploring their own
+//!   basin.
+//! * The portfolio stops early once a round fails to improve the
+//!   incumbent's cost, and always after [`Portfolio::with_rounds`]
+//!   rounds or past the optional wall-clock budget.
+//!
+//! **Determinism.** Results are bit-identical for any thread count: every
+//! chain is seeded by `(seed, family, round)` alone, the shared memo is a
+//! pure cache of the deterministic cost function, and every decision that
+//! shapes the search — staleness, restart points, the stop rule — reads
+//! only the *round-merged* state at a barrier, never the live atomic
+//! incumbent (which workers update mid-round purely for observability).
+//! The wall-clock budget is likewise only consulted at round boundaries,
+//! so it can truncate the round sequence but never change the result of
+//! the rounds that did run. The full argument lives in DESIGN.md §16.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use segbus_model::ids::{ProcessId, SegmentId};
+use segbus_model::mapping::Allocation;
+
+use crate::delta::EvalBase;
+use crate::parallel::{better, SearchStats, SharedEval, Task};
+use crate::{Objective, ParallelSearch, PlaceTool, Placement};
+
+/// Counters of one [`Portfolio`] (cumulative across runs): the underlying
+/// shared-evaluation counters plus the round bookkeeping.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PortfolioStats {
+    /// The shared evaluation substrate's counters (memo, cache tiers,
+    /// bound skips, plan patches).
+    pub search: SearchStats,
+    /// Synchronous rounds completed.
+    pub rounds: u64,
+    /// Family restarts from the global incumbent (stale families
+    /// re-seeded at a round boundary).
+    pub cross_pollinations: u64,
+}
+
+/// A round-based portfolio search over one [`PlaceTool`].
+///
+/// Construct with [`PlaceTool::portfolio`]. The portfolio owns a
+/// [`ParallelSearch`] (pool, shared memo, cache tiers) and reuses it
+/// across rounds and across runs.
+///
+/// ```
+/// use segbus_apps::generators::{chain, GeneratorConfig};
+/// use segbus_place::PlaceTool;
+///
+/// let app = chain(6, GeneratorConfig::default());
+/// let tool = PlaceTool::new(&app, 3);
+/// let portfolio = tool.portfolio(4).with_rounds(2);
+/// assert_eq!(portfolio.best(42), tool.portfolio(1).with_rounds(2).best(42));
+/// ```
+pub struct Portfolio<'a> {
+    search: ParallelSearch<'a>,
+    rounds: usize,
+    time_budget: Option<Duration>,
+    /// Live lowest cost seen by any worker (observability only — round
+    /// decisions read the merged state, see the module docs).
+    incumbent_cost: AtomicU64,
+    rounds_run: AtomicU64,
+    cross_pollinations: AtomicU64,
+}
+
+/// One family's continuation in a round `r ≥ 1`: a seeded annealing
+/// chain + refine from an explicit start.
+struct Chain {
+    start: Vec<u16>,
+    seed: u64,
+}
+
+/// The seed of family `family`'s chain in round `round`; depends on
+/// nothing else, so trajectories are thread-count independent.
+fn chain_seed(seed: u64, family: u64, round: u64) -> u64 {
+    seed.wrapping_add(family.wrapping_mul(0x9e37_79b9))
+        .wrapping_add(round.wrapping_mul(0x85eb_ca6b))
+}
+
+impl<'a> Portfolio<'a> {
+    /// Default maximum number of synchronous rounds.
+    pub const DEFAULT_ROUNDS: usize = 3;
+
+    /// A portfolio over `tool` on `threads` workers (`0` picks the
+    /// machine parallelism), with the default three annealing chains and
+    /// [`Portfolio::DEFAULT_ROUNDS`] rounds.
+    pub fn new(tool: PlaceTool<'a>, threads: usize) -> Portfolio<'a> {
+        Portfolio {
+            search: ParallelSearch::new(tool, threads),
+            rounds: Self::DEFAULT_ROUNDS,
+            time_budget: None,
+            incumbent_cost: AtomicU64::new(u64::MAX),
+            rounds_run: AtomicU64::new(0),
+            cross_pollinations: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of synchronous rounds (clamped to at least one;
+    /// the portfolio may stop earlier when a round fails to improve the
+    /// incumbent). One round is exactly [`ParallelSearch::best`].
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        self.rounds = rounds.max(1);
+        self
+    }
+
+    /// Stop starting new rounds once `budget` wall-clock time has
+    /// elapsed. Checked only at round boundaries, so the budget bounds
+    /// *how many* rounds run (machine-dependent) without ever changing
+    /// the result of the rounds that do run.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Number of annealing-chain families (clamped to at least one).
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.search = self.search.with_restarts(restarts);
+        self
+    }
+
+    /// Attach the persistent report store under `dir`; see
+    /// [`ParallelSearch::with_cache_dir`].
+    pub fn with_cache_dir(mut self, dir: &Path) -> io::Result<Self> {
+        self.search = self.search.with_cache_dir(dir)?;
+        Ok(self)
+    }
+
+    /// The worker cap.
+    pub fn threads(&self) -> usize {
+        self.search.threads()
+    }
+
+    /// The solver this portfolio runs.
+    pub fn tool(&self) -> &PlaceTool<'a> {
+        self.search.tool()
+    }
+
+    /// Snapshot of the portfolio counters (cumulative across runs).
+    pub fn stats(&self) -> PortfolioStats {
+        PortfolioStats {
+            search: self.search.stats(),
+            rounds: self.rounds_run.load(Ordering::Relaxed),
+            cross_pollinations: self.cross_pollinations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Run the portfolio. Deterministic in `(seed, rounds, restarts)`
+    /// for any thread count; never worse than [`ParallelSearch::best`]
+    /// with the same seed and restarts, since round 0 is exactly that
+    /// fan-out and later rounds only replace results that improve on it.
+    pub fn best(&self, seed: u64) -> Placement {
+        let tool = &self.search.tool;
+        let n = tool.app.process_count();
+        // Tiny hop-objective instances: exact enumeration, as `best`.
+        if tool.objective != Objective::Makespan
+            && (tool.segments as f64).powi(n as i32) <= 250_000.0
+        {
+            if let Some(p) = self.search.exhaustive() {
+                return p;
+            }
+        }
+        let started = Instant::now();
+        let iterations = tool.best_iterations();
+
+        // The family roster, in fixed order. Round 0 mirrors the
+        // `ParallelSearch::best` fan-out, seeds included.
+        let mut families = vec![Task::Greedy];
+        if tool.kl_applicable() {
+            families.push(Task::Kl);
+        }
+        for r in 0..self.search.restarts as u64 {
+            families.push(Task::Anneal(seed.wrapping_add(r.wrapping_mul(0x9e37_79b9))));
+        }
+        let results = self.search.pool.sweep_with(&families, |engine, task| {
+            let base = EvalBase::new(tool);
+            let mut eval = SharedEval::new(&self.search, engine, &base);
+            let p = match *task {
+                Task::Greedy => tool.refine_in(&mut eval, tool.greedy_allocation()),
+                Task::Kl => tool.refine_in(&mut eval, tool.kl_allocation()),
+                Task::Anneal(s) => {
+                    let a = tool.anneal_in(&mut eval, s, iterations);
+                    tool.refine_in(&mut eval, a.allocation)
+                }
+            };
+            self.incumbent_cost.fetch_min(p.cost, Ordering::Relaxed);
+            p
+        });
+
+        // Per-family best-so-far, and the round-merged global incumbent.
+        let mut family_state: Vec<(u64, Vec<u16>)> = results
+            .into_iter()
+            .map(|p| (p.cost, tool.slots(&p.allocation)))
+            .collect();
+        let mut incumbent: Option<(u64, Vec<u16>)> = None;
+        for st in &family_state {
+            if better(st, &incumbent) {
+                incumbent = Some(st.clone());
+            }
+        }
+        let mut incumbent = incumbent.expect("the greedy family always runs");
+        let mut rounds_run = 1u64;
+        let mut cross = 0u64;
+
+        for round in 1..self.rounds {
+            if self
+                .time_budget
+                .is_some_and(|budget| started.elapsed() >= budget)
+            {
+                break;
+            }
+            let chains: Vec<Chain> = family_state
+                .iter()
+                .enumerate()
+                .map(|(i, st)| {
+                    let stale = st.0 > incumbent.0;
+                    if stale {
+                        cross += 1;
+                    }
+                    Chain {
+                        start: if stale {
+                            incumbent.1.clone()
+                        } else {
+                            st.1.clone()
+                        },
+                        seed: chain_seed(seed, i as u64, round as u64),
+                    }
+                })
+                .collect();
+            let results = self.search.pool.sweep_with(&chains, |engine, chain| {
+                let base = EvalBase::new(tool);
+                let mut eval = SharedEval::new(&self.search, engine, &base);
+                let mut alloc = Allocation::new(tool.segments);
+                for (p, &s) in chain.start.iter().enumerate() {
+                    alloc.assign(ProcessId(p as u32), SegmentId(s));
+                }
+                let a = tool.anneal_from(&mut eval, alloc, chain.seed, iterations);
+                let p = tool.refine_in(&mut eval, a.allocation);
+                self.incumbent_cost.fetch_min(p.cost, Ordering::Relaxed);
+                p
+            });
+            // Deterministic merge at the barrier: each family keeps its
+            // best-so-far, then the incumbent is re-folded in family
+            // order under the canonical total order.
+            for (i, p) in results.into_iter().enumerate() {
+                let cand = (p.cost, tool.slots(&p.allocation));
+                if better(&cand, &Some(family_state[i].clone())) {
+                    family_state[i] = cand;
+                }
+            }
+            let prev_cost = incumbent.0;
+            for st in &family_state {
+                if better(st, &Some(incumbent.clone())) {
+                    incumbent = st.clone();
+                }
+            }
+            rounds_run += 1;
+            // Converged: the round bought no cost improvement.
+            if incumbent.0 >= prev_cost {
+                break;
+            }
+        }
+
+        self.rounds_run.fetch_add(rounds_run, Ordering::Relaxed);
+        self.cross_pollinations.fetch_add(cross, Ordering::Relaxed);
+        let (cost, slots) = incumbent;
+        let mut alloc = Allocation::new(tool.segments);
+        for (p, &s) in slots.iter().enumerate() {
+            alloc.assign(ProcessId(p as u32), SegmentId(s));
+        }
+        Placement {
+            allocation: alloc,
+            cost,
+        }
+    }
+}

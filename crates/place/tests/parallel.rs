@@ -121,7 +121,12 @@ fn shared_memo_records_zero_duplicate_emulations() {
             stats.duplicate_emulations, 0,
             "threads {threads}: a candidate was emulated twice"
         );
-        assert_eq!(stats.memo_len as u64, stats.evaluations - stats.memo_hits);
+        // Every evaluation is accounted exactly once: answered by the
+        // memo, rejected by the lower bound, or recorded as a new entry.
+        assert_eq!(
+            stats.memo_len as u64,
+            stats.evaluations - stats.memo_hits - stats.bound_skips
+        );
     }
 }
 

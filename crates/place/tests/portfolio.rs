@@ -1,0 +1,117 @@
+//! Determinism and equivalence properties of the portfolio search: the
+//! result is bit-identical for any thread count, identical with
+//! incremental evaluation disabled (the delta paths are exact), never
+//! worse than the plain parallel fan-out it generalises, and a zero
+//! wall-clock budget degenerates to exactly that fan-out.
+
+use std::time::Duration;
+
+use segbus_apps::generators::{grid, random_layered, GeneratorConfig};
+use segbus_model::platform::Platform;
+use segbus_model::time::ClockDomain;
+use segbus_place::{Objective, PlaceTool};
+
+fn uniform_platform(segments: usize) -> Platform {
+    Platform::builder("portfolio-test")
+        .uniform_segments(segments, ClockDomain::from_mhz(100.0))
+        .build()
+        .expect("valid platform")
+}
+
+#[test]
+fn portfolio_is_thread_count_invariant_on_hop_objectives() {
+    // Large enough that the exhaustive fast path never triggers.
+    let app = random_layered(4, 4, 11, GeneratorConfig::default());
+    let run = |threads: usize| {
+        PlaceTool::new(&app, 3)
+            .with_objective(Objective::Packages(12))
+            .portfolio(threads)
+            .with_restarts(3)
+            .with_rounds(3)
+            .best(7)
+    };
+    let reference = run(1);
+    for threads in [2, 8] {
+        assert_eq!(run(threads), reference, "{threads} threads diverged");
+    }
+}
+
+#[test]
+fn portfolio_is_thread_count_invariant_on_makespan() {
+    let app = random_layered(3, 3, 5, GeneratorConfig::default());
+    let platform = uniform_platform(2);
+    let run = |threads: usize| {
+        PlaceTool::new(&app, 2)
+            .with_makespan(&platform)
+            .portfolio(threads)
+            .with_restarts(2)
+            .with_rounds(3)
+            .best(42)
+    };
+    let reference = run(1);
+    for threads in [2, 8] {
+        assert_eq!(run(threads), reference, "{threads} threads diverged");
+    }
+}
+
+/// Incremental evaluation (plan patching, bound skips, delta digests)
+/// must not change the trajectory: the portfolio lands on the same
+/// placement with it disabled.
+#[test]
+fn portfolio_matches_the_rebuild_path_on_makespan() {
+    let app = grid(5, 4, GeneratorConfig::default());
+    let platform = uniform_platform(2);
+    let run = |incremental: bool| {
+        PlaceTool::new(&app, 2)
+            .with_makespan(&platform)
+            .with_incremental(incremental)
+            .portfolio(2)
+            .with_restarts(2)
+            .with_rounds(2)
+            .best(9)
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// Round 0 is exactly the `ParallelSearch` fan-out, and later rounds
+/// only replace results that improve on it.
+#[test]
+fn portfolio_never_worse_than_the_parallel_fanout() {
+    let app = random_layered(3, 3, 5, GeneratorConfig::default());
+    let platform = uniform_platform(2);
+    let fanout = PlaceTool::new(&app, 2)
+        .with_makespan(&platform)
+        .parallel(2)
+        .with_restarts(3)
+        .best(7);
+    let portfolio = PlaceTool::new(&app, 2)
+        .with_makespan(&platform)
+        .portfolio(2)
+        .with_restarts(3)
+        .with_rounds(3)
+        .best(7);
+    assert!(portfolio.cost <= fanout.cost);
+}
+
+/// The wall-clock budget is consulted only at round boundaries: an
+/// already-expired budget still runs round 0 and returns exactly the
+/// plain fan-out result.
+#[test]
+fn zero_time_budget_still_runs_round_zero() {
+    let app = random_layered(3, 3, 5, GeneratorConfig::default());
+    let platform = uniform_platform(2);
+    let port = PlaceTool::new(&app, 2)
+        .with_makespan(&platform)
+        .portfolio(1)
+        .with_restarts(2)
+        .with_rounds(5)
+        .with_time_budget(Duration::ZERO);
+    let result = port.best(7);
+    assert_eq!(port.stats().rounds, 1);
+    let fanout = PlaceTool::new(&app, 2)
+        .with_makespan(&platform)
+        .parallel(1)
+        .with_restarts(2)
+        .best(7);
+    assert_eq!(result, fanout);
+}

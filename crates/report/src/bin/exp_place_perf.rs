@@ -23,18 +23,44 @@
 //! sequential algorithms and the bench aborts. The result lands in
 //! `BENCH_place.json` next to a human-readable summary on stdout.
 //!
+//! A second experiment scales the search to a large instance: the
+//! portfolio search on a 100+-process toroidal `grid` (makespan in the
+//! loop) with incremental evaluation — plan patching, lower-bound
+//! emulation skips, reused report buffers — against the *same* portfolio
+//! with [`PlaceTool::with_incremental`] off, i.e. the pre-incremental
+//! path that rebuilds the model and emulates every candidate from
+//! scratch. The trajectories are identical (the delta paths are exact
+//! and the bound is admissible), so the placements must agree and the
+//! ratio is pure per-candidate evaluation savings. The slow leg runs
+//! once per invocation, the cheap leg `GRID_PASSES` times (median
+//! reported) — the CI gate's best-of-5 rounds absorb machine noise.
+//!
 //! [`refine`]: PlaceTool::refine
 //! [`anneal`]: PlaceTool::anneal
 
 use std::time::{Duration, Instant};
 
-use segbus_apps::generators::{chain, GeneratorConfig};
+use segbus_apps::generators::{chain, grid, GeneratorConfig};
 use segbus_model::platform::Platform;
 use segbus_model::time::ClockDomain;
 use segbus_place::{PlaceTool, Placement};
 
 const N: usize = 8;
 const SEGMENTS: usize = 2;
+/// Large-instance leg: a `GRID_W × GRID_H` toroidal mesh (≥ 100
+/// processes) searched by the portfolio with makespan in the loop. Two
+/// segments keep every family (including Kernighan–Lin, defined only
+/// for bipartitions) in play.
+const GRID_W: usize = 12;
+const GRID_H: usize = 10;
+const GRID_SEGMENTS: usize = 2;
+const GRID_RESTARTS: usize = 1;
+const GRID_ROUNDS: usize = 2;
+/// Optimised-leg passes. The baseline (full rebuild per candidate) runs
+/// once — it is ~5× slower, and the gate's best-of-5 rounds already
+/// absorb machine noise — while the cheap leg is measured `GRID_PASSES`
+/// times and reported by its median.
+const GRID_PASSES: usize = 3;
 /// Per-segment capacity. Besides being a realistic constraint, this
 /// disables the Kernighan–Lin start (defined only for uncapacitated
 /// bipartitions), keeping the two legs' task sets identical.
@@ -138,8 +164,94 @@ fn main() {
     );
     println!("  speedup: {speedup:.2}x");
 
+    // ---- large-grid portfolio leg --------------------------------------
+    // Incremental evaluation against the pre-incremental full-rebuild
+    // path, on the identical portfolio trajectory (the delta paths are
+    // exact, so the two runs visit the same candidates and must land on
+    // the same placement).
+    let grid_app = grid(
+        GRID_W,
+        GRID_H,
+        GeneratorConfig {
+            items_per_flow: 36,
+            ticks_per_package: 40,
+        },
+    );
+    let grid_platform = Platform::builder("bench-grid")
+        .uniform_segments(GRID_SEGMENTS, ClockDomain::from_mhz(100.0))
+        .build()
+        .expect("valid platform");
+    let grid_processes = grid_app.process_count();
+    let fast_tool = PlaceTool::new(&grid_app, GRID_SEGMENTS).with_makespan(&grid_platform);
+    let slow_tool = fast_tool.with_incremental(false);
+
+    // Warm-up (optimised leg only — the baseline is too slow to warm).
+    let _ = fast_tool
+        .portfolio(1)
+        .with_restarts(GRID_RESTARTS)
+        .with_rounds(GRID_ROUNDS)
+        .best(SEED);
+
+    let t = Instant::now();
+    let slow = slow_tool
+        .portfolio(1)
+        .with_restarts(GRID_RESTARTS)
+        .with_rounds(GRID_ROUNDS)
+        .best(SEED);
+    let grid_baseline = t.elapsed();
+
+    let mut grid_timings = Vec::with_capacity(GRID_PASSES);
+    let mut grid_evaluations = 0u64;
+    let mut grid_bound_skips = 0u64;
+    let mut grid_plan_patches = 0u64;
+    for pass in 0..GRID_PASSES {
+        let t = Instant::now();
+        let port = fast_tool
+            .portfolio(1)
+            .with_restarts(GRID_RESTARTS)
+            .with_rounds(GRID_ROUNDS);
+        let fast = port.best(SEED);
+        let optimised_time = t.elapsed();
+
+        assert_eq!(
+            fast, slow,
+            "grid pass {pass}: incremental evaluation diverged from the rebuild path"
+        );
+        let stats = port.stats();
+        grid_evaluations = stats.search.evaluations;
+        grid_bound_skips = stats.search.bound_skips;
+        grid_plan_patches = stats.search.plan_patches;
+
+        let ratio = grid_baseline.as_secs_f64() / optimised_time.as_secs_f64();
+        println!("  grid pass {pass}: {ratio:.2}x");
+        grid_timings.push(optimised_time);
+    }
+    let grid_fastest = *grid_timings.iter().min().expect("at least one pass");
+    grid_timings.sort();
+    let grid_optimised = grid_timings[GRID_PASSES / 2];
+    let grid_baseline_ms = grid_baseline.as_secs_f64() * 1e3;
+    let grid_total_ms = grid_optimised.as_secs_f64() * 1e3;
+    let grid_speedup = grid_baseline_ms / grid_total_ms;
+    // "Moves" are candidate evaluations the search asked for — answered
+    // incrementally by patch+run, the bound, or the memo.
+    let place_moves_per_sec = grid_evaluations as f64 / grid_fastest.as_secs_f64();
+
+    println!(
+        "\nP10 — portfolio on a {grid_processes}-process grid \
+         ({GRID_SEGMENTS} segments, {GRID_ROUNDS} round(s))\n"
+    );
+    println!("  baseline  (full model rebuild + emulation per candidate):");
+    println!("      search in {grid_baseline_ms:.1} ms");
+    println!("  optimised (plan patching, lower-bound skips, delta digests):");
+    println!(
+        "      search in {grid_total_ms:.1} ms = {place_moves_per_sec:.0} moves/s \
+         ({grid_evaluations} evaluations, {grid_bound_skips} bound-skipped, \
+         {grid_plan_patches} plan patches)"
+    );
+    println!("  speedup: {grid_speedup:.2}x");
+
     let json = format!(
-        "{{\n  \"runs\": {runs},\n  \"total_ms\": {total_ms:.3},\n  \"runs_per_sec\": {runs_per_sec:.1},\n  \"baseline_total_ms\": {baseline_ms:.3},\n  \"emulations\": {emulations},\n  \"speedup\": {speedup:.2},\n  \"threads\": {THREADS},\n  \"restarts\": {RESTARTS}\n}}\n",
+        "{{\n  \"runs\": {runs},\n  \"total_ms\": {total_ms:.3},\n  \"runs_per_sec\": {runs_per_sec:.1},\n  \"baseline_total_ms\": {baseline_ms:.3},\n  \"emulations\": {emulations},\n  \"speedup\": {speedup:.2},\n  \"threads\": {THREADS},\n  \"restarts\": {RESTARTS},\n  \"grid_processes\": {grid_processes},\n  \"grid_total_ms\": {grid_total_ms:.3},\n  \"grid_baseline_total_ms\": {grid_baseline_ms:.3},\n  \"grid_speedup\": {grid_speedup:.2},\n  \"grid_evaluations\": {grid_evaluations},\n  \"grid_bound_skips\": {grid_bound_skips},\n  \"grid_plan_patches\": {grid_plan_patches},\n  \"place_moves_per_sec\": {place_moves_per_sec:.1}\n}}\n",
     );
     std::fs::write("BENCH_place.json", &json).expect("write BENCH_place.json");
     println!("\nwrote BENCH_place.json");

@@ -335,7 +335,7 @@ mod tests {
         assert_ne!(plain.digest, traced.digest);
         let report = traced.result.unwrap();
         let trace = report.trace.expect("traced job records events");
-        assert!(trace.len() > 0);
+        assert!(!trace.is_empty());
         // Cached replay returns the same trace.
         let again = svc.run(tj);
         assert!(again.cached);

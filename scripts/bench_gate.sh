@@ -16,6 +16,11 @@
 #                     (interpreter `runs_per_sec` + fast-core
 #                      `fast_runs_per_sec`)
 #   exp_place_perf -> BENCH_place.json    P5 parallel placement search
+#                     (`runs_per_sec`, plus the P10 incremental-portfolio
+#                      leg: `place_moves_per_sec` throughput on the
+#                      120-process grid and `grid_speedup`, the ratio of
+#                      the full-rebuild path over incremental evaluation
+#                      on the identical trajectory)
 #   exp_serve_perf -> BENCH_serve.json    P6 serve-tier throughput + p99
 #
 # Each benchmark runs five times and every field is gated on its
@@ -282,7 +287,8 @@ gate() {
 }
 
 gate BENCH_engine.json exp_perf "Engine throughput" runs_per_sec fast_runs_per_sec || fails=1
-gate BENCH_place.json exp_place_perf "Placement search throughput" runs_per_sec || fails=1
+gate BENCH_place.json exp_place_perf "Placement search throughput" \
+    runs_per_sec place_moves_per_sec grid_speedup || fails=1
 gate BENCH_serve.json exp_serve_perf "Serve tier throughput" serve_reqs_per_sec max:serve_p99_us || fails=1
 
 if [[ "$fails" -ne 0 ]]; then

@@ -24,7 +24,7 @@ use segbus_core::{BatchJob, CachedPool, Emulator, EmulatorConfig, SweepPool};
 use segbus_dsl as dsl;
 use segbus_model::mapping::Psm;
 use segbus_model::validate::{validate, Severity};
-use segbus_place::{Objective, PlaceTool};
+use segbus_place::{Objective, PlaceTool, Portfolio};
 use segbus_rtl::RtlSimulator;
 use segbus_serve::{ServeOptions, Server};
 use segbus_xml::{import, m2t};
@@ -209,6 +209,8 @@ const VALUE_FLAGS: &[&str] = &[
     "max-in-flight",
     "trace-out",
     "from-trace",
+    "rounds",
+    "time-budget",
 ];
 
 /// Parse `--key value` style options out of an argument list; returns
@@ -473,7 +475,8 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
             "usage: segbus place <model.sbd> --segments N [--seed S] \
              [--objective items|packages|makespan] [--capacity C] \
              [--threads N] [--restarts R] [--cache-dir DIR] \
-             [--engine fast|interpreter] [--from-trace FILE.sbt]",
+             [--engine fast|interpreter] [--from-trace FILE.sbt] \
+             [--portfolio [--rounds N] [--time-budget MS]]",
         ));
     };
     let segments =
@@ -565,19 +568,59 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
     if restarts == 0 {
         return Err(fail("--restarts must be at least 1"));
     }
-    let mut search = tool.parallel(threads).with_restarts(restarts);
-    if let Some(dir) = opt(&opts, "cache-dir") {
-        let dir = dir.ok_or_else(|| fail("--cache-dir needs a directory"))?;
-        search = search
-            .with_cache_dir(Path::new(dir))
-            .map_err(|e| fail(format!("--cache-dir {dir}: {e}")))?;
+    let use_portfolio = match opt(&opts, "portfolio") {
+        None => false,
+        Some(None) => true,
+        Some(Some(v)) => return Err(fail(format!("--portfolio takes no value (got {v:?})"))),
+    };
+    let rounds = opt_u32(&opts, "rounds")?;
+    let time_budget = opt_u32(&opts, "time-budget")?;
+    if !use_portfolio && (rounds.is_some() || time_budget.is_some()) {
+        return Err(fail("--rounds/--time-budget need --portfolio"));
     }
-    let placement = search.best(seed);
+    if rounds == Some(0) {
+        return Err(fail("--rounds must be at least 1"));
+    }
+    let cache_dir = match opt(&opts, "cache-dir") {
+        None => None,
+        Some(None) => return Err(fail("--cache-dir needs a directory")),
+        Some(Some(dir)) => Some(dir),
+    };
+    // Both drivers share the evaluation substrate; the portfolio adds
+    // round-based cross-pollination on top.
+    let (placement, threads_used, st, portfolio_line) = if use_portfolio {
+        let mut port = tool
+            .portfolio(threads)
+            .with_restarts(restarts)
+            .with_rounds(rounds.unwrap_or(Portfolio::DEFAULT_ROUNDS as u32) as usize);
+        if let Some(ms) = time_budget {
+            port = port.with_time_budget(std::time::Duration::from_millis(ms as u64));
+        }
+        if let Some(dir) = cache_dir {
+            port = port
+                .with_cache_dir(Path::new(dir))
+                .map_err(|e| fail(format!("--cache-dir {dir}: {e}")))?;
+        }
+        let placement = port.best(seed);
+        let stats = port.stats();
+        let line = format!(
+            "portfolio: {} round(s), {} cross-pollination(s)\n",
+            stats.rounds, stats.cross_pollinations
+        );
+        (placement, port.threads(), stats.search, Some(line))
+    } else {
+        let mut search = tool.parallel(threads).with_restarts(restarts);
+        if let Some(dir) = cache_dir {
+            search = search
+                .with_cache_dir(Path::new(dir))
+                .map_err(|e| fail(format!("--cache-dir {dir}: {e}")))?;
+        }
+        let placement = search.best(seed);
+        (placement, search.threads(), search.stats(), None)
+    };
     let mut out = format!(
         "PlaceTool: {} segments, {} thread(s), {label} {}\n",
-        segments,
-        search.threads(),
-        placement.cost
+        segments, threads_used, placement.cost
     );
     if let Some((file, w)) = &measured {
         let total: u64 = w.iter().sum();
@@ -602,12 +645,22 @@ fn cmd_place(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(out, "model file's allocation cut: {baseline}");
     }
     if objective == "makespan" {
-        let st = search.stats();
+        // Every evaluation is accounted exactly once (memo hit, bound
+        // skip, or fresh entry), so these counters reconcile by eye.
         let _ = writeln!(
             out,
-            "search: {} evaluation(s), {} memo hit(s), {} disk hit(s), {} emulated",
-            st.evaluations, st.memo_hits, st.cache.disk_hits, st.emulations
+            "search: {} evaluation(s), {} memo hit(s), {} disk hit(s), \
+             {} bound skip(s), {} plan patch(es), {} emulated",
+            st.evaluations,
+            st.memo_hits,
+            st.cache.disk_hits,
+            st.bound_skips,
+            st.plan_patches,
+            st.emulations
         );
+    }
+    if let Some(line) = portfolio_line {
+        out.push_str(&line);
     }
     Ok(out)
 }
@@ -1096,7 +1149,8 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     };
     if path.ends_with(".sbt") {
         // A recorded binary trace: everything derives from the events.
-        let t = segbus_core::read_trace(Path::new(path)).map_err(|e| fail(format!("{path}: {e}")))?;
+        let t =
+            segbus_core::read_trace(Path::new(path)).map_err(|e| fail(format!("{path}: {e}")))?;
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -1104,7 +1158,11 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
             t.log.len(),
             t.segments,
             t.processes,
-            if t.truncated { " — truncated tail dropped" } else { "" }
+            if t.truncated {
+                " — truncated tail dropped"
+            } else {
+                ""
+            }
         );
         write_trace_report(&mut out, &t.log, t.segments as usize);
         return Ok(out);
@@ -1123,7 +1181,10 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
         "estimated execution time: {:.2} us",
         report.execution_time().as_micros_f64()
     );
-    let trace = report.trace.as_ref().expect("traced config records a trace");
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("traced config records a trace");
     write_trace_report(&mut out, trace, report.sas.len());
     let _ = writeln!(
         out,
@@ -1474,6 +1535,68 @@ mod tests {
     }
 
     #[test]
+    fn place_portfolio_flag_and_error_paths() {
+        let dir = tmpdir("plp");
+        let f = demo_file(&dir);
+        let out = run(&args(&[
+            "place",
+            &f,
+            "--segments",
+            "2",
+            "--objective",
+            "makespan",
+            "--portfolio",
+            "--rounds",
+            "2",
+            "--time-budget",
+            "60000",
+        ]))
+        .unwrap();
+        assert!(out.contains("makespan_ps"), "{out}");
+        assert!(out.contains("bound skip(s)"), "{out}");
+        assert!(out.contains("plan patch(es)"), "{out}");
+        assert!(
+            out.contains("portfolio:") && out.contains("round(s)"),
+            "{out}"
+        );
+        // A portfolio answer is never worse than the plain parallel search.
+        let plain = run(&args(&[
+            "place",
+            &f,
+            "--segments",
+            "2",
+            "--objective",
+            "makespan",
+        ]))
+        .unwrap();
+        assert_eq!(out.lines().next(), plain.lines().next(), "same placement");
+        // Error paths: the round/budget knobs require --portfolio, rounds
+        // must be positive, and --portfolio itself takes no value.
+        let orphan = run(&args(&["place", &f, "--segments", "2", "--rounds", "2"])).unwrap_err();
+        assert!(orphan.message.contains("--portfolio"), "{orphan}");
+        let orphan = run(&args(&[
+            "place",
+            &f,
+            "--segments",
+            "2",
+            "--time-budget",
+            "5",
+        ]))
+        .unwrap_err();
+        assert!(orphan.message.contains("--portfolio"), "{orphan}");
+        assert!(run(&args(&[
+            "place",
+            &f,
+            "--segments",
+            "2",
+            "--portfolio",
+            "--rounds",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn place_warm_cache_dir_emulates_nothing() {
         let dir = tmpdir("plc");
         let f = demo_file(&dir);
@@ -1541,7 +1664,15 @@ mod tests {
         let f = demo_file(&dir);
         let sbt = dir.join("run.sbt").to_string_lossy().into_owned();
         // Stream a trace to disk while emulating.
-        let e = run(&args(&["emulate", &f, "--trace-out", &sbt, "--frames", "2"])).unwrap();
+        let e = run(&args(&[
+            "emulate",
+            &f,
+            "--trace-out",
+            &sbt,
+            "--frames",
+            "2",
+        ]))
+        .unwrap();
         assert!(e.contains("events written to"), "{e}");
         // Analyze the file without the model.
         let a = run(&args(&["analyze", &sbt])).unwrap();
@@ -1559,7 +1690,15 @@ mod tests {
             }
         }
         // And the measured traffic drives the placement.
-        let p = run(&args(&["place", &f, "--segments", "2", "--from-trace", &sbt])).unwrap();
+        let p = run(&args(&[
+            "place",
+            &f,
+            "--segments",
+            "2",
+            "--from-trace",
+            &sbt,
+        ]))
+        .unwrap();
         assert!(p.contains("measured weights from"), "{p}");
         assert!(p.contains("PlaceTool: 2 segments"), "{p}");
         // A missing trace is a typed, propagated error.

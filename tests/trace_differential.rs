@@ -95,7 +95,12 @@ fn fast_core_sbt_traces_match_interpreter_counters_on_corpus() {
             assert_eq!(x.busy, y.busy, "{name}: {} busy", x.segment);
             assert_eq!(x.serves, y.serves, "{name}: {} serves", x.segment);
             assert_eq!(x.total_wait, y.total_wait, "{name}: {} wait", x.segment);
-            assert_eq!(x.wait.count(), y.wait.count(), "{name}: {} waits", x.segment);
+            assert_eq!(
+                x.wait.count(),
+                y.wait.count(),
+                "{name}: {} waits",
+                x.segment
+            );
             assert_eq!(
                 x.wait.nonzero_buckets(),
                 y.wait.nonzero_buckets(),
